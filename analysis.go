@@ -1,0 +1,62 @@
+package instcmp
+
+import (
+	"instcmp/internal/csvio"
+	"instcmp/internal/hom"
+)
+
+// HasHomomorphism reports whether a homomorphism from one instance into the
+// other exists (identity on constants, tuples map into the target). The
+// paper's Sec. 7.2 uses this as a scalable homomorphism check for data
+// exchange, where prior work relied on brute force.
+func HasHomomorphism(from, to *Instance) bool {
+	return hom.Exists(from, to)
+}
+
+// FindHomomorphism returns a homomorphism from one instance into the other,
+// total on adom(from), or nil when none exists.
+func FindHomomorphism(from, to *Instance) map[Value]Value {
+	return hom.Find(from, to)
+}
+
+// HomEquivalent reports whether homomorphisms exist in both directions —
+// the relationship between any two universal solutions of one data-exchange
+// scenario.
+func HomEquivalent(a, b *Instance) bool {
+	return hom.Equivalent(a, b)
+}
+
+// IsIsomorphic reports whether two instances are equal up to renaming of
+// labeled nulls. Isomorphic instances represent the same incomplete
+// database and have similarity 1.
+func IsIsomorphic(a, b *Instance) bool {
+	return hom.IsIsomorphic(a, b)
+}
+
+// Core returns the core of an instance: the smallest homomorphically
+// equivalent subinstance (unique up to isomorphism). Cores are the gold
+// standard of the data-exchange evaluation in Sec. 7.2.
+func Core(in *Instance) *Instance {
+	return hom.Core(in)
+}
+
+// CSVOptions configures CSV loading; see the csvio package for field
+// semantics.
+type CSVOptions = csvio.ReadOptions
+
+// LoadCSV reads one relation from a CSV file into a fresh instance. Cells
+// starting with "_:" are labeled nulls.
+func LoadCSV(path string, opt CSVOptions) (*Instance, error) {
+	return csvio.ReadFile(path, opt)
+}
+
+// LoadCSVDir reads every *.csv file of a directory as one instance, one
+// relation per file.
+func LoadCSVDir(dir string, opt CSVOptions) (*Instance, error) {
+	return csvio.ReadDir(dir, opt)
+}
+
+// SaveCSVDir writes every relation of an instance as <dir>/<relation>.csv.
+func SaveCSVDir(dir string, in *Instance) error {
+	return csvio.WriteDir(dir, in)
+}

@@ -1,0 +1,95 @@
+package main
+
+import (
+	"encoding/csv"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+
+	"instcmp"
+)
+
+func TestRunGeneratesScenario(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "sc")
+	var buf strings.Builder
+	err := run([]string{"-dataset", "Iris", "-rows", "50", "-cells", "0.1", "-seed", "7", "-out", out}, &buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(buf.String(), "50 tuples") {
+		t.Errorf("summary wrong: %s", buf.String())
+	}
+
+	src, err := instcmp.LoadCSVDir(filepath.Join(out, "source"), instcmp.CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tgt, err := instcmp.LoadCSVDir(filepath.Join(out, "target"), instcmp.CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if src.NumTuples() != 50 || tgt.NumTuples() != 50 {
+		t.Errorf("tuples = %d / %d", src.NumTuples(), tgt.NumTuples())
+	}
+	if len(src.Vars()) == 0 {
+		t.Error("source lost its injected nulls in CSV")
+	}
+
+	// The gold mapping's row positions must be in range and the mapped
+	// rows compatible enough to score well.
+	f, err := os.Open(filepath.Join(out, "gold_pairs.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer f.Close()
+	recs, err := csv.NewReader(f).ReadAll()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) != 51 { // header + 50 pairs
+		t.Fatalf("gold rows = %d", len(recs))
+	}
+	for _, rec := range recs[1:] {
+		l, err1 := strconv.Atoi(rec[0])
+		r, err2 := strconv.Atoi(rec[1])
+		if err1 != nil || err2 != nil || l < 0 || l >= 50 || r < 0 || r >= 50 {
+			t.Fatalf("bad gold record %v", rec)
+		}
+	}
+
+	s, err := instcmp.Similarity(src, tgt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s < 0.5 {
+		t.Errorf("generated scenario similarity = %v, want moderate", s)
+	}
+}
+
+func TestRunRejectsUnknownDataset(t *testing.T) {
+	if err := run([]string{"-dataset", "Nope", "-out", t.TempDir()}, &strings.Builder{}); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestRunDeterministic(t *testing.T) {
+	a, b := filepath.Join(t.TempDir(), "a"), filepath.Join(t.TempDir(), "b")
+	for _, out := range []string{a, b} {
+		if err := run([]string{"-dataset", "Iris", "-rows", "30", "-seed", "9", "-out", out}, &strings.Builder{}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	fa, err := os.ReadFile(filepath.Join(a, "source", "Iris.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fb, err := os.ReadFile(filepath.Join(b, "source", "Iris.csv"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(fa) != string(fb) {
+		t.Error("same seed produced different scenario files")
+	}
+}

@@ -1,0 +1,195 @@
+// Command instcmp compares two database instances stored as CSV files and
+// prints their similarity score together with the instance match that
+// explains it: which tuples correspond, how labeled nulls were mapped, and
+// which tuples have no counterpart.
+//
+// Usage:
+//
+//	instcmp [flags] <left.csv|leftdir> <right.csv|rightdir>
+//
+// A path may be a single CSV file (one relation) or a directory of CSV
+// files (one relation per file). Cells starting with "_:" are labeled
+// nulls; with -anon-nulls empty cells become fresh nulls.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"time"
+
+	"instcmp"
+	"instcmp/internal/explain"
+)
+
+func main() {
+	if err := run(os.Args[1:], os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "instcmp:", err)
+		os.Exit(1)
+	}
+}
+
+func run(args []string, out io.Writer) error {
+	fs := flag.NewFlagSet("instcmp", flag.ContinueOnError)
+	var (
+		mode        = fs.String("mode", "1to1", `tuple-mapping mode: "1to1", "functional", or "ntom"`)
+		algo        = fs.String("algo", "auto", `algorithm: "auto", "signature", or "exact"`)
+		lambda      = fs.Float64("lambda", instcmp.DefaultLambda, "null-to-constant penalty λ (0 ≤ λ < 1)")
+		timeout     = fs.Duration("exact-timeout", time.Minute, "budget for the exact algorithm")
+		anonNulls   = fs.Bool("anon-nulls", false, "treat empty CSV cells as fresh labeled nulls")
+		align       = fs.Bool("align-schemas", false, "pad missing relations/attributes with fresh nulls instead of failing")
+		partial     = fs.Bool("partial", false, "allow partial matches (tuples may conflict on constants)")
+		fuzzy       = fs.Bool("fuzzy", false, "with -partial, score conflicting constants by Levenshtein similarity")
+		explainFlag = fs.Bool("explain", true, "print the tuple mapping and value mappings")
+		report      = fs.Bool("report", false, "print a versioning-style change report (added/removed/updated tuples)")
+		maxShow     = fs.Int("max-show", 20, "maximum pairs/unmatched tuples to print per section")
+	)
+	if err := fs.Parse(args); err != nil {
+		return err
+	}
+	if fs.NArg() != 2 {
+		fs.Usage()
+		return fmt.Errorf("expected two paths, got %d", fs.NArg())
+	}
+
+	left, err := load(fs.Arg(0), *anonNulls)
+	if err != nil {
+		return err
+	}
+	right, err := load(fs.Arg(1), *anonNulls)
+	if err != nil {
+		return err
+	}
+	// Two single-file inputs denote the same logical relation even when
+	// the file names differ; align the relation name.
+	if lr, rr := left.Relations(), right.Relations(); len(lr) == 1 && len(rr) == 1 && lr[0].Name != rr[0].Name {
+		renamed := instcmp.NewInstance()
+		nr := renamed.AddRelation(lr[0].Name, rr[0].Attrs...)
+		nr.Tuples = rr[0].Tuples
+		right = renamed
+	}
+
+	opt := &instcmp.Options{
+		Lambda:       *lambda,
+		ExactTimeout: *timeout,
+		AlignSchemas: *align,
+		Partial:      *partial,
+	}
+	if *fuzzy {
+		opt.ConstSimilarity = instcmp.Levenshtein
+	}
+	switch *mode {
+	case "1to1":
+		opt.Mode = instcmp.OneToOne
+	case "functional":
+		opt.Mode = instcmp.Functional
+	case "ntom":
+		opt.Mode = instcmp.ManyToMany
+	default:
+		return fmt.Errorf("unknown mode %q", *mode)
+	}
+	switch *algo {
+	case "auto":
+		opt.Algorithm = instcmp.AlgoAuto
+	case "signature":
+		opt.Algorithm = instcmp.AlgoSignature
+	case "exact":
+		opt.Algorithm = instcmp.AlgoExact
+	default:
+		return fmt.Errorf("unknown algorithm %q", *algo)
+	}
+
+	res, err := instcmp.Compare(left, right, opt)
+	if err != nil {
+		return err
+	}
+
+	fmt.Fprintf(out, "similarity: %.6f\n", res.Score)
+	fmt.Fprintf(out, "algorithm:  %s", res.Algorithm)
+	if res.Algorithm == instcmp.AlgoExact && !res.Exhaustive {
+		fmt.Fprintf(out, " (budget hit; score is a lower bound)")
+	}
+	fmt.Fprintf(out, "  elapsed: %v\n", res.Elapsed.Round(time.Millisecond))
+	fmt.Fprintf(out, "matched: %d   left-unmatched: %d   right-unmatched: %d\n",
+		len(res.Pairs), len(res.LeftUnmatched), len(res.RightUnmatched))
+
+	if *report {
+		rep, err := explain.FromResult(left, right, res)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintln(out)
+		fmt.Fprint(out, rep)
+		return nil
+	}
+	if !*explainFlag {
+		return nil
+	}
+	fmt.Fprintln(out, "\ntuple mapping (left id -> right id, pair score):")
+	for i, p := range res.Pairs {
+		if i == *maxShow {
+			fmt.Fprintf(out, "  ... %d more\n", len(res.Pairs)-i)
+			break
+		}
+		fmt.Fprintf(out, "  %s: t%d -> t%d  (%.3f)\n", p.Relation, p.LeftID, p.RightID, p.Score)
+	}
+	printUnmatched(out, "left unmatched", res.LeftUnmatched, *maxShow)
+	printUnmatched(out, "right unmatched", res.RightUnmatched, *maxShow)
+	printMapping(out, "h_l (left nulls)", res.LeftValueMapping, *maxShow)
+	printMapping(out, "h_r (right nulls)", res.RightValueMapping, *maxShow)
+	return nil
+}
+
+func load(path string, anon bool) (*instcmp.Instance, error) {
+	info, err := os.Stat(path)
+	if err != nil {
+		return nil, err
+	}
+	opt := instcmp.CSVOptions{AnonymousNulls: anon}
+	if info.IsDir() {
+		return instcmp.LoadCSVDir(path, opt)
+	}
+	return instcmp.LoadCSV(path, opt)
+}
+
+func printUnmatched(out io.Writer, label string, ids []instcmp.TupleID, maxShow int) {
+	if len(ids) == 0 {
+		return
+	}
+	fmt.Fprintf(out, "\n%s (%d):", label, len(ids))
+	for i, id := range ids {
+		if i == maxShow {
+			fmt.Fprintf(out, " ...")
+			break
+		}
+		fmt.Fprintf(out, " t%d", id)
+	}
+	fmt.Fprintln(out)
+}
+
+func printMapping(out io.Writer, label string, m map[instcmp.Value]instcmp.Value, maxShow int) {
+	if len(m) == 0 {
+		return
+	}
+	type entry struct{ from, to string }
+	var entries []entry
+	for k, v := range m {
+		if k != v { // identity entries are noise
+			entries = append(entries, entry{k.String(), v.String()})
+		}
+	}
+	sort.Slice(entries, func(i, j int) bool { return entries[i].from < entries[j].from })
+	if len(entries) == 0 {
+		return
+	}
+	fmt.Fprintf(out, "\n%s:\n", label)
+	for i, e := range entries {
+		if i == maxShow {
+			fmt.Fprintf(out, "  ... %d more\n", len(entries)-i)
+			break
+		}
+		fmt.Fprintf(out, "  %s -> %s\n", e.from, e.to)
+	}
+}

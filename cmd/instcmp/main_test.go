@@ -1,0 +1,115 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeCSV(t *testing.T, dir, name, content string) string {
+	t.Helper()
+	path := filepath.Join(dir, name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+func TestRunBasicComparison(t *testing.T) {
+	dir := t.TempDir()
+	l := writeCSV(t, dir, "left.csv", "Name,Year\nVLDB,1975\nSIGMOD,_:N1\n")
+	r := writeCSV(t, dir, "right.csv", "Name,Year\nVLDB,1975\nSIGMOD,1976\n")
+	var out strings.Builder
+	if err := run([]string{l, r}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"similarity:", "matched: 2", "_:N1 -> 1976"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("output missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunReportMode(t *testing.T) {
+	dir := t.TempDir()
+	l := writeCSV(t, dir, "left.csv", "Name,Year\nVLDB,1975\nGONE,1960\n")
+	r := writeCSV(t, dir, "right.csv", "Name,Year\nVLDB,1975\nNEW,2024\n")
+	var out strings.Builder
+	if err := run([]string{"-report", l, r}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	for _, want := range []string{"1 identical", "1 removed, 1 added", "- left", "+ left"} {
+		if !strings.Contains(got, want) {
+			t.Errorf("report missing %q:\n%s", want, got)
+		}
+	}
+}
+
+func TestRunDirectoryInputs(t *testing.T) {
+	ldir, rdir := t.TempDir(), t.TempDir()
+	writeCSV(t, ldir, "conf.csv", "Name\nVLDB\n")
+	writeCSV(t, rdir, "conf.csv", "Name\nVLDB\n")
+	var out strings.Builder
+	if err := run([]string{ldir, rdir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "similarity: 1.000000") {
+		t.Errorf("directory comparison wrong:\n%s", out.String())
+	}
+}
+
+func TestRunFuzzyPartial(t *testing.T) {
+	dir := t.TempDir()
+	l := writeCSV(t, dir, "l.csv", "Name,City\nalice,Boston\n")
+	r := writeCSV(t, dir, "r.csv", "Name,City\nalice,Bostom\n")
+	var strict, fuzzy strings.Builder
+	if err := run([]string{l, r}, &strict); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-partial", "-fuzzy", l, r}, &fuzzy); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(strict.String(), "similarity: 0.000000") {
+		t.Errorf("strict comparison should be 0:\n%s", strict.String())
+	}
+	if strings.Contains(fuzzy.String(), "similarity: 0.000000") {
+		t.Errorf("fuzzy comparison should be positive:\n%s", fuzzy.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	dir := t.TempDir()
+	l := writeCSV(t, dir, "l.csv", "A\nx\n")
+	cases := [][]string{
+		{l},                                 // missing argument
+		{"-mode", "bogus", l, l},            // bad mode
+		{"-algo", "bogus", l, l},            // bad algorithm
+		{l, filepath.Join(dir, "nope.csv")}, // missing file
+	}
+	for _, args := range cases {
+		var out strings.Builder
+		if err := run(args, &out); err == nil {
+			t.Errorf("args %v: expected error", args)
+		}
+	}
+}
+
+func TestRunSchemaMismatchSuggestsAlign(t *testing.T) {
+	dir := t.TempDir()
+	l := writeCSV(t, dir, "l.csv", "A,B\nx,y\n")
+	r := writeCSV(t, dir, "r.csv", "A\nx\n")
+	var out strings.Builder
+	if err := run([]string{l, r}, &out); err == nil {
+		t.Fatal("schema mismatch not reported")
+	}
+	out.Reset()
+	if err := run([]string{"-align-schemas", l, r}, &out); err != nil {
+		t.Fatalf("align-schemas failed: %v", err)
+	}
+	if !strings.Contains(out.String(), "matched: 1") {
+		t.Errorf("aligned comparison wrong:\n%s", out.String())
+	}
+}

@@ -1,0 +1,80 @@
+package main
+
+import (
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func write(t *testing.T, path, content string) {
+	t.Helper()
+	if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func setupLake(t *testing.T) (string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	example := filepath.Join(dir, "example.csv")
+	write(t, example, "Name,Year\nVLDB,1975\nSIGMOD,1976\n")
+	lakeDir := filepath.Join(dir, "lake")
+	write(t, filepath.Join(lakeDir, "twin.csv"), "Name,Year\nSIGMOD,1976\nVLDB,1975\n")
+	write(t, filepath.Join(lakeDir, "partial.csv"), "Name,Year\nVLDB,_:N1\nICDE,1984\n")
+	write(t, filepath.Join(lakeDir, "unrelated.csv"), "Name,Year\nfoo,1\nbar,2\n")
+	write(t, filepath.Join(lakeDir, "nested", "conf.csv"), "Name,Year\nVLDB,1975\n")
+	write(t, filepath.Join(lakeDir, "notes.txt"), "not a dataset")
+	return example, lakeDir
+}
+
+func TestRunRanksLake(t *testing.T) {
+	example, lakeDir := setupLake(t)
+	var out strings.Builder
+	if err := run([]string{example, lakeDir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	lines := strings.Split(strings.TrimSpace(got), "\n")
+	if len(lines) != 5 { // header + 4 datasets (txt skipped)
+		t.Fatalf("lines = %d:\n%s", len(lines), got)
+	}
+	if !strings.HasPrefix(lines[1], "twin.csv") {
+		t.Errorf("twin should rank first:\n%s", got)
+	}
+	if !strings.Contains(lines[1], "1.0000") {
+		t.Errorf("twin score should be 1:\n%s", got)
+	}
+	if !strings.Contains(got, "nested") {
+		t.Errorf("nested dataset missing:\n%s", got)
+	}
+}
+
+func TestRunTopAndPrefilter(t *testing.T) {
+	example, lakeDir := setupLake(t)
+	var out strings.Builder
+	if err := run([]string{"-top", "1", "-min-overlap", "0.3", example, lakeDir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(lines) != 2 {
+		t.Fatalf("-top 1 printed %d lines:\n%s", len(lines), out.String())
+	}
+}
+
+func TestRunErrors(t *testing.T) {
+	example, lakeDir := setupLake(t)
+	if err := run([]string{example}, &strings.Builder{}); err == nil {
+		t.Error("missing lake dir not reported")
+	}
+	if err := run([]string{example, filepath.Join(lakeDir, "missing")}, &strings.Builder{}); err == nil {
+		t.Error("unreadable lake not reported")
+	}
+	empty := t.TempDir()
+	if err := run([]string{example, empty}, &strings.Builder{}); err == nil {
+		t.Error("empty lake not reported")
+	}
+}

@@ -1,0 +1,90 @@
+package instcmp_test
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+
+	"instcmp"
+)
+
+// TestCSVRoundTripThroughPublicAPI drives the CSV entry points end to end:
+// save an instance with nulls, reload it, and compare against the original.
+func TestCSVRoundTripThroughPublicAPI(t *testing.T) {
+	in := instcmp.NewInstance()
+	in.AddRelation("Conf", "Name", "Year")
+	in.AddRelation("Paper", "Title", "ConfId")
+	in.Append("Conf", instcmp.Const("VLDB"), instcmp.Null("N1"))
+	in.Append("Paper", instcmp.Const("QBE"), instcmp.Null("N1"))
+
+	dir := t.TempDir()
+	if err := instcmp.SaveCSVDir(dir, in); err != nil {
+		t.Fatal(err)
+	}
+	back, err := instcmp.LoadCSVDir(dir, instcmp.CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !instcmp.IsIsomorphic(in, back) {
+		t.Fatalf("round trip lost information:\n%s\nvs\n%s", in, back)
+	}
+	s, err := instcmp.Similarity(in, back)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s != 1 {
+		t.Errorf("similarity after round trip = %v, want 1", s)
+	}
+}
+
+func TestLoadCSVSingleFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "conf.csv")
+	if err := os.WriteFile(path, []byte("Name,Org\nVLDB,_:N1\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	in, err := instcmp.LoadCSV(path, instcmp.CSVOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rel := in.Relation("conf")
+	if rel == nil || rel.Cardinality() != 1 {
+		t.Fatalf("loaded instance wrong: %s", in)
+	}
+	if rel.Tuples[0].Values[1] != instcmp.Null("N1") {
+		t.Error("null marker lost")
+	}
+	if _, err := instcmp.LoadCSV(filepath.Join(t.TempDir(), "missing.csv"), instcmp.CSVOptions{}); err == nil {
+		t.Error("missing file not reported")
+	}
+}
+
+func TestAlgorithmString(t *testing.T) {
+	for a, want := range map[instcmp.Algorithm]string{
+		instcmp.AlgoAuto:      "auto",
+		instcmp.AlgoSignature: "signature",
+		instcmp.AlgoExact:     "exact",
+	} {
+		if got := a.String(); got != want {
+			t.Errorf("Algorithm(%d).String() = %q, want %q", a, got, want)
+		}
+	}
+}
+
+func TestCompareUnknownAlgorithm(t *testing.T) {
+	l := instcmp.NewInstance()
+	l.AddRelation("R", "A")
+	if _, err := instcmp.Compare(l, l.Clone(), &instcmp.Options{Algorithm: instcmp.Algorithm(99)}); err == nil {
+		t.Error("unknown algorithm accepted")
+	}
+}
+
+func TestCompareNilInstances(t *testing.T) {
+	l := instcmp.NewInstance()
+	l.AddRelation("R", "A")
+	if _, err := instcmp.Compare(nil, l, nil); err == nil {
+		t.Error("nil left accepted")
+	}
+	if _, err := instcmp.Compare(l, nil, nil); err == nil {
+		t.Error("nil right accepted")
+	}
+}

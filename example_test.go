@@ -1,0 +1,131 @@
+package instcmp_test
+
+import (
+	"fmt"
+	"sort"
+
+	"instcmp"
+)
+
+// ExampleCompare reproduces the paper's Ex. 5.7: two instances whose nulls
+// are pure renamings of each other are maximally similar.
+func ExampleCompare() {
+	left := instcmp.NewInstance()
+	left.AddRelation("Conf", "Id", "Year", "Org")
+	left.Append("Conf", instcmp.Null("N1"), instcmp.Const("1975"), instcmp.Const("VLDB End."))
+	left.Append("Conf", instcmp.Null("N2"), instcmp.Const("1976"), instcmp.Const("VLDB End."))
+
+	right := instcmp.NewInstance()
+	right.AddRelation("Conf", "Id", "Year", "Org")
+	right.Append("Conf", instcmp.Null("Na"), instcmp.Const("1975"), instcmp.Const("VLDB End."))
+	right.Append("Conf", instcmp.Null("Nb"), instcmp.Const("1976"), instcmp.Const("VLDB End."))
+
+	res, err := instcmp.Compare(left, right, &instcmp.Options{Mode: instcmp.OneToOne})
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("similarity: %.2f, matched pairs: %d\n", res.Score, len(res.Pairs))
+	// Output:
+	// similarity: 1.00, matched pairs: 2
+}
+
+// ExampleCompare_valueMappings shows how a match explains what each null
+// stands for.
+func ExampleCompare_valueMappings() {
+	left := instcmp.NewInstance()
+	left.AddRelation("Conf", "Name", "Place")
+	left.Append("Conf", instcmp.Const("VLDB"), instcmp.Null("N1"))
+
+	right := instcmp.NewInstance()
+	right.AddRelation("Conf", "Name", "Place")
+	right.Append("Conf", instcmp.Const("VLDB"), instcmp.Const("Framingham"))
+
+	res, err := instcmp.Compare(left, right, nil)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Println("N1 stands for", res.LeftValueMapping[instcmp.Null("N1")])
+	// Output:
+	// N1 stands for Framingham
+}
+
+// ExampleSimilarity is the one-call form.
+func ExampleSimilarity() {
+	a := instcmp.NewInstance()
+	a.AddRelation("R", "X")
+	a.Append("R", instcmp.Const("v"))
+
+	s, err := instcmp.Similarity(a, a.Clone())
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("%.1f\n", s)
+	// Output:
+	// 1.0
+}
+
+// ExampleIsIsomorphic: renaming labeled nulls never changes the incomplete
+// database an instance represents.
+func ExampleIsIsomorphic() {
+	in := instcmp.NewInstance()
+	in.AddRelation("R", "A", "B")
+	in.Append("R", instcmp.Null("N1"), instcmp.Const("x"))
+
+	fmt.Println(instcmp.IsIsomorphic(in, in.RenameNulls("other_")))
+	// Output:
+	// true
+}
+
+// ExampleCore folds a redundant universal solution down to its core.
+func ExampleCore() {
+	in := instcmp.NewInstance()
+	in.AddRelation("Conf", "Name", "Year", "Place")
+	in.Append("Conf", instcmp.Const("VLDB"), instcmp.Const("1976"), instcmp.Null("N1"))
+	in.Append("Conf", instcmp.Const("VLDB"), instcmp.Null("N2"), instcmp.Const("Brussels"))
+	in.Append("Conf", instcmp.Const("VLDB"), instcmp.Const("1976"), instcmp.Const("Brussels"))
+
+	core := instcmp.Core(in)
+	fmt.Println("core size:", core.NumTuples())
+	// Output:
+	// core size: 1
+}
+
+// ExampleOptions_partial: partial matching with string similarity credits
+// near-matching constants (the paper's future-work extension).
+func ExampleOptions_partial() {
+	left := instcmp.NewInstance()
+	left.AddRelation("P", "Name", "City")
+	left.Append("P", instcmp.Const("alice"), instcmp.Const("Boston"))
+
+	right := instcmp.NewInstance()
+	right.AddRelation("P", "Name", "City")
+	right.Append("P", instcmp.Const("alice"), instcmp.Const("Bostom")) // typo
+
+	strict, _ := instcmp.Compare(left, right, nil)
+	fuzzy, _ := instcmp.Compare(left, right, &instcmp.Options{
+		Partial:         true,
+		ConstSimilarity: instcmp.Levenshtein,
+	})
+	fmt.Printf("strict %.2f, fuzzy %.2f\n", strict.Score, fuzzy.Score)
+	// Output:
+	// strict 0.00, fuzzy 0.92
+}
+
+// ExampleResult_pairs shows iterating a match in a stable order.
+func ExampleResult_pairs() {
+	mk := func() *instcmp.Instance {
+		in := instcmp.NewInstance()
+		in.AddRelation("R", "A")
+		in.Append("R", instcmp.Const("x"))
+		in.Append("R", instcmp.Const("y"))
+		return in
+	}
+	res, _ := instcmp.Compare(mk(), mk(), &instcmp.Options{Mode: instcmp.OneToOne})
+	sort.Slice(res.Pairs, func(i, j int) bool { return res.Pairs[i].LeftID < res.Pairs[j].LeftID })
+	for _, p := range res.Pairs {
+		fmt.Printf("%s: t%d -> t%d\n", p.Relation, p.LeftID, p.RightID)
+	}
+	// Output:
+	// R: t0 -> t0
+	// R: t1 -> t1
+}

@@ -1,0 +1,64 @@
+// Data-cleaning evaluation example (Sec. 7.2, Table 5): inject FD
+// violations into a clean Bus dataset, repair it with four strategies
+// modeled after published systems, and score each repair against the gold
+// three ways — classic F1 on error cells, whole-instance F1, and the
+// instance-similarity score. The point of the experiment: F1 punishes a
+// system for marking a conflict with a labeled null as hard as for leaving
+// the error, while the similarity score gives nulls partial credit (λ) and
+// still preserves the quality ranking.
+//
+// Run with: go run ./examples/cleaning
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"instcmp"
+	"instcmp/internal/cleaning"
+	"instcmp/internal/datasets"
+)
+
+func main() {
+	const rows = 5000
+	clean, err := datasets.Generate(datasets.Bus, rows, 1)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// The Bus schema carries FDs like RouteId -> RouteName: the same
+	// route must always show the same name.
+	var fds []cleaning.FD
+	for _, fd := range datasets.BusFDs() {
+		fds = append(fds, cleaning.FD{Relation: "Bus", Lhs: fd[0], Rhs: fd[1]})
+	}
+
+	// Corrupt 5% of the FD-dependent cells (BART-style error injection).
+	dirty, errs := cleaning.InjectErrors(clean, fds, 0.05, 2)
+	fmt.Printf("injected %d errors into %d rows; %d violating groups\n\n",
+		len(errs), rows, len(cleaning.FindViolations(dirty, fds)))
+
+	fmt.Printf("%-10s  %6s  %8s  %9s\n", "system", "F1", "F1 Inst.", "Sig Score")
+	for _, sys := range cleaning.Systems {
+		repaired, err := cleaning.Repair(dirty, fds, sys, 3)
+		if err != nil {
+			log.Fatal(err)
+		}
+		m := cleaning.Evaluate(clean, dirty, repaired, errs)
+
+		// Repair vs gold: fully-injective complete matches (every
+		// tuple is one real-world trip).
+		res, err := instcmp.Compare(repaired, clean, &instcmp.Options{
+			Mode:      instcmp.OneToOne,
+			Algorithm: instcmp.AlgoSignature,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s  %6.3f  %8.3f  %9.3f\n", sys, m.F1, m.F1Inst, res.Score)
+	}
+
+	fmt.Println("\nF1 separates the systems sharply because labeled nulls count as")
+	fmt.Println("failures; the similarity score stays high for all systems, ranks")
+	fmt.Println("them the same way, and needs no cell-level ground truth alignment.")
+}

@@ -1,0 +1,68 @@
+// Data versioning example (Sec. 7.2, Table 7): recover what changed between
+// two versions of a dataset that share no keys — rows were shuffled, some
+// were deleted, and a column was dropped — and contrast the instance-match
+// answer with what a line-oriented diff would report.
+//
+// Run with: go run ./examples/versioning
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	"instcmp"
+	"instcmp/internal/datasets"
+	"instcmp/internal/versioning"
+)
+
+func main() {
+	// A small Iris-like measurement table (no key attributes at all).
+	base := datasets.IrisData(120, rand.New(rand.NewSource(7)))
+
+	for _, variant := range versioning.Variants {
+		mod, err := versioning.MakeVariant(base, variant, 0, 11)
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		// The diff baseline: longest common subsequence of serialized
+		// rows, exactly what `diff old.csv new.csv` measures.
+		d := versioning.LineDiff(base, mod)
+
+		// The instance-match answer. AlignSchemas pads a dropped
+		// column with fresh nulls so the comparison still goes
+		// through (Sec. 4).
+		res, err := instcmp.Compare(base, mod, &instcmp.Options{
+			Mode:         instcmp.OneToOne,
+			Algorithm:    instcmp.AlgoSignature,
+			AlignSchemas: true,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+
+		fmt.Printf("variant %-2s (%s)\n", variant, describe(variant))
+		fmt.Printf("  diff     : %3d matched, %3d only-old, %3d only-new\n",
+			d.Matched, d.LeftNonMatch, d.RightNonMatch)
+		fmt.Printf("  instcmp  : %3d matched, %3d only-old, %3d only-new  (similarity %.3f)\n\n",
+			len(res.Pairs), len(res.LeftUnmatched), len(res.RightUnmatched), res.Score)
+	}
+
+	fmt.Println("diff collapses on shuffles and dropped columns; the instance")
+	fmt.Println("match recovers the true row correspondence in every variant.")
+}
+
+func describe(v versioning.Variant) string {
+	switch v {
+	case versioning.Shuffled:
+		return "rows shuffled"
+	case versioning.Removed:
+		return "rows removed"
+	case versioning.RemovedShuffled:
+		return "rows removed and shuffled"
+	case versioning.ColumnsRemoved:
+		return "a column dropped"
+	}
+	return string(v)
+}

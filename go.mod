@@ -1,0 +1,3 @@
+module instcmp
+
+go 1.22

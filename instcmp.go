@@ -1,0 +1,335 @@
+// Package instcmp computes similarity scores and explanatory matches
+// between relational database instances with labeled nulls, implementing
+// "Similarity Measures For Incomplete Database Instances" (EDBT 2024).
+//
+// An incomplete instance contains labeled nulls (Null values) alongside
+// constants; two such instances are compared by finding an instance match —
+// a pair of value mappings plus a tuple mapping — that maximizes a
+// normalized score in [0, 1]. Isomorphic instances (equal up to null
+// renaming) score 1; ground instances without common tuples score 0.
+//
+// The package offers the paper's two algorithms: the exponential exact
+// algorithm (for small instances or with a budget) and the fast greedy
+// signature algorithm, whose score differs from the exact optimum by less
+// than 1% on the paper's workloads.
+//
+// Basic usage:
+//
+//	left := instcmp.NewInstance()
+//	left.AddRelation("Conf", "Name", "Year")
+//	left.Append("Conf", instcmp.Const("VLDB"), instcmp.Null("N1"))
+//	...
+//	res, err := instcmp.Compare(left, right, &instcmp.Options{Mode: instcmp.OneToOne})
+//	fmt.Println(res.Score, res.Pairs)
+package instcmp
+
+import (
+	"fmt"
+	"time"
+
+	"instcmp/internal/exact"
+	"instcmp/internal/match"
+	"instcmp/internal/model"
+	"instcmp/internal/score"
+	"instcmp/internal/signature"
+)
+
+// Core model types, re-exported so applications only import instcmp.
+type (
+	// Instance is a relational instance with labeled nulls.
+	Instance = model.Instance
+	// Relation is one named relation of an instance.
+	Relation = model.Relation
+	// Tuple is one row.
+	Tuple = model.Tuple
+	// TupleID identifies a tuple within its instance.
+	TupleID = model.TupleID
+	// Value is a constant or a labeled null.
+	Value = model.Value
+	// Mode restricts tuple mappings (injectivity, totality).
+	Mode = match.Mode
+)
+
+// Mode presets (Sec. 4.3 of the paper).
+var (
+	// OneToOne requires fully-injective tuple mappings: data versioning
+	// of unique entities, repair-vs-gold comparison.
+	OneToOne = match.OneToOne
+	// Functional requires left-injective mappings: comparing a universal
+	// solution against a core solution.
+	Functional = match.Functional
+	// ManyToMany places no restriction: comparing two universal
+	// solutions, the most general setting.
+	ManyToMany = match.ManyToMany
+)
+
+// NewInstance returns an empty instance.
+func NewInstance() *Instance { return model.NewInstance() }
+
+// Const returns the constant value with the given text.
+func Const(s string) Value { return model.Const(s) }
+
+// Null returns the labeled null with the given name.
+func Null(name string) Value { return model.Null(name) }
+
+// DefaultLambda is the default null-to-constant penalty (0 ≤ λ < 1).
+const DefaultLambda = score.DefaultLambda
+
+// Algorithm selects the comparison algorithm.
+type Algorithm int
+
+const (
+	// AlgoAuto uses the exact algorithm for small inputs and the
+	// signature algorithm otherwise.
+	AlgoAuto Algorithm = iota
+	// AlgoSignature always uses the greedy signature algorithm (Sec. 6.2).
+	AlgoSignature
+	// AlgoExact always uses the exact algorithm (Sec. 6.1); combine with
+	// ExactMaxNodes/ExactTimeout on non-trivial inputs.
+	AlgoExact
+)
+
+func (a Algorithm) String() string {
+	switch a {
+	case AlgoSignature:
+		return "signature"
+	case AlgoExact:
+		return "exact"
+	default:
+		return "auto"
+	}
+}
+
+// autoExactLimit is the AlgoAuto cutoff: instances with at most this many
+// tuples combined go to the exact algorithm.
+const autoExactLimit = 16
+
+// Options configures Compare. The zero value is valid: the most general
+// mode (n-to-m), λ = DefaultLambda, automatic algorithm selection.
+type Options struct {
+	// Mode restricts tuple mappings; zero value is ManyToMany.
+	Mode Mode
+	// Lambda is the null-to-constant penalty; 0 means DefaultLambda. Use
+	// ExplicitZeroLambda to request λ = 0.
+	Lambda float64
+	// ExplicitZeroLambda forces λ = 0 (nulls matched to constants score
+	// nothing).
+	ExplicitZeroLambda bool
+	// Algorithm selects exact or signature; default automatic.
+	Algorithm Algorithm
+	// ExactMaxNodes bounds exact-search nodes (0 = unbounded).
+	ExactMaxNodes int64
+	// ExactTimeout bounds exact-search wall-clock time (0 = unbounded).
+	ExactTimeout time.Duration
+	// Partial enables the Sec. 6.3 partial-mapping variant of the
+	// signature algorithm.
+	Partial bool
+	// MinPartialSig is the minimum shared-constant floor for partial
+	// matches (default 1).
+	MinPartialSig int
+	// ConstSimilarity, with Partial, scores conflicting constant cells
+	// with their string similarity instead of 0 — the paper's Sec. 9
+	// extension. See Levenshtein, JaroWinkler, TrigramJaccard.
+	ConstSimilarity func(a, b string) float64
+	// AlignSchemas pads attributes present on only one side with fresh
+	// distinct nulls and adds missing relations as empty, instead of
+	// failing on schema mismatch (Sec. 4's recipe).
+	AlignSchemas bool
+}
+
+func (o *Options) lambda() float64 {
+	if o.ExplicitZeroLambda {
+		return 0
+	}
+	if o.Lambda == 0 {
+		return DefaultLambda
+	}
+	return o.Lambda
+}
+
+// MatchedPair is one element of the resulting tuple mapping, with its
+// contribution to the score.
+type MatchedPair struct {
+	Relation string
+	// LeftID and RightID are the matched tuples' identifiers in the
+	// caller's original instances.
+	LeftID, RightID TupleID
+	// Score is the tuple-pair score in [0, arity].
+	Score float64
+}
+
+// Result is the outcome of a comparison: the similarity score plus the
+// explanation the paper's abstract promises — which tuples correspond, how
+// nulls were mapped, and which tuples have no counterpart.
+type Result struct {
+	// Score is the similarity in [0, 1].
+	Score float64
+	// Algorithm is the algorithm that produced the score.
+	Algorithm Algorithm
+	// Exhaustive is true when the exact search explored its whole space;
+	// always false for the signature algorithm (whose score is a lower
+	// bound on the true similarity).
+	Exhaustive bool
+	// Pairs is the tuple mapping of the best match found.
+	Pairs []MatchedPair
+	// LeftUnmatched and RightUnmatched list tuples without counterparts.
+	LeftUnmatched, RightUnmatched []TupleID
+	// LeftValueMapping and RightValueMapping are h_l and h_r restricted
+	// to labeled nulls (constants always map to themselves).
+	LeftValueMapping, RightValueMapping map[Value]Value
+	// SignatureStats reports the signature algorithm's phase breakdown
+	// (nil for exact runs).
+	SignatureStats *signature.Stats
+	// Elapsed is the total comparison time.
+	Elapsed time.Duration
+}
+
+// Compare computes the similarity of two instances and the instance match
+// explaining it. The inputs are not modified: comparison runs on normalized
+// copies (disjoint tuple identifiers and null namespaces, and — with
+// AlignSchemas — padded schemas).
+func Compare(left, right *Instance, opt *Options) (*Result, error) {
+	if left == nil || right == nil {
+		return nil, fmt.Errorf("instcmp: Compare requires two non-nil instances")
+	}
+	if opt == nil {
+		opt = &Options{}
+	}
+	start := time.Now()
+	l, r, rightPrefix, err := normalize(left, right, opt.AlignSchemas)
+	if err != nil {
+		return nil, err
+	}
+
+	algo := opt.Algorithm
+	if algo == AlgoAuto {
+		// Partial matching is implemented by the signature algorithm
+		// only; otherwise small inputs afford the exact search.
+		if !opt.Partial && l.NumTuples()+r.NumTuples() <= autoExactLimit {
+			algo = AlgoExact
+		} else {
+			algo = AlgoSignature
+		}
+	}
+	if algo == AlgoExact && opt.Partial {
+		return nil, fmt.Errorf("instcmp: the exact algorithm does not support partial matches; use AlgoSignature")
+	}
+
+	res := &Result{Algorithm: algo}
+	var env *match.Env
+	switch algo {
+	case AlgoExact:
+		ex, err := exact.Run(l, r, opt.Mode, exact.Options{
+			Lambda:   opt.lambda(),
+			MaxNodes: opt.ExactMaxNodes,
+			Timeout:  opt.ExactTimeout,
+		})
+		if err != nil {
+			return nil, err
+		}
+		env = ex.Env
+		res.Score = ex.Score
+		res.Exhaustive = ex.Exhaustive
+	case AlgoSignature:
+		sig, err := signature.Run(l, r, opt.Mode, signature.Options{
+			Lambda:        opt.lambda(),
+			Partial:       opt.Partial,
+			MinPartialSig: opt.MinPartialSig,
+			ConstSim:      opt.ConstSimilarity,
+		})
+		if err != nil {
+			return nil, err
+		}
+		env = sig.Env
+		res.Score = sig.Score
+		res.SignatureStats = &sig.Stats
+	default:
+		return nil, fmt.Errorf("instcmp: unknown algorithm %d", algo)
+	}
+
+	res.fillExplanation(env, opt.lambda(), left, right, rightPrefix)
+	res.Elapsed = time.Since(start)
+	return res, nil
+}
+
+// Similarity is a convenience wrapper returning only the score, computed
+// with the signature algorithm in the most general mode.
+func Similarity(left, right *Instance) (float64, error) {
+	res, err := Compare(left, right, &Options{Algorithm: AlgoSignature})
+	if err != nil {
+		return 0, err
+	}
+	return res.Score, nil
+}
+
+// fillExplanation reports the match in terms of the ORIGINAL instances'
+// tuple identifiers. Normalization preserves per-relation tuple order, so a
+// position in the normalized copies addresses the same tuple in the
+// originals.
+func (r *Result) fillExplanation(env *match.Env, lambda float64, origLeft, origRight *Instance, rightPrefix string) {
+	origID := func(orig *Instance, relName string, idx int) TupleID {
+		return orig.Relation(relName).Tuples[idx].ID
+	}
+	matchedL := map[match.Ref]bool{}
+	matchedR := map[match.Ref]bool{}
+	for _, p := range env.Pairs() {
+		matchedL[p.L] = true
+		matchedR[p.R] = true
+		name := env.LRels[p.L.Rel].Name
+		r.Pairs = append(r.Pairs, MatchedPair{
+			Relation: name,
+			LeftID:   origID(origLeft, name, p.L.Idx),
+			RightID:  origID(origRight, name, p.R.Idx),
+			Score:    score.PairScore(env, p, lambda),
+		})
+	}
+	for ri, rel := range env.LRels {
+		if origLeft.Relation(rel.Name) == nil {
+			continue // relation added empty by schema alignment
+		}
+		for ti := range rel.Tuples {
+			if !matchedL[match.Ref{Rel: ri, Idx: ti}] {
+				r.LeftUnmatched = append(r.LeftUnmatched, origID(origLeft, rel.Name, ti))
+			}
+		}
+	}
+	for ri, rel := range env.RRels {
+		if origRight.Relation(rel.Name) == nil {
+			continue
+		}
+		for ti := range rel.Tuples {
+			if !matchedR[match.Ref{Rel: ri, Idx: ti}] {
+				r.RightUnmatched = append(r.RightUnmatched, origID(origRight, rel.Name, ti))
+			}
+		}
+	}
+	// Value mappings are reported in terms of the ORIGINAL instances'
+	// null names: right nulls were renamed apart with rightPrefix during
+	// normalization, and representatives pointing at renamed right nulls
+	// are translated back. Nulls introduced by schema padding stay as
+	// they are (they have no original name).
+	unrename := func(v Value) Value {
+		if rightPrefix == "" || v.IsConst() {
+			return v
+		}
+		if name, ok := cutPrefix(v.Raw(), rightPrefix); ok {
+			return Null(name)
+		}
+		return v
+	}
+	r.LeftValueMapping = map[Value]Value{}
+	r.RightValueMapping = map[Value]Value{}
+	for v := range env.Left.Vars() {
+		r.LeftValueMapping[v] = unrename(env.U.Representative(v))
+	}
+	for v := range env.Right.Vars() {
+		r.RightValueMapping[unrename(v)] = unrename(env.U.Representative(v))
+	}
+}
+
+func cutPrefix(s, prefix string) (string, bool) {
+	if len(s) >= len(prefix) && s[:len(prefix)] == prefix {
+		return s[len(prefix):], true
+	}
+	return "", false
+}

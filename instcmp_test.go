@@ -1,0 +1,224 @@
+package instcmp
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+func conf(rows ...[]Value) *Instance {
+	in := NewInstance()
+	in.AddRelation("Conf", "Name", "Year", "Org")
+	for _, row := range rows {
+		in.Append("Conf", row...)
+	}
+	return in
+}
+
+func TestCompareIdentical(t *testing.T) {
+	l := conf([]Value{Const("VLDB"), Const("1975"), Null("N1")})
+	r := conf([]Value{Const("VLDB"), Const("1975"), Null("N1")}) // same null name: must be renamed apart
+	res, err := Compare(l, r, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Score-1) > 1e-9 {
+		t.Errorf("score = %v, want 1", res.Score)
+	}
+	if len(res.Pairs) != 1 || len(res.LeftUnmatched) != 0 || len(res.RightUnmatched) != 0 {
+		t.Errorf("explanation wrong: %+v", res)
+	}
+}
+
+func TestCompareReportsOriginalIDs(t *testing.T) {
+	l := conf(
+		[]Value{Const("VLDB"), Const("1975"), Const("x")},
+		[]Value{Const("ICDE"), Const("1984"), Const("y")},
+	)
+	r := conf(
+		[]Value{Const("ICDE"), Const("1984"), Const("y")},
+	)
+	res, err := Compare(l, r, &Options{Mode: OneToOne})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs) != 1 {
+		t.Fatalf("pairs = %v", res.Pairs)
+	}
+	wantL := l.Relation("Conf").Tuples[1].ID
+	wantR := r.Relation("Conf").Tuples[0].ID
+	if res.Pairs[0].LeftID != wantL || res.Pairs[0].RightID != wantR {
+		t.Errorf("pair ids = %+v, want %d -> %d", res.Pairs[0], wantL, wantR)
+	}
+	if len(res.LeftUnmatched) != 1 || res.LeftUnmatched[0] != l.Relation("Conf").Tuples[0].ID {
+		t.Errorf("unmatched = %v", res.LeftUnmatched)
+	}
+}
+
+func TestCompareDoesNotMutateInputs(t *testing.T) {
+	l := conf([]Value{Const("VLDB"), Null("N1"), Null("N1")})
+	r := conf([]Value{Const("VLDB"), Null("N1"), Const("k")})
+	lBefore, rBefore := l.String(), r.String()
+	if _, err := Compare(l, r, nil); err != nil {
+		t.Fatal(err)
+	}
+	if l.String() != lBefore || r.String() != rBefore {
+		t.Error("Compare mutated its inputs")
+	}
+}
+
+func TestCompareAlgorithmSelection(t *testing.T) {
+	l := conf([]Value{Const("a"), Const("b"), Const("c")})
+	r := conf([]Value{Const("a"), Const("b"), Const("c")})
+	res, err := Compare(l, r, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Algorithm != AlgoExact || !res.Exhaustive {
+		t.Errorf("small input should use exhaustive exact, got %v", res.Algorithm)
+	}
+
+	big := NewInstance()
+	big.AddRelation("R", "A")
+	for i := 0; i < 20; i++ {
+		big.Append("R", Const("v"))
+	}
+	res, err = Compare(big, big.Clone(), &Options{Mode: OneToOne})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Algorithm != AlgoSignature {
+		t.Errorf("large input should use signature, got %v", res.Algorithm)
+	}
+	if res.SignatureStats == nil {
+		t.Error("signature stats missing")
+	}
+	if math.Abs(res.Score-1) > 1e-9 {
+		t.Errorf("self-comparison score = %v", res.Score)
+	}
+}
+
+func TestCompareValueMappings(t *testing.T) {
+	l := conf([]Value{Const("VLDB"), Null("N1"), Const("org")})
+	r := conf([]Value{Const("VLDB"), Const("1975"), Const("org")})
+	res, err := Compare(l, r, &Options{Algorithm: AlgoExact})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.LeftValueMapping[Null("N1")]; got != Const("1975") {
+		t.Errorf("h_l(N1) = %v, want 1975", got)
+	}
+}
+
+func TestCompareSchemaMismatch(t *testing.T) {
+	l := conf([]Value{Const("a"), Const("b"), Const("c")})
+	r := NewInstance()
+	r.AddRelation("Conf", "Name", "Year") // narrower schema
+	r.Append("Conf", Const("a"), Const("b"))
+	if _, err := Compare(l, r, nil); err == nil {
+		t.Fatal("schema mismatch not reported")
+	}
+	res, err := Compare(l, r, &Options{AlignSchemas: true})
+	if err != nil {
+		t.Fatalf("AlignSchemas failed: %v", err)
+	}
+	// Matched pair: Name=a (1), Year=b (1), Org: const vs padding null (λ).
+	want := (2 + 2*DefaultLambda + 2) / 6.0
+	if math.Abs(res.Score-want) > 1e-9 {
+		t.Errorf("aligned score = %v, want %v", res.Score, want)
+	}
+}
+
+func TestCompareAlignAddsMissingRelation(t *testing.T) {
+	l := conf([]Value{Const("a"), Const("b"), Const("c")})
+	r := l.Clone()
+	extra := l.Clone()
+	extra.AddRelation("Extra", "X")
+	extra.Append("Extra", Const("q"))
+	res, err := Compare(extra, r, &Options{AlignSchemas: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Conf matches fully (3+3); Extra's tuple is unmatched (0 of 1 cell).
+	want := 6.0 / 7.0
+	if math.Abs(res.Score-want) > 1e-9 {
+		t.Errorf("score = %v, want %v", res.Score, want)
+	}
+	if len(res.LeftUnmatched) != 1 {
+		t.Errorf("unmatched = %v", res.LeftUnmatched)
+	}
+}
+
+func TestSimilarityConvenience(t *testing.T) {
+	l := conf([]Value{Const("a"), Const("b"), Const("c")})
+	s, err := Similarity(l, l.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(s-1) > 1e-9 {
+		t.Errorf("Similarity = %v, want 1", s)
+	}
+}
+
+func TestLambdaOptions(t *testing.T) {
+	l := conf([]Value{Null("N1"), Const("b"), Const("c")})
+	r := conf([]Value{Const("k"), Const("b"), Const("c")})
+	def, _ := Compare(l, r, nil)
+	zero, _ := Compare(l, r, &Options{ExplicitZeroLambda: true})
+	custom, _ := Compare(l, r, &Options{Lambda: 0.9})
+	if !(zero.Score < def.Score && def.Score < custom.Score) {
+		t.Errorf("λ ordering violated: %v %v %v", zero.Score, def.Score, custom.Score)
+	}
+}
+
+func TestExactBudgetSurfaced(t *testing.T) {
+	in := NewInstance()
+	in.AddRelation("R", "A")
+	for i := 0; i < 9; i++ {
+		in.Append("R", Null(Nullf(i)))
+	}
+	other := NewInstance()
+	other.AddRelation("R", "A")
+	for i := 0; i < 9; i++ {
+		other.Append("R", Null("V"+Nullf(i)))
+	}
+	res, err := Compare(in, other, &Options{Algorithm: AlgoExact, ExactMaxNodes: 10, Mode: ManyToMany})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exhaustive {
+		t.Error("budget-capped run reported exhaustive")
+	}
+	if res.Elapsed <= 0 || res.Elapsed > time.Minute {
+		t.Errorf("elapsed implausible: %v", res.Elapsed)
+	}
+}
+
+func Nullf(i int) string { return string(rune('a' + i)) }
+
+func TestPublicHomAPI(t *testing.T) {
+	a := conf([]Value{Const("VLDB"), Const("1976"), Null("N1")})
+	b := conf([]Value{Const("VLDB"), Const("1976"), Const("x")})
+	if !HasHomomorphism(a, b) {
+		t.Error("hom a->b missing")
+	}
+	if HasHomomorphism(b, a) {
+		t.Error("hom b->a should not exist")
+	}
+	if h := FindHomomorphism(a, b); h == nil || h[Null("N1")] != Const("x") {
+		t.Errorf("FindHomomorphism = %v", h)
+	}
+	if !IsIsomorphic(a, a.RenameNulls("Z")) {
+		t.Error("renamed copy not isomorphic")
+	}
+	if HomEquivalent(a, b) {
+		t.Error("not equivalent")
+	}
+	red := conf(
+		[]Value{Const("VLDB"), Const("1976"), Null("N1")},
+		[]Value{Const("VLDB"), Const("1976"), Const("x")},
+	)
+	if got := Core(red).NumTuples(); got != 1 {
+		t.Errorf("core size = %d, want 1", got)
+	}
+}

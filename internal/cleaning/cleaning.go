@@ -1,0 +1,358 @@
+// Package cleaning is the data-repair substrate of the paper's Table 5
+// experiment: functional dependencies, BART-style error injection, four
+// repair strategies modeled after the systems the paper evaluates
+// (Holistic, HoloClean, Llunatic, Sampling), and the three quality metrics
+// the table compares (F1 on error cells, F1 over the whole instance, and
+// the signature similarity score).
+//
+// The original systems are external; the strategies here are simplified
+// stand-ins that produce the same kinds of outputs — correct constants,
+// wrong constants, and labeled nulls marking unresolved conflicts — which
+// is what the metric comparison exercises. See DESIGN.md ("Substitutions").
+package cleaning
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"instcmp/internal/model"
+)
+
+// FD is a unary functional dependency Lhs -> Rhs within one relation.
+type FD struct {
+	Relation string
+	Lhs, Rhs string
+}
+
+func (f FD) String() string { return fmt.Sprintf("%s: %s -> %s", f.Relation, f.Lhs, f.Rhs) }
+
+// Violation is one violating group: tuples agreeing on the LHS value but
+// holding more than one distinct constant on the RHS.
+type Violation struct {
+	FD       FD
+	LhsValue model.Value
+	// Rows are the positions (within the relation) of the group.
+	Rows []int
+	// Values are the distinct RHS constants with their frequencies.
+	Values map[model.Value]int
+}
+
+// FindViolations returns all violating groups of the given FDs, in
+// deterministic order.
+func FindViolations(in *model.Instance, fds []FD) []Violation {
+	var out []Violation
+	for _, fd := range fds {
+		rel := in.Relation(fd.Relation)
+		if rel == nil {
+			continue
+		}
+		li, ri := rel.AttrIndex(fd.Lhs), rel.AttrIndex(fd.Rhs)
+		if li < 0 || ri < 0 {
+			continue
+		}
+		groups := map[model.Value][]int{}
+		for ti := range rel.Tuples {
+			l := rel.Tuples[ti].Values[li]
+			if l.IsNull() {
+				continue // nulls on the LHS constrain nothing here
+			}
+			groups[l] = append(groups[l], ti)
+		}
+		keys := make([]model.Value, 0, len(groups))
+		for k := range groups {
+			keys = append(keys, k)
+		}
+		sort.Slice(keys, func(i, j int) bool { return keys[i].Raw() < keys[j].Raw() })
+		for _, l := range keys {
+			rows := groups[l]
+			vals := map[model.Value]int{}
+			for _, ti := range rows {
+				if v := rel.Tuples[ti].Values[ri]; v.IsConst() {
+					vals[v]++
+				}
+			}
+			if len(vals) > 1 {
+				out = append(out, Violation{FD: fd, LhsValue: l, Rows: rows, Values: vals})
+			}
+		}
+	}
+	return out
+}
+
+// InjectErrors returns a dirty copy of a clean instance: for each FD, rate
+// fraction of the RHS cells are overwritten with a wrong constant (BART-
+// style random typos within/outside the attribute domain). The returned
+// cell set records every corrupted cell for F1 computation.
+func InjectErrors(clean *model.Instance, fds []FD, rate float64, seed int64) (*model.Instance, map[Cell]bool) {
+	rng := rand.New(rand.NewSource(seed))
+	dirty := clean.Clone()
+	errs := map[Cell]bool{}
+	for _, fd := range fds {
+		rel := dirty.Relation(fd.Relation)
+		if rel == nil {
+			continue
+		}
+		ri := rel.AttrIndex(fd.Rhs)
+		if ri < 0 {
+			continue
+		}
+		// Collect the attribute's domain to draw plausible wrong values.
+		var domain []model.Value
+		seen := map[model.Value]bool{}
+		for ti := range rel.Tuples {
+			if v := rel.Tuples[ti].Values[ri]; v.IsConst() && !seen[v] {
+				seen[v] = true
+				domain = append(domain, v)
+			}
+		}
+		for ti := range rel.Tuples {
+			if rng.Float64() >= rate {
+				continue
+			}
+			orig := rel.Tuples[ti].Values[ri]
+			wrong := orig
+			for attempts := 0; wrong == orig && attempts < 20; attempts++ {
+				if len(domain) > 1 && rng.Intn(4) > 0 {
+					wrong = domain[rng.Intn(len(domain))]
+				} else {
+					wrong = model.Constf("typo_%d", rng.Intn(1<<30))
+				}
+			}
+			if wrong == orig {
+				continue
+			}
+			rel.Tuples[ti].Values[ri] = wrong
+			errs[Cell{fd.Relation, ti, ri}] = true
+		}
+	}
+	return dirty, errs
+}
+
+// Cell addresses one cell of an instance by relation name, tuple position,
+// and attribute position.
+type Cell struct {
+	Relation string
+	Row, Col int
+}
+
+// System names a repair strategy.
+type System string
+
+// The four repair strategies of Table 5, modeled after the cited systems.
+const (
+	// Holistic repairs each violating group to its most frequent value
+	// and falls back to a labeled null on ties (Chu et al., ICDE 2013).
+	Holistic System = "Holistic"
+	// HoloClean repairs probabilistically: values are sampled with
+	// probability proportional to their squared frequency, approximating
+	// probabilistic inference (Rekatsinas et al., PVLDB 2017).
+	HoloClean System = "HoloClean"
+	// Llunatic repairs to the dominant value when the group's partial
+	// order determines it and otherwise marks the conflict with a
+	// labeled null for user resolution (Geerts et al., VLDBJ 2020).
+	Llunatic System = "Llunatic"
+	// Sampling draws a uniform sample from the space of violation-free
+	// repairs: any value of the group may win (Beskales et al., PVLDB
+	// 2010).
+	Sampling System = "Sampling"
+)
+
+// Systems lists the strategies in Table 5 order.
+var Systems = []System{Holistic, HoloClean, Llunatic, Sampling}
+
+// Repair runs the named strategy on a dirty instance and returns the
+// repaired copy. Strategies repair every violating group of every FD; the
+// group's cells all receive the chosen value (or one fresh labeled null per
+// group).
+func Repair(dirty *model.Instance, fds []FD, sys System, seed int64) (*model.Instance, error) {
+	switch sys {
+	case Holistic, HoloClean, Llunatic, Sampling:
+	default:
+		return nil, fmt.Errorf("cleaning: unknown system %q", sys)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := dirty.Clone()
+	for _, v := range FindViolations(out, fds) {
+		rel := out.Relation(v.FD.Relation)
+		ri := rel.AttrIndex(v.FD.Rhs)
+		top, second, total := topValues(v.Values)
+
+		// Each strategy chooses a winning constant for the group, or
+		// no winner (conflict marked with labeled nulls). Repairs are
+		// cell-minimal, as in the modeled systems: with a winning
+		// constant, only cells holding other values change; without
+		// one, only the cells dissenting from the most frequent value
+		// are replaced by fresh nulls (a constant beside a null is
+		// not a violation).
+		var winner model.Value
+		haveWinner := true
+		switch sys {
+		case Holistic:
+			// The MCF heuristic commits to the most frequent
+			// value only when it clearly dominates the conflict
+			// hypergraph; otherwise it leaves variables for user
+			// intervention.
+			if v.Values[top] > v.Values[second] && float64(v.Values[top]) >= 0.88*float64(total) {
+				winner = top
+			} else {
+				haveWinner = false
+			}
+		case HoloClean:
+			// Probabilistic inference: the majority value wins
+			// with probability proportional to its observed
+			// frequency; otherwise the suspect cells keep low
+			// posterior mass on every candidate and are marked
+			// uncertain. Cells already holding the majority value
+			// are never touched (their posterior is dominated by
+			// the observation).
+			if weightedDraw(rng, v.Values, 1) == top {
+				winner = top
+			} else {
+				haveWinner = false
+			}
+		case Llunatic:
+			// The partial order determines the value when one
+			// candidate strictly dominates (strict majority);
+			// otherwise lluns (labeled nulls) mark the conflict.
+			if 2*v.Values[top] > total && v.Values[top] > v.Values[second] {
+				winner = top
+			} else {
+				haveWinner = false
+			}
+		case Sampling:
+			// A uniform sample from the space of V-instance
+			// repairs: any candidate value may win; when a
+			// minority value is drawn, the sampled V-instance
+			// keeps the majority cells and turns the rest into
+			// variables.
+			drawn := weightedDraw(rng, v.Values, 0)
+			if drawn == top {
+				winner = top
+			} else {
+				haveWinner = false
+			}
+		}
+		for _, ti := range v.Rows {
+			cur := rel.Tuples[ti].Values[ri]
+			if cur.IsNull() {
+				continue
+			}
+			switch {
+			case haveWinner && cur != winner:
+				rel.Tuples[ti].Values[ri] = winner
+			case !haveWinner && cur != top:
+				rel.Tuples[ti].Values[ri] = out.FreshNull(string(sys[0]))
+			}
+		}
+	}
+	return out, nil
+}
+
+// topValues returns the most and second-most frequent values (ties broken
+// by value for determinism) and the total count.
+func topValues(values map[model.Value]int) (top, second model.Value, total int) {
+	keys := make([]model.Value, 0, len(values))
+	for v, c := range values {
+		keys = append(keys, v)
+		total += c
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if values[keys[i]] != values[keys[j]] {
+			return values[keys[i]] > values[keys[j]]
+		}
+		return keys[i].Raw() < keys[j].Raw()
+	})
+	top = keys[0]
+	if len(keys) > 1 {
+		second = keys[1]
+	}
+	return top, second, total
+}
+
+// weightedDraw samples a value with probability proportional to
+// frequency^power (power 0: uniform over distinct candidate values;
+// power 1: proportional to observed frequency).
+func weightedDraw(rng *rand.Rand, values map[model.Value]int, power int) model.Value {
+	keys := make([]model.Value, 0, len(values))
+	for v := range values {
+		keys = append(keys, v)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].Raw() < keys[j].Raw() })
+	weights := make([]float64, len(keys))
+	var sum float64
+	for i, v := range keys {
+		w := 1.0
+		for p := 0; p < power; p++ {
+			w *= float64(values[v])
+		}
+		weights[i] = w
+		sum += w
+	}
+	x := rng.Float64() * sum
+	for i, w := range weights {
+		x -= w
+		if x <= 0 {
+			return keys[i]
+		}
+	}
+	return keys[len(keys)-1]
+}
+
+// Metrics are the three quality measures of Table 5.
+type Metrics struct {
+	// F1 is the standard data-cleaning F-measure restricted to cells
+	// that are erroneous in the dirty instance: precision over changed
+	// cells, recall over error cells. A labeled null never equals the
+	// gold constant, so nulls count as wrong (the problem Table 5
+	// demonstrates).
+	F1 float64
+	// F1Inst is the F-measure over every cell of the instance against
+	// the gold (the fraction of cells equal to gold, as precision =
+	// recall here).
+	F1Inst float64
+}
+
+// Evaluate computes F1 and F1-Instance of a repaired instance against the
+// clean gold, given the dirty instance and the injected error cells.
+func Evaluate(gold, dirty, repaired *model.Instance, errs map[Cell]bool) Metrics {
+	var changedCorrect, changed, errorsFixed float64
+	var cellsEqual, cells float64
+	for _, rel := range gold.Relations() {
+		drel := dirty.Relation(rel.Name)
+		rrel := repaired.Relation(rel.Name)
+		for ti := range rel.Tuples {
+			for vi := range rel.Tuples[ti].Values {
+				g := rel.Tuples[ti].Values[vi]
+				d := drel.Tuples[ti].Values[vi]
+				r := rrel.Tuples[ti].Values[vi]
+				cells++
+				if r == g {
+					cellsEqual++
+				}
+				if r != d { // the system changed this cell
+					changed++
+					if r == g {
+						changedCorrect++
+					}
+				}
+				if errs[Cell{rel.Name, ti, vi}] && r == g {
+					errorsFixed++
+				}
+			}
+		}
+	}
+	var m Metrics
+	nerr := float64(len(errs))
+	if changed > 0 && nerr > 0 {
+		p := changedCorrect / changed
+		r := errorsFixed / nerr
+		if p+r > 0 {
+			m.F1 = 2 * p * r / (p + r)
+		}
+	}
+	if cells > 0 {
+		m.F1Inst = cellsEqual / cells
+	}
+	return m
+}

@@ -1,0 +1,130 @@
+package cleaning
+
+import (
+	"math/rand"
+	"testing"
+
+	"instcmp/internal/datasets"
+	"instcmp/internal/model"
+)
+
+func busFDList() []FD {
+	var fds []FD
+	for _, fd := range datasets.BusFDs() {
+		fds = append(fds, FD{Relation: "Bus", Lhs: fd[0], Rhs: fd[1]})
+	}
+	return fds
+}
+
+func TestFindViolationsCleanData(t *testing.T) {
+	clean := datasets.BusData(1000, rand.New(rand.NewSource(1)))
+	if v := FindViolations(clean, busFDList()); len(v) != 0 {
+		t.Fatalf("clean data has %d violations", len(v))
+	}
+}
+
+func TestInjectErrorsCreatesViolations(t *testing.T) {
+	clean := datasets.BusData(1000, rand.New(rand.NewSource(1)))
+	dirty, errs := InjectErrors(clean, busFDList(), 0.05, 2)
+	if len(errs) == 0 {
+		t.Fatal("no errors injected")
+	}
+	if len(FindViolations(dirty, busFDList())) == 0 {
+		t.Fatal("errors created no violations")
+	}
+	// The clean instance must be untouched.
+	if len(FindViolations(clean, busFDList())) != 0 {
+		t.Fatal("InjectErrors mutated the clean instance")
+	}
+	// Every recorded error cell really differs from the gold.
+	for cell := range errs {
+		g := clean.Relation(cell.Relation).Tuples[cell.Row].Values[cell.Col]
+		d := dirty.Relation(cell.Relation).Tuples[cell.Row].Values[cell.Col]
+		if g == d {
+			t.Fatalf("cell %v recorded as error but unchanged", cell)
+		}
+	}
+}
+
+func TestRepairRemovesConstantConflicts(t *testing.T) {
+	clean := datasets.BusData(2000, rand.New(rand.NewSource(3)))
+	dirty, _ := InjectErrors(clean, busFDList(), 0.05, 4)
+	for _, sys := range Systems {
+		rep, err := Repair(dirty, busFDList(), sys, 5)
+		if err != nil {
+			t.Fatal(err)
+		}
+		// After repair no group may hold two distinct constants
+		// (groups repaired to a labeled null are conflict-free too).
+		if v := FindViolations(rep, busFDList()); len(v) != 0 {
+			t.Errorf("%s left %d violations", sys, len(v))
+		}
+	}
+}
+
+func TestRepairUnknownSystem(t *testing.T) {
+	clean := datasets.BusData(100, rand.New(rand.NewSource(3)))
+	if _, err := Repair(clean, busFDList(), System("nope"), 1); err == nil {
+		t.Error("unknown system accepted")
+	}
+}
+
+func TestEvaluatePerfectRepair(t *testing.T) {
+	clean := datasets.BusData(1000, rand.New(rand.NewSource(5)))
+	dirty, errs := InjectErrors(clean, busFDList(), 0.05, 6)
+	m := Evaluate(clean, dirty, clean, errs) // "repair" = the gold itself
+	if m.F1 < 0.999 || m.F1Inst < 0.999 {
+		t.Errorf("perfect repair scored F1=%v F1Inst=%v", m.F1, m.F1Inst)
+	}
+	none := Evaluate(clean, dirty, dirty, errs) // no repair at all
+	if none.F1 != 0 {
+		t.Errorf("no-op repair F1 = %v, want 0", none.F1)
+	}
+	if none.F1Inst >= 1 || none.F1Inst < 0.9 {
+		t.Errorf("no-op F1Inst = %v, want slightly below 1", none.F1Inst)
+	}
+}
+
+func TestTable5Shape(t *testing.T) {
+	// The core claim behind Table 5: F1 separates the systems sharply
+	// (nulls and wrong constants count as failures), while F1-Inst stays
+	// near 1 for all of them.
+	clean := datasets.BusData(4000, rand.New(rand.NewSource(7)))
+	dirty, errs := InjectErrors(clean, busFDList(), 0.05, 8)
+	f1 := map[System]float64{}
+	for _, sys := range Systems {
+		rep, err := Repair(dirty, busFDList(), sys, 9)
+		if err != nil {
+			t.Fatal(err)
+		}
+		m := Evaluate(clean, dirty, rep, errs)
+		f1[sys] = m.F1
+		if m.F1Inst < 0.98 {
+			t.Errorf("%s: F1Inst = %v, want >= 0.98", sys, m.F1Inst)
+		}
+	}
+	if !(f1[Llunatic] > f1[HoloClean] && f1[Llunatic] > f1[Holistic]) {
+		t.Errorf("Llunatic should lead: %v", f1)
+	}
+	if !(f1[Sampling] < f1[Holistic] && f1[Sampling] < f1[HoloClean]) {
+		t.Errorf("Sampling should trail: %v", f1)
+	}
+	if f1[Llunatic] < 0.9 {
+		t.Errorf("Llunatic F1 = %v, want >= 0.9", f1[Llunatic])
+	}
+	if f1[Sampling] > 0.7 {
+		t.Errorf("Sampling F1 = %v, want <= 0.7", f1[Sampling])
+	}
+}
+
+func TestFindViolationsIgnoresNulls(t *testing.T) {
+	in := model.NewInstance()
+	in.AddRelation("R", "K", "V")
+	in.Append("R", model.Const("k1"), model.Const("a"))
+	in.Append("R", model.Const("k1"), model.Null("N1")) // null RHS: no conflict
+	in.Append("R", model.Null("N2"), model.Const("b"))  // null LHS: skipped
+	fds := []FD{{Relation: "R", Lhs: "K", Rhs: "V"}}
+	if v := FindViolations(in, fds); len(v) != 0 {
+		t.Errorf("violations with nulls = %v, want none", v)
+	}
+}

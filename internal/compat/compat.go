@@ -1,0 +1,192 @@
+// Package compat implements Algorithm 2 of the paper (CompatibleTuples):
+// finding, for each tuple of one instance, the tuples of the other instance
+// it could be matched with. It combines the per-attribute hash indexes and
+// c-compatibility pruning of Sec. 6.1 with the exact pairwise unification
+// check (t ≃ t').
+package compat
+
+import (
+	"instcmp/internal/model"
+)
+
+// CCompatible implements Def. 6.1's necessary condition t ~ t': the tuples
+// hold no conflicting constants (every attribute has equal constants or at
+// least one null).
+func CCompatible(lt, rt *model.Tuple) bool {
+	for i, lv := range lt.Values {
+		rv := rt.Values[i]
+		if lv.IsConst() && rv.IsConst() && lv != rv {
+			return false
+		}
+	}
+	return true
+}
+
+// Compatible implements Def. 6.1's t ≃ t': value mappings h_l, h_r with
+// h_l(t) = h_r(t') exist. This is a unification over the at most 2·arity
+// values of the pair; it fails exactly when some equivalence class would
+// contain two distinct constants (e.g. ⟨a1,b1,c1⟩ vs ⟨a1,N1,N1⟩, where N1
+// would need to equal both b1 and c1).
+func Compatible(lt, rt *model.Tuple) bool {
+	// A tiny union-find over the pair's values, with constants kept at
+	// class roots so conflicts surface as two constant roots meeting.
+	var parent map[model.Value]model.Value
+	find := func(v model.Value) model.Value {
+		for {
+			p, ok := parent[v]
+			if !ok {
+				return v
+			}
+			v = p
+		}
+	}
+	for i, lv := range lt.Values {
+		rv := rt.Values[i]
+		if lv.IsConst() && rv.IsConst() {
+			if lv != rv {
+				return false
+			}
+			continue
+		}
+		if parent == nil {
+			parent = make(map[model.Value]model.Value, 2*len(lt.Values))
+		}
+		ra, rb := find(lv), find(rv)
+		if ra == rb {
+			continue
+		}
+		if ra.IsConst() && rb.IsConst() {
+			return false
+		}
+		if rb.IsConst() {
+			parent[ra] = rb
+		} else {
+			parent[rb] = ra
+		}
+	}
+	return true
+}
+
+// Index is the per-attribute hash index V_A of Alg. 2: for each attribute,
+// constant values map to the positions holding them. Instead of the paper's
+// single * bucket per attribute, tuples are additionally grouped by their
+// ground mask (the set of constant-valued attributes), which lets Candidates
+// enumerate "all probe-constant attributes are null here" tuples without
+// scanning every tuple that has a null somewhere.
+type Index struct {
+	rel     *model.Relation
+	idxs    []int
+	byConst []map[model.Value][]int
+	byMask  map[uint64][]int // ground mask -> positions
+	masks   []uint64         // distinct ground masks
+	stamp   []int            // de-duplication stamps, len(rel.Tuples)
+	gen     int
+}
+
+// MaxIndexArity bounds relation arity for mask-based indexing.
+const MaxIndexArity = 64
+
+// NewIndex builds the index over the listed tuple positions of a relation
+// (nil means all tuples).
+func NewIndex(rel *model.Relation, idxs []int) *Index {
+	if rel.Arity() > MaxIndexArity {
+		panic("compat: relation arity exceeds 64")
+	}
+	if idxs == nil {
+		idxs = make([]int, len(rel.Tuples))
+		for i := range idxs {
+			idxs[i] = i
+		}
+	}
+	ix := &Index{
+		rel:     rel,
+		idxs:    idxs,
+		byConst: make([]map[model.Value][]int, rel.Arity()),
+		byMask:  map[uint64][]int{},
+		stamp:   make([]int, len(rel.Tuples)),
+	}
+	for a := range ix.byConst {
+		ix.byConst[a] = map[model.Value][]int{}
+	}
+	for _, ti := range idxs {
+		t := &rel.Tuples[ti]
+		var mask uint64
+		for a, v := range t.Values {
+			if v.IsConst() {
+				mask |= 1 << a
+				ix.byConst[a][v] = append(ix.byConst[a][v], ti)
+			}
+		}
+		if _, seen := ix.byMask[mask]; !seen {
+			ix.masks = append(ix.masks, mask)
+		}
+		ix.byMask[mask] = append(ix.byMask[mask], ti)
+	}
+	return ix
+}
+
+// GroundMask returns the bitmask of constant-valued attributes of a tuple.
+func GroundMask(t *model.Tuple) uint64 {
+	var mask uint64
+	for a, v := range t.Values {
+		if v.IsConst() {
+			mask |= 1 << a
+		}
+	}
+	return mask
+}
+
+// Candidates returns the positions of indexed tuples compatible (t ≃ t')
+// with the given probe tuple. Every compatible tuple either shares a
+// constant with the probe on some attribute (and is found in that
+// attribute's V_A bucket) or is null on every probe-constant attribute (and
+// is found through a ground mask disjoint from the probe's); both groups
+// are filtered through the exact pairwise check.
+func (ix *Index) Candidates(t *model.Tuple) []int {
+	ix.gen++
+	var out []int
+	check := func(ti int) {
+		if ix.stamp[ti] == ix.gen {
+			return
+		}
+		ix.stamp[ti] = ix.gen
+		cand := &ix.rel.Tuples[ti]
+		if CCompatible(t, cand) && Compatible(t, cand) {
+			out = append(out, ti)
+		}
+	}
+	probeMask := GroundMask(t)
+	for a, v := range t.Values {
+		if v.IsConst() {
+			for _, ti := range ix.byConst[a][v] {
+				check(ti)
+			}
+		}
+	}
+	for _, mask := range ix.masks {
+		if mask&probeMask == 0 {
+			for _, ti := range ix.byMask[mask] {
+				check(ti)
+			}
+		}
+	}
+	return out
+}
+
+// Candidates computes the full compatibility map of Alg. 2 for one
+// relation pair: for every listed left position, the compatible right
+// positions. Passing nil position lists means all tuples of that side.
+func Candidates(lrel, rrel *model.Relation, leftIdxs, rightIdxs []int) map[int][]int {
+	ix := NewIndex(rrel, rightIdxs)
+	if leftIdxs == nil {
+		leftIdxs = make([]int, len(lrel.Tuples))
+		for i := range leftIdxs {
+			leftIdxs[i] = i
+		}
+	}
+	out := make(map[int][]int, len(leftIdxs))
+	for _, li := range leftIdxs {
+		out[li] = ix.Candidates(&lrel.Tuples[li])
+	}
+	return out
+}

@@ -1,0 +1,162 @@
+// Package csvio reads and writes instances with labeled nulls as CSV files.
+//
+// One CSV file holds one relation: the first row is the attribute header,
+// every other row is a tuple. Cells starting with the model.NullPrefix
+// marker ("_:") are labeled nulls; empty cells are read as anonymous nulls
+// (each empty cell becomes a fresh null) when AnonymousNulls is set, and as
+// empty-string constants otherwise.
+package csvio
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"instcmp/internal/model"
+)
+
+// ReadOptions configures CSV parsing.
+type ReadOptions struct {
+	// RelationName overrides the relation name (default: file base name
+	// without extension, or "R" for readers).
+	RelationName string
+	// AnonymousNulls reads empty cells as fresh labeled nulls instead of
+	// empty-string constants, matching the common encoding of SQL NULL in
+	// exported CSVs.
+	AnonymousNulls bool
+	// Comma is the field separator (default ',').
+	Comma rune
+}
+
+// ReadRelation parses one relation from r into the given instance.
+func ReadRelation(in *model.Instance, r io.Reader, opt ReadOptions) error {
+	name := opt.RelationName
+	if name == "" {
+		name = "R"
+	}
+	cr := csv.NewReader(r)
+	if opt.Comma != 0 {
+		cr.Comma = opt.Comma
+	}
+	cr.FieldsPerRecord = 0 // all rows must match the header
+	header, err := cr.Read()
+	if err != nil {
+		return fmt.Errorf("csvio: reading header of %s: %w", name, err)
+	}
+	for i, attr := range header {
+		if attr == "" {
+			return fmt.Errorf("csvio: %s: empty attribute name in header column %d", name, i+1)
+		}
+	}
+	in.AddRelation(name, header...)
+	for {
+		rec, err := cr.Read()
+		if err == io.EOF {
+			return nil
+		}
+		if err != nil {
+			return fmt.Errorf("csvio: reading %s: %w", name, err)
+		}
+		vals := make([]model.Value, len(rec))
+		for i, cell := range rec {
+			switch {
+			case cell == "" && opt.AnonymousNulls:
+				vals[i] = in.FreshNull("anon_")
+			default:
+				vals[i] = model.Parse(cell)
+			}
+		}
+		in.Append(name, vals...)
+	}
+}
+
+// ReadFile parses one relation from a CSV file into a fresh instance. The
+// relation is named after the file unless overridden.
+func ReadFile(path string, opt ReadOptions) (*model.Instance, error) {
+	if opt.RelationName == "" {
+		base := filepath.Base(path)
+		opt.RelationName = strings.TrimSuffix(base, filepath.Ext(base))
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	in := model.NewInstance()
+	if err := ReadRelation(in, f, opt); err != nil {
+		return nil, err
+	}
+	return in, nil
+}
+
+// ReadDir parses every *.csv file in a directory into one instance, one
+// relation per file, in lexicographic file order.
+func ReadDir(dir string, opt ReadOptions) (*model.Instance, error) {
+	paths, err := filepath.Glob(filepath.Join(dir, "*.csv"))
+	if err != nil {
+		return nil, err
+	}
+	if len(paths) == 0 {
+		return nil, fmt.Errorf("csvio: no CSV files in %s", dir)
+	}
+	in := model.NewInstance()
+	for _, path := range paths {
+		f, err := os.Open(path)
+		if err != nil {
+			return nil, err
+		}
+		base := filepath.Base(path)
+		o := opt
+		o.RelationName = strings.TrimSuffix(base, filepath.Ext(base))
+		err = ReadRelation(in, f, o)
+		f.Close()
+		if err != nil {
+			return nil, err
+		}
+	}
+	return in, nil
+}
+
+// WriteRelation renders one relation as CSV: header row, then tuples, with
+// nulls marked by model.NullPrefix.
+func WriteRelation(w io.Writer, rel *model.Relation) error {
+	cw := csv.NewWriter(w)
+	if err := cw.Write(rel.Attrs); err != nil {
+		return err
+	}
+	rec := make([]string, rel.Arity())
+	for _, t := range rel.Tuples {
+		for i, v := range t.Values {
+			rec[i] = v.String()
+		}
+		if err := cw.Write(rec); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// WriteDir writes every relation of the instance as <dir>/<relation>.csv.
+func WriteDir(dir string, in *model.Instance) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for _, rel := range in.Relations() {
+		f, err := os.Create(filepath.Join(dir, rel.Name+".csv"))
+		if err != nil {
+			return err
+		}
+		err = WriteRelation(f, rel)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}

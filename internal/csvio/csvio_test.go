@@ -1,0 +1,129 @@
+package csvio
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"instcmp/internal/model"
+)
+
+func TestReadRelation(t *testing.T) {
+	src := "Name,Year,Org\nVLDB,1975,_:N1\nSIGMOD,,ACM\n"
+	in := model.NewInstance()
+	if err := ReadRelation(in, strings.NewReader(src), ReadOptions{RelationName: "Conf"}); err != nil {
+		t.Fatal(err)
+	}
+	rel := in.Relation("Conf")
+	if rel == nil || rel.Cardinality() != 2 {
+		t.Fatalf("bad relation: %v", rel)
+	}
+	if rel.Tuples[0].Values[2] != model.Null("N1") {
+		t.Errorf("null marker not parsed: %v", rel.Tuples[0])
+	}
+	if rel.Tuples[1].Values[1] != model.Const("") {
+		t.Errorf("empty cell should be empty constant by default: %v", rel.Tuples[1])
+	}
+}
+
+func TestReadRelationAnonymousNulls(t *testing.T) {
+	src := "A,B\n,x\n,y\n"
+	in := model.NewInstance()
+	err := ReadRelation(in, strings.NewReader(src), ReadOptions{RelationName: "R", AnonymousNulls: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := in.Relation("R")
+	v0, v1 := r.Tuples[0].Values[0], r.Tuples[1].Values[0]
+	if !v0.IsNull() || !v1.IsNull() {
+		t.Fatal("empty cells should become nulls")
+	}
+	if v0 == v1 {
+		t.Error("anonymous nulls must be fresh per cell")
+	}
+}
+
+func TestReadRelationErrors(t *testing.T) {
+	in := model.NewInstance()
+	if err := ReadRelation(in, strings.NewReader(""), ReadOptions{}); err == nil {
+		t.Error("missing header not reported")
+	}
+	in2 := model.NewInstance()
+	if err := ReadRelation(in2, strings.NewReader("A,B\nx\n"), ReadOptions{}); err == nil {
+		t.Error("ragged row not reported")
+	}
+}
+
+func TestWriteReadRoundTrip(t *testing.T) {
+	in := model.NewInstance()
+	in.AddRelation("Conf", "Name", "Year")
+	in.Append("Conf", model.Const("VLDB"), model.Null("N1"))
+	in.Append("Conf", model.Const("comma,quoted\"x"), model.Const(""))
+
+	var buf bytes.Buffer
+	if err := WriteRelation(&buf, in.Relation("Conf")); err != nil {
+		t.Fatal(err)
+	}
+	back := model.NewInstance()
+	if err := ReadRelation(back, &buf, ReadOptions{RelationName: "Conf"}); err != nil {
+		t.Fatal(err)
+	}
+	got, want := back.Relation("Conf"), in.Relation("Conf")
+	if got.Cardinality() != want.Cardinality() {
+		t.Fatalf("cardinality %d != %d", got.Cardinality(), want.Cardinality())
+	}
+	for i := range want.Tuples {
+		if !got.Tuples[i].EqualValues(want.Tuples[i]) {
+			t.Errorf("tuple %d: %v != %v", i, got.Tuples[i], want.Tuples[i])
+		}
+	}
+}
+
+func TestDirRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	in := model.NewInstance()
+	in.AddRelation("Conf", "Name", "Year")
+	in.AddRelation("Paper", "Title", "ConfId")
+	in.Append("Conf", model.Const("VLDB"), model.Const("1975"))
+	in.Append("Paper", model.Const("QBE"), model.Null("N1"))
+	if err := WriteDir(dir, in); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadDir(dir, ReadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !model.SameSchema(in, back) {
+		t.Fatalf("schema mismatch after round trip:\n%s\n%s", in, back)
+	}
+	if back.Relation("Paper").Tuples[0].Values[1] != model.Null("N1") {
+		t.Error("null lost in round trip")
+	}
+}
+
+func TestReadFileNamesRelationAfterFile(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "conferences.csv")
+	if err := writeString(path, "A,B\nx,y\n"); err != nil {
+		t.Fatal(err)
+	}
+	in, err := ReadFile(path, ReadOptions{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if in.Relation("conferences") == nil {
+		t.Error("relation not named after file")
+	}
+}
+
+func TestReadDirEmpty(t *testing.T) {
+	if _, err := ReadDir(t.TempDir(), ReadOptions{}); err == nil {
+		t.Error("empty dir should error")
+	}
+}
+
+func writeString(path, s string) error {
+	return os.WriteFile(path, []byte(s), 0o644)
+}

@@ -1,0 +1,104 @@
+package datasets
+
+import (
+	"math/rand"
+	"testing"
+
+	"instcmp/internal/model"
+)
+
+func TestGenerateAllDatasets(t *testing.T) {
+	wantArity := map[Name]int{Doct: 5, Bike: 9, Git: 19, Bus: 25, Iris: 5, Nba: 11}
+	for _, name := range All {
+		in, err := Generate(name, 500, 1)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		st := in.Stats()
+		if st.Tuples != 500 {
+			t.Errorf("%s: rows = %d, want 500", name, st.Tuples)
+		}
+		if st.MaxArity != wantArity[name] {
+			t.Errorf("%s: arity = %d, want %d", name, st.MaxArity, wantArity[name])
+		}
+		if name == Doct {
+			if st.NullCells == 0 {
+				t.Errorf("Doct must contain nulls")
+			}
+		} else if st.NullCells != 0 {
+			t.Errorf("%s: unexpected nulls (%d)", name, st.NullCells)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	a, _ := Generate(Bike, 200, 42)
+	b, _ := Generate(Bike, 200, 42)
+	if a.String() != b.String() {
+		t.Error("same seed produced different instances")
+	}
+	c, _ := Generate(Bike, 200, 43)
+	if a.String() == c.String() {
+		t.Error("different seeds produced identical instances")
+	}
+}
+
+func TestGenerateDefaultsToTable1Rows(t *testing.T) {
+	in, err := Generate(Iris, 0, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := in.NumTuples(); got != 120 {
+		t.Errorf("Iris default rows = %d, want 120", got)
+	}
+}
+
+func TestGenerateUnknown(t *testing.T) {
+	if _, err := Generate("nope", 10, 1); err == nil {
+		t.Error("unknown dataset accepted")
+	}
+}
+
+func TestBusFDsHold(t *testing.T) {
+	in := BusData(2000, rand.New(rand.NewSource(7)))
+	rel := in.Relation("Bus")
+	for _, fd := range BusFDs() {
+		li, ri := rel.AttrIndex(fd[0]), rel.AttrIndex(fd[1])
+		if li < 0 || ri < 0 {
+			t.Fatalf("FD attributes missing: %v", fd)
+		}
+		seen := map[model.Value]model.Value{}
+		for _, tu := range rel.Tuples {
+			l, r := tu.Values[li], tu.Values[ri]
+			if prev, ok := seen[l]; ok && prev != r {
+				t.Fatalf("FD %v violated in clean data: %v -> %v and %v", fd, l, prev, r)
+			}
+			seen[l] = r
+		}
+	}
+}
+
+func TestDistinctValueShapes(t *testing.T) {
+	// Table 1 ratios (distinct values per row): Doct ≈ 2.2, Bike ≈ 2.4,
+	// Git ≈ 3.9, Nba ≈ 0.3, Iris ≈ 0.6. Check loose bands so the
+	// synthetic data exercises comparable index/bucket shapes.
+	type band struct{ lo, hi float64 }
+	bands := map[Name]band{
+		Doct: {1.2, 3.5},
+		Bike: {1.4, 3.6},
+		Git:  {2.4, 5.5},
+		Nba:  {0.1, 1.0},
+		Iris: {0.3, 1.2},
+	}
+	for name, b := range bands {
+		rows := DefaultRows[name]
+		in, err := Generate(name, rows, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ratio := float64(in.Stats().DistinctVals) / float64(rows)
+		if ratio < b.lo || ratio > b.hi {
+			t.Errorf("%s: distinct/rows = %.2f, want in [%.1f, %.1f]", name, ratio, b.lo, b.hi)
+		}
+	}
+}

@@ -1,0 +1,312 @@
+// Package exact implements the paper's exact instance-comparison algorithm
+// (Sec. 6.1, Alg. 1): enumerate every tuple mapping assembled from
+// compatible tuple pairs (Alg. 2), keep the consistent ones, and return the
+// instance match with the maximum Def. 5.3 score.
+//
+// The enumeration is organized as a depth-first branch-and-bound search.
+// In the functional (left-injective) modes the search assigns to each left
+// tuple one compatible partner or none; in the general mode it
+// includes/excludes each compatible pair. A global unifier detects value-
+// mapping inconsistencies between pairs (the paper's step 2) and is rolled
+// back on backtracking. The instance-comparison problem is NP-hard
+// (Thm. 5.11), so the search carries a node/time budget; results indicate
+// whether the search space was exhausted.
+package exact
+
+import (
+	"sort"
+	"time"
+
+	"instcmp/internal/compat"
+	"instcmp/internal/match"
+	"instcmp/internal/model"
+	"instcmp/internal/score"
+)
+
+// Options configures an exact run.
+type Options struct {
+	// Lambda is the null-to-constant penalty of Def. 5.5.
+	Lambda float64
+	// MaxNodes bounds the number of search-tree nodes (0 = no bound).
+	MaxNodes int64
+	// Timeout bounds wall-clock time (0 = no bound).
+	Timeout time.Duration
+}
+
+// Result is the outcome of an exact search.
+type Result struct {
+	Env   *match.Env
+	Score float64
+	// Pairs is the best tuple mapping found.
+	Pairs []match.Pair
+	// Exhaustive reports whether the whole search space was explored; if
+	// false the score is a lower bound on the true similarity.
+	Exhaustive bool
+	// Nodes is the number of search-tree nodes visited.
+	Nodes int64
+}
+
+// Run executes the exact algorithm. The returned environment holds the best
+// match re-applied, so callers can extract value mappings and explanations.
+func Run(left, right *model.Instance, mode match.Mode, opt Options) (*Result, error) {
+	env, err := match.NewEnv(left, right, mode)
+	if err != nil {
+		return nil, err
+	}
+	s := &searcher{
+		env:    env,
+		lambda: opt.Lambda,
+		maxN:   opt.MaxNodes,
+	}
+	if opt.Timeout > 0 {
+		s.deadline = time.Now().Add(opt.Timeout)
+	}
+	s.collectPairs()
+	s.denom = float64(left.Size() + right.Size())
+	s.best = -1
+	s.exhausted = true
+	if mode.LeftInjective {
+		s.searchFunctional(0)
+	} else {
+		s.searchGeneral(0)
+	}
+
+	// Re-apply the best mapping so the returned Env reflects it.
+	env.Undo(match.Mark{})
+	res := &Result{Env: env, Exhaustive: s.exhausted, Nodes: s.nodes}
+	for _, p := range s.bestPairs {
+		if !env.TryAddPair(p) {
+			panic("exact: best mapping no longer applies")
+		}
+	}
+	res.Pairs = env.Pairs()
+	res.Score = score.Match(env, opt.Lambda)
+	return res, nil
+}
+
+type searcher struct {
+	env    *match.Env
+	lambda float64
+
+	// Functional search state: per left tuple, its candidate partners.
+	lefts []leftChoice
+	// General search state: the flattened compatible pair list.
+	pairs []match.Pair
+	// pairOpt[i] is the optimistic score of pairs[i].
+	pairOpt []float64
+	// suffix[i] is an upper bound on the numerator contribution still
+	// obtainable from pairs[i:] (general mode).
+	suffix []float64
+	// leftSuffix[i] bounds the contribution of lefts[i:] (functional).
+	leftSuffix []float64
+	// committedUB is a running upper bound on the numerator contribution
+	// of the pairs currently in the environment (2 x optimistic score
+	// each), maintained incrementally.
+	committedUB float64
+
+	denom     float64
+	best      float64
+	bestPairs []match.Pair
+	nodes     int64
+	maxN      int64
+	deadline  time.Time
+	exhausted bool
+	stopped   bool
+}
+
+type leftChoice struct {
+	ref   match.Ref
+	cands []match.Ref
+	arity float64
+	// bestOpt is the largest optimistic pair score among the candidates:
+	// an upper bound on what matching this tuple can contribute per side.
+	bestOpt float64
+}
+
+// optScore is a static upper bound on a pair's Def. 5.5 score within any
+// complete match: equal constants score exactly 1, null-null cells at most
+// 1 (⊓ ≥ 1 each side), null-constant cells at most λ.
+func optScore(lt, rt *model.Tuple, lambda float64) float64 {
+	s := 0.0
+	for i, lv := range lt.Values {
+		rv := rt.Values[i]
+		switch {
+		case lv.IsConst() && rv.IsConst():
+			if lv == rv {
+				s++
+			}
+			// Unequal constants cannot appear in a complete
+			// match's pair; compatible pairs never hit this.
+		case lv.IsNull() && rv.IsNull():
+			s++
+		default:
+			s += lambda
+		}
+	}
+	return s
+}
+
+// collectPairs runs CompatibleTuples per relation and prepares the search
+// structures for the configured mode.
+func (s *searcher) collectPairs() {
+	for ri := range s.env.LRels {
+		lrel, rrel := s.env.LRels[ri], s.env.RRels[ri]
+		cands := compat.Candidates(lrel, rrel, nil, nil)
+		arity := float64(lrel.Arity())
+		for li := 0; li < len(lrel.Tuples); li++ {
+			cs := cands[li]
+			lref := match.Ref{Rel: ri, Idx: li}
+			// Order candidates by immediate affinity (shared
+			// constants first) so good solutions surface early and
+			// tighten the bound.
+			sort.SliceStable(cs, func(a, b int) bool {
+				return sharedConsts(&lrel.Tuples[li], &rrel.Tuples[cs[a]]) >
+					sharedConsts(&lrel.Tuples[li], &rrel.Tuples[cs[b]])
+			})
+			lc := leftChoice{ref: lref, arity: arity}
+			lc.cands = make([]match.Ref, len(cs))
+			for i, ci := range cs {
+				lc.cands[i] = match.Ref{Rel: ri, Idx: ci}
+				opt := optScore(&lrel.Tuples[li], &rrel.Tuples[ci], s.lambda)
+				if opt > lc.bestOpt {
+					lc.bestOpt = opt
+				}
+				s.pairs = append(s.pairs, match.Pair{L: lref, R: lc.cands[i]})
+				s.pairOpt = append(s.pairOpt, opt)
+			}
+			s.lefts = append(s.lefts, lc)
+		}
+	}
+	// Suffix bound for the functional search: matching lefts[j] adds at
+	// most 2·bestOpt to the numerator (its own tuple score plus its
+	// partner's).
+	s.leftSuffix = make([]float64, len(s.lefts)+1)
+	for i := len(s.lefts) - 1; i >= 0; i-- {
+		s.leftSuffix[i] = s.leftSuffix[i+1] + 2*s.lefts[i].bestOpt
+	}
+	// Suffix bound for the general search: a pair can contribute at most
+	// its optimistic score to each endpoint's tuple score, but tuples
+	// repeat across pairs, so count each tuple's best remaining pair
+	// only.
+	s.suffix = make([]float64, len(s.pairs)+1)
+	bestL := map[match.Ref]float64{}
+	bestR := map[match.Ref]float64{}
+	for i := len(s.pairs) - 1; i >= 0; i-- {
+		p := s.pairs[i]
+		add := 0.0
+		if opt := s.pairOpt[i]; opt > bestL[p.L] {
+			add += opt - bestL[p.L]
+			bestL[p.L] = opt
+		}
+		if opt := s.pairOpt[i]; opt > bestR[p.R] {
+			add += opt - bestR[p.R]
+			bestR[p.R] = opt
+		}
+		s.suffix[i] = s.suffix[i+1] + add
+	}
+}
+
+func sharedConsts(a, b *model.Tuple) int {
+	n := 0
+	for i, v := range a.Values {
+		if v.IsConst() && v == b.Values[i] {
+			n++
+		}
+	}
+	return n
+}
+
+// budgetExceeded checks the node/time budget; once it trips, it stays
+// tripped so the whole search unwinds immediately and the result is marked
+// inexact.
+func (s *searcher) budgetExceeded() bool {
+	if s.stopped {
+		return true
+	}
+	s.nodes++
+	if s.maxN > 0 && s.nodes > s.maxN {
+		s.stopped, s.exhausted = true, false
+		return true
+	}
+	if !s.deadline.IsZero() && s.nodes%1024 == 0 && time.Now().After(s.deadline) {
+		s.stopped, s.exhausted = true, false
+		return true
+	}
+	return false
+}
+
+// evaluate scores the current mapping and records it if it is the best.
+func (s *searcher) evaluate() {
+	var sc float64
+	if s.denom == 0 {
+		sc = 1
+	} else {
+		sc = score.Match(s.env, s.lambda)
+	}
+	if sc > s.best {
+		s.best = sc
+		s.bestPairs = append(s.bestPairs[:0], s.env.Pairs()...)
+	}
+}
+
+// searchFunctional assigns each left tuple (in order) one candidate or none.
+// Right-injectivity, when required by the mode, is enforced by TryAddPair.
+func (s *searcher) searchFunctional(i int) {
+	if s.budgetExceeded() {
+		return
+	}
+	if i == len(s.lefts) {
+		s.evaluate()
+		return
+	}
+	// Optimistic bound: committed pairs contribute at most their
+	// optimistic scores (⊓ growth only lowers them), remaining left
+	// tuples at most 2·bestOpt each.
+	if s.denom > 0 && (s.committedUB+s.leftSuffix[i])/s.denom <= s.best {
+		return
+	}
+	lc := s.lefts[i]
+	for ci, r := range lc.cands {
+		m := s.env.Mark()
+		if s.env.TryAddPair(match.Pair{L: lc.ref, R: r}) {
+			opt := 2 * s.pairOptFor(i, ci)
+			s.committedUB += opt
+			s.searchFunctional(i + 1)
+			s.committedUB -= opt
+			s.env.Undo(m)
+		}
+	}
+	// The unmatched branch: Def. 5.3 can prefer leaving a tuple out.
+	s.searchFunctional(i + 1)
+}
+
+// pairOptFor returns the optimistic score of lefts[i]'s ci-th candidate.
+func (s *searcher) pairOptFor(i, ci int) float64 {
+	lc := s.lefts[i]
+	lt := s.env.LeftTuple(lc.ref)
+	rt := s.env.RightTuple(lc.cands[ci])
+	return optScore(lt, rt, s.lambda)
+}
+
+// searchGeneral includes or excludes each compatible pair.
+func (s *searcher) searchGeneral(i int) {
+	if s.budgetExceeded() {
+		return
+	}
+	if i == len(s.pairs) {
+		s.evaluate()
+		return
+	}
+	if s.denom > 0 && (s.committedUB+s.suffix[i])/s.denom <= s.best {
+		return
+	}
+	m := s.env.Mark()
+	if s.env.TryAddPair(s.pairs[i]) {
+		opt := 2 * s.pairOpt[i]
+		s.committedUB += opt
+		s.searchGeneral(i + 1)
+		s.committedUB -= opt
+		s.env.Undo(m)
+	}
+	s.searchGeneral(i + 1)
+}

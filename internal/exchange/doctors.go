@@ -1,0 +1,103 @@
+package exchange
+
+import (
+	"math/rand"
+
+	"instcmp/internal/model"
+)
+
+// DoctorsExchange is the paper's Table 6 setup: a Doctors source, a target
+// schema, and four schema mappings — the gold mapping (whose core solution
+// is the evaluation standard), two correct user mappings with increasing
+// redundancy (U2 mild, U1 heavy), and a wrong mapping that populates the
+// target from an unrelated source relation.
+type DoctorsExchange struct {
+	Source       *model.Instance
+	TargetSchema *model.Instance
+	Gold         Mapping
+	U1, U2       Mapping
+	Wrong        Mapping
+}
+
+// NewDoctorsExchange builds the scenario with the given number of source
+// doctor rows, deterministically from the seed.
+//
+// Source schema:
+//
+//	MD(Name, Spec, Hosp, City)    — one row per doctor, names unique
+//	Senior(Name)                  — ~35% of the doctors
+//	Office(Code, Street, OCity)   — unrelated facility data (wrong mapping)
+//
+// Target schema:
+//
+//	Doctor(Id, Name, Spec)
+//	Practice(Id, Hosp, City)
+//
+// Gold: MD(n,s,h,c) → ∃i Doctor(i,n,s) ∧ Practice(i,h,c).
+// U2 adds a redundant Doctor export for senior doctors; U1 additionally
+// re-exports every doctor with unknown id and spec. Wrong populates the
+// target from Office, so its solution shares no constants with the gold
+// core.
+func NewDoctorsExchange(rows int, seed int64) *DoctorsExchange {
+	rng := rand.New(rand.NewSource(seed))
+	src := model.NewInstance()
+	src.AddRelation("MD", "Name", "Spec", "Hosp", "City")
+	src.AddRelation("Senior", "Name")
+	src.AddRelation("Office", "Code", "Street", "OCity")
+	for i := 0; i < rows; i++ {
+		name := model.Constf("dr_%d", i)
+		src.Append("MD",
+			name,
+			model.Constf("spec_%d", rng.Intn(60)),
+			model.Constf("hosp_%d", rng.Intn(rows/8+1)),
+			model.Constf("city_%d", rng.Intn(200)),
+		)
+		if rng.Float64() < 0.35 {
+			src.Append("Senior", name)
+		}
+		src.Append("Office",
+			model.Constf("off_%d", i),
+			model.Constf("street_%d", rng.Intn(rows/2+1)),
+			model.Constf("ocity_%d", rng.Intn(150)),
+		)
+	}
+
+	tgt := model.NewInstance()
+	tgt.AddRelation("Doctor", "Id", "Name", "Spec")
+	tgt.AddRelation("Practice", "Id", "Hosp", "City")
+
+	copyRule := TGD{
+		Body: []Atom{A("MD", V("n"), V("s"), V("h"), V("c"))},
+		Head: []Atom{
+			A("Doctor", V("i"), V("n"), V("s")),
+			A("Practice", V("i"), V("h"), V("c")),
+		},
+	}
+	seniorRule := TGD{
+		Body: []Atom{
+			A("MD", V("n"), V("s"), V("h"), V("c")),
+			A("Senior", V("n")),
+		},
+		Head: []Atom{A("Doctor", V("j"), V("n"), V("s"))},
+	}
+	reexportRule := TGD{
+		Body: []Atom{A("MD", V("n"), V("s"), V("h"), V("c"))},
+		Head: []Atom{A("Doctor", V("j"), V("n"), V("k"))},
+	}
+	wrongRule := TGD{
+		Body: []Atom{A("Office", V("o"), V("st"), V("c"))},
+		Head: []Atom{
+			A("Doctor", V("i"), V("o"), V("st")),
+			A("Practice", V("i"), V("c"), V("c2")),
+		},
+	}
+
+	return &DoctorsExchange{
+		Source:       src,
+		TargetSchema: tgt,
+		Gold:         Mapping{copyRule},
+		U2:           Mapping{copyRule, seniorRule},
+		U1:           Mapping{copyRule, seniorRule, reexportRule},
+		Wrong:        Mapping{wrongRule},
+	}
+}

@@ -1,0 +1,323 @@
+// Package exchange is the data-exchange substrate of the paper's Table 6
+// experiment: source-to-target tuple-generating dependencies (s-t tgds), a
+// naive chase producing universal solutions with fresh labeled nulls for
+// existential variables, and core solutions computed by folding (package
+// hom). The Doctors scenarios mirror the paper's setup: a gold (core)
+// solution, two correct but increasingly redundant user mappings (U1, U2),
+// and a wrong mapping that populates the target from the wrong source
+// relation.
+package exchange
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"instcmp/internal/hom"
+	"instcmp/internal/model"
+)
+
+// Term is one argument of an atom: a variable or a constant.
+type Term struct {
+	Var   string
+	Const string
+}
+
+// V returns a variable term.
+func V(name string) Term { return Term{Var: name} }
+
+// C returns a constant term.
+func C(s string) Term { return Term{Const: s} }
+
+func (t Term) isVar() bool { return t.Var != "" }
+
+// Atom is a relational atom R(t1, ..., tn).
+type Atom struct {
+	Rel  string
+	Args []Term
+}
+
+// A builds an atom.
+func A(rel string, args ...Term) Atom { return Atom{Rel: rel, Args: args} }
+
+// TGD is a source-to-target tuple-generating dependency
+// ∀x̄ (body(x̄) → ∃ȳ head(x̄, ȳ)): head variables that do not occur in the
+// body are existential and chase into fresh labeled nulls.
+type TGD struct {
+	Body []Atom
+	Head []Atom
+}
+
+// Mapping is a schema mapping Σ: a set of s-t tgds.
+type Mapping []TGD
+
+// Validate checks that every tgd's atoms match the source and target
+// schemas' relations and arities.
+func (m Mapping) Validate(source, target *model.Instance) error {
+	check := func(a Atom, in *model.Instance, side string) error {
+		rel := in.Relation(a.Rel)
+		if rel == nil {
+			return fmt.Errorf("exchange: %s relation %q not in schema", side, a.Rel)
+		}
+		if rel.Arity() != len(a.Args) {
+			return fmt.Errorf("exchange: atom %s/%d does not match arity %d", a.Rel, len(a.Args), rel.Arity())
+		}
+		return nil
+	}
+	for _, tgd := range m {
+		for _, a := range tgd.Body {
+			if err := check(a, source, "source"); err != nil {
+				return err
+			}
+		}
+		for _, a := range tgd.Head {
+			if err := check(a, target, "target"); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// Chase runs the naive (oblivious) chase of the mapping over the source,
+// materializing the head of every tgd for every body match. Existential
+// variables become fresh labeled nulls, one per variable per body binding
+// (Skolemization over the full binding). The result is a universal solution
+// for (source, Σ). The target argument provides the target schema (its
+// relations are cloned empty, its tuples ignored).
+func Chase(source *model.Instance, targetSchema *model.Instance, m Mapping) (*model.Instance, error) {
+	if err := m.Validate(source, targetSchema); err != nil {
+		return nil, err
+	}
+	out := model.NewInstance()
+	for _, rel := range targetSchema.Relations() {
+		out.AddRelation(rel.Name, rel.Attrs...)
+	}
+	seen := map[string]bool{} // dedupe fully identical emitted tuples
+	for ti, tgd := range m {
+		exVars := existentialVars(tgd)
+		bindings := matchBody(source, tgd.Body)
+		for _, b := range bindings {
+			// Fresh nulls for this binding's existential variables.
+			ex := map[string]model.Value{}
+			for _, x := range exVars {
+				ex[x] = out.FreshNull(fmt.Sprintf("E%d_%s_", ti, x))
+			}
+			for _, h := range tgd.Head {
+				vals := make([]model.Value, len(h.Args))
+				for i, arg := range h.Args {
+					switch {
+					case !arg.isVar():
+						vals[i] = model.Const(arg.Const)
+					case b[arg.Var] != (model.Value{}):
+						vals[i] = b[arg.Var]
+					default:
+						vals[i] = ex[arg.Var]
+					}
+				}
+				key := h.Rel + "\x00" + (&model.Tuple{Values: vals}).ValueKey()
+				if len(exVars) == 0 {
+					// Fully determined tuples dedupe (set
+					// semantics); tuples with fresh nulls
+					// are unique by construction.
+					if seen[key] {
+						continue
+					}
+					seen[key] = true
+				}
+				out.Append(h.Rel, vals...)
+			}
+		}
+	}
+	return out, nil
+}
+
+// existentialVars returns head variables that never occur in the body, in
+// deterministic order.
+func existentialVars(tgd TGD) []string {
+	inBody := map[string]bool{}
+	for _, a := range tgd.Body {
+		for _, t := range a.Args {
+			if t.isVar() {
+				inBody[t.Var] = true
+			}
+		}
+	}
+	set := map[string]bool{}
+	for _, a := range tgd.Head {
+		for _, t := range a.Args {
+			if t.isVar() && !inBody[t.Var] {
+				set[t.Var] = true
+			}
+		}
+	}
+	vars := make([]string, 0, len(set))
+	for v := range set {
+		vars = append(vars, v)
+	}
+	sort.Strings(vars)
+	return vars
+}
+
+// matchBody enumerates all bindings of the body's variables against the
+// source instance (nested-loop join, atom by atom).
+func matchBody(source *model.Instance, body []Atom) []map[string]model.Value {
+	bindings := []map[string]model.Value{{}}
+	for _, atom := range body {
+		rel := source.Relation(atom.Rel)
+		var next []map[string]model.Value
+		for _, b := range bindings {
+			for ti := range rel.Tuples {
+				nb := extend(b, atom, &rel.Tuples[ti])
+				if nb != nil {
+					next = append(next, nb)
+				}
+			}
+		}
+		bindings = next
+		if len(bindings) == 0 {
+			return nil
+		}
+	}
+	return bindings
+}
+
+// extend unifies an atom with a tuple under an existing binding, returning
+// the extended binding or nil on mismatch.
+func extend(b map[string]model.Value, atom Atom, t *model.Tuple) map[string]model.Value {
+	nb := b
+	copied := false
+	for i, arg := range atom.Args {
+		v := t.Values[i]
+		if !arg.isVar() {
+			if v != model.Const(arg.Const) {
+				return nil
+			}
+			continue
+		}
+		if bound, ok := nb[arg.Var]; ok {
+			if bound != v {
+				return nil
+			}
+			continue
+		}
+		if !copied {
+			nb = make(map[string]model.Value, len(b)+1)
+			for k, val := range b {
+				nb[k] = val
+			}
+			copied = true
+		}
+		nb[arg.Var] = v
+	}
+	if !copied && len(atom.Args) > 0 {
+		// All arguments matched without new bindings; reuse b.
+		return b
+	}
+	return nb
+}
+
+// CoreSolution chases the mapping and minimizes the result to its core —
+// the paper's gold standard for Table 6.
+func CoreSolution(source, targetSchema *model.Instance, m Mapping) (*model.Instance, error) {
+	sol, err := Chase(source, targetSchema, m)
+	if err != nil {
+		return nil, err
+	}
+	return hom.Core(sol), nil
+}
+
+// RowScore is the baseline metric of Table 6: the row-count ratio
+// min(|solution|, |gold|) / max(|solution|, |gold|). It is blind to
+// content, which is exactly the weakness the experiment demonstrates.
+func RowScore(solution, gold *model.Instance) float64 {
+	s, g := float64(solution.NumTuples()), float64(gold.NumTuples())
+	if s == 0 && g == 0 {
+		return 1
+	}
+	if s > g {
+		s, g = g, s
+	}
+	if g == 0 {
+		return 0
+	}
+	return s / g
+}
+
+// MissingRows counts gold tuples with no compatible tuple in the solution
+// (no solution tuple could represent them under any value mapping) —
+// Table 6's "Miss. Rows" column.
+func MissingRows(solution, gold *model.Instance) int {
+	missing := 0
+	for _, grel := range gold.Relations() {
+		srel := solution.Relation(grel.Name)
+		for gi := range grel.Tuples {
+			found := false
+			if srel != nil {
+				for si := range srel.Tuples {
+					if compatibleTuples(&grel.Tuples[gi], &srel.Tuples[si]) {
+						found = true
+						break
+					}
+				}
+			}
+			if !found {
+				missing++
+			}
+		}
+	}
+	return missing
+}
+
+// compatibleTuples is c-compatibility: no attribute holds two distinct
+// constants. (Full pair compatibility lives in package compat; this local
+// check avoids the import for a simple diagnostic.)
+func compatibleTuples(a, b *model.Tuple) bool {
+	for i, v := range a.Values {
+		w := b.Values[i]
+		if v.IsConst() && w.IsConst() && v != w {
+			return false
+		}
+	}
+	return true
+}
+
+// Describe renders a mapping for logs and docs.
+func (m Mapping) Describe() string {
+	var b strings.Builder
+	for i, tgd := range m {
+		if i > 0 {
+			b.WriteString("\n")
+		}
+		for j, a := range tgd.Body {
+			if j > 0 {
+				b.WriteString(" ∧ ")
+			}
+			writeAtom(&b, a)
+		}
+		b.WriteString(" → ")
+		for j, a := range tgd.Head {
+			if j > 0 {
+				b.WriteString(" ∧ ")
+			}
+			writeAtom(&b, a)
+		}
+	}
+	return b.String()
+}
+
+func writeAtom(b *strings.Builder, a Atom) {
+	b.WriteString(a.Rel)
+	b.WriteByte('(')
+	for i, t := range a.Args {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		if t.isVar() {
+			b.WriteString(t.Var)
+		} else {
+			fmt.Fprintf(b, "%q", t.Const)
+		}
+	}
+	b.WriteByte(')')
+}

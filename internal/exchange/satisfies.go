@@ -1,0 +1,78 @@
+package exchange
+
+import (
+	"instcmp/internal/hom"
+	"instcmp/internal/model"
+)
+
+// Satisfies checks (source, target) |= Σ: for every tgd and every binding
+// of its body against the source, the head — with body variables fixed to
+// their bound values and existential variables free — embeds
+// homomorphically into the target. This is the solution check of data
+// exchange (Fagin et al.): Chase always produces a satisfying target, and
+// Satisfies lets the evaluation verify externally produced solutions too.
+//
+// Source bindings may themselves be labeled nulls (incomplete sources);
+// they act as fixed values of the constraint, so both the materialized
+// head and the target are checked with those nulls frozen into reserved
+// constants, while the head's existential nulls remain free.
+func (m Mapping) Satisfies(source, target *model.Instance) (bool, error) {
+	if err := m.Validate(source, target); err != nil {
+		return false, err
+	}
+	frozenTarget := freezeNulls(target)
+	for _, tgd := range m {
+		exVars := existentialVars(tgd)
+		for _, b := range matchBody(source, tgd.Body) {
+			head := model.NewInstance()
+			ex := map[string]model.Value{}
+			for _, x := range exVars {
+				ex[x] = head.FreshNull("sx_")
+			}
+			for _, h := range tgd.Head {
+				if head.Relation(h.Rel) == nil {
+					t := target.Relation(h.Rel)
+					head.AddRelation(t.Name, t.Attrs...)
+				}
+				vals := make([]model.Value, len(h.Args))
+				for i, arg := range h.Args {
+					switch {
+					case !arg.isVar():
+						vals[i] = model.Const(arg.Const)
+					case b[arg.Var] != (model.Value{}):
+						vals[i] = freezeValue(b[arg.Var])
+					default:
+						vals[i] = ex[arg.Var]
+					}
+				}
+				head.Append(h.Rel, vals...)
+			}
+			if !hom.Exists(head, frozenTarget) {
+				return false, nil
+			}
+		}
+	}
+	return true, nil
+}
+
+// freezeValue turns a labeled null into a reserved constant so it can only
+// match itself.
+func freezeValue(v model.Value) model.Value {
+	if v.IsConst() {
+		return v
+	}
+	return model.Const("\x00frozen:" + v.Raw())
+}
+
+// freezeNulls clones an instance with every null frozen per freezeValue.
+func freezeNulls(in *model.Instance) *model.Instance {
+	out := in.Clone()
+	for _, rel := range out.Relations() {
+		for ti := range rel.Tuples {
+			for vi, v := range rel.Tuples[ti].Values {
+				rel.Tuples[ti].Values[vi] = freezeValue(v)
+			}
+		}
+	}
+	return out
+}

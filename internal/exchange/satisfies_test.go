@@ -1,0 +1,129 @@
+package exchange
+
+import (
+	"testing"
+
+	"instcmp/internal/model"
+)
+
+func TestSatisfiesChaseResult(t *testing.T) {
+	ex := NewDoctorsExchange(60, 3)
+	for _, m := range []Mapping{ex.Gold, ex.U1, ex.U2, ex.Wrong} {
+		sol, err := Chase(ex.Source, ex.TargetSchema, m)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ok, err := m.Satisfies(ex.Source, sol)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			t.Errorf("chase result does not satisfy its own mapping:\n%s", m.Describe())
+		}
+	}
+}
+
+func TestSatisfiesCoreStillSatisfies(t *testing.T) {
+	// The core of a universal solution is a solution too.
+	ex := NewDoctorsExchange(40, 5)
+	core, err := CoreSolution(ex.Source, ex.TargetSchema, ex.U1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ok, err := ex.U1.Satisfies(ex.Source, core)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ok {
+		t.Error("core of a solution must satisfy the mapping")
+	}
+}
+
+func TestSatisfiesDetectsMissingFacts(t *testing.T) {
+	ex := NewDoctorsExchange(20, 7)
+	sol, err := Chase(ex.Source, ex.TargetSchema, ex.Gold)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Drop one Doctor tuple: some MD row loses its export.
+	rel := sol.Relation("Doctor")
+	rel.Tuples = rel.Tuples[1:]
+	ok, err := ex.Gold.Satisfies(ex.Source, sol)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok {
+		t.Error("mutilated solution still satisfies the mapping")
+	}
+}
+
+func TestSatisfiesCrossSolution(t *testing.T) {
+	// A solution of the richer mapping U2 satisfies the weaker Gold
+	// mapping (U2 ⊇ Gold), but a Wrong-mapping solution does not.
+	ex := NewDoctorsExchange(30, 9)
+	u2, err := Chase(ex.Source, ex.TargetSchema, ex.U2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := ex.Gold.Satisfies(ex.Source, u2); !ok {
+		t.Error("U2 solution should satisfy the gold mapping")
+	}
+	w, err := Chase(ex.Source, ex.TargetSchema, ex.Wrong)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := ex.Gold.Satisfies(ex.Source, w); ok {
+		t.Error("wrong-mapping solution should not satisfy the gold mapping")
+	}
+}
+
+func TestSatisfiesWithNullSourceBindings(t *testing.T) {
+	// An incomplete source: the bound null must appear (frozen) in the
+	// target for the constraint to hold.
+	src := model.NewInstance()
+	src.AddRelation("S", "A", "B")
+	src.Append("S", model.Null("N1"), model.Const("b"))
+	tgtSchema := model.NewInstance()
+	tgtSchema.AddRelation("T", "X", "Y")
+	m := Mapping{{
+		Body: []Atom{A("S", V("a"), V("b"))},
+		Head: []Atom{A("T", V("a"), V("b"))},
+	}}
+
+	good, err := Chase(src, tgtSchema, m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ok, _ := m.Satisfies(src, good); !ok {
+		t.Error("chase of incomplete source should satisfy")
+	}
+
+	// A target holding a DIFFERENT null is not a verbatim occurrence of
+	// the bound null and must be rejected.
+	bad := model.NewInstance()
+	bad.AddRelation("T", "X", "Y")
+	bad.Append("T", model.Null("Other"), model.Const("b"))
+	if ok, _ := m.Satisfies(src, bad); ok {
+		t.Error("different null accepted for a bound source null")
+	}
+
+	// A constant cannot stand in for the bound null either (the source
+	// null is a fixed value of the constraint).
+	bad2 := model.NewInstance()
+	bad2.AddRelation("T", "X", "Y")
+	bad2.Append("T", model.Const("a"), model.Const("b"))
+	if ok, _ := m.Satisfies(src, bad2); ok {
+		t.Error("constant accepted for a bound source null")
+	}
+}
+
+func TestSatisfiesValidates(t *testing.T) {
+	src := mkSource()
+	bad := Mapping{{
+		Body: []Atom{A("Nope", V("a"))},
+		Head: []Atom{A("T", V("a"), V("a"), V("a"))},
+	}}
+	if _, err := bad.Satisfies(src, mkTarget()); err == nil {
+		t.Error("invalid mapping accepted")
+	}
+}

@@ -1,0 +1,37 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+func TestConfigDefaults(t *testing.T) {
+	var cfg Config
+	if got := cfg.lambda(); got != 0.5 {
+		t.Errorf("default λ = %v, want 0.5", got)
+	}
+	cfg.Lambda = 0.3
+	if got := cfg.lambda(); got != 0.3 {
+		t.Errorf("λ override = %v", got)
+	}
+	opts := cfg.exactOpts()
+	if opts.Timeout != 5*time.Minute {
+		t.Errorf("default exact timeout = %v", opts.Timeout)
+	}
+	cfg.ExactTimeout = time.Second
+	cfg.ExactMaxNodes = 7
+	opts = cfg.exactOpts()
+	if opts.Timeout != time.Second || opts.MaxNodes != 7 || opts.Lambda != 0.3 {
+		t.Errorf("exact opts = %+v", opts)
+	}
+}
+
+func TestSideStats(t *testing.T) {
+	rows, err := RunTable1(Config{Seed: 1}, 50)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("rows = %d", len(rows))
+	}
+}

@@ -1,0 +1,269 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+// Small-scale shape tests: each experiment must reproduce the paper's
+// qualitative results at reduced size. Full-size runs live in
+// cmd/experiments and the root benchmark harness.
+
+var testCfg = Config{Seed: 42, ExactTimeout: 30 * time.Second}
+
+func TestRunTable1(t *testing.T) {
+	rows, err := RunTable1(testCfg, 300)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 6 {
+		t.Fatalf("table 1 rows = %d, want 6", len(rows))
+	}
+	attrs := map[string]int{"Doct": 5, "Bike": 9, "Git": 19, "Bus": 25, "Iris": 5, "Nba": 11}
+	for _, r := range rows {
+		if r.Rows != 300 {
+			t.Errorf("%s rows = %d", r.Dataset, r.Rows)
+		}
+		if attrs[r.Dataset] != r.Attrs {
+			t.Errorf("%s attrs = %d, want %d", r.Dataset, r.Attrs, attrs[r.Dataset])
+		}
+		if r.DistinctVal <= 0 {
+			t.Errorf("%s distinct = %d", r.Dataset, r.DistinctVal)
+		}
+	}
+}
+
+func TestRunTable2Shape(t *testing.T) {
+	cfg := testCfg
+	cfg.ExactMaxRows = 0 // by-construction reference only, at test scale
+	rows, err := RunTable2(cfg, []int{120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3 datasets x 1 size", len(rows))
+	}
+	for _, r := range rows {
+		if !r.ByConstruction {
+			t.Errorf("%s: expected by-construction reference", r.Dataset)
+		}
+		if r.SigScore <= 0 || r.SigScore >= 1 {
+			t.Errorf("%s: sig score %v out of expected band", r.Dataset, r.SigScore)
+		}
+		// The paper's headline: score difference below 1%.
+		if r.Diff > 0.01 {
+			t.Errorf("%s: diff %v > 0.01", r.Dataset, r.Diff)
+		}
+		if r.Source.Nulls == 0 || r.Target.Nulls == 0 {
+			t.Errorf("%s: modCell should inject nulls: %+v", r.Dataset, r)
+		}
+	}
+}
+
+func TestRunTable2WithExact(t *testing.T) {
+	cfg := testCfg
+	cfg.ExactMaxRows = 60
+	cfg.ExactMaxNodes = 5_000_000
+	rows, err := RunTable2(cfg, []int{50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		if r.ByConstruction && r.ExExhaustive {
+			t.Errorf("%s: exhaustive exact should not be overridden", r.Dataset)
+		}
+		if r.ExScore < r.SigScore-1e-9 {
+			t.Errorf("%s: reference %v below signature %v", r.Dataset, r.ExScore, r.SigScore)
+		}
+		if r.ExTime <= 0 {
+			t.Errorf("%s: exact time not recorded", r.Dataset)
+		}
+	}
+}
+
+func TestRunTable3Shape(t *testing.T) {
+	cfg := testCfg
+	rows, err := RunTable3(cfg, []int{120})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// addRandomAndRedundant adds ~20% tuples.
+		if r.Source.Tuples <= 120 {
+			t.Errorf("%s: source tuples = %d, want > 120", r.Dataset, r.Source.Tuples)
+		}
+		if r.Diff > 0.02 {
+			t.Errorf("%s: diff %v > 0.02", r.Dataset, r.Diff)
+		}
+	}
+}
+
+func TestRunFigure8Shape(t *testing.T) {
+	pts, err := RunFigure8(testCfg, 150, []float64{0.05, 0.25, 0.50})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 9 {
+		t.Fatalf("points = %d, want 3 datasets x 3 percentages", len(pts))
+	}
+	for _, p := range pts {
+		// Figure 8's y-axis tops out below 0.008 at 1k rows; allow a
+		// wider band at this tiny scale.
+		if p.Diff > 0.05 {
+			t.Errorf("%s at %.0f%%: diff %v too large", p.Dataset, p.CellPct*100, p.Diff)
+		}
+	}
+}
+
+func TestRunTable4Shape(t *testing.T) {
+	rows, err := RunTable4(testCfg, 200)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, r := range rows {
+		// Table 4: the signature-based step discovers the vast
+		// majority of matches (>= 98% in the paper).
+		if r.PctSig < 90 {
+			t.Errorf("%s: signature step found only %.1f%%", r.Dataset, r.PctSig)
+		}
+		if r.PctSig+r.PctExact < 99.9 || r.PctSig+r.PctExact > 100.1 {
+			t.Errorf("%s: percentages do not sum to 100: %v + %v", r.Dataset, r.PctSig, r.PctExact)
+		}
+		if r.ScoreFinal < r.ScoreSig-1e-9 {
+			t.Errorf("%s: completion step lowered the score %v -> %v", r.Dataset, r.ScoreSig, r.ScoreFinal)
+		}
+	}
+}
+
+func TestRunTable5Shape(t *testing.T) {
+	rows, err := RunTable5(testCfg, 3000)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("rows = %d, want 4 systems", len(rows))
+	}
+	f1 := map[string]float64{}
+	sig := map[string]float64{}
+	for _, r := range rows {
+		f1[r.System], sig[r.System] = r.F1, r.SigScore
+		if r.F1Inst < 0.97 {
+			t.Errorf("%s: F1Inst = %v, want ~1", r.System, r.F1Inst)
+		}
+		if r.SigScore < 0.9 {
+			t.Errorf("%s: sig score = %v, want >= 0.9 (Table 5 band)", r.System, r.SigScore)
+		}
+	}
+	// The table's story: F1 penalizes nulls hard; Sig preserves the
+	// ranking while staying high.
+	if !(f1["Llunatic"] > f1["Sampling"]) {
+		t.Errorf("F1 ranking broken: %v", f1)
+	}
+	if !(sig["Llunatic"] >= sig["Sampling"]) {
+		t.Errorf("Sig ranking broken: %v", sig)
+	}
+}
+
+func TestRunTable6Shape(t *testing.T) {
+	rows, err := RunTable6(testCfg, []int{150})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 3 {
+		t.Fatalf("rows = %d, want 3 scenarios", len(rows))
+	}
+	byName := map[string]Table6Row{}
+	for _, r := range rows {
+		byName[r.Scenario] = r
+	}
+	w, u1, u2 := byName["Doct-W"], byName["Doct-U1"], byName["Doct-U2"]
+	if w.SigScore > 0.05 {
+		t.Errorf("wrong mapping sig = %v, want ~0", w.SigScore)
+	}
+	if w.RowScore < 0.9 {
+		t.Errorf("wrong mapping row score = %v, want ~1 (the blind spot)", w.RowScore)
+	}
+	if w.MissingRows != w.Gold.Tuples {
+		t.Errorf("wrong mapping should miss all %d gold rows, got %d", w.Gold.Tuples, w.MissingRows)
+	}
+	if w.SolutionUniversal {
+		t.Error("wrong solution must not be universal")
+	}
+	for _, r := range []Table6Row{u1, u2} {
+		if r.MissingRows != 0 {
+			t.Errorf("%s: missing rows = %d, want 0", r.Scenario, r.MissingRows)
+		}
+		if !r.SolutionUniversal {
+			t.Errorf("%s: solution should be universal", r.Scenario)
+		}
+		if r.SigScore < 0.7 {
+			t.Errorf("%s: sig = %v, want high", r.Scenario, r.SigScore)
+		}
+	}
+	if !(u2.SigScore >= u1.SigScore) {
+		t.Errorf("U2 (%v) should score >= U1 (%v)", u2.SigScore, u1.SigScore)
+	}
+	if !(u1.RowScore < u2.RowScore) {
+		t.Errorf("row scores should order U1 (%v) < U2 (%v)", u1.RowScore, u2.RowScore)
+	}
+}
+
+func TestRunTable7Shape(t *testing.T) {
+	rows, err := RunTable7(testCfg, 120)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 8 {
+		t.Fatalf("rows = %d, want 2 datasets x 4 variants", len(rows))
+	}
+	for _, r := range rows {
+		switch r.Variant {
+		case "S":
+			if r.Sig.Matched != r.TO || r.Sig.LeftNonMatch != 0 {
+				t.Errorf("%s-S: sig %+v, want all matched", r.Dataset, r.Sig)
+			}
+			if r.Diff.Matched >= r.TO/2 {
+				t.Errorf("%s-S: diff matched %d of %d; should collapse", r.Dataset, r.Diff.Matched, r.TO)
+			}
+		case "R":
+			if r.Sig.Matched != r.TM || r.Sig.LeftNonMatch != r.TO-r.TM {
+				t.Errorf("%s-R: sig %+v", r.Dataset, r.Sig)
+			}
+			if r.Diff.Matched != r.TM {
+				t.Errorf("%s-R: diff should match all survivors, got %+v", r.Dataset, r.Diff)
+			}
+		case "RS":
+			if r.Sig.Matched != r.TM {
+				t.Errorf("%s-RS: sig %+v", r.Dataset, r.Sig)
+			}
+			if r.Diff.Matched >= r.TM/2 {
+				t.Errorf("%s-RS: diff matched %d; should collapse", r.Dataset, r.Diff.Matched)
+			}
+		case "C":
+			if r.Sig.Matched != r.TO {
+				t.Errorf("%s-C: sig %+v, want all matched via null padding", r.Dataset, r.Sig)
+			}
+			if r.Diff.Matched != 0 {
+				t.Errorf("%s-C: diff matched %d, want 0", r.Dataset, r.Diff.Matched)
+			}
+		}
+	}
+}
+
+func TestRunAblationNullAttrs(t *testing.T) {
+	pts, err := RunAblationNullAttrs(testCfg, 150)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pts) != 9 {
+		t.Fatalf("points = %d, want one per Bike attribute", len(pts))
+	}
+	for _, p := range pts {
+		if p.Diff > 0.05 {
+			t.Errorf("k=%d: diff %v too large", p.NullAttrs, p.Diff)
+		}
+		if p.SigTime <= 0 {
+			t.Errorf("k=%d: time not recorded", p.NullAttrs)
+		}
+	}
+}

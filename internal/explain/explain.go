@@ -1,0 +1,254 @@
+// Package explain turns a comparison result into a structured change
+// report: which tuples were added, removed, or updated, and what happened
+// inside each updated tuple cell by cell (a constant replaced by a null, a
+// null instantiated to a constant, a null renamed, or — in partial matches
+// — a constant changed). This is the versioning-facing deliverable of the
+// paper's abstract: the similarity computation "returns a mapping between
+// the instances' tuples, which explains the score".
+package explain
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"instcmp"
+	"instcmp/internal/model"
+)
+
+// CellKind classifies what happened to one cell between the left and right
+// occurrence of a matched tuple pair.
+type CellKind int
+
+// Cell change kinds.
+const (
+	// Unchanged: equal constants on both sides.
+	Unchanged CellKind = iota
+	// NullRenamed: labeled nulls on both sides, equated by the match.
+	NullRenamed
+	// ValueNulled: a constant on the left became a labeled null on the
+	// right (information was lost or masked).
+	ValueNulled
+	// NullInstantiated: a labeled null on the left became a constant on
+	// the right (information was gained).
+	NullInstantiated
+	// ValueChanged: different constants (possible only under partial
+	// matching).
+	ValueChanged
+	// Conflict: cells a partial match could not reconcile.
+	Conflict
+	// ColumnDropped: the attribute exists only on the left side (the
+	// comparison ran with schema alignment).
+	ColumnDropped
+	// ColumnAdded: the attribute exists only on the right side.
+	ColumnAdded
+)
+
+func (k CellKind) String() string {
+	switch k {
+	case Unchanged:
+		return "unchanged"
+	case NullRenamed:
+		return "null-renamed"
+	case ValueNulled:
+		return "value-nulled"
+	case NullInstantiated:
+		return "null-instantiated"
+	case ValueChanged:
+		return "value-changed"
+	case Conflict:
+		return "conflict"
+	case ColumnDropped:
+		return "column-dropped"
+	case ColumnAdded:
+		return "column-added"
+	}
+	return fmt.Sprintf("CellKind(%d)", int(k))
+}
+
+// CellChange describes one cell of an updated tuple pair.
+type CellChange struct {
+	Attr     string
+	Kind     CellKind
+	From, To model.Value
+}
+
+// TupleChange is one matched pair with at least one non-trivial cell.
+type TupleChange struct {
+	Relation        string
+	LeftID, RightID model.TupleID
+	PairScore       float64
+	Cells           []CellChange // only non-Unchanged cells
+}
+
+// TupleRef lists an unmatched tuple with its values for display.
+type TupleRef struct {
+	Relation string
+	ID       model.TupleID
+	Values   []model.Value
+}
+
+// Report is the full change summary of a comparison.
+type Report struct {
+	Similarity float64
+	// Identical counts matched pairs with no cell change.
+	Identical int
+	// Updated lists matched pairs with at least one changed cell.
+	Updated []TupleChange
+	// Removed lists left tuples without a counterpart; Added the right
+	// ones.
+	Removed, Added []TupleRef
+}
+
+// FromResult builds a report from a comparison result and the two original
+// instances it was computed on.
+func FromResult(left, right *instcmp.Instance, res *instcmp.Result) (*Report, error) {
+	rep := &Report{Similarity: res.Score}
+	leftIdx, err := indexByID(left)
+	if err != nil {
+		return nil, err
+	}
+	rightIdx, err := indexByID(right)
+	if err != nil {
+		return nil, err
+	}
+
+	matchedL := map[model.TupleID]bool{}
+	matchedR := map[model.TupleID]bool{}
+	for _, p := range res.Pairs {
+		matchedL[p.LeftID] = true
+		matchedR[p.RightID] = true
+		lt, ok := leftIdx[p.LeftID]
+		if !ok {
+			return nil, fmt.Errorf("explain: left tuple t%d not found", p.LeftID)
+		}
+		rt, ok := rightIdx[p.RightID]
+		if !ok {
+			return nil, fmt.Errorf("explain: right tuple t%d not found", p.RightID)
+		}
+		if lt.rel != rt.rel {
+			return nil, fmt.Errorf("explain: pair spans relations %s and %s", lt.rel, rt.rel)
+		}
+		tc := TupleChange{Relation: p.Relation, LeftID: p.LeftID, RightID: p.RightID, PairScore: p.Score}
+		// Attributes align by name: comparisons run with schema
+		// alignment may pair tuples across differing schemas.
+		lrel, rrel := left.Relation(lt.rel), right.Relation(rt.rel)
+		for li, attr := range lrel.Attrs {
+			ri := rrel.AttrIndex(attr)
+			if ri < 0 {
+				tc.Cells = append(tc.Cells, CellChange{
+					Attr: attr, Kind: ColumnDropped, From: lt.t.Values[li],
+				})
+				continue
+			}
+			cc := classify(lt.t.Values[li], rt.t.Values[ri], res)
+			if cc.Kind == Unchanged {
+				continue
+			}
+			cc.Attr = attr
+			tc.Cells = append(tc.Cells, cc)
+		}
+		for ri, attr := range rrel.Attrs {
+			if lrel.AttrIndex(attr) < 0 {
+				tc.Cells = append(tc.Cells, CellChange{
+					Attr: attr, Kind: ColumnAdded, To: rt.t.Values[ri],
+				})
+			}
+		}
+		if len(tc.Cells) == 0 {
+			rep.Identical++
+		} else {
+			rep.Updated = append(rep.Updated, tc)
+		}
+	}
+
+	collect := func(in *instcmp.Instance, matched map[model.TupleID]bool) []TupleRef {
+		var out []TupleRef
+		for _, rel := range in.Relations() {
+			for _, t := range rel.Tuples {
+				if !matched[t.ID] {
+					out = append(out, TupleRef{Relation: rel.Name, ID: t.ID, Values: t.Values})
+				}
+			}
+		}
+		return out
+	}
+	rep.Removed = collect(left, matchedL)
+	rep.Added = collect(right, matchedR)
+	sort.SliceStable(rep.Updated, func(i, j int) bool {
+		return rep.Updated[i].LeftID < rep.Updated[j].LeftID
+	})
+	return rep, nil
+}
+
+type located struct {
+	rel string
+	t   model.Tuple
+}
+
+func indexByID(in *instcmp.Instance) (map[model.TupleID]located, error) {
+	idx := map[model.TupleID]located{}
+	for _, rel := range in.Relations() {
+		for _, t := range rel.Tuples {
+			if _, dup := idx[t.ID]; dup {
+				return nil, fmt.Errorf("explain: duplicate tuple id %d", t.ID)
+			}
+			idx[t.ID] = located{rel: rel.Name, t: t}
+		}
+	}
+	return idx, nil
+}
+
+// classify determines the cell change kind from the two cell values and the
+// match's value mappings.
+func classify(lv, rv model.Value, res *instcmp.Result) CellChange {
+	cc := CellChange{From: lv, To: rv}
+	switch {
+	case lv.IsConst() && rv.IsConst():
+		if lv == rv {
+			cc.Kind = Unchanged
+		} else {
+			cc.Kind = ValueChanged
+		}
+	case lv.IsConst() && rv.IsNull():
+		cc.Kind = ValueNulled
+	case lv.IsNull() && rv.IsConst():
+		cc.Kind = NullInstantiated
+	default:
+		// Both nulls: renamed if the match equates them, otherwise a
+		// partial-match conflict. The value mappings are keyed on the
+		// normalized (renamed-apart) nulls, so compare images with a
+		// fallback to name equality for the common case.
+		li, lok := res.LeftValueMapping[lv]
+		ri, rok := res.RightValueMapping[rv]
+		if lok && rok && li == ri {
+			cc.Kind = NullRenamed
+		} else if !lok && !rok && lv == rv {
+			cc.Kind = NullRenamed
+		} else {
+			cc.Kind = Conflict
+		}
+	}
+	return cc
+}
+
+// String renders the report as a human-readable summary.
+func (r *Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "similarity %.4f: %d identical, %d updated, %d removed, %d added\n",
+		r.Similarity, r.Identical, len(r.Updated), len(r.Removed), len(r.Added))
+	for _, u := range r.Updated {
+		fmt.Fprintf(&b, "~ %s t%d -> t%d (%.2f):", u.Relation, u.LeftID, u.RightID, u.PairScore)
+		for _, c := range u.Cells {
+			fmt.Fprintf(&b, " %s[%s: %v -> %v]", c.Attr, c.Kind, c.From, c.To)
+		}
+		b.WriteByte('\n')
+	}
+	for _, t := range r.Removed {
+		fmt.Fprintf(&b, "- %s t%d %v\n", t.Relation, t.ID, model.Tuple{ID: t.ID, Values: t.Values})
+	}
+	for _, t := range r.Added {
+		fmt.Fprintf(&b, "+ %s t%d %v\n", t.Relation, t.ID, model.Tuple{ID: t.ID, Values: t.Values})
+	}
+	return b.String()
+}

@@ -1,0 +1,145 @@
+package explain
+
+import (
+	"strings"
+	"testing"
+
+	"instcmp"
+)
+
+func conf(rows ...[]instcmp.Value) *instcmp.Instance {
+	in := instcmp.NewInstance()
+	in.AddRelation("Conf", "Name", "Year", "Org")
+	for _, row := range rows {
+		in.Append("Conf", row...)
+	}
+	return in
+}
+
+func c(s string) instcmp.Value { return instcmp.Const(s) }
+func n(s string) instcmp.Value { return instcmp.Null(s) }
+
+func report(t *testing.T, left, right *instcmp.Instance, opt *instcmp.Options) *Report {
+	t.Helper()
+	res, err := instcmp.Compare(left, right, opt)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := FromResult(left, right, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return rep
+}
+
+func TestReportIdentical(t *testing.T) {
+	l := conf([]instcmp.Value{c("VLDB"), c("1975"), c("x")})
+	rep := report(t, l, l.Clone(), &instcmp.Options{Mode: instcmp.OneToOne})
+	if rep.Identical != 1 || len(rep.Updated) != 0 || len(rep.Added) != 0 || len(rep.Removed) != 0 {
+		t.Errorf("identical report wrong: %+v", rep)
+	}
+	if rep.Similarity != 1 {
+		t.Errorf("similarity = %v", rep.Similarity)
+	}
+}
+
+func TestReportCellKinds(t *testing.T) {
+	l := conf(
+		[]instcmp.Value{c("VLDB"), c("1975"), n("N1")},  // N1 will rename
+		[]instcmp.Value{c("ICDE"), n("N2"), c("IEEE")},  // N2 instantiated
+		[]instcmp.Value{c("SIGMOD"), c("1975"), c("A")}, // Org nulled
+	)
+	r := conf(
+		[]instcmp.Value{c("VLDB"), c("1975"), n("V1")},
+		[]instcmp.Value{c("ICDE"), c("1984"), c("IEEE")},
+		[]instcmp.Value{c("SIGMOD"), c("1975"), n("V2")},
+	)
+	rep := report(t, l, r, &instcmp.Options{Mode: instcmp.OneToOne, Algorithm: instcmp.AlgoSignature})
+	if len(rep.Updated) != 3 || rep.Identical != 0 {
+		t.Fatalf("updated = %d, identical = %d", len(rep.Updated), rep.Identical)
+	}
+	kinds := map[CellKind]int{}
+	for _, u := range rep.Updated {
+		for _, cell := range u.Cells {
+			kinds[cell.Kind]++
+		}
+	}
+	if kinds[NullRenamed] != 1 || kinds[NullInstantiated] != 1 || kinds[ValueNulled] != 1 {
+		t.Errorf("cell kinds wrong: %v", kinds)
+	}
+}
+
+func TestReportAddedRemoved(t *testing.T) {
+	l := conf(
+		[]instcmp.Value{c("VLDB"), c("1975"), c("x")},
+		[]instcmp.Value{c("OLD"), c("1970"), c("gone")},
+	)
+	r := conf(
+		[]instcmp.Value{c("VLDB"), c("1975"), c("x")},
+		[]instcmp.Value{c("NEW"), c("2024"), c("fresh")},
+	)
+	rep := report(t, l, r, &instcmp.Options{Mode: instcmp.OneToOne})
+	if len(rep.Removed) != 1 || rep.Removed[0].Values[0] != c("OLD") {
+		t.Errorf("removed = %+v", rep.Removed)
+	}
+	if len(rep.Added) != 1 || rep.Added[0].Values[0] != c("NEW") {
+		t.Errorf("added = %+v", rep.Added)
+	}
+}
+
+func TestReportPartialValueChanged(t *testing.T) {
+	l := conf([]instcmp.Value{c("VLDB"), c("1975"), c("VLDB End.")})
+	r := conf([]instcmp.Value{c("VLDB"), c("1975"), c("VLDB Endow.")})
+	rep := report(t, l, r, &instcmp.Options{
+		Mode: instcmp.OneToOne, Algorithm: instcmp.AlgoSignature,
+		Partial: true, MinPartialSig: 2,
+	})
+	if len(rep.Updated) != 1 {
+		t.Fatalf("updated = %+v", rep.Updated)
+	}
+	cells := rep.Updated[0].Cells
+	if len(cells) != 1 || cells[0].Kind != ValueChanged || cells[0].Attr != "Org" {
+		t.Errorf("cells = %+v", cells)
+	}
+}
+
+func TestReportSharedNullNames(t *testing.T) {
+	// Both sides use the null name N1; normalization renames the right
+	// one apart, and the report must still classify the cell as a
+	// renaming, keyed by the ORIGINAL names.
+	l := conf([]instcmp.Value{c("VLDB"), c("1975"), n("N1")})
+	r := conf([]instcmp.Value{c("VLDB"), c("1975"), n("N1")})
+	rep := report(t, l, r, &instcmp.Options{Mode: instcmp.OneToOne})
+	if rep.Identical != 0 || len(rep.Updated) != 1 {
+		t.Fatalf("report = %+v", rep)
+	}
+	if rep.Updated[0].Cells[0].Kind != NullRenamed {
+		t.Errorf("kind = %v, want null-renamed", rep.Updated[0].Cells[0].Kind)
+	}
+}
+
+func TestReportString(t *testing.T) {
+	l := conf(
+		[]instcmp.Value{c("VLDB"), c("1975"), n("N1")},
+		[]instcmp.Value{c("OLD"), c("1970"), c("gone")},
+	)
+	r := conf([]instcmp.Value{c("VLDB"), c("1975"), c("VLDB End.")})
+	rep := report(t, l, r, &instcmp.Options{Mode: instcmp.OneToOne})
+	s := rep.String()
+	for _, want := range []string{"similarity", "null-instantiated", "- Conf"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("report rendering missing %q:\n%s", want, s)
+		}
+	}
+}
+
+func TestCellKindStrings(t *testing.T) {
+	for k := Unchanged; k <= ColumnAdded; k++ {
+		if s := k.String(); strings.HasPrefix(s, "CellKind(") {
+			t.Errorf("kind %d lacks a name", int(k))
+		}
+	}
+	if !strings.HasPrefix(CellKind(99).String(), "CellKind(") {
+		t.Error("unknown kind should fall back to numeric form")
+	}
+}

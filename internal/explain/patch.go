@@ -1,0 +1,79 @@
+package explain
+
+import (
+	"fmt"
+
+	"instcmp"
+	"instcmp/internal/model"
+)
+
+// Apply replays a report onto the left instance, producing an instance
+// isomorphic to the right one the report was computed against: updated
+// pairs have their changed cells rewritten, removed tuples are dropped, and
+// added tuples are appended. This turns a comparison into a usable patch —
+// the versioning workflow the paper's introduction motivates (store one
+// version plus diffs instead of every version).
+//
+// Cell rewrites follow the change kinds: constants are replaced verbatim;
+// nulls are carried over from the report's To values, which keeps shared
+// nulls (same null across several cells or tuples) shared in the output.
+func Apply(left *instcmp.Instance, rep *Report) (*instcmp.Instance, error) {
+	out := left.Clone()
+	byID := map[model.TupleID]*model.Tuple{}
+	relOf := map[model.TupleID]string{}
+	for _, rel := range out.Relations() {
+		for i := range rel.Tuples {
+			byID[rel.Tuples[i].ID] = &rel.Tuples[i]
+			relOf[rel.Tuples[i].ID] = rel.Name
+		}
+	}
+
+	for _, u := range rep.Updated {
+		t, ok := byID[u.LeftID]
+		if !ok {
+			return nil, fmt.Errorf("explain: patch refers to missing tuple t%d", u.LeftID)
+		}
+		rel := out.Relation(u.Relation)
+		if rel == nil || relOf[u.LeftID] != u.Relation {
+			return nil, fmt.Errorf("explain: tuple t%d is not in relation %s", u.LeftID, u.Relation)
+		}
+		for _, cc := range u.Cells {
+			if cc.Kind == ColumnDropped || cc.Kind == ColumnAdded {
+				return nil, fmt.Errorf("explain: patch spans a schema change (%s %s); apply it by migrating the schema first", cc.Kind, cc.Attr)
+			}
+			ai := rel.AttrIndex(cc.Attr)
+			if ai < 0 {
+				return nil, fmt.Errorf("explain: relation %s has no attribute %s", u.Relation, cc.Attr)
+			}
+			if t.Values[ai] != cc.From {
+				return nil, fmt.Errorf("explain: patch conflict at t%d.%s: have %v, patch expects %v",
+					u.LeftID, cc.Attr, t.Values[ai], cc.From)
+			}
+			t.Values[ai] = cc.To
+		}
+	}
+
+	removed := map[model.TupleID]bool{}
+	for _, tr := range rep.Removed {
+		removed[tr.ID] = true
+	}
+	for _, rel := range out.Relations() {
+		kept := rel.Tuples[:0]
+		for _, t := range rel.Tuples {
+			if !removed[t.ID] {
+				kept = append(kept, t)
+			}
+		}
+		rel.Tuples = kept
+	}
+
+	for _, tr := range rep.Added {
+		if out.Relation(tr.Relation) == nil {
+			return nil, fmt.Errorf("explain: patch adds to unknown relation %s", tr.Relation)
+		}
+		vals := make([]model.Value, len(tr.Values))
+		copy(vals, tr.Values)
+		out.Append(tr.Relation, vals...)
+	}
+	return out, nil
+}

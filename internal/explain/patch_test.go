@@ -1,0 +1,104 @@
+package explain
+
+import (
+	"math/rand"
+	"testing"
+
+	"instcmp"
+	"instcmp/internal/datasets"
+	"instcmp/internal/generator"
+)
+
+// TestApplyRoundTrip is the patch property: for any comparison, applying
+// the report to the left instance yields an instance isomorphic to the
+// right one (every differing cell is rewritten to the right side's value,
+// removed tuples dropped, added tuples appended).
+func TestApplyRoundTrip(t *testing.T) {
+	base := datasets.Doctors(80, rand.New(rand.NewSource(2)))
+	for seed := int64(0); seed < 6; seed++ {
+		sc := generator.Make(base, generator.Noise{
+			CellPct: 0.08, RandomPct: 0.05, Seed: seed,
+		})
+		res, err := instcmp.Compare(sc.Source, sc.Target, &instcmp.Options{
+			Mode:      instcmp.OneToOne,
+			Algorithm: instcmp.AlgoSignature,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := FromResult(sc.Source, sc.Target, res)
+		if err != nil {
+			t.Fatal(err)
+		}
+		patched, err := Apply(sc.Source, rep)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !instcmp.IsIsomorphic(patched, sc.Target) {
+			t.Fatalf("seed %d: patched instance not isomorphic to target", seed)
+		}
+		// Apply must not mutate its input.
+		again, err := Apply(sc.Source, rep)
+		if err != nil {
+			t.Fatalf("seed %d: patch not reapplicable (input mutated?): %v", seed, err)
+		}
+		if !instcmp.IsIsomorphic(again, sc.Target) {
+			t.Fatalf("seed %d: second application diverged", seed)
+		}
+	}
+}
+
+func TestApplyDetectsConflicts(t *testing.T) {
+	l := conf([]instcmp.Value{c("VLDB"), c("1975"), c("old")})
+	r := conf([]instcmp.Value{c("VLDB"), c("1975"), n("V1")})
+	res, err := instcmp.Compare(l, r, &instcmp.Options{Mode: instcmp.OneToOne})
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := FromResult(l, r, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Tamper with the base: the patch expects "old" at Conf.Org.
+	l.Relation("Conf").Tuples[0].Values[2] = c("tampered")
+	if _, err := Apply(l, rep); err == nil {
+		t.Error("patch applied despite a conflicting base")
+	}
+}
+
+func TestApplyValidation(t *testing.T) {
+	l := conf([]instcmp.Value{c("VLDB"), c("1975"), c("x")})
+	rep := &Report{
+		Updated: []TupleChange{{
+			Relation: "Conf", LeftID: 99,
+			Cells: []CellChange{{Attr: "Org", From: c("x"), To: c("y")}},
+		}},
+	}
+	if _, err := Apply(l, rep); err == nil {
+		t.Error("missing tuple id not reported")
+	}
+	rep = &Report{Added: []TupleRef{{Relation: "Nope", Values: []instcmp.Value{c("v")}}}}
+	if _, err := Apply(l, rep); err == nil {
+		t.Error("unknown relation not reported")
+	}
+	rep = &Report{
+		Updated: []TupleChange{{
+			Relation: "Conf", LeftID: 0,
+			Cells: []CellChange{{Attr: "Ghost", From: c("x"), To: c("y")}},
+		}},
+	}
+	if _, err := Apply(l, rep); err == nil {
+		t.Error("unknown attribute not reported")
+	}
+}
+
+func TestApplyEmptyReportIsIdentity(t *testing.T) {
+	l := conf([]instcmp.Value{c("VLDB"), c("1975"), c("x")})
+	out, err := Apply(l, &Report{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !instcmp.IsIsomorphic(l, out) {
+		t.Error("empty patch changed the instance")
+	}
+}

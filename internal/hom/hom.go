@@ -1,0 +1,373 @@
+// Package hom implements homomorphisms between instances with labeled
+// nulls (Sec. 2 of the paper), isomorphism testing, and core computation by
+// tuple folding. These are the substrate for the data-exchange experiments
+// (Sec. 7.2): universal solutions are compared through homomorphisms, and
+// the gold standard is the core solution, the smallest instance
+// homomorphically equivalent to a universal solution.
+package hom
+
+import (
+	"sort"
+
+	"instcmp/internal/model"
+)
+
+// Find returns a homomorphism from one instance into another: a mapping h
+// on adom(from) with h(c) = c for constants such that h(t) ∈ to for every
+// tuple t ∈ from. It returns nil when none exists. The search is
+// backtracking over from's tuples, most-constrained first, with
+// hash-indexed candidate lookup.
+func Find(from, to *model.Instance) map[model.Value]model.Value {
+	return find(from, to, nil)
+}
+
+// Exists reports whether a homomorphism from -> to exists.
+func Exists(from, to *model.Instance) bool { return Find(from, to) != nil }
+
+// Equivalent reports whether the instances are homomorphically equivalent
+// (homomorphisms exist in both directions), the relationship of two
+// universal solutions of the same data-exchange scenario.
+func Equivalent(a, b *model.Instance) bool {
+	return Exists(a, b) && Exists(b, a)
+}
+
+// exclusion identifies one tuple of the target instance to pretend absent.
+type exclusion struct {
+	rel string
+	idx int
+}
+
+func find(from, to *model.Instance, excl *exclusion) map[model.Value]model.Value {
+	if len(from.Relations()) == 0 {
+		return map[model.Value]model.Value{}
+	}
+	indexes := map[string]*targetIndex{}
+	for _, rel := range from.Relations() {
+		target := to.Relation(rel.Name)
+		if target == nil {
+			if len(rel.Tuples) == 0 {
+				continue
+			}
+			return nil
+		}
+		indexes[rel.Name] = newTargetIndex(target, excl)
+	}
+	binding := map[model.Value]model.Value{}
+	// Tuples sharing no nulls constrain each other not at all, so the
+	// search decomposes into the connected components of the
+	// null-sharing graph. Solving components independently turns a
+	// potentially exponential interleaved backtracking into many small
+	// local searches.
+	for _, comp := range components(from) {
+		s := &homSearch{goals: comp, binding: binding, indexes: indexes}
+		if !s.solve(0) {
+			return nil
+		}
+	}
+	// Make the mapping total on adom(from).
+	for v := range from.ActiveDomain() {
+		if _, ok := binding[v]; !ok {
+			binding[v] = v
+		}
+	}
+	return binding
+}
+
+// components partitions the instance's tuples into connected components of
+// the null-sharing graph (ground tuples are singletons). Within each
+// component, goals are ordered most-constrained first.
+func components(in *model.Instance) [][]goal {
+	// Union-find over component ids, driven by shared nulls.
+	parent := map[int]int{}
+	var find func(int) int
+	find = func(x int) int {
+		for parent[x] != x {
+			parent[x] = parent[parent[x]]
+			x = parent[x]
+		}
+		return x
+	}
+	union := func(a, b int) {
+		ra, rb := find(a), find(b)
+		if ra != rb {
+			parent[ra] = rb
+		}
+	}
+	type tref struct {
+		rel string
+		t   *model.Tuple
+	}
+	var tuples []tref
+	nullOwner := map[model.Value]int{}
+	for _, rel := range in.Relations() {
+		for i := range rel.Tuples {
+			id := len(tuples)
+			tuples = append(tuples, tref{rel.Name, &rel.Tuples[i]})
+			parent[id] = id
+			for _, v := range rel.Tuples[i].Values {
+				if v.IsNull() {
+					if o, ok := nullOwner[v]; ok {
+						union(id, o)
+					} else {
+						nullOwner[v] = id
+					}
+				}
+			}
+		}
+	}
+	groups := map[int][]goal{}
+	var roots []int
+	for id, tr := range tuples {
+		r := find(id)
+		if _, seen := groups[r]; !seen {
+			roots = append(roots, r)
+		}
+		groups[r] = append(groups[r], goal{rel: tr.rel, t: tr.t})
+	}
+	out := make([][]goal, 0, len(groups))
+	for _, r := range roots {
+		comp := groups[r]
+		sort.SliceStable(comp, func(i, j int) bool {
+			return comp[i].t.NullCount() < comp[j].t.NullCount()
+		})
+		out = append(out, comp)
+	}
+	return out
+}
+
+type goal struct {
+	rel string
+	t   *model.Tuple
+}
+
+type targetIndex struct {
+	rel     *model.Relation
+	byAttr  []map[model.Value][]int
+	all     []int
+	skipped int // excluded tuple position, or -1
+}
+
+func newTargetIndex(rel *model.Relation, excl *exclusion) *targetIndex {
+	ti := &targetIndex{
+		rel:     rel,
+		byAttr:  make([]map[model.Value][]int, rel.Arity()),
+		skipped: -1,
+	}
+	if excl != nil && excl.rel == rel.Name {
+		ti.skipped = excl.idx
+	}
+	for a := range ti.byAttr {
+		ti.byAttr[a] = map[model.Value][]int{}
+	}
+	for i := range rel.Tuples {
+		if i == ti.skipped {
+			continue
+		}
+		ti.all = append(ti.all, i)
+		for a, v := range rel.Tuples[i].Values {
+			ti.byAttr[a][v] = append(ti.byAttr[a][v], i)
+		}
+	}
+	return ti
+}
+
+type homSearch struct {
+	goals   []goal
+	binding map[model.Value]model.Value
+	indexes map[string]*targetIndex
+}
+
+func (s *homSearch) solve(gi int) bool {
+	if gi == len(s.goals) {
+		return true
+	}
+	g := s.goals[gi]
+	ti := s.indexes[g.rel]
+
+	// Candidate generation: use the most selective attribute whose source
+	// value is fixed (a constant, or a null already bound).
+	bestAttr, bestVal, bestLen := -1, model.Value{}, 0
+	for a, v := range g.t.Values {
+		fixed := v
+		if v.IsNull() {
+			b, ok := s.binding[v]
+			if !ok {
+				continue
+			}
+			fixed = b
+		}
+		l := len(ti.byAttr[a][fixed])
+		if bestAttr < 0 || l < bestLen {
+			bestAttr, bestVal, bestLen = a, fixed, l
+		}
+	}
+	cands := ti.all
+	if bestAttr >= 0 {
+		cands = ti.byAttr[bestAttr][bestVal]
+	}
+	for _, ci := range cands {
+		cand := &ti.rel.Tuples[ci]
+		var bound []model.Value
+		ok := true
+		for a, v := range g.t.Values {
+			target := cand.Values[a]
+			if v.IsConst() {
+				if v != target {
+					ok = false
+					break
+				}
+				continue
+			}
+			if b, has := s.binding[v]; has {
+				if b != target {
+					ok = false
+					break
+				}
+				continue
+			}
+			s.binding[v] = target
+			bound = append(bound, v)
+		}
+		if ok && s.solve(gi+1) {
+			return true
+		}
+		for _, v := range bound {
+			delete(s.binding, v)
+		}
+	}
+	return false
+}
+
+// IsIsomorphic reports whether the two instances are isomorphic: a
+// bijective homomorphism exists (nulls rename one-to-one, constants are
+// fixed, and tuples correspond one-to-one per relation counting
+// multiplicity). Isomorphic instances represent the same incomplete
+// database and must have similarity 1 (Eq. 2).
+func IsIsomorphic(a, b *model.Instance) bool {
+	if !model.SameSchema(a, b) {
+		return false
+	}
+	for i, ra := range a.Relations() {
+		if len(ra.Tuples) != len(b.Relations()[i].Tuples) {
+			return false
+		}
+	}
+	if len(a.Vars()) != len(b.Vars()) {
+		return false
+	}
+	s := &isoSearch{
+		fwd:  map[model.Value]model.Value{},
+		bwd:  map[model.Value]model.Value{},
+		used: map[string]map[int]bool{},
+	}
+	for _, rel := range a.Relations() {
+		s.used[rel.Name] = map[int]bool{}
+		for i := range rel.Tuples {
+			s.goals = append(s.goals, goal{rel: rel.Name, t: &rel.Tuples[i]})
+		}
+	}
+	sort.SliceStable(s.goals, func(i, j int) bool {
+		return s.goals[i].t.NullCount() < s.goals[j].t.NullCount()
+	})
+	s.target = b
+	return s.solve(0)
+}
+
+type isoSearch struct {
+	goals  []goal
+	target *model.Instance
+	fwd    map[model.Value]model.Value // null of a -> null of b
+	bwd    map[model.Value]model.Value
+	used   map[string]map[int]bool
+}
+
+func (s *isoSearch) solve(gi int) bool {
+	if gi == len(s.goals) {
+		return true
+	}
+	g := s.goals[gi]
+	rel := s.target.Relation(g.rel)
+	for ci := range rel.Tuples {
+		if s.used[g.rel][ci] {
+			continue
+		}
+		cand := &rel.Tuples[ci]
+		var bound []model.Value
+		ok := true
+		for a, v := range g.t.Values {
+			tv := cand.Values[a]
+			if v.IsConst() {
+				if v != tv {
+					ok = false
+					break
+				}
+				continue
+			}
+			// Nulls must map bijectively to nulls.
+			if tv.IsConst() {
+				ok = false
+				break
+			}
+			if b, has := s.fwd[v]; has {
+				if b != tv {
+					ok = false
+					break
+				}
+				continue
+			}
+			if _, taken := s.bwd[tv]; taken {
+				ok = false
+				break
+			}
+			s.fwd[v] = tv
+			s.bwd[tv] = v
+			bound = append(bound, v)
+		}
+		if ok {
+			s.used[g.rel][ci] = true
+			if s.solve(gi + 1) {
+				return true
+			}
+			s.used[g.rel][ci] = false
+		}
+		for _, v := range bound {
+			delete(s.bwd, s.fwd[v])
+			delete(s.fwd, v)
+		}
+	}
+	return false
+}
+
+// Core computes the core of an instance: the smallest subinstance it has a
+// homomorphism into (unique up to isomorphism; Fagin, Kolaitis, Popa). It
+// repeatedly looks for a tuple t such that the instance maps
+// homomorphically into itself minus t; such a tuple is redundant and can be
+// folded away. The result is a fresh instance.
+func Core(in *model.Instance) *model.Instance {
+	cur := in.Clone()
+	for {
+		folded := false
+		for _, rel := range cur.Relations() {
+			// A ground tuple's homomorphic image is itself, so it can
+			// only fold onto an identical duplicate.
+			dupes := map[string]int{}
+			for i := range rel.Tuples {
+				dupes[rel.Tuples[i].ValueKey()]++
+			}
+			for i := 0; i < len(rel.Tuples); i++ {
+				if rel.Tuples[i].IsGround() && dupes[rel.Tuples[i].ValueKey()] < 2 {
+					continue
+				}
+				if find(cur, cur, &exclusion{rel: rel.Name, idx: i}) != nil {
+					dupes[rel.Tuples[i].ValueKey()]--
+					rel.Tuples = append(rel.Tuples[:i], rel.Tuples[i+1:]...)
+					i--
+					folded = true
+				}
+			}
+		}
+		if !folded {
+			return cur
+		}
+	}
+}

@@ -1,0 +1,237 @@
+package hom
+
+import (
+	"testing"
+
+	"instcmp/internal/model"
+)
+
+func c(s string) model.Value { return model.Const(s) }
+func n(s string) model.Value { return model.Null(s) }
+
+func build(rows ...[]model.Value) *model.Instance {
+	in := model.NewInstance()
+	attrs := []string{"A", "B", "C"}
+	if len(rows) > 0 {
+		attrs = attrs[:len(rows[0])]
+	}
+	in.AddRelation("R", attrs...)
+	for _, row := range rows {
+		in.Append("R", row...)
+	}
+	return in
+}
+
+func TestFindGround(t *testing.T) {
+	a := build([]model.Value{c("x"), c("y")})
+	b := build([]model.Value{c("x"), c("y")}, []model.Value{c("p"), c("q")})
+	if Find(a, b) == nil {
+		t.Error("identity embedding not found")
+	}
+	if Find(b, a) != nil {
+		t.Error("hom found despite missing target tuple")
+	}
+}
+
+func TestFindBindsNulls(t *testing.T) {
+	a := build([]model.Value{n("N1"), c("y")}, []model.Value{n("N1"), n("N2")})
+	b := build([]model.Value{c("x"), c("y")}, []model.Value{c("x"), c("z")})
+	h := Find(a, b)
+	if h == nil {
+		t.Fatal("hom not found")
+	}
+	if h[n("N1")] != c("x") {
+		t.Errorf("h(N1) = %v, want x", h[n("N1")])
+	}
+	if h[c("y")] != c("y") {
+		t.Error("hom must be identity on constants")
+	}
+	checkHom(t, a, b, h)
+}
+
+// checkHom verifies the homomorphism property: h applied to every tuple of
+// from yields a tuple present in to.
+func checkHom(t *testing.T, from, to *model.Instance, h map[model.Value]model.Value) {
+	t.Helper()
+	for _, rel := range from.Relations() {
+		target := to.Relation(rel.Name)
+	tuples:
+		for _, tu := range rel.Tuples {
+			img := make([]model.Value, len(tu.Values))
+			for i, v := range tu.Values {
+				img[i] = h[v]
+			}
+		cands:
+			for _, cand := range target.Tuples {
+				for i := range img {
+					if cand.Values[i] != img[i] {
+						continue cands
+					}
+				}
+				continue tuples
+			}
+			t.Fatalf("h(%v) = %v not in target", tu, img)
+		}
+	}
+}
+
+func TestFindRespectsSharedNullConstraint(t *testing.T) {
+	// N1 appears twice and would need to be both x and z.
+	a := build([]model.Value{n("N1"), c("y")}, []model.Value{c("w"), n("N1")})
+	b := build([]model.Value{c("x"), c("y")}, []model.Value{c("w"), c("z")})
+	if Find(a, b) != nil {
+		t.Error("hom found despite inconsistent null use")
+	}
+}
+
+func TestFindNullToNull(t *testing.T) {
+	a := build([]model.Value{n("N1"), c("y")})
+	b := build([]model.Value{n("V1"), c("y")})
+	h := Find(a, b)
+	if h == nil {
+		t.Fatal("null-to-null hom not found")
+	}
+	if h[n("N1")] != n("V1") {
+		t.Errorf("N1 bound to %v, want V1", h[n("N1")])
+	}
+}
+
+func TestFindCrossRelationNulls(t *testing.T) {
+	// The same null is a surrogate key across two relations (Fig. 4).
+	mk := func(key model.Value, place model.Value) *model.Instance {
+		in := model.NewInstance()
+		in.AddRelation("Conf", "Id", "Place")
+		in.AddRelation("Paper", "Title", "ConfId")
+		in.Append("Conf", key, place)
+		in.Append("Paper", c("QBE"), key)
+		return in
+	}
+	a := mk(n("N1"), n("N2"))
+	b := mk(c("1"), c("Rome"))
+	if Find(a, b) == nil {
+		t.Error("cross-relation hom not found")
+	}
+	// Break the key join on the right: now N1 must be 1 and 2 at once.
+	bad := model.NewInstance()
+	bad.AddRelation("Conf", "Id", "Place")
+	bad.AddRelation("Paper", "Title", "ConfId")
+	bad.Append("Conf", c("1"), c("Rome"))
+	bad.Append("Paper", c("QBE"), c("2"))
+	if Find(a, bad) != nil {
+		t.Error("hom found despite broken join")
+	}
+}
+
+func TestEquivalent(t *testing.T) {
+	// Two universal-style solutions: same facts, different redundancy.
+	a := build(
+		[]model.Value{c("VLDB"), c("1976"), n("N1")},
+		[]model.Value{c("VLDB"), n("N2"), c("Brussels")},
+	)
+	b := build([]model.Value{c("VLDB"), c("1976"), c("Brussels")})
+	if !Exists(a, b) {
+		t.Error("a should map into b")
+	}
+	if Exists(b, a) {
+		t.Error("b must not map into a (no single matching tuple)")
+	}
+	if Equivalent(a, b) {
+		t.Error("not equivalent")
+	}
+	if !Equivalent(a, a.RenameNulls("X_")) {
+		t.Error("renamed copy must be equivalent")
+	}
+}
+
+func TestIsIsomorphic(t *testing.T) {
+	a := build([]model.Value{n("N1"), c("y")}, []model.Value{n("N2"), n("N1")})
+	iso := a.RenameNulls("Z_")
+	if !IsIsomorphic(a, iso) {
+		t.Error("renamed instance not recognized as isomorphic")
+	}
+	// Collapsing two nulls into one breaks isomorphism.
+	col := build([]model.Value{n("M"), c("y")}, []model.Value{n("M"), n("M")})
+	if IsIsomorphic(a, col) {
+		t.Error("collapse wrongly isomorphic")
+	}
+	if IsIsomorphic(a, build([]model.Value{n("N9"), c("y")})) {
+		t.Error("different cardinalities wrongly isomorphic")
+	}
+	// Null cannot map to a constant under isomorphism.
+	g := build([]model.Value{c("k"), c("y")}, []model.Value{c("k"), c("k")})
+	if IsIsomorphic(a, g) {
+		t.Error("null-to-constant wrongly isomorphic")
+	}
+}
+
+func TestCoreFoldsRedundancy(t *testing.T) {
+	// (VLDB, 1976, N1) and (VLDB, N2, Brussels) both fold into the full
+	// tuple (VLDB, 1976, Brussels).
+	in := build(
+		[]model.Value{c("VLDB"), c("1976"), n("N1")},
+		[]model.Value{c("VLDB"), n("N2"), c("Brussels")},
+		[]model.Value{c("VLDB"), c("1976"), c("Brussels")},
+	)
+	core := Core(in)
+	if got := core.NumTuples(); got != 1 {
+		t.Fatalf("core size = %d, want 1:\n%s", got, core)
+	}
+	if !core.Relation("R").Tuples[0].IsGround() {
+		t.Error("core kept a redundant null tuple")
+	}
+	if !Equivalent(in, core) {
+		t.Error("core not equivalent to original")
+	}
+}
+
+func TestCoreOfCoreIsFixpoint(t *testing.T) {
+	in := build(
+		[]model.Value{c("a"), n("N1"), n("N2")},
+		[]model.Value{c("a"), n("N3"), c("z")},
+		[]model.Value{c("b"), c("y"), c("z")},
+	)
+	core := Core(in)
+	again := Core(core)
+	if core.NumTuples() != again.NumTuples() {
+		t.Errorf("core not a fixpoint: %d then %d tuples", core.NumTuples(), again.NumTuples())
+	}
+	if !Equivalent(in, core) {
+		t.Error("core not equivalent to original")
+	}
+}
+
+func TestCoreKeepsIncomparableTuples(t *testing.T) {
+	in := build(
+		[]model.Value{c("a"), c("b"), n("N1")},
+		[]model.Value{c("x"), c("y"), n("N2")},
+	)
+	core := Core(in)
+	if got := core.NumTuples(); got != 2 {
+		t.Errorf("core folded incomparable tuples: %d left", got)
+	}
+}
+
+func TestCoreFoldsGroundDuplicates(t *testing.T) {
+	in := build(
+		[]model.Value{c("a"), c("b"), c("z")},
+		[]model.Value{c("a"), c("b"), c("z")},
+	)
+	core := Core(in)
+	if got := core.NumTuples(); got != 1 {
+		t.Errorf("ground duplicate not folded: %d tuples", got)
+	}
+}
+
+func TestFindEmptyAndMissingRelations(t *testing.T) {
+	empty := model.NewInstance()
+	if Find(empty, empty) == nil {
+		t.Error("empty-to-empty hom must exist")
+	}
+	a := build([]model.Value{c("x"), c("y")})
+	other := model.NewInstance()
+	other.AddRelation("S", "A", "B")
+	other.Append("S", c("x"), c("y"))
+	if Find(a, other) != nil {
+		t.Error("hom into instance lacking the relation")
+	}
+}

@@ -1,0 +1,175 @@
+// Package lake implements the data-lake discovery application of the
+// paper's introduction: given a user-provided example instance, find and
+// rank the datasets of a lake by instance similarity — without relying on
+// shared keys, and tolerating labeled nulls in either side.
+//
+// Ranking every candidate with a full instance match would be wasteful, so
+// candidates first pass two cheap filters: schema compatibility (attribute
+// overlap after alignment) and a constant-overlap prefilter (weighted
+// Jaccard of value samples), mirroring how the signature algorithm itself
+// prunes by shared constants. Only survivors get a full signature
+// comparison.
+package lake
+
+import (
+	"sort"
+	"sync"
+
+	"instcmp"
+	"instcmp/internal/model"
+)
+
+// Options tunes the search.
+type Options struct {
+	// MinValueOverlap is the constant-overlap prefilter threshold in
+	// [0, 1]; candidates below it are reported with Pruned = true and
+	// score 0. Zero disables the prefilter.
+	MinValueOverlap float64
+	// MaxSample caps the number of distinct constants sampled per
+	// instance for the prefilter (0 = 1000).
+	MaxSample int
+	// Lambda is the scoring penalty (0 = default).
+	Lambda float64
+	// Mode restricts tuple mappings (zero value = n-to-m, the right
+	// default for discovery: candidate tables may merge or split rows).
+	Mode instcmp.Mode
+	// Workers runs full comparisons concurrently (0 or 1 = sequential).
+	// Comparisons are independent — Compare never mutates its inputs —
+	// so candidates parallelize trivially.
+	Workers int
+}
+
+// Result is one ranked candidate.
+type Result struct {
+	Name string
+	// Score is the instance similarity against the example (0 when
+	// pruned).
+	Score float64
+	// Overlap is the prefilter's constant-overlap estimate.
+	Overlap float64
+	// Pruned reports that the candidate never reached full comparison.
+	Pruned bool
+}
+
+// Candidate names one dataset of the lake.
+type Candidate struct {
+	Name     string
+	Instance *instcmp.Instance
+}
+
+// Rank scores every candidate against the example and returns them ranked
+// best first (pruned candidates last, by overlap).
+func Rank(example *instcmp.Instance, lake []Candidate, opt Options) ([]Result, error) {
+	if opt.MaxSample == 0 {
+		opt.MaxSample = 1000
+	}
+	exSample := sampleConsts(example, opt.MaxSample)
+	out := make([]Result, len(lake))
+	errs := make([]error, len(lake))
+	rank := func(i int) {
+		cand := lake[i]
+		r := Result{Name: cand.Name}
+		r.Overlap = jaccard(exSample, sampleConsts(cand.Instance, opt.MaxSample))
+		if opt.MinValueOverlap > 0 && r.Overlap < opt.MinValueOverlap {
+			r.Pruned = true
+			out[i] = r
+			return
+		}
+		res, err := instcmp.Compare(example, alignName(example, cand.Instance), &instcmp.Options{
+			Mode:         opt.Mode,
+			Lambda:       opt.Lambda,
+			Algorithm:    instcmp.AlgoSignature,
+			AlignSchemas: true,
+		})
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		r.Score = res.Score
+		out[i] = r
+	}
+	if opt.Workers > 1 {
+		var wg sync.WaitGroup
+		sem := make(chan struct{}, opt.Workers)
+		for i := range lake {
+			wg.Add(1)
+			sem <- struct{}{}
+			go func(i int) {
+				defer wg.Done()
+				defer func() { <-sem }()
+				rank(i)
+			}(i)
+		}
+		wg.Wait()
+	} else {
+		for i := range lake {
+			rank(i)
+		}
+	}
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool {
+		if out[i].Pruned != out[j].Pruned {
+			return !out[i].Pruned
+		}
+		if out[i].Score != out[j].Score {
+			return out[i].Score > out[j].Score
+		}
+		return out[i].Overlap > out[j].Overlap
+	})
+	return out, nil
+}
+
+// alignName maps a single-relation candidate onto the single-relation
+// example's relation name: datasets in a lake name their one table after
+// the file, which carries no semantics. Multi-relation instances are
+// returned unchanged (relation names are meaningful there).
+func alignName(example, cand *instcmp.Instance) *instcmp.Instance {
+	er, cr := example.Relations(), cand.Relations()
+	if len(er) != 1 || len(cr) != 1 || er[0].Name == cr[0].Name {
+		return cand
+	}
+	out := model.NewInstance()
+	rel := out.AddRelation(er[0].Name, cr[0].Attrs...)
+	rel.Tuples = cr[0].Clone().Tuples
+	return out
+}
+
+// sampleConsts collects up to max distinct constants of the instance, in
+// first-seen order (deterministic).
+func sampleConsts(in *model.Instance, max int) map[model.Value]bool {
+	set := make(map[model.Value]bool, max)
+	for _, rel := range in.Relations() {
+		for _, t := range rel.Tuples {
+			for _, v := range t.Values {
+				if v.IsConst() && !set[v] {
+					set[v] = true
+					if len(set) >= max {
+						return set
+					}
+				}
+			}
+		}
+	}
+	return set
+}
+
+func jaccard(a, b map[model.Value]bool) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	inter := 0
+	for v := range a {
+		if b[v] {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	if union == 0 {
+		return 0
+	}
+	return float64(inter) / float64(union)
+}

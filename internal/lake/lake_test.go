@@ -1,0 +1,148 @@
+package lake
+
+import (
+	"math/rand"
+	"testing"
+
+	"instcmp"
+	"instcmp/internal/datasets"
+	"instcmp/internal/generator"
+	"instcmp/internal/versioning"
+)
+
+// buildLake assembles a lake of candidates around one base table: a near
+// copy (light noise), a distant version (heavy noise), a shuffled clone, an
+// unrelated dataset, and a schema-modified version.
+func buildLake(t *testing.T) (*instcmp.Instance, []Candidate) {
+	t.Helper()
+	base := datasets.IrisData(100, rand.New(rand.NewSource(4)))
+
+	near := generator.Make(base, generator.Noise{CellPct: 0.02, Seed: 1}).Target
+	far := generator.Make(base, generator.Noise{CellPct: 0.40, Seed: 2}).Target
+	clone, err := versioning.MakeVariant(base, versioning.Shuffled, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	dropped, err := versioning.MakeVariant(base, versioning.ColumnsRemoved, 0, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	unrelated := datasets.NbaData(100, rand.New(rand.NewSource(5)))
+
+	return base, []Candidate{
+		{Name: "unrelated", Instance: unrelated},
+		{Name: "far-version", Instance: far},
+		{Name: "clone", Instance: clone},
+		{Name: "near-version", Instance: near},
+		{Name: "column-dropped", Instance: dropped},
+	}
+}
+
+func TestRankOrdersByCloseness(t *testing.T) {
+	example, cands := buildLake(t)
+	res, err := Rank(example, cands, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 5 {
+		t.Fatalf("results = %d", len(res))
+	}
+	pos := map[string]int{}
+	for i, r := range res {
+		pos[r.Name] = i
+	}
+	if pos["clone"] != 0 {
+		t.Errorf("clone should rank first: %v", res)
+	}
+	if !(pos["near-version"] < pos["far-version"]) {
+		t.Errorf("near should beat far: %v", res)
+	}
+	if pos["unrelated"] != 4 {
+		t.Errorf("unrelated should rank last: %v", res)
+	}
+	if res[pos["clone"]].Score < 0.999 {
+		t.Errorf("clone score = %v, want 1", res[pos["clone"]].Score)
+	}
+	// NBA stat lines share some numeric strings with Iris measurements,
+	// so the score is small but not zero.
+	if res[pos["unrelated"]].Score > 0.3 {
+		t.Errorf("unrelated score = %v, want small", res[pos["unrelated"]].Score)
+	}
+}
+
+func TestRankPrefilterPrunes(t *testing.T) {
+	example, cands := buildLake(t)
+	res, err := Rank(example, cands, Options{MinValueOverlap: 0.2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var prunedNames []string
+	for _, r := range res {
+		if r.Pruned {
+			prunedNames = append(prunedNames, r.Name)
+			if r.Score != 0 {
+				t.Errorf("pruned candidate %s has score %v", r.Name, r.Score)
+			}
+		}
+	}
+	if len(prunedNames) == 0 {
+		t.Fatal("prefilter pruned nothing; expected the unrelated dataset out")
+	}
+	for _, name := range prunedNames {
+		if name != "unrelated" {
+			t.Errorf("prefilter wrongly pruned %s", name)
+		}
+	}
+	// Pruned entries sort after scored ones.
+	if res[len(res)-1].Name != "unrelated" {
+		t.Errorf("pruned candidate not last: %v", res)
+	}
+}
+
+// TestRankParallelMatchesSequential: the worker pool must produce the same
+// ranking as the sequential path (run with -race to check for data races).
+func TestRankParallelMatchesSequential(t *testing.T) {
+	example, cands := buildLake(t)
+	seq, err := Rank(example, cands, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := Rank(example, cands, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seq) != len(par) {
+		t.Fatalf("lengths differ: %d vs %d", len(seq), len(par))
+	}
+	for i := range seq {
+		if seq[i] != par[i] {
+			t.Errorf("rank %d differs: %+v vs %+v", i, seq[i], par[i])
+		}
+	}
+}
+
+func TestRankEmptyLake(t *testing.T) {
+	example, _ := buildLake(t)
+	res, err := Rank(example, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res) != 0 {
+		t.Errorf("results = %v", res)
+	}
+}
+
+func TestRankSchemaMismatchHandledByAlignment(t *testing.T) {
+	example, cands := buildLake(t)
+	for _, r := range cands {
+		if r.Name == "column-dropped" {
+			res, err := Rank(example, []Candidate{r}, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res[0].Score < 0.5 {
+				t.Errorf("dropped-column candidate score = %v, want high", res[0].Score)
+			}
+		}
+	}
+}

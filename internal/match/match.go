@@ -1,0 +1,339 @@
+// Package match implements the formalism of Section 4 of the paper: value
+// mappings, tuple mappings with injectivity/totality classes, and complete
+// instance matches. Its central type, Env, is the shared working state of
+// both the exact and the signature algorithm: the two instances, the value
+// unifier, and the tuple mapping grown so far, with exact rollback.
+package match
+
+import (
+	"errors"
+	"fmt"
+
+	"instcmp/internal/model"
+	"instcmp/internal/unify"
+)
+
+// Mode restricts the tuple mappings an algorithm may construct and the
+// totality conditions a finished match is validated against (Sec. 4.2).
+type Mode struct {
+	// LeftInjective forbids matching one left tuple to two right tuples
+	// (the paper's "left injective", i.e. the mapping is functional on I).
+	LeftInjective bool
+	// RightInjective forbids matching one right tuple to two left tuples.
+	RightInjective bool
+	// RequireLeftTotal demands every left tuple be matched (validation).
+	RequireLeftTotal bool
+	// RequireRightTotal demands every right tuple be matched (validation).
+	RequireRightTotal bool
+}
+
+// Preset modes for the scenarios discussed in Sec. 4.3 and used in Sec. 7.
+var (
+	// OneToOne is the fully-injective mode (Table 2: "functional and
+	// injective (1 to 1)"; data versioning, constraint-based repair).
+	OneToOne = Mode{LeftInjective: true, RightInjective: true}
+	// Functional is the left-injective mode (universal-vs-core data
+	// exchange comparison).
+	Functional = Mode{LeftInjective: true}
+	// ManyToMany places no injectivity restriction (Table 3:
+	// "non-functional and non-injective (n to m)"; universal-vs-universal).
+	ManyToMany = Mode{}
+)
+
+func (m Mode) String() string {
+	switch {
+	case m.LeftInjective && m.RightInjective:
+		return "1-to-1"
+	case m.LeftInjective:
+		return "functional"
+	case m.RightInjective:
+		return "co-functional"
+	default:
+		return "n-to-m"
+	}
+}
+
+// Ref addresses one tuple of one side of a comparison by relation index and
+// position. Positions are stable because Env never reorders tuples.
+type Ref struct {
+	Rel int
+	Idx int
+}
+
+// Pair is one element of a tuple mapping: a left tuple matched to a right
+// tuple of the same relation.
+type Pair struct {
+	L, R Ref
+}
+
+// Env is the mutable state of an in-progress instance match between a fixed
+// left and right instance. All mutation happens through TryAddPair and is
+// reversible with Mark/Undo, which the exact algorithm uses for
+// backtracking and the signature algorithm for tentative compatibility
+// probes.
+type Env struct {
+	Left, Right *model.Instance
+	LRels       []*model.Relation
+	RRels       []*model.Relation
+	U           *unify.Unifier
+	Mode        Mode
+
+	pairs    []Pair
+	pairSet  map[Pair]bool
+	leftImg  map[Ref][]Ref
+	rightImg map[Ref][]Ref
+}
+
+// ErrSchemaMismatch is returned when the two instances do not share a
+// relational schema. (Sec. 4 discusses padding with fresh-null columns to
+// align differing schemas; see model.AddNullColumn and package versioning.)
+var ErrSchemaMismatch = errors.New("match: instances have different schemas")
+
+// ErrSharedNulls is returned when the two instances share a labeled null,
+// violating the Vars(I) ∩ Vars(I') = ∅ precondition. Callers can rename with
+// model.RenameNulls.
+var ErrSharedNulls = errors.New("match: instances share labeled nulls")
+
+// ErrTooManyAttributes is returned for relations wider than 64 attributes:
+// the candidate indexes and signature maps encode attribute sets as uint64
+// bitmasks.
+var ErrTooManyAttributes = errors.New("match: relations with more than 64 attributes are not supported")
+
+// NewEnv validates the comparison preconditions and returns a fresh
+// environment with an empty tuple mapping.
+func NewEnv(left, right *model.Instance, mode Mode) (*Env, error) {
+	if !model.SameSchema(left, right) {
+		return nil, ErrSchemaMismatch
+	}
+	for _, rel := range left.Relations() {
+		if rel.Arity() > 64 {
+			return nil, fmt.Errorf("%w: %s has %d", ErrTooManyAttributes, rel.Name, rel.Arity())
+		}
+	}
+	// Register nulls in sorted order so union-find representatives (and
+	// therefore reported value mappings) are deterministic.
+	u := unify.New()
+	for _, v := range left.SortedVars() {
+		u.AddNull(v, unify.Left)
+	}
+	for _, v := range right.SortedVars() {
+		if u.Registered(v) {
+			return nil, fmt.Errorf("%w: %v", ErrSharedNulls, v)
+		}
+		u.AddNull(v, unify.Right)
+	}
+	return &Env{
+		Left:     left,
+		Right:    right,
+		LRels:    left.Relations(),
+		RRels:    right.Relations(),
+		U:        u,
+		Mode:     mode,
+		pairSet:  map[Pair]bool{},
+		leftImg:  map[Ref][]Ref{},
+		rightImg: map[Ref][]Ref{},
+	}, nil
+}
+
+// LeftTuple returns the left tuple addressed by ref.
+func (e *Env) LeftTuple(ref Ref) *model.Tuple {
+	return &e.LRels[ref.Rel].Tuples[ref.Idx]
+}
+
+// RightTuple returns the right tuple addressed by ref.
+func (e *Env) RightTuple(ref Ref) *model.Tuple {
+	return &e.RRels[ref.Rel].Tuples[ref.Idx]
+}
+
+// Pairs returns the current tuple mapping. The slice is shared; callers
+// must not mutate it.
+func (e *Env) Pairs() []Pair { return e.pairs }
+
+// NumPairs returns the size of the current tuple mapping.
+func (e *Env) NumPairs() int { return len(e.pairs) }
+
+// LeftImage returns m(t) for a left tuple: the right tuples it is matched to.
+func (e *Env) LeftImage(ref Ref) []Ref { return e.leftImg[ref] }
+
+// RightImage returns m(t') for a right tuple.
+func (e *Env) RightImage(ref Ref) []Ref { return e.rightImg[ref] }
+
+// LeftDegree returns |m(t)| for a left tuple.
+func (e *Env) LeftDegree(ref Ref) int { return len(e.leftImg[ref]) }
+
+// RightDegree returns |m(t')| for a right tuple.
+func (e *Env) RightDegree(ref Ref) int { return len(e.rightImg[ref]) }
+
+// Has reports whether the pair is already part of the mapping.
+func (e *Env) Has(p Pair) bool { return e.pairSet[p] }
+
+// ModeAllows reports whether adding the pair would respect the mode's
+// injectivity restrictions given the current mapping.
+func (e *Env) ModeAllows(p Pair) bool {
+	if e.pairSet[p] {
+		return false
+	}
+	if e.Mode.LeftInjective && len(e.leftImg[p.L]) > 0 {
+		return false
+	}
+	if e.Mode.RightInjective && len(e.rightImg[p.R]) > 0 {
+		return false
+	}
+	return true
+}
+
+// Mark is a checkpoint capturing the environment state for Undo.
+type Mark struct {
+	umark int
+	nvals int
+}
+
+// Mark returns a checkpoint for Undo.
+func (e *Env) Mark() Mark {
+	return Mark{umark: e.U.Mark(), nvals: len(e.pairs)}
+}
+
+// Undo rolls the environment back to a checkpoint, removing every pair and
+// unifier merge added after it.
+func (e *Env) Undo(m Mark) {
+	e.U.Undo(m.umark)
+	for len(e.pairs) > m.nvals {
+		p := e.pairs[len(e.pairs)-1]
+		e.pairs = e.pairs[:len(e.pairs)-1]
+		delete(e.pairSet, p)
+		e.leftImg[p.L] = pop(e.leftImg[p.L])
+		e.rightImg[p.R] = pop(e.rightImg[p.R])
+	}
+}
+
+func pop(s []Ref) []Ref { return s[:len(s)-1] }
+
+// TryAddPair attempts to extend the match with a pair, unifying the two
+// tuples cell by cell. It returns false and leaves the environment
+// unchanged when the mode forbids the pair, the relations differ, or the
+// unification hits a constant conflict (the pair is incompatible with the
+// current match, Sec. 6.1 step 2).
+func (e *Env) TryAddPair(p Pair) bool {
+	if p.L.Rel != p.R.Rel || !e.ModeAllows(p) {
+		return false
+	}
+	lt, rt := e.LeftTuple(p.L), e.RightTuple(p.R)
+	um := e.U.Mark()
+	for i := range lt.Values {
+		if !e.U.Merge(lt.Values[i], rt.Values[i]) {
+			e.U.Undo(um)
+			return false
+		}
+	}
+	e.pairs = append(e.pairs, p)
+	e.pairSet[p] = true
+	e.leftImg[p.L] = append(e.leftImg[p.L], p.R)
+	e.rightImg[p.R] = append(e.rightImg[p.R], p.L)
+	return true
+}
+
+// TryAddPartialPair extends the match with a possibly partial pair
+// (Sec. 6.3): cells that cannot be unified are left unmerged and will score
+// 0. The pair is accepted when it is fully compatible, or when the tuples
+// agree on at least minShared constant attributes. It returns whether the
+// pair was added and the number of conflicting cells.
+func (e *Env) TryAddPartialPair(p Pair, minShared int) (added bool, conflicts int) {
+	if p.L.Rel != p.R.Rel || !e.ModeAllows(p) {
+		return false, 0
+	}
+	if minShared < 1 {
+		minShared = 1
+	}
+	lt, rt := e.LeftTuple(p.L), e.RightTuple(p.R)
+	um := e.U.Mark()
+	shared := 0
+	for i := range lt.Values {
+		lv, rv := lt.Values[i], rt.Values[i]
+		if lv.IsConst() && rv.IsConst() {
+			if lv == rv {
+				shared++
+			} else {
+				conflicts++
+			}
+			continue
+		}
+		if !e.U.Merge(lv, rv) {
+			conflicts++
+		}
+	}
+	if conflicts > 0 && shared < minShared {
+		e.U.Undo(um)
+		return false, conflicts
+	}
+	e.pairs = append(e.pairs, p)
+	e.pairSet[p] = true
+	e.leftImg[p.L] = append(e.leftImg[p.L], p.R)
+	e.rightImg[p.R] = append(e.rightImg[p.R], p.L)
+	return true, conflicts
+}
+
+// WouldAccept reports whether TryAddPair would succeed, without mutating
+// the environment (the signature algorithm's IsCompatible check).
+func (e *Env) WouldAccept(p Pair) bool {
+	m := e.Mark()
+	ok := e.TryAddPair(p)
+	if ok {
+		e.Undo(m)
+	}
+	return ok
+}
+
+// CheckTotality validates the mode's totality requirements against the
+// current mapping. It returns nil when they hold.
+func (e *Env) CheckTotality() error {
+	if e.Mode.RequireLeftTotal {
+		for ri, r := range e.LRels {
+			for ti := range r.Tuples {
+				if len(e.leftImg[Ref{ri, ti}]) == 0 {
+					return fmt.Errorf("match: left tuple t%d unmatched but mode requires left-total", r.Tuples[ti].ID)
+				}
+			}
+		}
+	}
+	if e.Mode.RequireRightTotal {
+		for ri, r := range e.RRels {
+			for ti := range r.Tuples {
+				if len(e.rightImg[Ref{ri, ti}]) == 0 {
+					return fmt.Errorf("match: right tuple t%d unmatched but mode requires right-total", r.Tuples[ti].ID)
+				}
+			}
+		}
+	}
+	return nil
+}
+
+// ValueMapping materializes one side's value mapping h from the unifier:
+// every value of that side's active domain maps to its class
+// representative. Identity entries are included so the result is total on
+// the active domain (Def. 4.1).
+func (e *Env) ValueMapping(side unify.Side) map[model.Value]model.Value {
+	src := e.Left
+	if side == unify.Right {
+		src = e.Right
+	}
+	h := map[model.Value]model.Value{}
+	for v := range src.ActiveDomain() {
+		h[v] = e.U.Representative(v)
+	}
+	return h
+}
+
+// IsComplete verifies Def. 4.3: h_l(t) = h_r(t') for every matched pair.
+// It always holds for matches grown through TryAddPair and exists as an
+// invariant check for tests and for externally supplied matches.
+func (e *Env) IsComplete() bool {
+	for _, p := range e.pairs {
+		lt, rt := e.LeftTuple(p.L), e.RightTuple(p.R)
+		for i := range lt.Values {
+			if !e.U.SameClass(lt.Values[i], rt.Values[i]) {
+				return false
+			}
+		}
+	}
+	return true
+}

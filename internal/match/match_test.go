@@ -1,0 +1,215 @@
+package match
+
+import (
+	"errors"
+	"testing"
+
+	"instcmp/internal/model"
+	"instcmp/internal/unify"
+)
+
+func c(s string) model.Value { return model.Const(s) }
+func n(s string) model.Value { return model.Null(s) }
+
+func pairInstances() (*model.Instance, *model.Instance) {
+	l := model.NewInstance()
+	l.AddRelation("R", "A", "B")
+	l.Append("R", c("a"), n("N1"))
+	l.Append("R", c("b"), n("N1"))
+	l.Append("R", n("N2"), c("x"))
+	r := model.NewInstance()
+	r.AddRelation("R", "A", "B")
+	r.Append("R", c("a"), c("v"))
+	r.Append("R", c("b"), c("w"))
+	r.Append("R", c("q"), c("x"))
+	return l, r
+}
+
+func TestNewEnvValidation(t *testing.T) {
+	l, r := pairInstances()
+	if _, err := NewEnv(l, r, ManyToMany); err != nil {
+		t.Fatalf("valid pair rejected: %v", err)
+	}
+	bad := model.NewInstance()
+	bad.AddRelation("S", "A", "B")
+	if _, err := NewEnv(l, bad, ManyToMany); !errors.Is(err, ErrSchemaMismatch) {
+		t.Errorf("schema mismatch not detected: %v", err)
+	}
+	shared := model.NewInstance()
+	shared.AddRelation("R", "A", "B")
+	shared.Append("R", n("N1"), c("y"))
+	if _, err := NewEnv(l, shared, ManyToMany); !errors.Is(err, ErrSharedNulls) {
+		t.Errorf("shared nulls not detected: %v", err)
+	}
+}
+
+func TestTryAddPairConflict(t *testing.T) {
+	l, r := pairInstances()
+	e, err := NewEnv(l, r, ManyToMany)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (t0, u0) binds N1 -> v.
+	if !e.TryAddPair(Pair{Ref{0, 0}, Ref{0, 0}}) {
+		t.Fatal("compatible pair refused")
+	}
+	// (t1, u1) would need N1 -> w: conflicts with N1 -> v.
+	if e.TryAddPair(Pair{Ref{0, 1}, Ref{0, 1}}) {
+		t.Fatal("conflicting pair accepted")
+	}
+	if e.NumPairs() != 1 {
+		t.Errorf("pairs = %d, want 1", e.NumPairs())
+	}
+	// Constant conflict within a single pair: (t0:a,..) vs (u1:b,..).
+	if e.TryAddPair(Pair{Ref{0, 0}, Ref{0, 1}}) {
+		t.Fatal("constant-conflicting pair accepted")
+	}
+	// (t2, u2) binds N2 -> q, compatible.
+	if !e.TryAddPair(Pair{Ref{0, 2}, Ref{0, 2}}) {
+		t.Fatal("independent pair refused")
+	}
+	if !e.IsComplete() {
+		t.Error("grown match must be complete")
+	}
+}
+
+func TestModeEnforcement(t *testing.T) {
+	l := model.NewInstance()
+	l.AddRelation("R", "A")
+	l.Append("R", n("N1"))
+	l.Append("R", n("N2"))
+	r := model.NewInstance()
+	r.AddRelation("R", "A")
+	r.Append("R", n("V1"))
+	r.Append("R", n("V2"))
+
+	e, _ := NewEnv(l, r, OneToOne)
+	if !e.TryAddPair(Pair{Ref{0, 0}, Ref{0, 0}}) {
+		t.Fatal("first pair refused")
+	}
+	if e.TryAddPair(Pair{Ref{0, 0}, Ref{0, 1}}) {
+		t.Error("left-injectivity violated")
+	}
+	if e.TryAddPair(Pair{Ref{0, 1}, Ref{0, 0}}) {
+		t.Error("right-injectivity violated")
+	}
+	if !e.TryAddPair(Pair{Ref{0, 1}, Ref{0, 1}}) {
+		t.Error("disjoint pair refused")
+	}
+
+	e2, _ := NewEnv(l, r, ManyToMany)
+	for _, p := range []Pair{{Ref{0, 0}, Ref{0, 0}}, {Ref{0, 0}, Ref{0, 1}}, {Ref{0, 1}, Ref{0, 0}}} {
+		if !e2.TryAddPair(p) {
+			t.Errorf("n-to-m mode refused %v", p)
+		}
+	}
+	if e2.TryAddPair(Pair{Ref{0, 0}, Ref{0, 0}}) {
+		t.Error("duplicate pair accepted")
+	}
+	if got := e2.LeftDegree(Ref{0, 0}); got != 2 {
+		t.Errorf("left degree = %d, want 2", got)
+	}
+	if got := e2.RightDegree(Ref{0, 0}); got != 2 {
+		t.Errorf("right degree = %d, want 2", got)
+	}
+}
+
+func TestUndoRestoresMapping(t *testing.T) {
+	l, r := pairInstances()
+	e, _ := NewEnv(l, r, ManyToMany)
+	if !e.TryAddPair(Pair{Ref{0, 0}, Ref{0, 0}}) {
+		t.Fatal("setup failed")
+	}
+	m := e.Mark()
+	if !e.TryAddPair(Pair{Ref{0, 2}, Ref{0, 2}}) {
+		t.Fatal("setup failed")
+	}
+	e.Undo(m)
+	if e.NumPairs() != 1 {
+		t.Errorf("pairs after undo = %d, want 1", e.NumPairs())
+	}
+	if e.LeftDegree(Ref{0, 2}) != 0 || e.RightDegree(Ref{0, 2}) != 0 {
+		t.Error("degrees not restored")
+	}
+	if e.U.SameClass(n("N2"), c("q")) {
+		t.Error("unifier merge not rolled back")
+	}
+	// The undone pair must be addable again.
+	if !e.TryAddPair(Pair{Ref{0, 2}, Ref{0, 2}}) {
+		t.Error("pair not re-addable after undo")
+	}
+}
+
+func TestWouldAcceptDoesNotMutate(t *testing.T) {
+	l, r := pairInstances()
+	e, _ := NewEnv(l, r, ManyToMany)
+	p := Pair{Ref{0, 0}, Ref{0, 0}}
+	if !e.WouldAccept(p) {
+		t.Fatal("WouldAccept = false for compatible pair")
+	}
+	if e.NumPairs() != 0 {
+		t.Error("WouldAccept mutated the mapping")
+	}
+	if e.U.SameClass(n("N1"), c("v")) {
+		t.Error("WouldAccept leaked a merge")
+	}
+}
+
+func TestValueMappingTotality(t *testing.T) {
+	l, r := pairInstances()
+	e, _ := NewEnv(l, r, ManyToMany)
+	e.TryAddPair(Pair{Ref{0, 0}, Ref{0, 0}})
+	hl := e.ValueMapping(unify.Left)
+	if len(hl) != len(l.ActiveDomain()) {
+		t.Errorf("h_l not total: %d entries for %d values", len(hl), len(l.ActiveDomain()))
+	}
+	if hl[n("N1")] != c("v") {
+		t.Errorf("h_l(N1) = %v, want v", hl[n("N1")])
+	}
+	if hl[c("a")] != c("a") {
+		t.Error("h_l must preserve constants")
+	}
+	if hl[n("N2")] != n("N2") {
+		t.Error("untouched null must map to itself")
+	}
+}
+
+func TestCheckTotality(t *testing.T) {
+	l, r := pairInstances()
+	mode := Mode{RequireLeftTotal: true, RequireRightTotal: true}
+	e, _ := NewEnv(l, r, mode)
+	if err := e.CheckTotality(); err == nil {
+		t.Error("empty mapping passed totality check")
+	}
+	e.TryAddPair(Pair{Ref{0, 0}, Ref{0, 0}})
+	e.TryAddPair(Pair{Ref{0, 2}, Ref{0, 2}})
+	if err := e.CheckTotality(); err == nil {
+		t.Error("partial mapping passed totality check")
+	}
+}
+
+func TestArityLimit(t *testing.T) {
+	attrs := make([]string, 65)
+	for i := range attrs {
+		attrs[i] = string(rune('A')) + string(rune('a'+i%26)) + string(rune('0'+i/26))
+	}
+	wide := model.NewInstance()
+	wide.AddRelation("W", attrs...)
+	if _, err := NewEnv(wide, wide.Clone(), ManyToMany); !errors.Is(err, ErrTooManyAttributes) {
+		t.Errorf("65-attribute relation accepted: %v", err)
+	}
+}
+
+func TestModeString(t *testing.T) {
+	cases := map[string]Mode{
+		"1-to-1":        OneToOne,
+		"functional":    Functional,
+		"n-to-m":        ManyToMany,
+		"co-functional": {RightInjective: true},
+	}
+	for want, mode := range cases {
+		if got := mode.String(); got != want {
+			t.Errorf("Mode%+v.String() = %q, want %q", mode, got, want)
+		}
+	}
+}

@@ -1,0 +1,114 @@
+package match
+
+import (
+	"testing"
+
+	"instcmp/internal/model"
+)
+
+func partialEnv(t *testing.T) *Env {
+	t.Helper()
+	l := model.NewInstance()
+	l.AddRelation("R", "A", "B", "C")
+	l.Append("R", c("alice"), c("sales"), c("100"))
+	l.Append("R", c("bob"), n("N1"), n("N1"))
+	r := model.NewInstance()
+	r.AddRelation("R", "A", "B", "C")
+	r.Append("R", c("alice"), c("sales"), c("200"))
+	r.Append("R", c("bob"), c("x"), c("y"))
+	e, err := NewEnv(l, r, OneToOne)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return e
+}
+
+func TestTryAddPartialPairAcceptsConflicts(t *testing.T) {
+	e := partialEnv(t)
+	added, conflicts := e.TryAddPartialPair(Pair{Ref{0, 0}, Ref{0, 0}}, 2)
+	if !added || conflicts != 1 {
+		t.Fatalf("added=%v conflicts=%d, want true/1", added, conflicts)
+	}
+	if e.NumPairs() != 1 {
+		t.Error("pair not recorded")
+	}
+	// The conflicting cells stay un-unified: different constants.
+	if e.U.SameClass(c("100"), c("200")) {
+		t.Error("conflicting constants were merged")
+	}
+}
+
+func TestTryAddPartialPairFloor(t *testing.T) {
+	e := partialEnv(t)
+	// Floor of 3 shared constants: only 2 agree, pair refused.
+	added, conflicts := e.TryAddPartialPair(Pair{Ref{0, 0}, Ref{0, 0}}, 3)
+	if added {
+		t.Fatal("pair accepted below the shared-constant floor")
+	}
+	if conflicts != 1 {
+		t.Errorf("conflicts = %d, want 1", conflicts)
+	}
+	if e.NumPairs() != 0 {
+		t.Error("refused pair left state behind")
+	}
+}
+
+func TestTryAddPartialPairMergeFailureCountsAsConflict(t *testing.T) {
+	e := partialEnv(t)
+	// (bob, N1, N1) vs (bob, x, y): N1 cannot equal both x and y — one
+	// merge fails, one succeeds; the tuples still share the constant bob.
+	added, conflicts := e.TryAddPartialPair(Pair{Ref{0, 1}, Ref{0, 1}}, 1)
+	if !added || conflicts != 1 {
+		t.Fatalf("added=%v conflicts=%d, want true/1", added, conflicts)
+	}
+}
+
+func TestTryAddPartialPairFullyCompatibleBypassesFloor(t *testing.T) {
+	l := model.NewInstance()
+	l.AddRelation("R", "A")
+	l.Append("R", n("N9"))
+	r := model.NewInstance()
+	r.AddRelation("R", "A")
+	r.Append("R", c("v"))
+	e, err := NewEnv(l, r, OneToOne)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Zero shared constants, zero conflicts: accepted regardless of floor.
+	added, conflicts := e.TryAddPartialPair(Pair{Ref{0, 0}, Ref{0, 0}}, 5)
+	if !added || conflicts != 0 {
+		t.Errorf("added=%v conflicts=%d, want true/0", added, conflicts)
+	}
+}
+
+func TestTryAddPartialPairRespectsMode(t *testing.T) {
+	e := partialEnv(t)
+	if added, _ := e.TryAddPartialPair(Pair{Ref{0, 0}, Ref{0, 0}}, 1); !added {
+		t.Fatal("setup failed")
+	}
+	// Left-injectivity: the same left tuple cannot take a second partner.
+	if added, _ := e.TryAddPartialPair(Pair{Ref{0, 0}, Ref{0, 1}}, 1); added {
+		t.Error("mode restriction bypassed")
+	}
+}
+
+func TestAccessors(t *testing.T) {
+	e := partialEnv(t)
+	p := Pair{Ref{0, 0}, Ref{0, 0}}
+	if e.Has(p) {
+		t.Error("Has on empty mapping")
+	}
+	e.TryAddPartialPair(p, 1)
+	if !e.Has(p) {
+		t.Error("Has misses recorded pair")
+	}
+	if got := e.Pairs(); len(got) != 1 || got[0] != p {
+		t.Errorf("Pairs = %v", got)
+	}
+	if img := e.LeftImage(p.L); len(img) != 1 || img[0] != p.R {
+		t.Errorf("LeftImage = %v", img)
+	}
+	if img := e.RightImage(p.R); len(img) != 1 || img[0] != p.L {
+		t.Errorf("RightImage = %v", img)
+	}
+}

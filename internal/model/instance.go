@@ -1,0 +1,312 @@
+package model
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+	"strings"
+)
+
+// Instance is a relational instance with labeled nulls: an ordered set of
+// relations sharing one tuple-identifier space and one null namespace.
+type Instance struct {
+	rels   []*Relation
+	byName map[string]*Relation
+	nextID TupleID
+	nulls  int // counter backing FreshNull
+}
+
+// NewInstance returns an empty instance.
+func NewInstance() *Instance {
+	return &Instance{byName: map[string]*Relation{}}
+}
+
+// AddRelation creates an empty relation with the given name and attributes
+// and returns it. Adding a relation whose name already exists panics: schema
+// construction errors are programming errors.
+func (in *Instance) AddRelation(name string, attrs ...string) *Relation {
+	if _, dup := in.byName[name]; dup {
+		panic(fmt.Sprintf("model: duplicate relation %q", name))
+	}
+	r := &Relation{Name: name, Attrs: attrs}
+	in.rels = append(in.rels, r)
+	in.byName[name] = r
+	return r
+}
+
+// Relation returns the relation with the given name, or nil if absent.
+func (in *Instance) Relation(name string) *Relation { return in.byName[name] }
+
+// Relations returns the instance's relations in creation order. The slice
+// is shared with the instance; callers must not mutate it.
+func (in *Instance) Relations() []*Relation { return in.rels }
+
+// Append adds a tuple with a fresh identifier to the named relation and
+// returns the identifier. The number of values must equal the relation's
+// arity.
+func (in *Instance) Append(rel string, vals ...Value) TupleID {
+	r := in.byName[rel]
+	if r == nil {
+		panic(fmt.Sprintf("model: unknown relation %q", rel))
+	}
+	if len(vals) != r.Arity() {
+		panic(fmt.Sprintf("model: relation %q has arity %d, got %d values",
+			rel, r.Arity(), len(vals)))
+	}
+	id := in.nextID
+	in.nextID++
+	r.Tuples = append(r.Tuples, Tuple{ID: id, Values: vals})
+	return id
+}
+
+// FreshNull returns a labeled null that has not been used by previous
+// FreshNull calls on this instance. The prefix keeps nulls of different
+// origins (e.g. chase steps vs. noise injection) readable.
+func (in *Instance) FreshNull(prefix string) Value {
+	in.nulls++
+	return Nullf("%s%d", prefix, in.nulls)
+}
+
+// NumTuples returns the total number of tuples across all relations.
+func (in *Instance) NumTuples() int {
+	n := 0
+	for _, r := range in.rels {
+		n += len(r.Tuples)
+	}
+	return n
+}
+
+// Size returns the paper's Def. 5.1 size: the sum over relations of
+// cardinality times arity.
+func (in *Instance) Size() int {
+	n := 0
+	for _, r := range in.rels {
+		n += r.Size()
+	}
+	return n
+}
+
+// IsGround reports whether the instance contains no labeled nulls.
+func (in *Instance) IsGround() bool {
+	for _, r := range in.rels {
+		for _, t := range r.Tuples {
+			if !t.IsGround() {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// Consts returns the set of constants occurring in the instance.
+func (in *Instance) Consts() map[Value]bool {
+	return in.values(func(v Value) bool { return v.IsConst() })
+}
+
+// Vars returns the set of labeled nulls occurring in the instance.
+func (in *Instance) Vars() map[Value]bool {
+	return in.values(Value.IsNull)
+}
+
+// ActiveDomain returns adom(I): all values occurring in the instance.
+func (in *Instance) ActiveDomain() map[Value]bool {
+	return in.values(func(Value) bool { return true })
+}
+
+func (in *Instance) values(keep func(Value) bool) map[Value]bool {
+	set := map[Value]bool{}
+	for _, r := range in.rels {
+		for _, t := range r.Tuples {
+			for _, v := range t.Values {
+				if keep(v) {
+					set[v] = true
+				}
+			}
+		}
+	}
+	return set
+}
+
+// Stats summarizes an instance the way the paper's Table 1 and Tables 2-3
+// report datasets: tuple count, constant and null cell counts, distinct
+// values, and arity (of the widest relation for multi-relation instances).
+type Stats struct {
+	Relations     int
+	Tuples        int
+	ConstCells    int
+	NullCells     int
+	DistinctVals  int
+	DistinctNulls int
+	MaxArity      int
+}
+
+// Stats computes summary statistics for the instance.
+func (in *Instance) Stats() Stats {
+	s := Stats{Relations: len(in.rels)}
+	distinct := map[Value]bool{}
+	for _, r := range in.rels {
+		if r.Arity() > s.MaxArity {
+			s.MaxArity = r.Arity()
+		}
+		s.Tuples += len(r.Tuples)
+		for _, t := range r.Tuples {
+			for _, v := range t.Values {
+				distinct[v] = true
+				if v.IsNull() {
+					s.NullCells++
+				} else {
+					s.ConstCells++
+				}
+			}
+		}
+	}
+	for v := range distinct {
+		if v.IsNull() {
+			s.DistinctNulls++
+		}
+	}
+	s.DistinctVals = len(distinct)
+	return s
+}
+
+// Clone returns a deep copy of the instance (same tuple ids, same nulls).
+func (in *Instance) Clone() *Instance {
+	c := &Instance{
+		byName: make(map[string]*Relation, len(in.byName)),
+		nextID: in.nextID,
+		nulls:  in.nulls,
+	}
+	for _, r := range in.rels {
+		cr := r.Clone()
+		c.rels = append(c.rels, cr)
+		c.byName[cr.Name] = cr
+	}
+	return c
+}
+
+// RenameNulls returns a deep copy in which every labeled null N is replaced
+// by a null named prefix+N. Renaming nulls does not change the incomplete
+// database an instance represents (Sec. 2); it is used to guarantee the
+// disjoint-null precondition of instance comparison.
+func (in *Instance) RenameNulls(prefix string) *Instance {
+	c := in.Clone()
+	for _, r := range c.rels {
+		for ti := range r.Tuples {
+			for vi, v := range r.Tuples[ti].Values {
+				if v.IsNull() {
+					r.Tuples[ti].Values[vi] = Null(prefix + v.Raw())
+				}
+			}
+		}
+	}
+	return c
+}
+
+// ReassignIDs returns a deep copy whose tuples are renumbered starting at
+// the given identifier, so that two instances can be given disjoint
+// identifier spaces before comparison.
+func (in *Instance) ReassignIDs(start TupleID) *Instance {
+	c := in.Clone()
+	id := start
+	for _, r := range c.rels {
+		for ti := range r.Tuples {
+			r.Tuples[ti].ID = id
+			id++
+		}
+	}
+	c.nextID = id
+	return c
+}
+
+// Shuffle permutes the tuple order of every relation in place using the
+// given source of randomness. Tuple order carries no semantics; shuffling
+// exists so experiments can destroy any accidental positional alignment.
+func (in *Instance) Shuffle(rng *rand.Rand) {
+	for _, r := range in.rels {
+		rng.Shuffle(len(r.Tuples), func(i, j int) {
+			r.Tuples[i], r.Tuples[j] = r.Tuples[j], r.Tuples[i]
+		})
+	}
+}
+
+// DropColumn returns a deep copy of the instance with the named attribute
+// removed from the named relation. It is used by the versioning experiments
+// (variant "C").
+func (in *Instance) DropColumn(rel, attr string) (*Instance, error) {
+	c := in.Clone()
+	r := c.byName[rel]
+	if r == nil {
+		return nil, fmt.Errorf("model: unknown relation %q", rel)
+	}
+	ai := r.AttrIndex(attr)
+	if ai < 0 {
+		return nil, fmt.Errorf("model: relation %q has no attribute %q", rel, attr)
+	}
+	r.Attrs = append(r.Attrs[:ai], r.Attrs[ai+1:]...)
+	for ti := range r.Tuples {
+		vs := r.Tuples[ti].Values
+		r.Tuples[ti].Values = append(vs[:ai], vs[ai+1:]...)
+	}
+	return c, nil
+}
+
+// AddNullColumn returns a deep copy with a new attribute appended to the
+// named relation, filled with a distinct fresh null per row. This is the
+// paper's Sec. 4 recipe for comparing instances whose schemas differ by an
+// attribute.
+func (in *Instance) AddNullColumn(rel, attr, nullPrefix string) (*Instance, error) {
+	c := in.Clone()
+	r := c.byName[rel]
+	if r == nil {
+		return nil, fmt.Errorf("model: unknown relation %q", rel)
+	}
+	if r.AttrIndex(attr) >= 0 {
+		return nil, fmt.Errorf("model: relation %q already has attribute %q", rel, attr)
+	}
+	r.Attrs = append(r.Attrs, attr)
+	for ti := range r.Tuples {
+		r.Tuples[ti].Values = append(r.Tuples[ti].Values, c.FreshNull(nullPrefix))
+	}
+	return c, nil
+}
+
+// SameSchema reports whether two instances have identical relation names,
+// attribute lists, and relation order.
+func SameSchema(a, b *Instance) bool {
+	if len(a.rels) != len(b.rels) {
+		return false
+	}
+	for i, ra := range a.rels {
+		rb := b.rels[i]
+		if ra.Name != rb.Name || len(ra.Attrs) != len(rb.Attrs) {
+			return false
+		}
+		for j := range ra.Attrs {
+			if ra.Attrs[j] != rb.Attrs[j] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders every relation of the instance.
+func (in *Instance) String() string {
+	var b strings.Builder
+	for _, r := range in.rels {
+		b.WriteString(r.String())
+	}
+	return b.String()
+}
+
+// SortedVars returns the instance's nulls in a deterministic order, which
+// keeps experiment output and tests stable.
+func (in *Instance) SortedVars() []Value {
+	set := in.Vars()
+	vars := make([]Value, 0, len(set))
+	for v := range set {
+		vars = append(vars, v)
+	}
+	sort.Slice(vars, func(i, j int) bool { return vars[i].Raw() < vars[j].Raw() })
+	return vars
+}

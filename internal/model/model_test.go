@@ -1,0 +1,326 @@
+package model
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestValueKinds(t *testing.T) {
+	c := Const("VLDB")
+	n := Null("N1")
+	if !c.IsConst() || c.IsNull() {
+		t.Errorf("Const kind wrong: %#v", c)
+	}
+	if !n.IsNull() || n.IsConst() {
+		t.Errorf("Null kind wrong: %#v", n)
+	}
+	if c.Raw() != "VLDB" || n.Raw() != "N1" {
+		t.Errorf("Raw: got %q, %q", c.Raw(), n.Raw())
+	}
+}
+
+func TestValueIdentity(t *testing.T) {
+	if Const("x") != Const("x") {
+		t.Error("equal constants must be identical")
+	}
+	if Null("N1") != Null("N1") {
+		t.Error("equal nulls must be identical")
+	}
+	if Const("N1") == Null("N1") {
+		t.Error("constant and null with same text must differ")
+	}
+}
+
+func TestValueParseRoundTrip(t *testing.T) {
+	f := func(s string) bool {
+		c := Const(s)
+		n := Null(s)
+		return Parse(n.String()) == n &&
+			(len(s) >= 2 && s[:2] == NullPrefix || Parse(c.String()) == c)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestValueStringMarkers(t *testing.T) {
+	if got := Null("N1").String(); got != "_:N1" {
+		t.Errorf("null rendering: got %q", got)
+	}
+	if got := Const("abc").String(); got != "abc" {
+		t.Errorf("const rendering: got %q", got)
+	}
+	if Parse("_:X7") != Null("X7") {
+		t.Error("Parse should detect the null marker")
+	}
+	if Parse("plain") != Const("plain") {
+		t.Error("Parse should default to constant")
+	}
+}
+
+func TestTupleHelpers(t *testing.T) {
+	tu := Tuple{ID: 3, Values: []Value{Const("a"), Null("N1"), Const("b")}}
+	if tu.IsGround() {
+		t.Error("tuple with null reported ground")
+	}
+	if got := tu.NullCount(); got != 1 {
+		t.Errorf("NullCount = %d, want 1", got)
+	}
+	g := Tuple{ID: 4, Values: []Value{Const("a"), Const("x"), Const("b")}}
+	if !g.IsGround() {
+		t.Error("ground tuple reported non-ground")
+	}
+	if tu.EqualValues(g) {
+		t.Error("different tuples reported equal")
+	}
+	cp := tu.Clone()
+	if !tu.EqualValues(cp) || cp.ID != tu.ID {
+		t.Error("clone differs from original")
+	}
+	cp.Values[0] = Const("z")
+	if tu.EqualValues(cp) {
+		t.Error("clone shares backing array with original")
+	}
+}
+
+func TestTupleValueKeyDistinguishesKinds(t *testing.T) {
+	a := Tuple{Values: []Value{Const("x"), Null("y")}}
+	b := Tuple{Values: []Value{Const("x"), Const("y")}}
+	if a.ValueKey() == b.ValueKey() {
+		t.Error("ValueKey must distinguish null from constant")
+	}
+	c := Tuple{Values: []Value{Const("x"), Null("y")}}
+	if a.ValueKey() != c.ValueKey() {
+		t.Error("ValueKey must agree for equal tuples")
+	}
+}
+
+func newConf() *Instance {
+	in := NewInstance()
+	in.AddRelation("Conference", "Name", "Year", "Place", "Org")
+	in.Append("Conference", Const("VLDB"), Const("1975"), Const("Framingham"), Const("VLDB End."))
+	in.Append("Conference", Const("VLDB"), Const("1976"), Null("N1"), Null("N2"))
+	in.Append("Conference", Const("SIGMOD"), Const("1975"), Const("San Jose"), Const("ACM"))
+	return in
+}
+
+func TestInstanceBasics(t *testing.T) {
+	in := newConf()
+	if got := in.NumTuples(); got != 3 {
+		t.Errorf("NumTuples = %d, want 3", got)
+	}
+	if got := in.Size(); got != 12 {
+		t.Errorf("Size = %d, want 12 (3 tuples x arity 4)", got)
+	}
+	if in.IsGround() {
+		t.Error("instance with nulls reported ground")
+	}
+	if got := len(in.Vars()); got != 2 {
+		t.Errorf("Vars = %d, want 2", got)
+	}
+	if !in.Consts()[Const("ACM")] {
+		t.Error("Consts missing ACM")
+	}
+	if got := len(in.ActiveDomain()); got != len(in.Consts())+2 {
+		t.Errorf("ActiveDomain size inconsistent: %d", got)
+	}
+}
+
+func TestInstanceStats(t *testing.T) {
+	s := newConf().Stats()
+	if s.Tuples != 3 || s.Relations != 1 || s.MaxArity != 4 {
+		t.Errorf("stats shape wrong: %+v", s)
+	}
+	if s.NullCells != 2 || s.ConstCells != 10 {
+		t.Errorf("cell counts wrong: %+v", s)
+	}
+	if s.DistinctNulls != 2 {
+		t.Errorf("DistinctNulls = %d, want 2", s.DistinctNulls)
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	in := newConf()
+	c := in.Clone()
+	c.Relation("Conference").Tuples[0].Values[0] = Const("ICDE")
+	if in.Relation("Conference").Tuples[0].Values[0] != Const("VLDB") {
+		t.Error("Clone shares tuple storage")
+	}
+	c.Append("Conference", Const("x"), Const("x"), Const("x"), Const("x"))
+	if in.NumTuples() != 3 {
+		t.Error("Clone shares relation storage")
+	}
+}
+
+func TestRenameNulls(t *testing.T) {
+	in := newConf()
+	r := in.RenameNulls("L_")
+	if len(r.Vars()) != 2 {
+		t.Fatalf("renamed instance lost nulls")
+	}
+	for v := range r.Vars() {
+		if v.Raw()[:2] != "L_" {
+			t.Errorf("null %v not renamed", v)
+		}
+	}
+	for v := range in.Vars() {
+		if r.Vars()[v] {
+			t.Errorf("original null %v leaked into renamed instance", v)
+		}
+	}
+}
+
+func TestReassignIDs(t *testing.T) {
+	in := newConf()
+	r := in.ReassignIDs(100)
+	ids := map[TupleID]bool{}
+	for _, rel := range r.Relations() {
+		for _, tu := range rel.Tuples {
+			if tu.ID < 100 {
+				t.Errorf("id %d below start", tu.ID)
+			}
+			if ids[tu.ID] {
+				t.Errorf("duplicate id %d", tu.ID)
+			}
+			ids[tu.ID] = true
+		}
+	}
+	// Fresh appends must not collide with reassigned ids.
+	nid := r.Append("Conference", Const("a"), Const("b"), Const("c"), Const("d"))
+	if ids[nid] {
+		t.Errorf("fresh id %d collides", nid)
+	}
+}
+
+func TestFreshNullUnique(t *testing.T) {
+	in := NewInstance()
+	seen := map[Value]bool{}
+	for i := 0; i < 100; i++ {
+		v := in.FreshNull("N")
+		if seen[v] {
+			t.Fatalf("FreshNull repeated %v", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestShufflePreservesContent(t *testing.T) {
+	in := newConf()
+	before := map[string]int{}
+	for _, tu := range in.Relation("Conference").Tuples {
+		before[tu.ValueKey()]++
+	}
+	in.Shuffle(rand.New(rand.NewSource(7)))
+	after := map[string]int{}
+	for _, tu := range in.Relation("Conference").Tuples {
+		after[tu.ValueKey()]++
+	}
+	if len(before) != len(after) {
+		t.Fatal("shuffle changed tuple multiset")
+	}
+	for k, n := range before {
+		if after[k] != n {
+			t.Fatalf("shuffle changed multiplicity of %q", k)
+		}
+	}
+}
+
+func TestDropColumn(t *testing.T) {
+	in := newConf()
+	out, err := in.DropColumn("Conference", "Place")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := out.Relation("Conference")
+	if r.Arity() != 3 {
+		t.Fatalf("arity after drop = %d, want 3", r.Arity())
+	}
+	if r.AttrIndex("Place") >= 0 {
+		t.Error("Place still present")
+	}
+	if r.Tuples[0].Values[2] != Const("VLDB End.") {
+		t.Errorf("values not shifted: %v", r.Tuples[0])
+	}
+	if in.Relation("Conference").Arity() != 4 {
+		t.Error("DropColumn mutated the original")
+	}
+	if _, err := in.DropColumn("Conference", "Nope"); err == nil {
+		t.Error("expected error for unknown attribute")
+	}
+	if _, err := in.DropColumn("Nope", "Place"); err == nil {
+		t.Error("expected error for unknown relation")
+	}
+}
+
+func TestAddNullColumn(t *testing.T) {
+	in := newConf()
+	out, err := in.AddNullColumn("Conference", "Budget", "P")
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := out.Relation("Conference")
+	if r.Arity() != 5 {
+		t.Fatalf("arity after add = %d, want 5", r.Arity())
+	}
+	seen := map[Value]bool{}
+	for _, tu := range r.Tuples {
+		v := tu.Values[4]
+		if !v.IsNull() {
+			t.Fatalf("padding value %v is not a null", v)
+		}
+		if seen[v] {
+			t.Fatal("padding nulls must be distinct per row")
+		}
+		seen[v] = true
+	}
+	if _, err := in.AddNullColumn("Conference", "Name", "P"); err == nil {
+		t.Error("expected error for existing attribute")
+	}
+}
+
+func TestSameSchema(t *testing.T) {
+	a, b := newConf(), newConf()
+	if !SameSchema(a, b) {
+		t.Error("identical schemas reported different")
+	}
+	c, _ := b.DropColumn("Conference", "Org")
+	if SameSchema(a, c) {
+		t.Error("different arities reported same")
+	}
+	d := NewInstance()
+	d.AddRelation("Conf", "Name", "Year", "Place", "Org")
+	if SameSchema(a, d) {
+		t.Error("different relation names reported same")
+	}
+}
+
+func TestAppendValidation(t *testing.T) {
+	in := NewInstance()
+	in.AddRelation("R", "A", "B")
+	assertPanics(t, "arity mismatch", func() { in.Append("R", Const("x")) })
+	assertPanics(t, "unknown relation", func() { in.Append("S", Const("x"), Const("y")) })
+	assertPanics(t, "duplicate relation", func() { in.AddRelation("R", "A") })
+}
+
+func assertPanics(t *testing.T, name string, f func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Errorf("%s: expected panic", name)
+		}
+	}()
+	f()
+}
+
+func TestSortedVarsDeterministic(t *testing.T) {
+	in := NewInstance()
+	in.AddRelation("R", "A")
+	in.Append("R", Null("Nc"))
+	in.Append("R", Null("Na"))
+	in.Append("R", Null("Nb"))
+	vs := in.SortedVars()
+	if len(vs) != 3 || vs[0] != Null("Na") || vs[2] != Null("Nc") {
+		t.Errorf("SortedVars = %v", vs)
+	}
+}

@@ -1,0 +1,43 @@
+package model
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderingHelpers(t *testing.T) {
+	in := NewInstance()
+	in.AddRelation("Conf", "Name", "Org")
+	id := in.Append("Conf", Const("VLDB"), Null("N1"))
+	rel := in.Relation("Conf")
+
+	if got := rel.Cardinality(); got != 1 {
+		t.Errorf("Cardinality = %d", got)
+	}
+	if tu := rel.Tuple(id); tu == nil || tu.Values[0] != Const("VLDB") {
+		t.Errorf("Tuple(%d) = %v", id, tu)
+	}
+	if rel.Tuple(999) != nil {
+		t.Error("missing id should return nil")
+	}
+
+	s := in.String()
+	for _, want := range []string{"Conf(Name, Org)", "VLDB", "_:N1"} {
+		if !strings.Contains(s, want) {
+			t.Errorf("Instance.String missing %q:\n%s", want, s)
+		}
+	}
+	ts := rel.Tuples[0].String()
+	if ts != "(VLDB, _:N1)" {
+		t.Errorf("Tuple.String = %q", ts)
+	}
+	if gs := Null("N1").GoString(); !strings.Contains(gs, `model.Null("N1")`) {
+		t.Errorf("GoString = %q", gs)
+	}
+	if gs := Const("x").GoString(); !strings.Contains(gs, `model.Const("x")`) {
+		t.Errorf("GoString = %q", gs)
+	}
+	if Constf("c%d", 7) != Const("c7") {
+		t.Error("Constf formatting broken")
+	}
+}

@@ -1,0 +1,89 @@
+package model
+
+import "strings"
+
+// TupleID identifies a tuple within an instance. Identifiers are unique
+// inside one instance; when two instances are compared the comparison layer
+// additionally distinguishes tuples by side, so identifiers never collide.
+// Tuple identifiers are not semantic keys (Sec. 2 of the paper): they exist
+// only so tuples can be referenced in matches and explanations.
+type TupleID int
+
+// Tuple is a row of an instance: an identifier plus one value per attribute
+// of the owning relation.
+type Tuple struct {
+	ID     TupleID
+	Values []Value
+}
+
+// Clone returns a deep copy of the tuple (same ID, copied value slice).
+func (t Tuple) Clone() Tuple {
+	vs := make([]Value, len(t.Values))
+	copy(vs, t.Values)
+	return Tuple{ID: t.ID, Values: vs}
+}
+
+// IsGround reports whether the tuple contains no labeled nulls.
+func (t Tuple) IsGround() bool {
+	for _, v := range t.Values {
+		if v.IsNull() {
+			return false
+		}
+	}
+	return true
+}
+
+// NullCount returns the number of null-valued cells in the tuple.
+func (t Tuple) NullCount() int {
+	n := 0
+	for _, v := range t.Values {
+		if v.IsNull() {
+			n++
+		}
+	}
+	return n
+}
+
+// EqualValues reports whether two tuples agree on every attribute value
+// (identifiers are ignored). Nulls compare by name.
+func (t Tuple) EqualValues(o Tuple) bool {
+	if len(t.Values) != len(o.Values) {
+		return false
+	}
+	for i, v := range t.Values {
+		if v != o.Values[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// String renders the tuple as "(v1, v2, ...)".
+func (t Tuple) String() string {
+	var b strings.Builder
+	b.WriteByte('(')
+	for i, v := range t.Values {
+		if i > 0 {
+			b.WriteString(", ")
+		}
+		b.WriteString(v.String())
+	}
+	b.WriteByte(')')
+	return b.String()
+}
+
+// ValueKey returns a string that is identical for tuples with identical
+// value sequences, usable as a hash-map key for duplicate detection.
+func (t Tuple) ValueKey() string {
+	var b strings.Builder
+	for i, v := range t.Values {
+		if i > 0 {
+			b.WriteByte('\x1f')
+		}
+		if v.IsNull() {
+			b.WriteByte('\x02')
+		}
+		b.WriteString(v.Raw())
+	}
+	return b.String()
+}

@@ -1,0 +1,84 @@
+// Package model defines relational instances with labeled nulls: values,
+// tuples, relations, and instances, together with the basic operations the
+// instance-comparison framework is built on (cloning, null renaming,
+// statistics, active domains).
+//
+// The model follows Section 2 of "Similarity Measures For Incomplete
+// Database Instances" (EDBT 2024): an instance is a finite set of relations
+// whose tuples draw values from a domain of constants (Consts) and a domain
+// of labeled nulls (Vars). Tuples carry unique identifiers that are not
+// semantic keys; they only provide a way to reference tuples.
+package model
+
+import (
+	"fmt"
+	"strings"
+)
+
+// NullPrefix is the textual marker that identifies a labeled null when
+// values are parsed from or rendered to text (CSV files, CLI output).
+// A value spelled "_:N1" denotes the labeled null N1; everything else is a
+// constant.
+const NullPrefix = "_:"
+
+// Value is a single attribute value: either a constant or a labeled null.
+// The zero Value is the empty-string constant. Value is comparable and can
+// be used as a map key; two Values are the same value exactly when they are
+// == to each other.
+type Value struct {
+	s    string
+	null bool
+}
+
+// Const returns the constant value with the given text.
+func Const(s string) Value { return Value{s: s} }
+
+// Null returns the labeled null with the given name. Null("N1") and
+// Null("N1") are the same null; nulls with different names are different.
+func Null(name string) Value { return Value{s: name, null: true} }
+
+// Parse interprets a textual value: strings starting with NullPrefix are
+// labeled nulls, everything else is a constant.
+func Parse(s string) Value {
+	if rest, ok := strings.CutPrefix(s, NullPrefix); ok {
+		return Null(rest)
+	}
+	return Const(s)
+}
+
+// IsNull reports whether v is a labeled null.
+func (v Value) IsNull() bool { return v.null }
+
+// IsConst reports whether v is a constant.
+func (v Value) IsConst() bool { return !v.null }
+
+// Raw returns the constant text or the null's name, without any marker.
+func (v Value) Raw() string { return v.s }
+
+// String renders constants verbatim and nulls with the NullPrefix marker,
+// so that Parse(v.String()) == v for every value whose constant text does
+// not itself start with NullPrefix.
+func (v Value) String() string {
+	if v.null {
+		return NullPrefix + v.s
+	}
+	return v.s
+}
+
+// GoString implements fmt.GoStringer for readable test failures.
+func (v Value) GoString() string {
+	if v.null {
+		return fmt.Sprintf("model.Null(%q)", v.s)
+	}
+	return fmt.Sprintf("model.Const(%q)", v.s)
+}
+
+// Constf returns a constant built with fmt.Sprintf.
+func Constf(format string, args ...any) Value {
+	return Const(fmt.Sprintf(format, args...))
+}
+
+// Nullf returns a labeled null whose name is built with fmt.Sprintf.
+func Nullf(format string, args ...any) Value {
+	return Null(fmt.Sprintf(format, args...))
+}

@@ -1,0 +1,162 @@
+// Package reduction makes the paper's hardness theorem (Thm. 5.11)
+// executable: it encodes graph 3-colorability — the NP-complete problem the
+// paper reduces from — as an instance-comparison problem. A graph G is
+// 3-colorable exactly when the labeled-null encoding of its edge relation
+// maps homomorphically into the triangle K3, which in turn holds exactly
+// when the two instances reach a computable similarity threshold under a
+// left-total instance match.
+//
+// Besides serving as a test bed for the theory (the tests check classic
+// graphs against both the homomorphism check and the exact similarity
+// algorithm), the package documents *why* instance comparison cannot be
+// both exact and fast: any polynomial exact comparator would decide
+// 3-colorability.
+package reduction
+
+import (
+	"fmt"
+
+	"instcmp/internal/hom"
+	"instcmp/internal/match"
+	"instcmp/internal/model"
+	"instcmp/internal/score"
+)
+
+// Graph is an undirected graph on vertices 0..N-1.
+type Graph struct {
+	N     int
+	Edges [][2]int
+}
+
+// Validate checks vertex indexes and rejects self-loops (a self-loop makes
+// any proper coloring impossible; callers may still encode them, but the
+// encoding below assumes simple graphs).
+func (g Graph) Validate() error {
+	for _, e := range g.Edges {
+		if e[0] < 0 || e[0] >= g.N || e[1] < 0 || e[1] >= g.N {
+			return fmt.Errorf("reduction: edge %v out of range", e)
+		}
+		if e[0] == e[1] {
+			return fmt.Errorf("reduction: self-loop at %d", e[0])
+		}
+	}
+	return nil
+}
+
+// Encode builds the two instances of the reduction. The left instance
+// holds one Edge(u, v) and Edge(v, u) tuple per edge, with one labeled
+// null per vertex (the same null everywhere the vertex occurs — exactly
+// the role labeled nulls play in the paper). The right instance is the
+// triangle K3 over color constants: all ordered pairs of distinct colors.
+//
+// A value mapping sending every vertex null to a color constant that
+// matches all edge tuples into K3 is precisely a proper 3-coloring.
+func Encode(g Graph) (left, right *model.Instance, err error) {
+	if err := g.Validate(); err != nil {
+		return nil, nil, err
+	}
+	left = model.NewInstance()
+	left.AddRelation("Edge", "From", "To")
+	vertex := make([]model.Value, g.N)
+	for i := range vertex {
+		vertex[i] = model.Nullf("v%d", i)
+	}
+	for _, e := range g.Edges {
+		left.Append("Edge", vertex[e[0]], vertex[e[1]])
+		left.Append("Edge", vertex[e[1]], vertex[e[0]])
+	}
+
+	right = model.NewInstance()
+	right.AddRelation("Edge", "From", "To")
+	colors := []model.Value{model.Const("red"), model.Const("green"), model.Const("blue")}
+	for i, a := range colors {
+		for j, b := range colors {
+			if i != j {
+				right.Append("Edge", a, b)
+			}
+		}
+	}
+	return left, right, nil
+}
+
+// ThreeColorable decides 3-colorability through the reduction: the graph
+// is 3-colorable iff the encoding's left instance maps homomorphically
+// into K3 (the existence-of-homomorphism special case of the paper's
+// instance matches, Sec. 4.3).
+func ThreeColorable(g Graph) (bool, error) {
+	left, right, err := Encode(g)
+	if err != nil {
+		return false, err
+	}
+	return hom.Exists(left, right), nil
+}
+
+// Coloring returns a proper 3-coloring (vertex index -> color name) when
+// one exists, extracted from the homomorphism's value mapping — the
+// "instance match explains the score" property of the paper, applied to
+// the reduction.
+func Coloring(g Graph) (map[int]string, error) {
+	left, right, err := Encode(g)
+	if err != nil {
+		return nil, err
+	}
+	h := hom.Find(left, right)
+	if h == nil {
+		return nil, nil
+	}
+	out := make(map[int]string, g.N)
+	for i := 0; i < g.N; i++ {
+		v := h[model.Nullf("v%d", i)]
+		if v.IsNull() {
+			// An isolated vertex is unconstrained; give it any color.
+			out[i] = "red"
+			continue
+		}
+		out[i] = v.Raw()
+	}
+	return out, nil
+}
+
+// MatchFromColoring turns a proper 3-coloring into the complete, left-total
+// instance match the reduction's forward direction promises, and returns
+// its Def. 5.3 score. It errors when the coloring is not proper (some edge
+// tuple finds no K3 counterpart under the induced value mapping) — which is
+// exactly the reverse direction: a left-total complete match exists only
+// for proper colorings.
+func MatchFromColoring(g Graph, coloring map[int]string, lambda float64) (float64, error) {
+	left, right, err := Encode(g)
+	if err != nil {
+		return 0, err
+	}
+	env, err := match.NewEnv(left, right, match.ManyToMany)
+	if err != nil {
+		return 0, err
+	}
+	// Index K3 tuples by their color pair.
+	rrel := right.Relations()[0]
+	byPair := map[[2]string]int{}
+	for ti, t := range rrel.Tuples {
+		byPair[[2]string{t.Values[0].Raw(), t.Values[1].Raw()}] = ti
+	}
+	lrel := left.Relations()[0]
+	for li, t := range lrel.Tuples {
+		u := vertexOf(t.Values[0])
+		v := vertexOf(t.Values[1])
+		ri, ok := byPair[[2]string{coloring[u], coloring[v]}]
+		if !ok {
+			return 0, fmt.Errorf("reduction: edge (%d,%d) is monochromatic under the coloring", u, v)
+		}
+		p := match.Pair{L: match.Ref{Rel: 0, Idx: li}, R: match.Ref{Rel: 0, Idx: ri}}
+		if !env.TryAddPair(p) {
+			return 0, fmt.Errorf("reduction: coloring induced an inconsistent match at edge (%d,%d)", u, v)
+		}
+	}
+	return score.Match(env, lambda), nil
+}
+
+// vertexOf recovers the vertex index from an encoding null ("v<i>").
+func vertexOf(v model.Value) int {
+	var i int
+	fmt.Sscanf(v.Raw(), "v%d", &i)
+	return i
+}

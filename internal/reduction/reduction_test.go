@@ -1,0 +1,155 @@
+package reduction
+
+// Exercising Thm. 5.11's reduction on classic graphs: deciding
+// 3-colorability through instance homomorphisms, extracting colorings from
+// value mappings, and checking both directions of the equivalence.
+
+import (
+	"testing"
+)
+
+func cycle(n int) Graph {
+	g := Graph{N: n}
+	for i := 0; i < n; i++ {
+		g.Edges = append(g.Edges, [2]int{i, (i + 1) % n})
+	}
+	return g
+}
+
+func complete(n int) Graph {
+	g := Graph{N: n}
+	for i := 0; i < n; i++ {
+		for j := i + 1; j < n; j++ {
+			g.Edges = append(g.Edges, [2]int{i, j})
+		}
+	}
+	return g
+}
+
+// petersen returns the Petersen graph (3-chromatic).
+func petersen() Graph {
+	g := Graph{N: 10}
+	for i := 0; i < 5; i++ {
+		g.Edges = append(g.Edges,
+			[2]int{i, (i + 1) % 5},     // outer cycle
+			[2]int{i, i + 5},           // spokes
+			[2]int{i + 5, (i+2)%5 + 5}, // inner pentagram
+		)
+	}
+	return g
+}
+
+func TestThreeColorableClassics(t *testing.T) {
+	cases := []struct {
+		name string
+		g    Graph
+		want bool
+	}{
+		{"triangle", complete(3), true},
+		{"K4", complete(4), false},
+		{"even cycle C6", cycle(6), true},
+		{"odd cycle C5", cycle(5), true}, // 3-chromatic
+		{"Petersen", petersen(), true},
+		{"bipartite K33", k33(), true},
+		{"empty graph", Graph{N: 4}, true},
+		{"single edge", Graph{N: 2, Edges: [][2]int{{0, 1}}}, true},
+	}
+	for _, tc := range cases {
+		got, err := ThreeColorable(tc.g)
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		if got != tc.want {
+			t.Errorf("%s: 3-colorable = %v, want %v", tc.name, got, tc.want)
+		}
+	}
+}
+
+func k33() Graph {
+	g := Graph{N: 6}
+	for i := 0; i < 3; i++ {
+		for j := 3; j < 6; j++ {
+			g.Edges = append(g.Edges, [2]int{i, j})
+		}
+	}
+	return g
+}
+
+// TestColoringIsProper extracts colorings and verifies them directly.
+func TestColoringIsProper(t *testing.T) {
+	for _, g := range []Graph{complete(3), cycle(5), petersen(), k33()} {
+		col, err := Coloring(g)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if col == nil {
+			t.Fatalf("no coloring for a 3-colorable graph: %+v", g)
+		}
+		for _, e := range g.Edges {
+			if col[e[0]] == col[e[1]] {
+				t.Fatalf("monochromatic edge %v: %v", e, col)
+			}
+		}
+	}
+	col, err := Coloring(complete(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col != nil {
+		t.Error("K4 returned a coloring")
+	}
+}
+
+// TestMatchFromColoring: the forward direction — a proper coloring induces
+// a complete left-total match with positive score; an improper one is
+// rejected.
+func TestMatchFromColoring(t *testing.T) {
+	g := cycle(6)
+	col, err := Coloring(g)
+	if err != nil || col == nil {
+		t.Fatal(err)
+	}
+	s, err := MatchFromColoring(g, col, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s <= 0 || s >= 1 {
+		t.Errorf("coloring match score = %v, want in (0, 1)", s)
+	}
+	// An improper coloring (all red) must be rejected.
+	bad := map[int]string{}
+	for i := 0; i < g.N; i++ {
+		bad[i] = "red"
+	}
+	if _, err := MatchFromColoring(g, bad, 0.5); err == nil {
+		t.Error("monochromatic coloring accepted")
+	}
+}
+
+func TestValidate(t *testing.T) {
+	if err := (Graph{N: 2, Edges: [][2]int{{0, 5}}}).Validate(); err == nil {
+		t.Error("out-of-range edge accepted")
+	}
+	if err := (Graph{N: 2, Edges: [][2]int{{1, 1}}}).Validate(); err == nil {
+		t.Error("self-loop accepted")
+	}
+	if _, err := ThreeColorable(Graph{N: 1, Edges: [][2]int{{0, 0}}}); err == nil {
+		t.Error("ThreeColorable accepted an invalid graph")
+	}
+}
+
+// TestIsolatedVertices: vertices with no edges are unconstrained and get a
+// default color.
+func TestIsolatedVertices(t *testing.T) {
+	g := Graph{N: 4, Edges: [][2]int{{0, 1}}}
+	col, err := Coloring(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if col == nil || len(col) != 4 {
+		t.Fatalf("coloring = %v", col)
+	}
+	if col[0] == col[1] {
+		t.Error("edge endpoints share a color")
+	}
+}

@@ -1,0 +1,72 @@
+package score
+
+import (
+	"testing"
+
+	"instcmp/internal/match"
+	"instcmp/internal/model"
+	"instcmp/internal/strsim"
+)
+
+// TestCellPConstSim: with a ConstSim configured, unequal constants earn
+// their similarity; everything else behaves as the base measure.
+func TestCellPConstSim(t *testing.T) {
+	l := model.NewInstance()
+	l.AddRelation("R", "A")
+	l.Append("R", n("N"))
+	r := model.NewInstance()
+	r.AddRelation("R", "A")
+	r.Append("R", c("x"))
+	e := env(t, l, r, match.Pair{L: match.Ref{Rel: 0, Idx: 0}, R: match.Ref{Rel: 0, Idx: 0}})
+
+	p := Params{Lambda: 0.5, ConstSim: strsim.Levenshtein}
+	approx(t, "equal consts", CellP(e.U, c("same"), c("same"), p), 1)
+	approx(t, "similar consts", CellP(e.U, c("Boston"), c("Bostom"), p), strsim.Levenshtein("Boston", "Bostom"))
+	approx(t, "disjoint consts", CellP(e.U, c("abc"), c("xyz"), p), 0)
+	// Null cells are unaffected by ConstSim.
+	approx(t, "null-const", CellP(e.U, n("N"), c("x"), p), 0.5)
+}
+
+// TestMatchPEqualsMatchWithoutSim: MatchP with a nil ConstSim must equal
+// the base Match for any environment.
+func TestMatchPEqualsMatchWithoutSim(t *testing.T) {
+	l := rel3(
+		[3]model.Value{n("N1"), c("1975"), c("VLDB End.")},
+		[3]model.Value{n("N2"), n("N9"), c("VLDB End.")},
+	)
+	r := rel3(
+		[3]model.Value{n("Va"), c("1975"), n("Vx")},
+		[3]model.Value{n("Vb"), c("1976"), c("VLDB End.")},
+	)
+	e := env(t, l, r,
+		match.Pair{L: match.Ref{Rel: 0, Idx: 0}, R: match.Ref{Rel: 0, Idx: 0}},
+		match.Pair{L: match.Ref{Rel: 0, Idx: 1}, R: match.Ref{Rel: 0, Idx: 1}},
+	)
+	approx(t, "MatchP == Match", MatchP(e, Params{Lambda: lambda}), Match(e, lambda))
+}
+
+// TestScoreDeterministic: repeated scoring of the same environment is
+// bit-identical (ordered summation, no map-iteration nondeterminism).
+func TestScoreDeterministic(t *testing.T) {
+	l := rel3(
+		[3]model.Value{n("N1"), c("a"), c("b")},
+		[3]model.Value{n("N2"), c("a"), c("c")},
+		[3]model.Value{n("N3"), c("d"), c("e")},
+	)
+	r := rel3(
+		[3]model.Value{n("V1"), c("a"), c("b")},
+		[3]model.Value{n("V2"), c("a"), c("c")},
+		[3]model.Value{n("V3"), c("d"), c("e")},
+	)
+	e := env(t, l, r,
+		match.Pair{L: match.Ref{Rel: 0, Idx: 0}, R: match.Ref{Rel: 0, Idx: 0}},
+		match.Pair{L: match.Ref{Rel: 0, Idx: 1}, R: match.Ref{Rel: 0, Idx: 1}},
+		match.Pair{L: match.Ref{Rel: 0, Idx: 2}, R: match.Ref{Rel: 0, Idx: 2}},
+	)
+	first := Match(e, lambda)
+	for i := 0; i < 20; i++ {
+		if got := Match(e, lambda); got != first {
+			t.Fatalf("scoring not deterministic: %v then %v", first, got)
+		}
+	}
+}

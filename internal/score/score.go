@@ -1,0 +1,146 @@
+// Package score implements the scoring of instance matches from Section 5
+// of the paper: cell scores (Def. 5.5 with the non-injectivity measure ⊓ of
+// Eq. 6 and the null-to-constant penalty λ), tuple scores (Def. 5.2), and
+// the normalized instance-match score (Def. 5.3).
+package score
+
+import (
+	"instcmp/internal/match"
+	"instcmp/internal/model"
+	"instcmp/internal/unify"
+)
+
+// DefaultLambda is the default penalty for mapping a labeled null to a
+// constant. The paper requires 0 ≤ λ < 1; 0.5 weighs a null-constant
+// agreement as half a constant-constant agreement.
+const DefaultLambda = 0.5
+
+// Params extends the scoring function for the paper's Sec. 9 extension:
+// besides the λ penalty, an optional constant-similarity function gives
+// partial credit to matched cells holding different constants (only
+// partial matches, Sec. 6.3, ever contain such cells; complete matches
+// score them 0 regardless).
+type Params struct {
+	// Lambda is the null-to-constant penalty of Def. 5.5.
+	Lambda float64
+	// ConstSim scores two distinct constants in [0, 1); nil means 0
+	// (the paper's base measure).
+	ConstSim func(a, b string) float64
+}
+
+// Cell returns score(M, t, t', A) for the A-th attribute of a matched pair,
+// per Def. 5.5:
+//
+//	0                  if h_l(t.A) ≠ h_r(t'.A)
+//	1                  if both cells are equal constants
+//	2 / (⊓l + ⊓r)      if both cells are nulls equated by the match
+//	2λ / (⊓l + ⊓r)     if a null is matched against a constant
+//
+// where ⊓ of a constant is 1 and ⊓ of a null is the number of same-side
+// nulls its value mapping collapses together (Eq. 6).
+func Cell(u *unify.Unifier, lv, rv model.Value, lambda float64) float64 {
+	return CellP(u, lv, rv, Params{Lambda: lambda})
+}
+
+// CellP is Cell with full scoring parameters: unequal constants earn their
+// ConstSim similarity instead of 0 when one is configured.
+func CellP(u *unify.Unifier, lv, rv model.Value, p Params) float64 {
+	if lv.IsConst() && rv.IsConst() {
+		if lv == rv {
+			return 1
+		}
+		if p.ConstSim != nil {
+			return p.ConstSim(lv.Raw(), rv.Raw())
+		}
+		return 0
+	}
+	if !u.SameClass(lv, rv) {
+		return 0
+	}
+	den := float64(u.SideCount(lv, unify.Left) + u.SideCount(rv, unify.Right))
+	if lv.IsNull() && rv.IsNull() {
+		return 2 / den
+	}
+	return 2 * p.Lambda / den
+}
+
+// PairScore returns score(M, t, t'): the sum of cell scores over the
+// relation's attributes.
+func PairScore(e *match.Env, p match.Pair, lambda float64) float64 {
+	return PairScoreP(e, p, Params{Lambda: lambda})
+}
+
+// PairScoreP is PairScore with full scoring parameters.
+func PairScoreP(e *match.Env, pair match.Pair, p Params) float64 {
+	lt, rt := e.LeftTuple(pair.L), e.RightTuple(pair.R)
+	s := 0.0
+	for i := range lt.Values {
+		s += CellP(e.U, lt.Values[i], rt.Values[i], p)
+	}
+	return s
+}
+
+// TupleScores returns the Def. 5.2 tuple scores summed over all left tuples
+// and all right tuples: each matched tuple contributes the average pair
+// score over its image, unmatched tuples contribute 0.
+func TupleScores(e *match.Env, lambda float64) (left, right float64) {
+	return TupleScoresP(e, Params{Lambda: lambda})
+}
+
+// TupleScoresP is TupleScores with full scoring parameters. Summation
+// follows the tuple mapping's insertion order, so equal matches always
+// yield bit-identical scores (no map-iteration nondeterminism).
+func TupleScoresP(e *match.Env, params Params) (left, right float64) {
+	// Pair scores are symmetric in the pair, so compute each once and
+	// credit both endpoints' averages.
+	type acc struct {
+		sum float64
+		n   int
+	}
+	la := map[match.Ref]*acc{}
+	ra := map[match.Ref]*acc{}
+	var lorder, rorder []*acc
+	for _, p := range e.Pairs() {
+		s := PairScoreP(e, p, params)
+		l := la[p.L]
+		if l == nil {
+			l = &acc{}
+			la[p.L] = l
+			lorder = append(lorder, l)
+		}
+		l.sum += s
+		l.n++
+		r := ra[p.R]
+		if r == nil {
+			r = &acc{}
+			ra[p.R] = r
+			rorder = append(rorder, r)
+		}
+		r.sum += s
+		r.n++
+	}
+	for _, a := range lorder {
+		left += a.sum / float64(a.n)
+	}
+	for _, a := range rorder {
+		right += a.sum / float64(a.n)
+	}
+	return left, right
+}
+
+// Match returns score(M) per Def. 5.3: the tuple scores of both sides
+// normalized by size(I) + size(I'). Two empty instances score 1 (they are
+// trivially isomorphic).
+func Match(e *match.Env, lambda float64) float64 {
+	return MatchP(e, Params{Lambda: lambda})
+}
+
+// MatchP is Match with full scoring parameters.
+func MatchP(e *match.Env, params Params) float64 {
+	den := float64(e.Left.Size() + e.Right.Size())
+	if den == 0 {
+		return 1
+	}
+	l, r := TupleScoresP(e, params)
+	return (l + r) / den
+}

@@ -1,0 +1,268 @@
+package score
+
+import (
+	"math"
+	"testing"
+
+	"instcmp/internal/match"
+	"instcmp/internal/model"
+)
+
+func c(s string) model.Value { return model.Const(s) }
+func n(s string) model.Value { return model.Null(s) }
+
+const lambda = 0.4 // a non-default λ so tests catch hard-coded 0.5
+
+func approx(t *testing.T, name string, got, want float64) {
+	t.Helper()
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("%s = %.9f, want %.9f", name, got, want)
+	}
+}
+
+// env builds a match environment and adds the given pairs, failing the test
+// on any incompatibility.
+func env(t *testing.T, l, r *model.Instance, pairs ...match.Pair) *match.Env {
+	t.Helper()
+	e, err := match.NewEnv(l, r, match.ManyToMany)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range pairs {
+		if !e.TryAddPair(p) {
+			t.Fatalf("pair %v refused", p)
+		}
+	}
+	return e
+}
+
+func rel3(rows ...[3]model.Value) *model.Instance {
+	in := model.NewInstance()
+	in.AddRelation("Conf", "Id", "Year", "Org")
+	for _, row := range rows {
+		in.Append("Conf", row[0], row[1], row[2])
+	}
+	return in
+}
+
+// TestExample57 reproduces Ex. 5.7: renamed nulls, score 1.
+func TestExample57(t *testing.T) {
+	l := rel3(
+		[3]model.Value{n("N1"), c("1975"), c("VLDB End.")},
+		[3]model.Value{n("N2"), c("1976"), c("VLDB End.")},
+	)
+	r := rel3(
+		[3]model.Value{n("Na"), c("1975"), c("VLDB End.")},
+		[3]model.Value{n("Nb"), c("1976"), c("VLDB End.")},
+	)
+	e := env(t, l, r,
+		match.Pair{L: match.Ref{Rel: 0, Idx: 0}, R: match.Ref{Rel: 0, Idx: 0}},
+		match.Pair{L: match.Ref{Rel: 0, Idx: 1}, R: match.Ref{Rel: 0, Idx: 1}},
+	)
+	approx(t, "Ex 5.7 score", Match(e, lambda), 1)
+}
+
+// TestExample58 reproduces Ex. 5.8: a constant approximated by a null on
+// the right; score (8+4λ)/12.
+func TestExample58(t *testing.T) {
+	l := rel3(
+		[3]model.Value{n("N1"), c("1975"), c("VLDB End.")},
+		[3]model.Value{n("N2"), c("1976"), c("VLDB End.")},
+	)
+	r := rel3(
+		[3]model.Value{n("Na"), c("1975"), n("V1")},
+		[3]model.Value{n("Nb"), c("1976"), n("V1")},
+	)
+	e := env(t, l, r,
+		match.Pair{L: match.Ref{Rel: 0, Idx: 0}, R: match.Ref{Rel: 0, Idx: 0}},
+		match.Pair{L: match.Ref{Rel: 0, Idx: 1}, R: match.Ref{Rel: 0, Idx: 1}},
+	)
+	approx(t, "Ex 5.8 score", Match(e, lambda), (8+4*lambda)/12)
+}
+
+// TestExample59 reproduces Ex. 5.9 / Fig. 6 (with Sec. 6.2's reading of t5,
+// see DESIGN.md): score (12+4λ)/24.
+func TestExample59(t *testing.T) {
+	l := model.NewInstance()
+	l.AddRelation("Conf", "Id", "Name", "Year", "Org")
+	l.Append("Conf", n("N1"), c("VLDB"), c("1975"), c("VLDB End."))
+	l.Append("Conf", n("N2"), c("VLDB"), n("N4"), c("VLDB End."))
+	l.Append("Conf", n("N3"), c("SIGMOD"), c("1977"), c("ACM"))
+	r := model.NewInstance()
+	r.AddRelation("Conf", "Id", "Name", "Year", "Org")
+	r.Append("Conf", n("Va"), c("VLDB"), c("1975"), c("VLDB End."))
+	r.Append("Conf", n("Vb"), c("VLDB"), c("1976"), n("Vc"))
+	r.Append("Conf", c("3"), c("ICDE"), c("1984"), c("IEEE"))
+	e := env(t, l, r,
+		match.Pair{L: match.Ref{Rel: 0, Idx: 0}, R: match.Ref{Rel: 0, Idx: 0}},
+		match.Pair{L: match.Ref{Rel: 0, Idx: 1}, R: match.Ref{Rel: 0, Idx: 1}},
+	)
+	approx(t, "Ex 5.9 score", Match(e, lambda), (12+4*lambda)/24)
+}
+
+// TestExample510 reproduces Ex. 5.10: S vs S' scores (4+4λ)/8 and S vs S”
+// scores (2+2λ)/6.
+func TestExample510(t *testing.T) {
+	rel2 := func(rows ...[2]model.Value) *model.Instance {
+		in := model.NewInstance()
+		in.AddRelation("S", "Dept", "Name")
+		for _, row := range rows {
+			in.Append("S", row[0], row[1])
+		}
+		return in
+	}
+	s := rel2(
+		[2]model.Value{c("A"), c("Mike")},
+		[2]model.Value{c("A"), c("Laure")},
+	)
+	s1 := rel2(
+		[2]model.Value{c("A"), n("N1")},
+		[2]model.Value{c("A"), n("N2")},
+	)
+	e := env(t, s, s1,
+		match.Pair{L: match.Ref{Rel: 0, Idx: 0}, R: match.Ref{Rel: 0, Idx: 0}},
+		match.Pair{L: match.Ref{Rel: 0, Idx: 1}, R: match.Ref{Rel: 0, Idx: 1}},
+	)
+	approx(t, "S vs S'", Match(e, lambda), (4+4*lambda)/8)
+
+	s2 := rel2([2]model.Value{c("A"), n("N3")})
+	e2 := env(t, s, s2,
+		match.Pair{L: match.Ref{Rel: 0, Idx: 0}, R: match.Ref{Rel: 0, Idx: 0}},
+	)
+	approx(t, "S vs S''", Match(e2, lambda), (2+2*lambda)/6)
+}
+
+// TestNonInjectivityPenalty checks Eq. 6: collapsing two left nulls onto
+// one right null costs 2/(2+1) per cell.
+func TestNonInjectivityPenalty(t *testing.T) {
+	l := model.NewInstance()
+	l.AddRelation("R", "A")
+	l.Append("R", n("N1"))
+	l.Append("R", n("N2"))
+	r := model.NewInstance()
+	r.AddRelation("R", "A")
+	r.Append("R", n("V"))
+	r.Append("R", n("V"))
+	e := env(t, l, r,
+		match.Pair{L: match.Ref{Rel: 0, Idx: 0}, R: match.Ref{Rel: 0, Idx: 0}},
+		match.Pair{L: match.Ref{Rel: 0, Idx: 1}, R: match.Ref{Rel: 0, Idx: 1}},
+	)
+	// Each cell scores 2/(⊓l+⊓r) = 2/(2+1); four tuple scores over size 4.
+	approx(t, "collapse score", Match(e, lambda), 4*(2.0/3)/4)
+}
+
+// TestUnmatchedTuplesScoreZero checks Def. 5.2 for empty images.
+func TestUnmatchedTuplesScoreZero(t *testing.T) {
+	l := rel3([3]model.Value{c("a"), c("b"), c("c")}, [3]model.Value{c("x"), c("y"), c("z")})
+	r := rel3([3]model.Value{c("a"), c("b"), c("c")})
+	e := env(t, l, r,
+		match.Pair{L: match.Ref{Rel: 0, Idx: 0}, R: match.Ref{Rel: 0, Idx: 0}},
+	)
+	approx(t, "partial score", Match(e, lambda), (3.0+3.0)/9)
+}
+
+// TestDisjointGroundInstancesScoreZero checks Eq. 4.
+func TestDisjointGroundInstancesScoreZero(t *testing.T) {
+	l := rel3([3]model.Value{c("a"), c("b"), c("c")})
+	r := rel3([3]model.Value{c("x"), c("y"), c("z")})
+	e := env(t, l, r) // no compatible pairs exist
+	approx(t, "disjoint score", Match(e, lambda), 0)
+}
+
+// TestEmptyInstances: two empty instances are isomorphic, score 1.
+func TestEmptyInstances(t *testing.T) {
+	l := rel3()
+	r := rel3()
+	e := env(t, l, r)
+	approx(t, "empty score", Match(e, lambda), 1)
+}
+
+// TestNonInjectiveTupleMappingAveraging checks Def. 5.2's averaging: a left
+// tuple matched to a perfect and to an imperfect partner scores the mean.
+func TestNonInjectiveTupleMappingAveraging(t *testing.T) {
+	l := model.NewInstance()
+	l.AddRelation("R", "A", "B")
+	l.Append("R", c("a"), n("N1"))
+	r := model.NewInstance()
+	r.AddRelation("R", "A", "B")
+	r.Append("R", c("a"), n("V1"))
+	r.Append("R", c("a"), c("k"))
+	e := env(t, l, r,
+		match.Pair{L: match.Ref{Rel: 0, Idx: 0}, R: match.Ref{Rel: 0, Idx: 0}},
+		match.Pair{L: match.Ref{Rel: 0, Idx: 0}, R: match.Ref{Rel: 0, Idx: 1}},
+	)
+	// N1 unifies with V1 and with k, so the class holds constant k:
+	// pair 1: A=1, B: null-null 2/(1+1) = 1     -> 2
+	// pair 2: A=1, B: null-const 2λ/(1+1) = λ   -> 1+λ
+	// left tuple avg = (2 + 1 + λ)/2; right tuples: 2 and 1+λ.
+	want := ((3+lambda)/2 + 2 + 1 + lambda) / (2 + 4)
+	approx(t, "averaged score", Match(e, lambda), want)
+}
+
+// TestCellScoreCases exercises Cell directly.
+func TestCellScoreCases(t *testing.T) {
+	l := model.NewInstance()
+	l.AddRelation("R", "A", "B", "C")
+	l.Append("R", c("a"), n("N"), n("M"))
+	r := model.NewInstance()
+	r.AddRelation("R", "A", "B", "C")
+	r.Append("R", c("a"), n("V"), c("k"))
+	e := env(t, l, r, match.Pair{L: match.Ref{Rel: 0, Idx: 0}, R: match.Ref{Rel: 0, Idx: 0}})
+
+	approx(t, "const-const equal", Cell(e.U, c("a"), c("a"), lambda), 1)
+	approx(t, "const-const differ", Cell(e.U, c("a"), c("b"), lambda), 0)
+	approx(t, "null-null matched", Cell(e.U, n("N"), n("V"), lambda), 1)
+	approx(t, "null-const matched", Cell(e.U, n("M"), c("k"), lambda), lambda)
+	approx(t, "null-null unrelated", Cell(e.U, n("N"), c("zzz"), lambda), 0)
+}
+
+// TestSymmetry checks Eq. 5 on an asymmetric example: swapping sides and
+// inverting the mapping yields the same score.
+func TestSymmetry(t *testing.T) {
+	l := rel3(
+		[3]model.Value{n("N1"), c("1975"), c("VLDB End.")},
+		[3]model.Value{n("N2"), n("N9"), c("VLDB End.")},
+		[3]model.Value{c("77"), c("1977"), c("ACM")},
+	)
+	r := rel3(
+		[3]model.Value{n("Va"), c("1975"), n("Vx")},
+		[3]model.Value{n("Vb"), c("1976"), c("VLDB End.")},
+	)
+	e := env(t, l, r,
+		match.Pair{L: match.Ref{Rel: 0, Idx: 0}, R: match.Ref{Rel: 0, Idx: 0}},
+		match.Pair{L: match.Ref{Rel: 0, Idx: 1}, R: match.Ref{Rel: 0, Idx: 1}},
+	)
+	fwd := Match(e, lambda)
+
+	// Swap sides (rename nulls so sides stay disjoint in spirit; they
+	// already are, swapping is enough).
+	e2, err := match.NewEnv(r, l, match.ManyToMany)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range []match.Pair{
+		{L: match.Ref{Rel: 0, Idx: 0}, R: match.Ref{Rel: 0, Idx: 0}},
+		{L: match.Ref{Rel: 0, Idx: 1}, R: match.Ref{Rel: 0, Idx: 1}},
+	} {
+		if !e2.TryAddPair(p) {
+			t.Fatalf("mirror pair %v refused", p)
+		}
+	}
+	approx(t, "mirror score", Match(e2, lambda), fwd)
+}
+
+// TestLambdaZeroAndRange: at λ=0 null-const matches contribute nothing.
+func TestLambdaZero(t *testing.T) {
+	l := rel3([3]model.Value{n("N1"), c("1975"), c("VLDB End.")})
+	r := rel3([3]model.Value{c("5"), c("1975"), c("VLDB End.")})
+	e := env(t, l, r, match.Pair{L: match.Ref{Rel: 0, Idx: 0}, R: match.Ref{Rel: 0, Idx: 0}})
+	approx(t, "λ=0", Match(e, 0), (2.0+2.0)/6)
+	approx(t, "λ=0.9", Match(e, 0.9), (2.9+2.9)/6)
+}
+
+func TestPairScoreSumsCells(t *testing.T) {
+	l := rel3([3]model.Value{n("N1"), c("1975"), c("VLDB End.")})
+	r := rel3([3]model.Value{n("Va"), c("1975"), n("Vx")})
+	e := env(t, l, r, match.Pair{L: match.Ref{Rel: 0, Idx: 0}, R: match.Ref{Rel: 0, Idx: 0}})
+	approx(t, "pair score", PairScore(e, e.Pairs()[0], lambda), 1+1+lambda)
+}

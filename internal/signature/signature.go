@@ -1,0 +1,519 @@
+// Package signature implements the paper's approximate instance-comparison
+// algorithm (Sec. 6.2, Algorithms 3 and 4). The algorithm greedily grows an
+// instance match in two phases:
+//
+//  1. Signature-based matching: tuples are hashed by their maximal
+//     signatures (the positional encoding of their constant attributes,
+//     Def. 6.2) and probed from the other side through progressively
+//     smaller attribute subsets, in both directions (Property 1).
+//  2. Completion: the remaining candidate pairs are produced by
+//     CompatibleTuples (Alg. 2) and confirmed greedily.
+//
+// The per-tuple subset enumeration is restricted to attribute sets that
+// actually occur as some indexed tuple's maximal-signature set (the
+// "null-pattern" optimization): enumerating any other subset can never hit
+// a signature-map entry, so this is a pure optimization that keeps the
+// fully-signature-based case (Case 2 of Sec. 6.2) linear in the instance
+// size and combinatorial only in the number of distinct null patterns.
+package signature
+
+import (
+	"math/bits"
+	"sort"
+	"strconv"
+	"strings"
+	"time"
+
+	"instcmp/internal/compat"
+	"instcmp/internal/match"
+	"instcmp/internal/model"
+	"instcmp/internal/score"
+)
+
+// Options configures a signature-algorithm run.
+type Options struct {
+	// Lambda is the null-to-constant penalty of Def. 5.5.
+	Lambda float64
+	// Partial enables the Sec. 6.3 partial-mapping variant: tuples may be
+	// matched when they share a (non-maximal) signature even if they
+	// conflict on other constants; conflicting cells score 0.
+	Partial bool
+	// MinPartialSig is the minimum number of shared constant attributes a
+	// partial signature must cover (ignored unless Partial). Values < 1
+	// are treated as 1.
+	MinPartialSig int
+	// ConstSim, when set, scores conflicting constant cells of partial
+	// matches with their string similarity instead of 0 (the paper's
+	// Sec. 9 extension). Only meaningful with Partial.
+	ConstSim func(a, b string) float64
+
+	// Ablation switches (benchmarks only; the defaults are what the
+	// library ships with):
+
+	// DisableRescue skips the sub-signature rescue round, leaving
+	// cross-null pairs to the completion step (the paper's literal
+	// Alg. 3).
+	DisableRescue bool
+	// SingleRound skips the perfect-pairs-first round, accepting pairs
+	// in pure scan order like the paper's literal greedy.
+	SingleRound bool
+	// NoGainGuard disables the net-gain check in tryPair, accepting
+	// every compatible pair like the paper's literal UpdateInstanceMatch.
+	NoGainGuard bool
+}
+
+// params bundles the scoring parameters for this run.
+func (o Options) params() score.Params {
+	return score.Params{Lambda: o.Lambda, ConstSim: o.ConstSim}
+}
+
+// Stats reports how the match was assembled, feeding the paper's Table 4
+// ablation.
+type Stats struct {
+	// SigMatches counts tuple pairs discovered by signature probing.
+	SigMatches int
+	// CompatMatches counts pairs added by the completion step.
+	CompatMatches int
+	// ScoreAfterSig is the match score before the completion step.
+	ScoreAfterSig float64
+	// SigPhase and CompatPhase record wall-clock time per phase.
+	SigPhase    time.Duration
+	CompatPhase time.Duration
+}
+
+// Result is a completed signature run: the environment holds the final
+// instance match (tuple mapping plus unifier).
+type Result struct {
+	Env   *match.Env
+	Score float64
+	Stats Stats
+}
+
+// Run executes the signature algorithm on two instances under the given
+// mode. The instances must share a schema and have disjoint nulls.
+func Run(left, right *model.Instance, mode match.Mode, opt Options) (*Result, error) {
+	env, err := match.NewEnv(left, right, mode)
+	if err != nil {
+		return nil, err
+	}
+	r := &Result{Env: env}
+	s := &runner{
+		env:  env,
+		opt:  opt,
+		sumL: map[match.Ref]float64{},
+		sumR: map[match.Ref]float64{},
+	}
+
+	start := time.Now()
+	// Round 1 accepts only perfect pairs (pair score = arity: unchanged
+	// tuples, pure null renamings), so imperfect candidates cannot steal
+	// a tuple from its exact counterpart; round 2 fills in the rest.
+	rounds := []bool{true, false}
+	if opt.SingleRound {
+		rounds = []bool{false}
+	}
+	for _, perfect := range rounds {
+		s.perfectOnly = perfect
+		for ri := range env.LRels {
+			// Pass 1: signature map over the left relation, scan
+			// the right; pass 2 the reverse.
+			s.pass(ri, true)
+			s.pass(ri, false)
+			// Rescue round: sub-signature probing for tuples both
+			// passes missed because their null positions differ
+			// (Fig. 6's t2/t5). A rescued pair always holds a null
+			// opposite a constant somewhere, so it can never be
+			// perfect — skip the round entirely while perfectOnly.
+			if !opt.DisableRescue && !perfect {
+				s.rescue(ri)
+			}
+		}
+	}
+	r.Stats.SigMatches = env.NumPairs()
+	r.Stats.SigPhase = time.Since(start)
+	r.Stats.ScoreAfterSig = score.MatchP(env, opt.params())
+
+	start = time.Now()
+	s.complete()
+	r.Stats.CompatMatches = env.NumPairs() - r.Stats.SigMatches
+	r.Stats.CompatPhase = time.Since(start)
+
+	r.Score = score.MatchP(env, opt.params())
+	return r, nil
+}
+
+type runner struct {
+	env *match.Env
+	opt Options
+	// perfectOnly restricts tryPair to pairs scoring the full arity.
+	perfectOnly bool
+	// Running per-tuple pair-score sums (values as of insertion time),
+	// backing the net-gain guard in tryPair.
+	sumL, sumR map[match.Ref]float64
+}
+
+// leftSaturated reports whether a left tuple cannot take further partners.
+func (s *runner) leftSaturated(ref match.Ref) bool {
+	return s.env.Mode.LeftInjective && s.env.LeftDegree(ref) > 0
+}
+
+func (s *runner) rightSaturated(ref match.Ref) bool {
+	return s.env.Mode.RightInjective && s.env.RightDegree(ref) > 0
+}
+
+// sigString renders the Def. 6.2 signature of a tuple on the attribute set
+// given as a bitmask: attribute/value pairs in lexicographic attribute
+// order. attrOrder lists attribute positions sorted by attribute name.
+// Used for debugging and the partial-mode map; the hot paths hash instead.
+func sigString(t *model.Tuple, mask uint64, attrOrder []int) string {
+	var b strings.Builder
+	for _, a := range attrOrder {
+		if mask&(1<<a) == 0 {
+			continue
+		}
+		b.WriteString(strconv.Itoa(a))
+		b.WriteByte('\x1e')
+		b.WriteString(t.Values[a].Raw())
+		b.WriteByte('\x1f')
+	}
+	return b.String()
+}
+
+// FNV-1a constants for sigHash.
+const (
+	fnvOffset = 14695981039346656037
+	fnvPrime  = 1099511628211
+)
+
+// sigHash is the allocation-free form of sigString: an FNV-1a hash of the
+// signature's attribute/value sequence. Hash collisions are harmless — a
+// colliding candidate merely reaches the pair-compatibility check
+// (TryAddPair / TryAddPartialPair), which verifies the real values — so
+// hashing only ever adds spurious candidates, never drops real ones.
+func sigHash(t *model.Tuple, mask uint64, attrOrder []int) uint64 {
+	h := uint64(fnvOffset)
+	for _, a := range attrOrder {
+		if mask&(1<<a) == 0 {
+			continue
+		}
+		h ^= uint64(a) + 1
+		h *= fnvPrime
+		raw := t.Values[a].Raw()
+		for i := 0; i < len(raw); i++ {
+			h ^= uint64(raw[i])
+			h *= fnvPrime
+		}
+		h ^= 0x1f
+		h *= fnvPrime
+	}
+	return h
+}
+
+// attrOrder returns attribute positions sorted lexicographically by name.
+func attrOrder(rel *model.Relation) []int {
+	order := make([]int, rel.Arity())
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(i, j int) bool {
+		return rel.Attrs[order[i]] < rel.Attrs[order[j]]
+	})
+	return order
+}
+
+// sigMap indexes the tuples of one relation side by signature strings.
+type sigMap struct {
+	bySig    map[uint64][]int
+	patterns []uint64 // distinct indexed attribute sets, largest first
+}
+
+// buildSigMap indexes every tuple of the relation. In the default mode each
+// tuple is indexed once, under its maximal signature (Alg. 4 line 3). In
+// partial mode each tuple is indexed under every signature with at least
+// minSig attributes (Sec. 6.3).
+func buildSigMap(rel *model.Relation, order []int, partial bool, minSig int) *sigMap {
+	m := &sigMap{bySig: map[uint64][]int{}}
+	seen := map[uint64]bool{}
+	add := func(ti int, t *model.Tuple, mask uint64) {
+		if !seen[mask] {
+			seen[mask] = true
+			m.patterns = append(m.patterns, mask)
+		}
+		sig := sigHash(t, mask, order)
+		m.bySig[sig] = append(m.bySig[sig], ti)
+	}
+	for ti := range rel.Tuples {
+		t := &rel.Tuples[ti]
+		maxMask := compat.GroundMask(t)
+		if !partial {
+			add(ti, t, maxMask)
+			continue
+		}
+		// Enumerate sub-signatures of the maximal signature with at
+		// least minSig attributes.
+		if minSig < 1 {
+			minSig = 1
+		}
+		for sub := maxMask; ; sub = (sub - 1) & maxMask {
+			if bits.OnesCount64(sub) >= minSig {
+				add(ti, t, sub)
+			}
+			if sub == 0 {
+				break
+			}
+		}
+	}
+	sort.Slice(m.patterns, func(i, j int) bool {
+		pi, pj := bits.OnesCount64(m.patterns[i]), bits.OnesCount64(m.patterns[j])
+		if pi != pj {
+			return pi > pj
+		}
+		return m.patterns[i] < m.patterns[j]
+	})
+	return m
+}
+
+// pass runs FindSigMatches (Alg. 4) for one relation in one direction.
+// mapLeft selects which side the signature map is built over: true indexes
+// the left relation and scans the right (Alg. 3 line 3), false the reverse
+// (line 4).
+func (s *runner) pass(ri int, mapLeft bool) {
+	lrel, rrel := s.env.LRels[ri], s.env.RRels[ri]
+	mapRel, scanRel := lrel, rrel
+	if !mapLeft {
+		mapRel, scanRel = rrel, lrel
+	}
+	order := attrOrder(lrel)
+	sm := buildSigMap(mapRel, order, s.opt.Partial, s.opt.MinPartialSig)
+
+	mapSaturated := s.leftSaturated
+	scanSaturated := s.rightSaturated
+	if !mapLeft {
+		mapSaturated, scanSaturated = s.rightSaturated, s.leftSaturated
+	}
+	mkPair := func(mapIdx, scanIdx int) match.Pair {
+		if mapLeft {
+			return match.Pair{L: match.Ref{Rel: ri, Idx: mapIdx}, R: match.Ref{Rel: ri, Idx: scanIdx}}
+		}
+		return match.Pair{L: match.Ref{Rel: ri, Idx: scanIdx}, R: match.Ref{Rel: ri, Idx: mapIdx}}
+	}
+
+scan:
+	for si := range scanRel.Tuples {
+		t := &scanRel.Tuples[si]
+		ground := compat.GroundMask(t)
+		// Progressively smaller indexed attribute subsets (Alg. 4
+		// line 6, via the null-pattern optimization).
+		for _, pm := range sm.patterns {
+			if pm&^ground != 0 {
+				continue // pattern uses an attribute that is null in t
+			}
+			sig := sigHash(t, pm, order)
+			for _, mi := range sm.bySig[sig] {
+				if mapSaturated(match.Ref{Rel: ri, Idx: mi}) {
+					continue
+				}
+				if !s.tryPair(mkPair(mi, si)) {
+					continue
+				}
+				if scanSaturated(match.Ref{Rel: ri, Idx: si}) {
+					continue scan // Alg. 4 "goto next scanned tuple"
+				}
+			}
+		}
+	}
+}
+
+// tryPair adds a pair to the match if it is compatible with the current
+// match and the mode, using the partial variant when configured.
+//
+// Beyond Alg. 3's bare greedy, tryPair applies a net-gain guard: since
+// Def. 5.2 averages a tuple's score over its image, adding a mediocre pair
+// to two already-matched tuples can lower the total score (and would break
+// Eq. 2 on isomorphic inputs in the n-to-m mode). A pair is kept only when
+// the two endpoints' combined average-score change is positive; the change
+// is evaluated with insertion-time pair scores, which keeps the guard O(1).
+func (s *runner) tryPair(p match.Pair) bool {
+	if s.opt.Partial {
+		added, _ := s.env.TryAddPartialPair(p, s.opt.MinPartialSig)
+		return added
+	}
+	kl, kr := float64(s.env.LeftDegree(p.L)), float64(s.env.RightDegree(p.R))
+	m := s.env.Mark()
+	if !s.env.TryAddPair(p) {
+		return false
+	}
+	sc := score.PairScoreP(s.env, p, s.opt.params())
+	if s.perfectOnly && sc < float64(s.env.LRels[p.L.Rel].Arity())-1e-9 {
+		s.env.Undo(m)
+		return false
+	}
+	dl, dr := sc, sc
+	if kl > 0 {
+		dl = (s.sumL[p.L]+sc)/(kl+1) - s.sumL[p.L]/kl
+	}
+	if kr > 0 {
+		dr = (s.sumR[p.R]+sc)/(kr+1) - s.sumR[p.R]/kr
+	}
+	if dl+dr < -1e-12 && !s.opt.NoGainGuard {
+		s.env.Undo(m)
+		return false
+	}
+	s.sumL[p.L] += sc
+	s.sumR[p.R] += sc
+	return true
+}
+
+// maxRescueMasks caps the number of shared-attribute masks the rescue round
+// enumerates; anything beyond falls through to the completion step.
+const maxRescueMasks = 256
+
+// rescue probes tuples that remain unmatched after both maximal-signature
+// passes. A pair whose tuples hold nulls at different positions (left null
+// at A, right null at B) is invisible to maximal signatures: neither side's
+// constant set contains the other's. Such pairs still share the signature
+// on the intersection of their ground attributes (Property 2), so this
+// round enumerates the distinct ground-mask intersections of the unmatched
+// tuples — a small set in practice — and hash-joins on those
+// sub-signatures. Pairs sharing no constant attribute at all are left to
+// the completion step.
+func (s *runner) rescue(ri int) {
+	lrel, rrel := s.env.LRels[ri], s.env.RRels[ri]
+	order := attrOrder(lrel)
+
+	unmatched := func(rel *model.Relation, left bool) []int {
+		var out []int
+		for ti := range rel.Tuples {
+			ref := match.Ref{Rel: ri, Idx: ti}
+			deg := s.env.RightDegree(ref)
+			if left {
+				deg = s.env.LeftDegree(ref)
+			}
+			if deg == 0 {
+				out = append(out, ti)
+			}
+		}
+		return out
+	}
+	leftUn, rightUn := unmatched(lrel, true), unmatched(rrel, false)
+	if len(leftUn) == 0 || len(rightUn) == 0 {
+		return
+	}
+
+	distinctMasks := func(rel *model.Relation, idxs []int) []uint64 {
+		seen := map[uint64]bool{}
+		var out []uint64
+		for _, ti := range idxs {
+			m := compat.GroundMask(&rel.Tuples[ti])
+			if !seen[m] {
+				seen[m] = true
+				out = append(out, m)
+			}
+		}
+		return out
+	}
+	lMasks, rMasks := distinctMasks(lrel, leftUn), distinctMasks(rrel, rightUn)
+	seen := map[uint64]bool{}
+	var masks []uint64
+	for _, gl := range lMasks {
+		for _, gr := range rMasks {
+			m := gl & gr
+			if m != 0 && !seen[m] {
+				seen[m] = true
+				masks = append(masks, m)
+			}
+		}
+	}
+	sort.Slice(masks, func(i, j int) bool {
+		pi, pj := bits.OnesCount64(masks[i]), bits.OnesCount64(masks[j])
+		if pi != pj {
+			return pi > pj
+		}
+		return masks[i] < masks[j]
+	})
+	if len(masks) > maxRescueMasks {
+		masks = masks[:maxRescueMasks]
+	}
+
+	// Tuple pairs share many mask intersections; attempt each pair once.
+	attempted := map[match.Pair]bool{}
+	for _, m := range masks {
+		bySig := map[uint64][]int{}
+		for _, li := range leftUn {
+			t := &lrel.Tuples[li]
+			if s.leftSaturated(match.Ref{Rel: ri, Idx: li}) {
+				continue
+			}
+			if compat.GroundMask(t)&m == m {
+				h := sigHash(t, m, order)
+				bySig[h] = append(bySig[h], li)
+			}
+		}
+		if len(bySig) == 0 {
+			continue
+		}
+		for _, ci := range rightUn {
+			rref := match.Ref{Rel: ri, Idx: ci}
+			if s.rightSaturated(rref) {
+				continue
+			}
+			t := &rrel.Tuples[ci]
+			if compat.GroundMask(t)&m != m {
+				continue
+			}
+			for _, li := range bySig[sigHash(t, m, order)] {
+				lref := match.Ref{Rel: ri, Idx: li}
+				if s.leftSaturated(lref) {
+					continue
+				}
+				p := match.Pair{L: lref, R: rref}
+				if attempted[p] {
+					continue
+				}
+				attempted[p] = true
+				if s.tryPair(p) && s.rightSaturated(rref) {
+					break
+				}
+			}
+		}
+	}
+}
+
+// complete runs the final step of Alg. 3 (lines 5-13): candidate pairs from
+// CompatibleTuples, confirmed greedily against the current match.
+func (s *runner) complete() {
+	for ri := range s.env.LRels {
+		lrel, rrel := s.env.LRels[ri], s.env.RRels[ri]
+		// Injective sides only need their unmatched tuples considered;
+		// non-injective sides stay fully in play (Cases 1-4, Sec. 6.2).
+		var leftIdxs, rightIdxs []int
+		for ti := range lrel.Tuples {
+			if !s.leftSaturated(match.Ref{Rel: ri, Idx: ti}) {
+				leftIdxs = append(leftIdxs, ti)
+			}
+		}
+		for ti := range rrel.Tuples {
+			if !s.rightSaturated(match.Ref{Rel: ri, Idx: ti}) {
+				rightIdxs = append(rightIdxs, ti)
+			}
+		}
+		if len(leftIdxs) == 0 || len(rightIdxs) == 0 {
+			continue
+		}
+		ix := compat.NewIndex(rrel, rightIdxs)
+		for _, li := range leftIdxs {
+			lref := match.Ref{Rel: ri, Idx: li}
+			for _, ci := range ix.Candidates(&lrel.Tuples[li]) {
+				if s.rightSaturated(match.Ref{Rel: ri, Idx: ci}) {
+					continue
+				}
+				if !s.tryPair(match.Pair{L: lref, R: match.Ref{Rel: ri, Idx: ci}}) {
+					continue
+				}
+				if s.leftSaturated(lref) {
+					break // Alg. 3 "goto next left tuple"
+				}
+			}
+		}
+	}
+}

@@ -1,0 +1,55 @@
+package tablefmt
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestRenderAlignsColumns(t *testing.T) {
+	tb := New("Title", "Name", "Value")
+	tb.Add("short", 1)
+	tb.Add("a-much-longer-name", 2.5)
+	tb.AddStrings("pre", "formatted")
+	var sb strings.Builder
+	tb.Render(&sb)
+	out := sb.String()
+
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 6 {
+		t.Fatalf("lines = %d, want title+header+rule+3 rows:\n%s", len(lines), out)
+	}
+	if lines[0] != "Title" {
+		t.Errorf("title line = %q", lines[0])
+	}
+	if !strings.HasPrefix(lines[1], "Name") {
+		t.Errorf("header = %q", lines[1])
+	}
+	if !strings.Contains(lines[2], "---") {
+		t.Errorf("rule = %q", lines[2])
+	}
+	// The Value column starts at the same offset in every row.
+	col := strings.Index(lines[1], "Value")
+	if got := strings.Index(lines[4], "2.500"); got != col {
+		t.Errorf("column misaligned: header at %d, value at %d\n%s", col, got, out)
+	}
+}
+
+func TestRenderFloatsFormatted(t *testing.T) {
+	tb := New("", "X")
+	tb.Add(0.123456789)
+	var sb strings.Builder
+	tb.Render(&sb)
+	if !strings.Contains(sb.String(), "0.123") || strings.Contains(sb.String(), "0.123456") {
+		t.Errorf("float not rendered with 3 decimals:\n%s", sb.String())
+	}
+}
+
+func TestRenderNoTitle(t *testing.T) {
+	tb := New("", "A")
+	tb.Add("x")
+	var sb strings.Builder
+	tb.Render(&sb)
+	if strings.HasPrefix(sb.String(), "\n") {
+		t.Error("empty title produced a blank line")
+	}
+}

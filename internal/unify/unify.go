@@ -1,0 +1,223 @@
+// Package unify implements the value-unification machinery underlying
+// instance matches: a union-find structure over constants and labeled nulls
+// that detects constant conflicts and supports cheap rollback.
+//
+// A complete instance match M = (h_l, h_r, m) requires h_l(t) = h_r(t') for
+// every matched pair. Growing such a match means repeatedly equating the two
+// values found in corresponding cells. The Unifier maintains the resulting
+// equivalence classes; a class is inconsistent (and the merge is refused)
+// when it would contain two distinct constants. From the final classes both
+// value mappings can be read off: every value maps to its class
+// representative — the class constant if there is one, otherwise a canonical
+// null — and the per-side class sizes yield the paper's non-injectivity
+// measure ⊓.
+//
+// The Unifier deliberately does not use path compression: all mutations go
+// through an undo trail, so tentative merges made while exploring a match
+// (exact search backtracking, greedy compatibility probes) can be rolled
+// back exactly with Undo.
+package unify
+
+import (
+	"fmt"
+
+	"instcmp/internal/model"
+)
+
+// Side distinguishes the two instances being compared. Labeled nulls belong
+// to exactly one side (the comparison precondition Vars(I) ∩ Vars(I') = ∅);
+// the per-side class sizes feed the scoring function's ⊓ measure.
+type Side int
+
+// The two sides of a comparison.
+const (
+	Left Side = iota
+	Right
+)
+
+func (s Side) String() string {
+	if s == Left {
+		return "left"
+	}
+	return "right"
+}
+
+type node struct {
+	parent *node
+	size   int
+	val    model.Value
+	side   Side // registration side; meaningful for null nodes only
+
+	// The fields below are only meaningful at class roots.
+	hasConst bool
+	constVal model.Value
+	nl, nr   int // number of left/right nulls in the class
+}
+
+type trailEntry struct {
+	child        *node // became non-root; undo resets child.parent = child
+	root         *node // absorbed child; undo restores the fields below
+	prevHasConst bool
+	prevConst    model.Value
+	prevNl       int
+	prevNr       int
+	prevSize     int
+}
+
+// Unifier is a union-find over values with constant-conflict detection and
+// an undo trail. The zero value is not usable; call New.
+type Unifier struct {
+	nodes map[model.Value]*node
+	trail []trailEntry
+}
+
+// New returns an empty unifier.
+func New() *Unifier {
+	return &Unifier{nodes: make(map[model.Value]*node)}
+}
+
+// AddNull registers a labeled null as belonging to the given side. It is
+// idempotent; registering the same null with two different sides panics
+// because it violates the disjoint-nulls precondition.
+func (u *Unifier) AddNull(v model.Value, side Side) {
+	if v.IsConst() {
+		panic("unify: AddNull called with a constant")
+	}
+	if n, ok := u.nodes[v]; ok {
+		if n.side != side {
+			panic(fmt.Sprintf("unify: null %v registered on both sides", v))
+		}
+		return
+	}
+	n := &node{size: 1, val: v, side: side}
+	n.parent = n
+	if side == Left {
+		n.nl = 1
+	} else {
+		n.nr = 1
+	}
+	u.nodes[v] = n
+}
+
+// get returns the node for v, creating constant nodes lazily. Nulls must
+// have been registered with AddNull first.
+func (u *Unifier) get(v model.Value) *node {
+	if n, ok := u.nodes[v]; ok {
+		return n
+	}
+	if v.IsNull() {
+		panic(fmt.Sprintf("unify: null %v used before AddNull", v))
+	}
+	n := &node{size: 1, val: v, hasConst: true, constVal: v}
+	n.parent = n
+	u.nodes[v] = n
+	return n
+}
+
+func (u *Unifier) find(v model.Value) *node {
+	n := u.get(v)
+	for n.parent != n {
+		n = n.parent
+	}
+	return n
+}
+
+// Merge equates two values. It returns false — leaving the unifier
+// unchanged — when the merge would put two distinct constants in one class.
+func (u *Unifier) Merge(a, b model.Value) bool {
+	ra, rb := u.find(a), u.find(b)
+	if ra == rb {
+		return true
+	}
+	if ra.hasConst && rb.hasConst && ra.constVal != rb.constVal {
+		return false
+	}
+	if ra.size < rb.size {
+		ra, rb = rb, ra
+	}
+	u.trail = append(u.trail, trailEntry{
+		child:        rb,
+		root:         ra,
+		prevHasConst: ra.hasConst,
+		prevConst:    ra.constVal,
+		prevNl:       ra.nl,
+		prevNr:       ra.nr,
+		prevSize:     ra.size,
+	})
+	rb.parent = ra
+	ra.size += rb.size
+	ra.nl += rb.nl
+	ra.nr += rb.nr
+	if !ra.hasConst && rb.hasConst {
+		ra.hasConst = true
+		ra.constVal = rb.constVal
+	}
+	return true
+}
+
+// Mark returns a checkpoint for Undo.
+func (u *Unifier) Mark() int { return len(u.trail) }
+
+// Undo rolls back every merge performed after the given checkpoint.
+func (u *Unifier) Undo(mark int) {
+	for len(u.trail) > mark {
+		e := u.trail[len(u.trail)-1]
+		u.trail = u.trail[:len(u.trail)-1]
+		e.child.parent = e.child
+		e.root.hasConst = e.prevHasConst
+		e.root.constVal = e.prevConst
+		e.root.nl = e.prevNl
+		e.root.nr = e.prevNr
+		e.root.size = e.prevSize
+	}
+}
+
+// SameClass reports whether two values are currently equated. Values that
+// were never touched are singletons (two distinct untouched values are in
+// the same class only if they are the same value).
+func (u *Unifier) SameClass(a, b model.Value) bool {
+	if a == b {
+		return true
+	}
+	if a.IsConst() && b.IsConst() {
+		return false
+	}
+	return u.find(a) == u.find(b)
+}
+
+// ClassConst returns the constant of v's class, if any.
+func (u *Unifier) ClassConst(v model.Value) (model.Value, bool) {
+	r := u.find(v)
+	return r.constVal, r.hasConst
+}
+
+// Representative returns the value every member of v's class maps to under
+// the value mappings induced by the unifier: the class constant when the
+// class contains one, otherwise the canonical null of the class (the root's
+// value). Constants always map to themselves.
+func (u *Unifier) Representative(v model.Value) model.Value {
+	r := u.find(v)
+	if r.hasConst {
+		return r.constVal
+	}
+	return r.val
+}
+
+// SideCount returns ⊓ for v: 1 for constants, and for a null the number of
+// same-side nulls mapped to the same representative (Eq. 6 of the paper).
+func (u *Unifier) SideCount(v model.Value, side Side) int {
+	if v.IsConst() {
+		return 1
+	}
+	r := u.find(v)
+	if side == Left {
+		return r.nl
+	}
+	return r.nr
+}
+
+// Registered reports whether a null has been registered.
+func (u *Unifier) Registered(v model.Value) bool {
+	_, ok := u.nodes[v]
+	return ok
+}

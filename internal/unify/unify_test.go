@@ -1,0 +1,206 @@
+package unify
+
+import (
+	"math/rand"
+	"testing"
+
+	"instcmp/internal/model"
+)
+
+func TestMergeNullsAndConstants(t *testing.T) {
+	u := New()
+	n1, n2 := model.Null("N1"), model.Null("N2")
+	u.AddNull(n1, Left)
+	u.AddNull(n2, Right)
+	c := model.Const("c")
+
+	if !u.Merge(n1, c) {
+		t.Fatal("null-const merge refused")
+	}
+	if got := u.Representative(n1); got != c {
+		t.Errorf("Representative(N1) = %v, want c", got)
+	}
+	if !u.Merge(n1, n2) {
+		t.Fatal("null-null merge refused")
+	}
+	if got := u.Representative(n2); got != c {
+		t.Errorf("Representative(N2) = %v, want c", got)
+	}
+	if !u.SameClass(n1, n2) || !u.SameClass(n2, c) {
+		t.Error("classes not connected")
+	}
+}
+
+func TestConstantConflict(t *testing.T) {
+	u := New()
+	n := model.Null("N")
+	u.AddNull(n, Left)
+	if !u.Merge(n, model.Const("a")) {
+		t.Fatal("first binding refused")
+	}
+	if u.Merge(n, model.Const("b")) {
+		t.Fatal("conflicting binding accepted")
+	}
+	// The refused merge must leave state intact.
+	if got := u.Representative(n); got != model.Const("a") {
+		t.Errorf("after refused merge Representative = %v, want a", got)
+	}
+	if u.Merge(model.Const("a"), model.Const("b")) {
+		t.Error("two distinct constants merged")
+	}
+	if !u.Merge(model.Const("a"), model.Const("a")) {
+		t.Error("identical constants must trivially merge")
+	}
+}
+
+func TestSideCounts(t *testing.T) {
+	u := New()
+	l1, l2, l3 := model.Null("L1"), model.Null("L2"), model.Null("L3")
+	r1 := model.Null("R1")
+	for _, v := range []model.Value{l1, l2, l3} {
+		u.AddNull(v, Left)
+	}
+	u.AddNull(r1, Right)
+
+	if got := u.SideCount(l1, Left); got != 1 {
+		t.Errorf("singleton ⊓ = %d, want 1", got)
+	}
+	u.Merge(l1, r1)
+	u.Merge(l2, r1)
+	if got := u.SideCount(l1, Left); got != 2 {
+		t.Errorf("⊓(L1) = %d, want 2 (L1, L2 collapse)", got)
+	}
+	if got := u.SideCount(r1, Right); got != 1 {
+		t.Errorf("⊓(R1) = %d, want 1", got)
+	}
+	if got := u.SideCount(model.Const("c"), Left); got != 1 {
+		t.Errorf("⊓(const) = %d, want 1", got)
+	}
+	u.Merge(l3, l1)
+	if got := u.SideCount(l2, Left); got != 3 {
+		t.Errorf("⊓ after third merge = %d, want 3", got)
+	}
+}
+
+func TestUndoRestoresExactly(t *testing.T) {
+	u := New()
+	vals := make([]model.Value, 10)
+	for i := range vals {
+		vals[i] = model.Nullf("N%d", i)
+		side := Left
+		if i%2 == 1 {
+			side = Right
+		}
+		u.AddNull(vals[i], side)
+	}
+	mark := u.Mark()
+	u.Merge(vals[0], vals[1])
+	u.Merge(vals[2], vals[3])
+	u.Merge(vals[0], vals[3])
+	u.Merge(vals[4], model.Const("k"))
+	if !u.SameClass(vals[1], vals[2]) {
+		t.Fatal("merges did not connect")
+	}
+	u.Undo(mark)
+	for i := range vals {
+		for j := range vals {
+			if i != j && u.SameClass(vals[i], vals[j]) {
+				t.Fatalf("undo left %d and %d connected", i, j)
+			}
+		}
+		if u.SideCount(vals[i], Left)+u.SideCount(vals[i], Right) != 1 {
+			t.Fatalf("undo left nonunit count at %d", i)
+		}
+	}
+	if _, has := u.ClassConst(vals[4]); has {
+		t.Error("undo left constant binding")
+	}
+}
+
+func TestUndoRandomized(t *testing.T) {
+	// Property: a sequence of random merges followed by Undo restores all
+	// observable state (class membership, representatives, counts).
+	rng := rand.New(rand.NewSource(42))
+	for trial := 0; trial < 50; trial++ {
+		u := New()
+		var vs []model.Value
+		for i := 0; i < 20; i++ {
+			v := model.Nullf("T%d_%d", trial, i)
+			side := Left
+			if rng.Intn(2) == 1 {
+				side = Right
+			}
+			u.AddNull(v, side)
+			vs = append(vs, v)
+		}
+		// Baseline merges that must survive the undo.
+		u.Merge(vs[0], vs[1])
+		u.Merge(vs[2], model.Const("base"))
+		type obs struct {
+			rep    model.Value
+			nl, nr int
+		}
+		snap := make([]obs, len(vs))
+		for i, v := range vs {
+			snap[i] = obs{u.Representative(v), u.SideCount(v, Left), u.SideCount(v, Right)}
+		}
+		mark := u.Mark()
+		for k := 0; k < 30; k++ {
+			a, b := vs[rng.Intn(len(vs))], vs[rng.Intn(len(vs))]
+			u.Merge(a, b)
+		}
+		u.Undo(mark)
+		for i, v := range vs {
+			got := obs{u.Representative(v), u.SideCount(v, Left), u.SideCount(v, Right)}
+			if got != snap[i] {
+				t.Fatalf("trial %d: state of %v changed: %+v -> %+v", trial, v, snap[i], got)
+			}
+		}
+	}
+}
+
+func TestAddNullValidation(t *testing.T) {
+	u := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("AddNull with constant should panic")
+		}
+	}()
+	u.AddNull(model.Const("x"), Left)
+}
+
+func TestAddNullBothSidesPanics(t *testing.T) {
+	u := New()
+	n := model.Null("N")
+	u.AddNull(n, Left)
+	u.AddNull(n, Left) // idempotent re-registration is fine
+	defer func() {
+		if recover() == nil {
+			t.Error("registering a null on both sides should panic")
+		}
+	}()
+	u.AddNull(n, Right)
+}
+
+func TestUnregisteredNullPanics(t *testing.T) {
+	u := New()
+	defer func() {
+		if recover() == nil {
+			t.Error("using an unregistered null should panic")
+		}
+	}()
+	u.Merge(model.Null("ghost"), model.Const("c"))
+}
+
+func TestRepresentativeOfConstIsItself(t *testing.T) {
+	u := New()
+	c := model.Const("c")
+	if got := u.Representative(c); got != c {
+		t.Errorf("Representative(const) = %v", got)
+	}
+	n := model.Null("N")
+	u.AddNull(n, Left)
+	if got := u.Representative(n); got != n {
+		t.Errorf("unmerged null should represent itself, got %v", got)
+	}
+}

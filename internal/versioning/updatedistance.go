@@ -1,0 +1,68 @@
+package versioning
+
+import (
+	"instcmp"
+	"instcmp/internal/explain"
+)
+
+// UpdateDistance is the edit-style metric of Müller, Freytag, and Leser
+// (CIKM 2006), discussed in the paper's related work (Sec. 8): the number
+// of insert, delete, and cell-modification operations that transform one
+// instance into the other. Unlike the original — which assumes a given
+// correspondence — this implementation derives the correspondence from an
+// instance match, so it works without keys and with labeled nulls.
+type UpdateDistance struct {
+	Inserts, Deletes, CellUpdates int
+}
+
+// Total returns the total operation count.
+func (d UpdateDistance) Total() int { return d.Inserts + d.Deletes + d.CellUpdates }
+
+// Normalized maps the distance to a dissimilarity in [0, 1] relative to
+// the instances' sizes: each delete/insert costs the tuple's arity in cell
+// operations; the denominator is the larger instance's cell count.
+func (d UpdateDistance) Normalized(leftCells, rightCells, arity int) float64 {
+	den := leftCells
+	if rightCells > den {
+		den = rightCells
+	}
+	if den == 0 {
+		return 0
+	}
+	ops := d.CellUpdates + (d.Inserts+d.Deletes)*arity
+	v := float64(ops) / float64(den)
+	if v > 1 {
+		v = 1
+	}
+	return v
+}
+
+// ComputeUpdateDistance compares two instances (signature algorithm,
+// fully-injective mapping — each tuple is one entity) and counts the edit
+// operations the resulting match implies. Null-renaming cells are not
+// updates: renaming a null does not change the represented information.
+func ComputeUpdateDistance(left, right *instcmp.Instance) (UpdateDistance, error) {
+	res, err := instcmp.Compare(left, right, &instcmp.Options{
+		Mode:         instcmp.OneToOne,
+		Algorithm:    instcmp.AlgoSignature,
+		AlignSchemas: true,
+	})
+	if err != nil {
+		return UpdateDistance{}, err
+	}
+	rep, err := explain.FromResult(left, right, res)
+	if err != nil {
+		return UpdateDistance{}, err
+	}
+	var d UpdateDistance
+	d.Deletes = len(rep.Removed)
+	d.Inserts = len(rep.Added)
+	for _, u := range rep.Updated {
+		for _, cc := range u.Cells {
+			if cc.Kind != explain.NullRenamed {
+				d.CellUpdates++
+			}
+		}
+	}
+	return d, nil
+}

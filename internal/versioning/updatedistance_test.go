@@ -1,0 +1,104 @@
+package versioning
+
+import (
+	"testing"
+
+	"instcmp/internal/model"
+)
+
+func mk(rows ...[]model.Value) *model.Instance {
+	in := model.NewInstance()
+	in.AddRelation("R", "A", "B", "C")
+	for _, row := range rows {
+		in.Append("R", row...)
+	}
+	return in
+}
+
+func cv(s string) model.Value { return model.Const(s) }
+func nv(s string) model.Value { return model.Null(s) }
+
+func TestUpdateDistanceIdentity(t *testing.T) {
+	in := mk([]model.Value{cv("a"), cv("b"), nv("N1")})
+	d, err := ComputeUpdateDistance(in, in.Clone())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Total() != 0 {
+		t.Errorf("identity distance = %+v, want 0", d)
+	}
+	if got := d.Normalized(3, 3, 3); got != 0 {
+		t.Errorf("normalized identity = %v", got)
+	}
+}
+
+func TestUpdateDistanceNullRenamingIsFree(t *testing.T) {
+	l := mk([]model.Value{cv("a"), nv("N1"), nv("N2")})
+	r := mk([]model.Value{cv("a"), nv("V7"), nv("V9")})
+	d, err := ComputeUpdateDistance(l, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Total() != 0 {
+		t.Errorf("null renaming costed %+v, want 0 (same incomplete database)", d)
+	}
+}
+
+func TestUpdateDistanceCounts(t *testing.T) {
+	l := mk(
+		[]model.Value{cv("a"), cv("b"), cv("c")},
+		[]model.Value{cv("gone"), cv("g"), cv("g")},
+	)
+	r := mk(
+		[]model.Value{cv("a"), cv("b"), nv("V1")}, // one cell masked
+		[]model.Value{cv("new"), cv("n"), cv("n")},
+	)
+	d, err := ComputeUpdateDistance(l, r)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.CellUpdates != 1 || d.Deletes != 1 || d.Inserts != 1 {
+		t.Errorf("distance = %+v, want 1/1/1", d)
+	}
+	// 1 cell + (1+1)*3 tuple-cells = 7 operations over 6 cells: clamped.
+	if got := d.Normalized(6, 6, 3); got != 1 {
+		t.Errorf("normalized = %v, want clamped to 1", got)
+	}
+}
+
+func TestUpdateDistanceSurvivesShuffleAndColumnDrop(t *testing.T) {
+	// The whole point vs diff: reordering costs nothing.
+	base := mk(
+		[]model.Value{cv("a"), cv("b"), cv("c")},
+		[]model.Value{cv("d"), cv("e"), cv("f")},
+		[]model.Value{cv("g"), cv("h"), cv("i")},
+	)
+	shuffled, err := MakeVariant(base, Shuffled, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err := ComputeUpdateDistance(base, shuffled)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Total() != 0 {
+		t.Errorf("shuffle distance = %+v, want 0", d)
+	}
+	// Dropping a column costs one cell-update per row under schema
+	// alignment? No: padding introduces fresh nulls, and constants
+	// becoming nulls are value-nulled updates.
+	dropped, err := MakeVariant(base, ColumnsRemoved, 0, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d, err = ComputeUpdateDistance(base, dropped)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.Inserts != 0 || d.Deletes != 0 {
+		t.Errorf("column drop should not insert/delete tuples: %+v", d)
+	}
+	if d.CellUpdates != 3 {
+		t.Errorf("column drop cell updates = %d, want 3 (one per row)", d.CellUpdates)
+	}
+}

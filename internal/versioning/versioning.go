@@ -1,0 +1,155 @@
+// Package versioning is the data-versioning substrate of the paper's
+// Table 7 experiment: generating modified versions of a dataset (shuffled,
+// rows removed, rows removed and shuffled, columns removed) and comparing
+// the instance-match approach against the line-oriented `diff` baseline.
+//
+// The baseline reimplements what `diff` measures: the longest common
+// subsequence of the serialized rows, in file order. Lines not in the LCS
+// are reported as left/right non-matching — which is why plain diff
+// collapses on shuffled rows or dropped columns even when the data is
+// unchanged.
+package versioning
+
+import (
+	"math/rand"
+	"sort"
+
+	"instcmp/internal/model"
+)
+
+// Variant names a version-generation operation, following Table 7.
+type Variant string
+
+// The four variants of Table 7.
+const (
+	Shuffled          Variant = "S"  // rows shuffled
+	Removed           Variant = "R"  // some rows removed
+	RemovedShuffled   Variant = "RS" // rows removed, then shuffled
+	ColumnsRemoved    Variant = "C"  // a column dropped
+	DefaultRemoveFrac         = 0.175
+)
+
+// Variants lists the variants in Table 7 order.
+var Variants = []Variant{Shuffled, Removed, RemovedShuffled, ColumnsRemoved}
+
+// MakeVariant derives a modified version of the instance. removeFrac is the
+// fraction of rows dropped by R/RS (0 means DefaultRemoveFrac); C drops the
+// last attribute of every relation.
+func MakeVariant(in *model.Instance, v Variant, removeFrac float64, seed int64) (*model.Instance, error) {
+	rng := rand.New(rand.NewSource(seed))
+	if removeFrac <= 0 {
+		removeFrac = DefaultRemoveFrac
+	}
+	out := in.Clone()
+	switch v {
+	case Shuffled:
+		out.Shuffle(rng)
+	case Removed:
+		removeRows(out, removeFrac, rng)
+	case RemovedShuffled:
+		removeRows(out, removeFrac, rng)
+		out.Shuffle(rng)
+	case ColumnsRemoved:
+		for _, rel := range in.Relations() {
+			var err error
+			out, err = out.DropColumn(rel.Name, rel.Attrs[len(rel.Attrs)-1])
+			if err != nil {
+				return nil, err
+			}
+		}
+	default:
+		return nil, errUnknownVariant(v)
+	}
+	return out, nil
+}
+
+type errUnknownVariant Variant
+
+func (e errUnknownVariant) Error() string { return "versioning: unknown variant " + string(e) }
+
+// removeRows drops a random removeFrac of each relation's rows, preserving
+// the order of survivors (as a data deletion would).
+func removeRows(in *model.Instance, frac float64, rng *rand.Rand) {
+	for _, rel := range in.Relations() {
+		n := len(rel.Tuples)
+		drop := int(frac * float64(n))
+		if drop == 0 && frac > 0 && n > 0 {
+			drop = 1
+		}
+		perm := rng.Perm(n)[:drop]
+		sort.Sort(sort.Reverse(sort.IntSlice(perm)))
+		for _, i := range perm {
+			rel.Tuples = append(rel.Tuples[:i], rel.Tuples[i+1:]...)
+		}
+	}
+}
+
+// DiffStats are the counts Table 7 reports for both tools: matched tuples
+// and left/right non-matching tuples.
+type DiffStats struct {
+	Matched       int
+	LeftNonMatch  int
+	RightNonMatch int
+}
+
+// LineDiff measures what the `diff` command-line tool would report for the
+// two instances serialized as row-per-line files: the number of common
+// lines (the longest common subsequence, order-sensitive) and the remaining
+// left/right lines.
+func LineDiff(left, right *model.Instance) DiffStats {
+	a := serialize(left)
+	b := serialize(right)
+	m := lcsLength(a, b)
+	return DiffStats{
+		Matched:       m,
+		LeftNonMatch:  len(a) - m,
+		RightNonMatch: len(b) - m,
+	}
+}
+
+// serialize renders each tuple as one line, relation by relation (the file
+// export order a versioning system would produce).
+func serialize(in *model.Instance) []string {
+	var lines []string
+	for _, rel := range in.Relations() {
+		for _, t := range rel.Tuples {
+			lines = append(lines, rel.Name+"\x00"+t.ValueKey())
+		}
+	}
+	return lines
+}
+
+// lcsLength computes the length of the longest common subsequence of two
+// line sequences with the Hunt–Szymanski reduction: map line contents to
+// occurrence positions, walk sequence a emitting b-positions in descending
+// order, then take the longest strictly increasing subsequence. This is
+// near-linear for mostly-unique lines (the versioning case).
+func lcsLength(a, b []string) int {
+	posInB := map[string][]int{}
+	for i := len(b) - 1; i >= 0; i-- { // store descending
+		posInB[b[i]] = append(posInB[b[i]], i)
+	}
+	var seq []int
+	for _, line := range a {
+		seq = append(seq, posInB[line]...)
+	}
+	// Longest strictly increasing subsequence via patience sorting.
+	var tails []int
+	for _, x := range seq {
+		lo, hi := 0, len(tails)
+		for lo < hi {
+			mid := (lo + hi) / 2
+			if tails[mid] < x {
+				lo = mid + 1
+			} else {
+				hi = mid
+			}
+		}
+		if lo == len(tails) {
+			tails = append(tails, x)
+		} else {
+			tails[lo] = x
+		}
+	}
+	return len(tails)
+}

@@ -1,0 +1,158 @@
+package versioning
+
+import (
+	"math/rand"
+	"testing"
+
+	"instcmp/internal/datasets"
+	"instcmp/internal/model"
+)
+
+func iris(rows int) *model.Instance {
+	return datasets.IrisData(rows, rand.New(rand.NewSource(1)))
+}
+
+func TestMakeVariantShuffle(t *testing.T) {
+	base := iris(120)
+	v, err := MakeVariant(base, Shuffled, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.NumTuples() != base.NumTuples() {
+		t.Error("shuffle changed cardinality")
+	}
+	if v.String() == base.String() {
+		t.Error("shuffle did not reorder (seed collision?)")
+	}
+}
+
+func TestMakeVariantRemove(t *testing.T) {
+	base := iris(120)
+	v, err := MakeVariant(base, Removed, 0.175, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := v.NumTuples(); got != 99 {
+		t.Errorf("removed variant rows = %d, want 99 (120 - 17.5%%)", got)
+	}
+	// Survivors keep their original relative order.
+	d := LineDiff(base, v)
+	if d.Matched != 99 || d.LeftNonMatch != 21 || d.RightNonMatch != 0 {
+		t.Errorf("diff vs removed = %+v, want 99/21/0", d)
+	}
+}
+
+func TestMakeVariantColumns(t *testing.T) {
+	base := iris(120)
+	v, err := MakeVariant(base, ColumnsRemoved, 0, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := v.Relation("Iris").Arity(); got != 4 {
+		t.Errorf("column variant arity = %d, want 4", got)
+	}
+	// diff finds nothing in common: every line changed.
+	d := LineDiff(base, v)
+	if d.Matched != 0 {
+		t.Errorf("diff matched %d lines across a column drop, want 0", d.Matched)
+	}
+}
+
+func TestMakeVariantUnknown(t *testing.T) {
+	if _, err := MakeVariant(iris(10), Variant("nope"), 0, 1); err == nil {
+		t.Error("unknown variant accepted")
+	}
+}
+
+func TestLineDiffIdentical(t *testing.T) {
+	base := iris(50)
+	d := LineDiff(base, base.Clone())
+	if d.Matched != 50 || d.LeftNonMatch != 0 || d.RightNonMatch != 0 {
+		t.Errorf("identical diff = %+v", d)
+	}
+}
+
+func TestLineDiffShuffleCollapses(t *testing.T) {
+	// The paper's point: diff matches only a small common subsequence of
+	// a shuffled file (17 of 120 for Iris-S in Table 7).
+	base := iris(120)
+	v, _ := MakeVariant(base, Shuffled, 0, 3)
+	d := LineDiff(base, v)
+	if d.Matched >= 60 {
+		t.Errorf("diff matched %d of 120 shuffled rows; expected far fewer", d.Matched)
+	}
+	if d.Matched == 0 {
+		t.Error("an LCS of a permutation is never empty")
+	}
+	if d.LeftNonMatch != 120-d.Matched || d.RightNonMatch != 120-d.Matched {
+		t.Errorf("non-match counts inconsistent: %+v", d)
+	}
+}
+
+func TestLCSKnownCases(t *testing.T) {
+	cases := []struct {
+		a, b []string
+		want int
+	}{
+		{nil, nil, 0},
+		{[]string{"x"}, nil, 0},
+		{[]string{"a", "b", "c"}, []string{"a", "b", "c"}, 3},
+		{[]string{"a", "b", "c"}, []string{"c", "b", "a"}, 1},
+		{[]string{"a", "b", "c", "d"}, []string{"b", "d"}, 2},
+		{[]string{"a", "a", "b"}, []string{"a", "b", "a"}, 2},
+		{[]string{"x", "a", "y", "b", "z"}, []string{"a", "q", "b"}, 2},
+	}
+	for _, tc := range cases {
+		if got := lcsLength(tc.a, tc.b); got != tc.want {
+			t.Errorf("lcs(%v, %v) = %d, want %d", tc.a, tc.b, got, tc.want)
+		}
+	}
+}
+
+func TestLCSMatchesDPOnRandomInputs(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	dp := func(a, b []string) int {
+		prev := make([]int, len(b)+1)
+		cur := make([]int, len(b)+1)
+		for i := 1; i <= len(a); i++ {
+			for j := 1; j <= len(b); j++ {
+				if a[i-1] == b[j-1] {
+					cur[j] = prev[j-1] + 1
+				} else if prev[j] >= cur[j-1] {
+					cur[j] = prev[j]
+				} else {
+					cur[j] = cur[j-1]
+				}
+			}
+			prev, cur = cur, prev
+		}
+		return prev[len(b)]
+	}
+	for trial := 0; trial < 100; trial++ {
+		mk := func(n int) []string {
+			out := make([]string, n)
+			for i := range out {
+				out[i] = string(rune('a' + rng.Intn(6)))
+			}
+			return out
+		}
+		a, b := mk(rng.Intn(30)), mk(rng.Intn(30))
+		if got, want := lcsLength(a, b), dp(a, b); got != want {
+			t.Fatalf("trial %d: lcs=%d dp=%d for %v vs %v", trial, got, want, a, b)
+		}
+	}
+}
+
+func TestVariantsDeterministic(t *testing.T) {
+	base := iris(60)
+	for _, v := range Variants {
+		a, err := MakeVariant(base, v, 0.2, 7)
+		if err != nil {
+			t.Fatal(err)
+		}
+		b, _ := MakeVariant(base, v, 0.2, 7)
+		if a.String() != b.String() {
+			t.Errorf("variant %s not deterministic", v)
+		}
+	}
+}

@@ -1,0 +1,150 @@
+package instcmp_test
+
+// Integration tests for multi-relation comparisons, where the paper's
+// formalism is most demanding: a labeled null used as a surrogate key in
+// one relation and as a foreign reference in another must be interpreted
+// consistently by a single pair of value mappings (Fig. 4's data-exchange
+// instance).
+
+import (
+	"math"
+	"testing"
+
+	"instcmp"
+)
+
+func c(s string) instcmp.Value  { return instcmp.Const(s) }
+func nu(s string) instcmp.Value { return instcmp.Null(s) }
+
+// paperIg builds the ground instance of Fig. 3.
+func paperIg() *instcmp.Instance {
+	in := instcmp.NewInstance()
+	in.AddRelation("Conference", "Id", "Name", "Year", "Place", "Org")
+	in.AddRelation("Paper", "Authors", "Title", "ConfId")
+	in.Append("Conference", c("1"), c("VLDB"), c("1975"), c("Framingham"), c("VLDB End."))
+	in.Append("Conference", c("2"), c("VLDB"), c("1976"), c("Brussels"), c("VLDB End."))
+	in.Append("Conference", c("3"), c("SIGMOD"), c("1975"), c("San Jose"), c("ACM"))
+	in.Append("Paper", c("Zloof"), c("Query-By-Example"), c("1"))
+	in.Append("Paper", c("Chen"), c("The Entity-Relationship"), c("1"))
+	in.Append("Paper", c("Rappaport"), c("File Structure Design"), c("3"))
+	return in
+}
+
+// paperIn builds the data-exchange instance of Fig. 4: surrogate keys N1,
+// N2 spanning Conference and Paper, plus an unknown place N3.
+func paperIn() *instcmp.Instance {
+	in := instcmp.NewInstance()
+	in.AddRelation("Conference", "Id", "Name", "Year", "Place", "Org")
+	in.AddRelation("Paper", "Authors", "Title", "ConfId")
+	in.Append("Conference", nu("N1"), c("VLDB"), c("1975"), nu("N3"), c("VLDB End."))
+	in.Append("Conference", nu("N2"), c("VLDB"), c("1976"), c("Brussels"), c("VLDB End."))
+	in.Append("Conference", c("3"), c("SIGMOD"), c("1975"), c("San Jose"), c("ACM"))
+	in.Append("Paper", c("Zloof"), c("Query-By-Example"), nu("N1"))
+	in.Append("Paper", c("Chen"), c("The Entity-Relationship"), nu("N1"))
+	in.Append("Paper", c("Rappaport"), c("File Structure Design"), c("3"))
+	return in
+}
+
+// TestFig4CrossRelationConsistency: comparing I_n against the ground I_g,
+// the surrogate null N1 must map to "1" consistently across Conference and
+// Paper, yielding a perfect match except for the λ-scored null cells.
+func TestFig4CrossRelationConsistency(t *testing.T) {
+	res, err := instcmp.Compare(paperIn(), paperIg(), &instcmp.Options{
+		Mode:      instcmp.OneToOne,
+		Algorithm: instcmp.AlgoSignature,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs) != 6 {
+		t.Fatalf("pairs = %d, want all 6 tuples matched", len(res.Pairs))
+	}
+	if got := res.LeftValueMapping[nu("N1")]; got != c("1") {
+		t.Errorf("h_l(N1) = %v, want 1", got)
+	}
+	if got := res.LeftValueMapping[nu("N2")]; got != c("2") {
+		t.Errorf("h_l(N2) = %v, want 2", got)
+	}
+	if got := res.LeftValueMapping[nu("N3")]; got != c("Framingham") {
+		t.Errorf("h_l(N3) = %v, want Framingham", got)
+	}
+	// 4 null cells scored λ (N1 twice in Paper, once in Conference; N2
+	// and N3 once each = 5 cells); everything else exact: check range.
+	if res.Score <= 0.8 || res.Score >= 1 {
+		t.Errorf("score = %v, want high but below 1", res.Score)
+	}
+}
+
+// TestCrossRelationConflictBlocksMatch: if the Paper relation forces N1 to
+// one conference while Conference data forces it to another, tuples cannot
+// all be matched.
+func TestCrossRelationConflictBlocksMatch(t *testing.T) {
+	left := instcmp.NewInstance()
+	left.AddRelation("Conf", "Id", "Name")
+	left.AddRelation("Paper", "Title", "ConfId")
+	left.Append("Conf", nu("K"), c("VLDB"))
+	left.Append("Paper", c("QBE"), nu("K"))
+
+	right := instcmp.NewInstance()
+	right.AddRelation("Conf", "Id", "Name")
+	right.AddRelation("Paper", "Title", "ConfId")
+	right.Append("Conf", c("1"), c("VLDB"))
+	right.Append("Paper", c("QBE"), c("2")) // broken foreign key
+
+	res, err := instcmp.Compare(left, right, &instcmp.Options{
+		Mode:      instcmp.OneToOne,
+		Algorithm: instcmp.AlgoExact,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// K cannot be both 1 and 2: the optimum matches only one pair.
+	if len(res.Pairs) != 1 {
+		t.Errorf("pairs = %d, want 1 (cross-relation conflict)", len(res.Pairs))
+	}
+}
+
+// TestIsomorphicMultiRelation: null renaming across relations preserves
+// score 1.
+func TestIsomorphicMultiRelation(t *testing.T) {
+	in := paperIn()
+	res, err := instcmp.Compare(in, in.RenameNulls("z·"), &instcmp.Options{Mode: instcmp.OneToOne})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Score-1) > 1e-9 {
+		t.Errorf("isomorphic multi-relation score = %v, want 1", res.Score)
+	}
+	if !instcmp.IsIsomorphic(in, in.RenameNulls("z·")) {
+		t.Error("IsIsomorphic disagrees")
+	}
+}
+
+// TestEmptyRelationsDontBreakScoring: relations with no tuples contribute
+// size 0 and must not divide by zero or block matches elsewhere.
+func TestEmptyRelations(t *testing.T) {
+	l := instcmp.NewInstance()
+	l.AddRelation("A", "X")
+	l.AddRelation("B", "Y")
+	l.Append("A", c("v"))
+	r := l.Clone()
+	res, err := instcmp.Compare(l, r, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Score-1) > 1e-9 {
+		t.Errorf("score with empty relation = %v, want 1", res.Score)
+	}
+}
+
+// TestHomomorphismChecksOnPaperInstances: I_n maps homomorphically into
+// I_g (Fig. 4 is a universal-solution-style instance for Fig. 3) but not
+// vice versa.
+func TestHomomorphismChecksOnPaperInstances(t *testing.T) {
+	if !instcmp.HasHomomorphism(paperIn(), paperIg()) {
+		t.Error("I_n should map into I_g")
+	}
+	if instcmp.HasHomomorphism(paperIg(), paperIn()) {
+		t.Error("ground I_g cannot map into I_n (constants 1, 2, Framingham missing)")
+	}
+}

@@ -1,0 +1,164 @@
+package instcmp
+
+import (
+	"instcmp/internal/match"
+	"instcmp/internal/model"
+)
+
+// Normalize prepares two instances for comparison without touching the
+// originals: it clones both, optionally aligns their schemas (missing
+// relations become empty, missing attributes are padded with fresh distinct
+// nulls per row, Sec. 4), renames the right instance's nulls if the null
+// namespaces overlap, and renumbers the right instance's tuples if the
+// identifier spaces overlap. Tuple order within each relation is preserved,
+// so positions in the normalized copies address the same tuples as in the
+// originals.
+func Normalize(left, right *Instance, align bool) (*Instance, *Instance, error) {
+	l, r, _, err := normalize(left, right, align)
+	return l, r, err
+}
+
+// normalize additionally returns the prefix prepended to the right
+// instance's null names ("" when no renaming was needed), so results can be
+// reported in terms of the caller's original nulls.
+func normalize(left, right *Instance, align bool) (*Instance, *Instance, string, error) {
+	l, r := left.Clone(), right.Clone()
+	if align {
+		l, r = alignSchemas(l, r)
+	}
+	if !model.SameSchema(l, r) {
+		return nil, nil, "", match.ErrSchemaMismatch
+	}
+	prefix := ""
+	if varsOverlap(l, r) {
+		r, prefix = renameApart(l, r)
+	}
+	if idsOverlap(l, r) {
+		r = r.ReassignIDs(maxID(l) + 1)
+	}
+	return l, r, prefix, nil
+}
+
+func varsOverlap(l, r *Instance) bool {
+	lv := l.Vars()
+	for v := range r.Vars() {
+		if lv[v] {
+			return true
+		}
+	}
+	return false
+}
+
+// renameApart renames the right instance's nulls with a prefix that makes
+// them disjoint from the left instance's, growing the prefix until no
+// collision remains. It returns the renamed instance and the prefix used.
+func renameApart(l, r *Instance) (*Instance, string) {
+	prefix := "r·"
+	for {
+		ren := r.RenameNulls(prefix)
+		if !varsOverlap(l, ren) {
+			return ren, prefix
+		}
+		prefix += "·"
+	}
+}
+
+func idsOverlap(l, r *Instance) bool {
+	seen := map[TupleID]bool{}
+	for _, rel := range l.Relations() {
+		for _, t := range rel.Tuples {
+			seen[t.ID] = true
+		}
+	}
+	for _, rel := range r.Relations() {
+		for _, t := range rel.Tuples {
+			if seen[t.ID] {
+				return true
+			}
+		}
+	}
+	return false
+}
+
+func maxID(in *Instance) TupleID {
+	var mx TupleID
+	for _, rel := range in.Relations() {
+		for _, t := range rel.Tuples {
+			if t.ID > mx {
+				mx = t.ID
+			}
+		}
+	}
+	return mx
+}
+
+// alignSchemas rebuilds both instances over the union schema: relations in
+// left-then-right order, attributes per relation in left-then-right order.
+// Cells for attributes a side lacks are filled with fresh, pairwise
+// distinct nulls, which is the paper's recipe for comparing instances whose
+// schemas differ: the padded attribute constrains nothing.
+func alignSchemas(l, r *Instance) (*Instance, *Instance) {
+	type relSchema struct {
+		name  string
+		attrs []string
+	}
+	var order []relSchema
+	pos := map[string]int{}
+	addRel := func(rel *Relation) {
+		i, ok := pos[rel.Name]
+		if !ok {
+			pos[rel.Name] = len(order)
+			order = append(order, relSchema{name: rel.Name, attrs: append([]string(nil), rel.Attrs...)})
+			return
+		}
+		have := map[string]bool{}
+		for _, a := range order[i].attrs {
+			have[a] = true
+		}
+		for _, a := range rel.Attrs {
+			if !have[a] {
+				order[i].attrs = append(order[i].attrs, a)
+			}
+		}
+	}
+	for _, rel := range l.Relations() {
+		addRel(rel)
+	}
+	for _, rel := range r.Relations() {
+		addRel(rel)
+	}
+
+	rebuild := func(src *Instance, padPrefix string) *Instance {
+		out := model.NewInstance()
+		for _, rs := range order {
+			out.AddRelation(rs.name, rs.attrs...)
+			srcRel := src.Relation(rs.name)
+			if srcRel == nil {
+				continue
+			}
+			srcIdx := make([]int, len(rs.attrs))
+			for i, a := range rs.attrs {
+				srcIdx[i] = srcRel.AttrIndex(a)
+			}
+			for _, t := range srcRel.Tuples {
+				vals := make([]Value, len(rs.attrs))
+				for i, si := range srcIdx {
+					if si < 0 {
+						vals[i] = out.FreshNull(padPrefix)
+					} else {
+						vals[i] = t.Values[si]
+					}
+				}
+				out.Append(rs.name, vals...)
+				// Preserve the original identifier.
+				rel := out.Relation(rs.name)
+				rel.Tuples[len(rel.Tuples)-1].ID = t.ID
+			}
+		}
+		return out
+	}
+	// Padding nulls must not collide with existing null names; the
+	// unicode-marked prefixes keep them out of users' namespaces, and
+	// Normalize's rename step resolves any remaining overlap.
+	return rebuild(l, "pad·l·"), rebuild(r, "pad·r·")
+}

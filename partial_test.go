@@ -1,0 +1,132 @@
+package instcmp_test
+
+import (
+	"math"
+	"testing"
+
+	"instcmp"
+)
+
+func people(rows ...[3]string) *instcmp.Instance {
+	in := instcmp.NewInstance()
+	in.AddRelation("P", "Name", "Dept", "City")
+	for _, r := range rows {
+		vals := make([]instcmp.Value, 3)
+		for i, s := range r {
+			vals[i] = instcmp.Const(s)
+		}
+		in.Append("P", vals...)
+	}
+	return in
+}
+
+// TestPartialWithStringSimilarity: a typo'd constant earns its Levenshtein
+// similarity under partial matching with ConstSimilarity, scores 0 without.
+func TestPartialWithStringSimilarity(t *testing.T) {
+	l := people([3]string{"alice", "sales", "Boston"})
+	r := people([3]string{"alice", "sales", "Bostom"}) // one-letter typo
+
+	strict, err := instcmp.Compare(l, r, &instcmp.Options{Mode: instcmp.OneToOne})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if strict.Score != 0 {
+		t.Fatalf("complete-match score = %v, want 0", strict.Score)
+	}
+
+	partial, err := instcmp.Compare(l, r, &instcmp.Options{
+		Mode:          instcmp.OneToOne,
+		Algorithm:     instcmp.AlgoSignature,
+		Partial:       true,
+		MinPartialSig: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := (2.0 + 2.0) / 6; math.Abs(partial.Score-want) > 1e-9 {
+		t.Fatalf("partial score = %v, want %v", partial.Score, want)
+	}
+
+	fuzzy, err := instcmp.Compare(l, r, &instcmp.Options{
+		Mode:            instcmp.OneToOne,
+		Algorithm:       instcmp.AlgoSignature,
+		Partial:         true,
+		MinPartialSig:   2,
+		ConstSimilarity: instcmp.Levenshtein,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sim := instcmp.Levenshtein("Boston", "Bostom") // 5/6
+	want := (2 + sim + 2 + sim) / 6
+	if math.Abs(fuzzy.Score-want) > 1e-9 {
+		t.Fatalf("fuzzy score = %v, want %v", fuzzy.Score, want)
+	}
+	if !(fuzzy.Score > partial.Score) {
+		t.Error("string similarity should raise the partial score")
+	}
+}
+
+// TestPartialThresholdKeepsJunkOut: thresholding zeroes weak similarities.
+func TestPartialThresholdKeepsJunkOut(t *testing.T) {
+	// Boston vs Bosnia: Levenshtein similarity 0.5 — real but below a
+	// strict 0.8 threshold.
+	l := people([3]string{"alice", "sales", "Boston"})
+	r := people([3]string{"alice", "sales", "Bosnia"})
+	opts := func(f func(a, b string) float64) *instcmp.Options {
+		return &instcmp.Options{
+			Mode: instcmp.OneToOne, Algorithm: instcmp.AlgoSignature,
+			Partial: true, MinPartialSig: 2, ConstSimilarity: f,
+		}
+	}
+	raw, err := instcmp.Compare(l, r, opts(instcmp.Levenshtein))
+	if err != nil {
+		t.Fatal(err)
+	}
+	thr, err := instcmp.Compare(l, r, opts(instcmp.SimilarityThreshold(instcmp.Levenshtein, 0.8)))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !(thr.Score < raw.Score) {
+		t.Errorf("threshold did not reduce junk credit: %v vs %v", thr.Score, raw.Score)
+	}
+	if want := 4.0 / 6; math.Abs(thr.Score-want) > 1e-9 {
+		t.Errorf("thresholded score = %v, want %v", thr.Score, want)
+	}
+}
+
+// TestPartialMatchExplanation: partial pairs still appear in the result's
+// mapping so the conflicting tuples can be inspected.
+func TestPartialMatchExplanation(t *testing.T) {
+	l := people(
+		[3]string{"alice", "sales", "Boston"},
+		[3]string{"bob", "hr", "Berlin"},
+	)
+	r := people(
+		[3]string{"alice", "sales", "Bostom"},
+		[3]string{"carol", "it", "Madrid"},
+	)
+	res, err := instcmp.Compare(l, r, &instcmp.Options{
+		Mode: instcmp.OneToOne, Algorithm: instcmp.AlgoSignature,
+		Partial: true, MinPartialSig: 2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Pairs) != 1 {
+		t.Fatalf("pairs = %v, want the alice pair only", res.Pairs)
+	}
+	if len(res.LeftUnmatched) != 1 || len(res.RightUnmatched) != 1 {
+		t.Errorf("unmatched = %v / %v", res.LeftUnmatched, res.RightUnmatched)
+	}
+}
+
+// TestExportedMetricsSane spot-checks the re-exported metrics.
+func TestExportedMetricsSane(t *testing.T) {
+	if instcmp.Levenshtein("a", "a") != 1 || instcmp.JaroWinkler("a", "a") != 1 || instcmp.TrigramJaccard("a", "a") != 1 {
+		t.Error("identity similarity must be 1")
+	}
+	if instcmp.Levenshtein("abc", "xyz") != 0 {
+		t.Error("disjoint Levenshtein must be 0")
+	}
+}

@@ -1,0 +1,299 @@
+package instcmp_test
+
+// Property-based tests for the similarity measure's requirements
+// (Sec. 3, Eq. 1-5) and metamorphic properties of the algorithms, driven by
+// testing/quick over randomly generated instances.
+
+import (
+	"math"
+	"math/rand"
+	"reflect"
+	"testing"
+	"testing/quick"
+
+	"instcmp"
+	"instcmp/internal/hom"
+	"instcmp/internal/model"
+)
+
+// randInstance is a random small instance for testing/quick generation.
+type randInstance struct {
+	in *model.Instance
+}
+
+// Generate implements quick.Generator: up to 6 tuples over a fixed 3-column
+// schema, drawing from a small constant pool (to force collisions) plus
+// per-instance nulls (some repeated across cells).
+func (randInstance) Generate(rnd *rand.Rand, size int) reflect.Value {
+	in := model.NewInstance()
+	in.AddRelation("R", "A", "B", "C")
+	rows := 1 + rnd.Intn(6)
+	nulls := []model.Value{
+		in.FreshNull("q"), in.FreshNull("q"), in.FreshNull("q"),
+	}
+	for i := 0; i < rows; i++ {
+		vals := make([]model.Value, 3)
+		for j := range vals {
+			switch rnd.Intn(5) {
+			case 0:
+				vals[j] = nulls[rnd.Intn(len(nulls))]
+			default:
+				vals[j] = model.Constf("c%d", rnd.Intn(4))
+			}
+		}
+		in.Append("R", vals...)
+	}
+	return reflect.ValueOf(randInstance{in})
+}
+
+var quickCfg = &quick.Config{MaxCount: 60}
+
+func sim(t *testing.T, a, b *instcmp.Instance) float64 {
+	t.Helper()
+	res, err := instcmp.Compare(a, b, &instcmp.Options{Algorithm: instcmp.AlgoSignature})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res.Score
+}
+
+// TestPropertySelfSimilarity: Eq. 1, similarity(I, I) = 1 — and the same
+// for any null renaming (Eq. 2, isomorphism invariance).
+func TestPropertySelfSimilarity(t *testing.T) {
+	f := func(ri randInstance) bool {
+		if s := sim(t, ri.in, ri.in.Clone()); math.Abs(s-1) > 1e-9 {
+			t.Logf("self similarity %v for\n%s", s, ri.in)
+			return false
+		}
+		renamed := ri.in.RenameNulls("iso_")
+		if s := sim(t, ri.in, renamed); math.Abs(s-1) > 1e-9 {
+			t.Logf("isomorphic similarity %v for\n%s", s, ri.in)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyScoreRange: scores always land in [0, 1].
+func TestPropertyScoreRange(t *testing.T) {
+	f := func(a, b randInstance) bool {
+		s := sim(t, a.in, b.in)
+		return s >= 0 && s <= 1+1e-9
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertySymmetry: Eq. 5 on the exact algorithm (the greedy signature
+// algorithm approximates a symmetric measure but is not itself exactly
+// symmetric; the exact optimum is).
+func TestPropertySymmetry(t *testing.T) {
+	f := func(a, b randInstance) bool {
+		opts := &instcmp.Options{Algorithm: instcmp.AlgoExact, ExactMaxNodes: 3_000_000}
+		fwd, err := instcmp.Compare(a.in, b.in, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		bwd, err := instcmp.Compare(b.in, a.in, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !fwd.Exhaustive || !bwd.Exhaustive {
+			return true // budget hit: no claim
+		}
+		if math.Abs(fwd.Score-bwd.Score) > 1e-9 {
+			t.Logf("asymmetry: %v vs %v for\n%s\n%s", fwd.Score, bwd.Score, a.in, b.in)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyNonIsomorphicBelowOne: Eq. 3 via the exact algorithm —
+// non-isomorphic instances score strictly below 1.
+func TestPropertyNonIsomorphicBelowOne(t *testing.T) {
+	f := func(a, b randInstance) bool {
+		if hom.IsIsomorphic(a.in, b.in) {
+			return true
+		}
+		res, err := instcmp.Compare(a.in, b.in, &instcmp.Options{
+			Algorithm: instcmp.AlgoExact, ExactMaxNodes: 3_000_000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		// Inexhaustive scores are lower bounds — still must be < 1
+		// since the optimum of non-isomorphic instances is.
+		if res.Score >= 1-1e-12 {
+			t.Logf("non-isomorphic score %v for\n%s\n%s", res.Score, a.in, b.in)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyShuffleInvariance: tuple order carries no semantics, so
+// shuffling either side leaves the signature score unchanged up to greedy
+// tie-breaking; for the exact algorithm it is strictly invariant.
+func TestPropertyShuffleInvariance(t *testing.T) {
+	f := func(a, b randInstance) bool {
+		opts := &instcmp.Options{Algorithm: instcmp.AlgoExact, ExactMaxNodes: 3_000_000}
+		before, err := instcmp.Compare(a.in, b.in, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sh := b.in.Clone()
+		sh.Shuffle(rand.New(rand.NewSource(1)))
+		after, err := instcmp.Compare(a.in, sh, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !before.Exhaustive || !after.Exhaustive {
+			return true
+		}
+		if math.Abs(before.Score-after.Score) > 1e-9 {
+			t.Logf("shuffle changed score %v -> %v", before.Score, after.Score)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertySignatureLowerBoundsExact: the greedy score never exceeds the
+// exhaustive optimum.
+func TestPropertySignatureLowerBoundsExact(t *testing.T) {
+	f := func(a, b randInstance) bool {
+		ex, err := instcmp.Compare(a.in, b.in, &instcmp.Options{
+			Algorithm: instcmp.AlgoExact, ExactMaxNodes: 3_000_000,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ex.Exhaustive {
+			return true
+		}
+		sg, err := instcmp.Compare(a.in, b.in, &instcmp.Options{Algorithm: instcmp.AlgoSignature})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if sg.Score > ex.Score+1e-9 {
+			t.Logf("signature %v above exact optimum %v for\n%s\n%s", sg.Score, ex.Score, a.in, b.in)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyLambdaMonotone: raising λ never lowers the exact score (the
+// optimum can only gain from cheaper null-constant matches).
+func TestPropertyLambdaMonotone(t *testing.T) {
+	f := func(a, b randInstance) bool {
+		lo, err := instcmp.Compare(a.in, b.in, &instcmp.Options{
+			Algorithm: instcmp.AlgoExact, ExactMaxNodes: 3_000_000, ExplicitZeroLambda: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		hi, err := instcmp.Compare(a.in, b.in, &instcmp.Options{
+			Algorithm: instcmp.AlgoExact, ExactMaxNodes: 3_000_000, Lambda: 0.9,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !lo.Exhaustive || !hi.Exhaustive {
+			return true
+		}
+		if hi.Score < lo.Score-1e-9 {
+			t.Logf("λ monotonicity broken: λ=0 %v, λ=0.9 %v", lo.Score, hi.Score)
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 25}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyExplanationConsistent: the reported pairs, unmatched lists,
+// and instance cardinalities always reconcile.
+func TestPropertyExplanationConsistent(t *testing.T) {
+	f := func(a, b randInstance) bool {
+		res, err := instcmp.Compare(a.in, b.in, &instcmp.Options{
+			Mode: instcmp.OneToOne, Algorithm: instcmp.AlgoSignature,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(res.Pairs)+len(res.LeftUnmatched) != a.in.NumTuples() {
+			t.Logf("left accounting broken: %d pairs + %d unmatched != %d tuples",
+				len(res.Pairs), len(res.LeftUnmatched), a.in.NumTuples())
+			return false
+		}
+		if len(res.Pairs)+len(res.RightUnmatched) != b.in.NumTuples() {
+			return false
+		}
+		seenL := map[instcmp.TupleID]bool{}
+		seenR := map[instcmp.TupleID]bool{}
+		for _, p := range res.Pairs {
+			if seenL[p.LeftID] || seenR[p.RightID] {
+				t.Log("1-to-1 mode produced duplicate endpoints")
+				return false
+			}
+			seenL[p.LeftID], seenR[p.RightID] = true, true
+			if p.Score < 0 || p.Score > 3+1e-9 {
+				t.Logf("pair score %v out of [0, arity]", p.Score)
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestPropertyHomomorphismImpliesHighSimilarity is a sanity link between
+// the hom API and the measure: an instance is maximally similar to itself
+// composed with any valid null grounding only when that grounding is a
+// bijective renaming. Ground all nulls to fresh constants: the result is a
+// possible world, similarity must stay strictly positive (every tuple still
+// matches under null-to-constant mappings with λ > 0).
+func TestPropertyGroundingKeepsPositiveSimilarity(t *testing.T) {
+	f := func(a randInstance) bool {
+		grounded := a.in.Clone()
+		for _, rel := range grounded.Relations() {
+			for ti := range rel.Tuples {
+				for vi, v := range rel.Tuples[ti].Values {
+					if v.IsNull() {
+						rel.Tuples[ti].Values[vi] = model.Const("g_" + v.Raw())
+					}
+				}
+			}
+		}
+		if !instcmp.HasHomomorphism(a.in, grounded) {
+			t.Logf("instance does not map into its grounding:\n%s\n%s", a.in, grounded)
+			return false
+		}
+		s := sim(t, a.in, grounded)
+		return s > 0
+	}
+	if err := quick.Check(f, quickCfg); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,24 @@
+package instcmp
+
+import "instcmp/internal/strsim"
+
+// String-similarity metrics for Options.ConstSimilarity (the paper's
+// Sec. 9 extension: give conflicting constants partial credit in partial
+// matches instead of 0). All are symmetric, normalized to [0, 1], and
+// return 1 exactly for equal strings.
+
+// Levenshtein is the normalized edit-distance similarity.
+func Levenshtein(a, b string) float64 { return strsim.Levenshtein(a, b) }
+
+// JaroWinkler is the Jaro-Winkler similarity (prefix-boosted Jaro), the
+// classic record-linkage metric.
+func JaroWinkler(a, b string) float64 { return strsim.JaroWinkler(a, b) }
+
+// TrigramJaccard is the Jaccard similarity of rune-trigram sets.
+func TrigramJaccard(a, b string) float64 { return strsim.TrigramJaccard(a, b) }
+
+// SimilarityThreshold wraps a metric so values below the threshold drop to
+// 0, keeping vaguely similar constants from earning credit.
+func SimilarityThreshold(f func(a, b string) float64, threshold float64) func(a, b string) float64 {
+	return strsim.Thresholded(f, threshold)
+}
