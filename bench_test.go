@@ -83,6 +83,7 @@ func BenchmarkTable2(b *testing.B) {
 // optimistic-score pruning handles the 1-to-1 modCell workload well; the
 // n-to-m powerset search of Table 3 remains budget-bound, per Thm. 5.11).
 func BenchmarkTable2Exact(b *testing.B) {
+	b.ReportAllocs()
 	base, err := datasets.Generate(datasets.Doct, 500, benchSeed)
 	if err != nil {
 		b.Fatal(err)
@@ -243,6 +244,7 @@ func BenchmarkAblationNullAttrs(b *testing.B) {
 func BenchmarkSignatureScaling(b *testing.B) {
 	for _, rows := range []int{1000, 5000, 20000} {
 		b.Run(fmt.Sprintf("rows-%d", rows), func(b *testing.B) {
+			b.ReportAllocs()
 			base, err := datasets.Generate(datasets.Doct, rows, benchSeed)
 			if err != nil {
 				b.Fatal(err)
@@ -342,6 +344,7 @@ func BenchmarkSignatureDesignAblations(b *testing.B) {
 // BenchmarkCompareAPI measures the public API end to end, normalization
 // included.
 func BenchmarkCompareAPI(b *testing.B) {
+	b.ReportAllocs()
 	base, err := datasets.Generate(datasets.Bike, 2000, benchSeed)
 	if err != nil {
 		b.Fatal(err)

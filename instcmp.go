@@ -25,6 +25,7 @@ package instcmp
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"instcmp/internal/exact"
@@ -109,8 +110,9 @@ const autoExactLimit = 16
 type Options struct {
 	// Mode restricts tuple mappings; zero value is ManyToMany.
 	Mode Mode
-	// Lambda is the null-to-constant penalty; 0 means DefaultLambda. Use
-	// ExplicitZeroLambda to request λ = 0.
+	// Lambda is the null-to-constant penalty and must satisfy 0 ≤ λ < 1;
+	// 0 means DefaultLambda (use ExplicitZeroLambda to request λ = 0).
+	// Compare rejects values outside the paper's range.
 	Lambda float64
 	// ExplicitZeroLambda forces λ = 0 (nulls matched to constants score
 	// nothing).
@@ -194,6 +196,12 @@ func Compare(left, right *Instance, opt *Options) (*Result, error) {
 	}
 	if opt == nil {
 		opt = &Options{}
+	}
+	if opt.Lambda < 0 || opt.Lambda >= 1 {
+		return nil, fmt.Errorf("instcmp: Lambda must satisfy 0 <= λ < 1, got %v", opt.Lambda)
+	}
+	if opt.MinPartialSig < 0 {
+		return nil, fmt.Errorf("instcmp: MinPartialSig must be non-negative, got %d", opt.MinPartialSig)
 	}
 	start := time.Now()
 	l, r, rightPrefix, err := normalize(left, right, opt.AlignSchemas)
@@ -312,7 +320,7 @@ func (r *Result) fillExplanation(env *match.Env, lambda float64, origLeft, origR
 		if rightPrefix == "" || v.IsConst() {
 			return v
 		}
-		if name, ok := cutPrefix(v.Raw(), rightPrefix); ok {
+		if name, ok := strings.CutPrefix(v.Raw(), rightPrefix); ok {
 			return Null(name)
 		}
 		return v
@@ -325,11 +333,4 @@ func (r *Result) fillExplanation(env *match.Env, lambda float64, origLeft, origR
 	for v := range env.Right.Vars() {
 		r.RightValueMapping[unrename(v)] = unrename(env.U.Representative(v))
 	}
-}
-
-func cutPrefix(s, prefix string) (string, bool) {
-	if len(s) >= len(prefix) && s[:len(prefix)] == prefix {
-		return s[len(prefix):], true
-	}
-	return "", false
 }

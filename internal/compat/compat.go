@@ -3,6 +3,13 @@
 // it could be matched with. It combines the per-attribute hash indexes and
 // c-compatibility pruning of Sec. 6.1 with the exact pairwise unification
 // check (t ≃ t').
+//
+// Two index flavors exist. CodedIndex is what the comparison algorithms use:
+// it runs on the integer-coded rows of a model.CodedRelation, buckets by
+// ValueID, and performs the pairwise unification check with a reusable
+// scratch union-find — no per-candidate allocation and no string hashing.
+// The Value/Tuple-based Index remains for callers outside the coded world
+// (the scenario generator's gold-extension, tests).
 package compat
 
 import (
@@ -62,6 +69,75 @@ func Compatible(lt, rt *model.Tuple) bool {
 			parent[ra] = rb
 		} else {
 			parent[rb] = ra
+		}
+	}
+	return true
+}
+
+// pairUF is a scratch union-find over the ≤ 2·arity distinct ValueIDs of one
+// tuple pair. Elements are located by linear scan — with at most 128
+// entries that beats any map — and the backing slices are reused across
+// calls, so a pairwise check allocates nothing after warm-up. Constants are
+// kept at class roots, mirroring Compatible above.
+type pairUF struct {
+	ids    []model.ValueID
+	parent []int32
+	isC    []bool
+}
+
+func (u *pairUF) reset() {
+	u.ids = u.ids[:0]
+	u.parent = u.parent[:0]
+	u.isC = u.isC[:0]
+}
+
+// add returns the element index of id, registering it on first sight.
+func (u *pairUF) add(id model.ValueID, isConst bool) int32 {
+	for j, x := range u.ids {
+		if x == id {
+			return int32(j)
+		}
+	}
+	j := int32(len(u.ids))
+	u.ids = append(u.ids, id)
+	u.parent = append(u.parent, j)
+	u.isC = append(u.isC, isConst)
+	return j
+}
+
+func (u *pairUF) find(j int32) int32 {
+	for u.parent[j] != j {
+		j = u.parent[j]
+	}
+	return j
+}
+
+// compatibleRows is the coded form of CCompatible && Compatible: it reports
+// whether two coded rows admit value mappings with h_l(t) = h_r(t'),
+// reading nullness from the ID-indexed flag table.
+func compatibleRows(a, b []model.ValueID, null []bool, uf *pairUF) bool {
+	uf.reset()
+	for i, la := range a {
+		lb := b[i]
+		an, bn := null[la], null[lb]
+		if !an && !bn {
+			if la != lb {
+				return false
+			}
+			continue
+		}
+		ra := uf.find(uf.add(la, !an))
+		rb := uf.find(uf.add(lb, !bn))
+		if ra == rb {
+			continue
+		}
+		if uf.isC[ra] && uf.isC[rb] {
+			return false
+		}
+		if uf.isC[rb] {
+			uf.parent[ra] = rb
+		} else {
+			uf.parent[rb] = ra
 		}
 	}
 	return true
@@ -189,4 +265,90 @@ func Candidates(lrel, rrel *model.Relation, leftIdxs, rightIdxs []int) map[int][
 		out[li] = ix.Candidates(&lrel.Tuples[li])
 	}
 	return out
+}
+
+// CodedIndex is the Alg. 2 index over a coded relation: per-attribute
+// buckets keyed by ValueID plus the ground-mask grouping of Index, probed
+// with coded rows. It is what the exact search and the signature
+// algorithm's completion step run on.
+type CodedIndex struct {
+	crel    *model.CodedRelation
+	null    []bool
+	byConst []map[model.ValueID][]int32
+	byMask  map[uint64][]int32
+	masks   []uint64
+	stamp   []int32
+	gen     int32
+	uf      pairUF
+	out     []int
+}
+
+// NewCodedIndex builds the index over the listed row positions (nil means
+// all rows). The interner must be the one the relation was coded with.
+func NewCodedIndex(crel *model.CodedRelation, idxs []int, in *model.Interner) *CodedIndex {
+	ix := &CodedIndex{
+		crel:    crel,
+		null:    in.NullFlags(),
+		byConst: make([]map[model.ValueID][]int32, crel.Arity),
+		byMask:  map[uint64][]int32{},
+		stamp:   make([]int32, crel.Rows()),
+	}
+	for a := range ix.byConst {
+		ix.byConst[a] = map[model.ValueID][]int32{}
+	}
+	add := func(ti int) {
+		row, mask := ix.crel.Row(ti), ix.crel.Masks[ti]
+		for a, id := range row {
+			if mask&(1<<a) != 0 {
+				ix.byConst[a][id] = append(ix.byConst[a][id], int32(ti))
+			}
+		}
+		if _, seen := ix.byMask[mask]; !seen {
+			ix.masks = append(ix.masks, mask)
+		}
+		ix.byMask[mask] = append(ix.byMask[mask], int32(ti))
+	}
+	if idxs == nil {
+		for ti := 0; ti < crel.Rows(); ti++ {
+			add(ti)
+		}
+	} else {
+		for _, ti := range idxs {
+			add(ti)
+		}
+	}
+	return ix
+}
+
+// Candidates returns the positions of indexed rows compatible (t ≃ t') with
+// the probe row, whose ground mask the caller supplies (the coded relations
+// precompute it). The returned slice is reused by the index and only valid
+// until the next Candidates call.
+func (ix *CodedIndex) Candidates(row []model.ValueID, probeMask uint64) []int {
+	ix.gen++
+	ix.out = ix.out[:0]
+	check := func(ti int32) {
+		if ix.stamp[ti] == ix.gen {
+			return
+		}
+		ix.stamp[ti] = ix.gen
+		if compatibleRows(row, ix.crel.Row(int(ti)), ix.null, &ix.uf) {
+			ix.out = append(ix.out, int(ti))
+		}
+	}
+	for a, id := range row {
+		if probeMask&(1<<a) != 0 {
+			for _, ti := range ix.byConst[a][id] {
+				check(ti)
+			}
+		}
+	}
+	for _, mask := range ix.masks {
+		if mask&probeMask == 0 {
+			for _, ti := range ix.byMask[mask] {
+				check(ti)
+			}
+		}
+	}
+	return ix.out
 }

@@ -67,11 +67,21 @@ func TestOptScoreBounds(t *testing.T) {
 		{[]model.Value{n("N"), n("M")}, []model.Value{n("V"), c("b")}, 1.5},
 		{[]model.Value{n("N")}, []model.Value{n("V")}, 1},
 	}
+	in := model.NewInterner()
+	code := func(vals []model.Value) (row []model.ValueID, mask uint64) {
+		for a, v := range vals {
+			row = append(row, in.Intern(v))
+			if v.IsConst() {
+				mask |= 1 << a
+			}
+		}
+		return row, mask
+	}
 	for _, tc := range cases {
-		lt := &model.Tuple{Values: tc.l}
-		rt := &model.Tuple{Values: tc.r}
-		if got := optScore(lt, rt, 0.5); got != tc.want {
-			t.Errorf("optScore(%v, %v) = %v, want %v", lt, rt, got, tc.want)
+		lrow, lmask := code(tc.l)
+		rrow, rmask := code(tc.r)
+		if got := optScore(lrow, rrow, lmask, rmask, 0.5); got != tc.want {
+			t.Errorf("optScore(%v, %v) = %v, want %v", tc.l, tc.r, got, tc.want)
 		}
 	}
 }

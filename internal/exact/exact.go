@@ -11,6 +11,11 @@
 // back on backtracking. The instance-comparison problem is NP-hard
 // (Thm. 5.11), so the search carries a node/time budget; results indicate
 // whether the search space was exhausted.
+//
+// The search runs on the comparison's integer-coded rows: candidate
+// generation probes compat.CodedIndex, the static per-pair bounds read
+// ValueIDs and precomputed ground masks, and the suffix bounds accumulate
+// in flat arrays indexed by flattened tuple position.
 package exact
 
 import (
@@ -117,6 +122,8 @@ type searcher struct {
 type leftChoice struct {
 	ref   match.Ref
 	cands []match.Ref
+	// opts[i] is the optimistic score of matching cands[i].
+	opts  []float64
 	arity float64
 	// bestOpt is the largest optimistic pair score among the candidates:
 	// an upper bound on what matching this tuple can contribute per side.
@@ -125,19 +132,17 @@ type leftChoice struct {
 
 // optScore is a static upper bound on a pair's Def. 5.5 score within any
 // complete match: equal constants score exactly 1, null-null cells at most
-// 1 (⊓ ≥ 1 each side), null-constant cells at most λ.
-func optScore(lt, rt *model.Tuple, lambda float64) float64 {
+// 1 (⊓ ≥ 1 each side), null-constant cells at most λ. Rows from a
+// compatible pair never hold unequal constants at an attribute, so the
+// both-ground case contributes exactly 1.
+func optScore(lrow, rrow []model.ValueID, lmask, rmask uint64, lambda float64) float64 {
 	s := 0.0
-	for i, lv := range lt.Values {
-		rv := rt.Values[i]
+	for i := range lrow {
+		bit := uint64(1) << i
 		switch {
-		case lv.IsConst() && rv.IsConst():
-			if lv == rv {
-				s++
-			}
-			// Unequal constants cannot appear in a complete
-			// match's pair; compatible pairs never hit this.
-		case lv.IsNull() && rv.IsNull():
+		case lmask&bit != 0 && rmask&bit != 0:
+			s++
+		case lmask&bit == 0 && rmask&bit == 0:
 			s++
 		default:
 			s += lambda
@@ -150,24 +155,29 @@ func optScore(lt, rt *model.Tuple, lambda float64) float64 {
 // structures for the configured mode.
 func (s *searcher) collectPairs() {
 	for ri := range s.env.LRels {
-		lrel, rrel := s.env.LRels[ri], s.env.RRels[ri]
-		cands := compat.Candidates(lrel, rrel, nil, nil)
-		arity := float64(lrel.Arity())
-		for li := 0; li < len(lrel.Tuples); li++ {
-			cs := cands[li]
+		lcode, rcode := s.env.LCode[ri], s.env.RCode[ri]
+		ix := compat.NewCodedIndex(rcode, nil, s.env.In)
+		arity := float64(lcode.Arity)
+		for li := 0; li < lcode.Rows(); li++ {
+			lrow, lmask := lcode.Row(li), lcode.Masks[li]
+			// The index reuses its candidate buffer; copy before
+			// sorting and storing.
+			cs := append([]int(nil), ix.Candidates(lrow, lmask)...)
 			lref := match.Ref{Rel: ri, Idx: li}
 			// Order candidates by immediate affinity (shared
 			// constants first) so good solutions surface early and
 			// tighten the bound.
 			sort.SliceStable(cs, func(a, b int) bool {
-				return sharedConsts(&lrel.Tuples[li], &rrel.Tuples[cs[a]]) >
-					sharedConsts(&lrel.Tuples[li], &rrel.Tuples[cs[b]])
+				return sharedConsts(lrow, rcode.Row(cs[a]), lmask&rcode.Masks[cs[a]]) >
+					sharedConsts(lrow, rcode.Row(cs[b]), lmask&rcode.Masks[cs[b]])
 			})
 			lc := leftChoice{ref: lref, arity: arity}
 			lc.cands = make([]match.Ref, len(cs))
+			lc.opts = make([]float64, len(cs))
 			for i, ci := range cs {
 				lc.cands[i] = match.Ref{Rel: ri, Idx: ci}
-				opt := optScore(&lrel.Tuples[li], &rrel.Tuples[ci], s.lambda)
+				opt := optScore(lrow, rcode.Row(ci), lmask, rcode.Masks[ci], s.lambda)
+				lc.opts[i] = opt
 				if opt > lc.bestOpt {
 					lc.bestOpt = opt
 				}
@@ -189,27 +199,30 @@ func (s *searcher) collectPairs() {
 	// repeat across pairs, so count each tuple's best remaining pair
 	// only.
 	s.suffix = make([]float64, len(s.pairs)+1)
-	bestL := map[match.Ref]float64{}
-	bestR := map[match.Ref]float64{}
+	bestL := make([]float64, s.env.NumLeftTuples())
+	bestR := make([]float64, s.env.NumRightTuples())
 	for i := len(s.pairs) - 1; i >= 0; i-- {
 		p := s.pairs[i]
+		fl, fr := s.env.FlatL(p.L), s.env.FlatR(p.R)
 		add := 0.0
-		if opt := s.pairOpt[i]; opt > bestL[p.L] {
-			add += opt - bestL[p.L]
-			bestL[p.L] = opt
+		if opt := s.pairOpt[i]; opt > bestL[fl] {
+			add += opt - bestL[fl]
+			bestL[fl] = opt
 		}
-		if opt := s.pairOpt[i]; opt > bestR[p.R] {
-			add += opt - bestR[p.R]
-			bestR[p.R] = opt
+		if opt := s.pairOpt[i]; opt > bestR[fr] {
+			add += opt - bestR[fr]
+			bestR[fr] = opt
 		}
 		s.suffix[i] = s.suffix[i+1] + add
 	}
 }
 
-func sharedConsts(a, b *model.Tuple) int {
+// sharedConsts counts attributes where both rows hold the same constant;
+// both is the intersection of the rows' ground masks.
+func sharedConsts(a, b []model.ValueID, both uint64) int {
 	n := 0
-	for i, v := range a.Values {
-		if v.IsConst() && v == b.Values[i] {
+	for i := range a {
+		if both&(1<<i) != 0 && a[i] == b[i] {
 			n++
 		}
 	}
@@ -269,7 +282,7 @@ func (s *searcher) searchFunctional(i int) {
 	for ci, r := range lc.cands {
 		m := s.env.Mark()
 		if s.env.TryAddPair(match.Pair{L: lc.ref, R: r}) {
-			opt := 2 * s.pairOptFor(i, ci)
+			opt := 2 * lc.opts[ci]
 			s.committedUB += opt
 			s.searchFunctional(i + 1)
 			s.committedUB -= opt
@@ -278,14 +291,6 @@ func (s *searcher) searchFunctional(i int) {
 	}
 	// The unmatched branch: Def. 5.3 can prefer leaving a tuple out.
 	s.searchFunctional(i + 1)
-}
-
-// pairOptFor returns the optimistic score of lefts[i]'s ci-th candidate.
-func (s *searcher) pairOptFor(i, ci int) float64 {
-	lc := s.lefts[i]
-	lt := s.env.LeftTuple(lc.ref)
-	rt := s.env.RightTuple(lc.cands[ci])
-	return optScore(lt, rt, s.lambda)
 }
 
 // searchGeneral includes or excludes each compatible pair.

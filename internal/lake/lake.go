@@ -14,6 +14,7 @@ package lake
 import (
 	"sort"
 	"sync"
+	"sync/atomic"
 
 	"instcmp"
 	"instcmp/internal/model"
@@ -88,22 +89,37 @@ func Rank(example *instcmp.Instance, lake []Candidate, opt Options) ([]Result, e
 		r.Score = res.Score
 		out[i] = r
 	}
+	// Rank fails as a whole when any comparison fails, so once an error is
+	// recorded there is no point launching further comparisons: the loops
+	// below fail fast. Results computed before the error are still written
+	// to their out slots, keeping the (discarded) partial state
+	// deterministic; the first error by candidate order is returned.
+	var failed atomic.Bool
 	if opt.Workers > 1 {
 		var wg sync.WaitGroup
 		sem := make(chan struct{}, opt.Workers)
 		for i := range lake {
+			if failed.Load() {
+				break
+			}
 			wg.Add(1)
 			sem <- struct{}{}
 			go func(i int) {
 				defer wg.Done()
 				defer func() { <-sem }()
 				rank(i)
+				if errs[i] != nil {
+					failed.Store(true)
+				}
 			}(i)
 		}
 		wg.Wait()
 	} else {
 		for i := range lake {
 			rank(i)
+			if errs[i] != nil {
+				break
+			}
 		}
 	}
 	for _, err := range errs {

@@ -1,0 +1,129 @@
+package match
+
+import (
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"instcmp/internal/model"
+)
+
+// randomEnvInstances builds a pair of same-schema instances with a mix of
+// constants and side-disjoint labeled nulls.
+func randomEnvInstances(rng *rand.Rand, rows int) (*model.Instance, *model.Instance) {
+	build := func(prefix string) *model.Instance {
+		in := model.NewInstance()
+		in.AddRelation("R", "A", "B", "C")
+		for i := 0; i < rows; i++ {
+			vals := make([]model.Value, 3)
+			for a := range vals {
+				switch rng.Intn(3) {
+				case 0:
+					vals[a] = model.Const(fmt.Sprintf("c%d", rng.Intn(6)))
+				case 1:
+					vals[a] = model.Const(fmt.Sprintf("c%d", rng.Intn(3)))
+				default:
+					vals[a] = model.Null(fmt.Sprintf("%sN%d", prefix, rng.Intn(rows)))
+				}
+			}
+			in.Append("R", vals...)
+		}
+		return in
+	}
+	return build("l"), build("r")
+}
+
+// TestMarkUndoAgainstReference drives the dense image tables through random
+// TryAddPair/Mark/Undo sequences and cross-checks every observable —
+// NumPairs, Has, degrees, images — against a naive map-based reference
+// maintained from the accepted-pairs log.
+func TestMarkUndoAgainstReference(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		left, right := randomEnvInstances(rng, 8)
+		mode := []Mode{OneToOne, Functional, ManyToMany}[rng.Intn(3)]
+		env, err := NewEnv(left, right, mode)
+		if err != nil {
+			t.Fatal(err)
+		}
+
+		type frame struct {
+			mark  Mark
+			pairs []Pair // reference pair log at mark time
+		}
+		var accepted []Pair
+		var stack []frame
+
+		check := func(step int) {
+			t.Helper()
+			if env.NumPairs() != len(accepted) {
+				t.Fatalf("seed %d step %d: NumPairs %d, reference %d", seed, step, env.NumPairs(), len(accepted))
+			}
+			refSet := map[Pair]bool{}
+			degL := map[Ref]int{}
+			degR := map[Ref]int{}
+			for _, p := range accepted {
+				refSet[p] = true
+				degL[p.L]++
+				degR[p.R]++
+			}
+			for ti := 0; ti < len(left.Relations()[0].Tuples); ti++ {
+				for tj := 0; tj < len(right.Relations()[0].Tuples); tj++ {
+					p := Pair{L: Ref{Rel: 0, Idx: ti}, R: Ref{Rel: 0, Idx: tj}}
+					if env.Has(p) != refSet[p] {
+						t.Fatalf("seed %d step %d: Has(%v) = %v, reference %v", seed, step, p, env.Has(p), refSet[p])
+					}
+				}
+				lr := Ref{Rel: 0, Idx: ti}
+				if env.LeftDegree(lr) != degL[lr] {
+					t.Fatalf("seed %d step %d: LeftDegree(%v) = %d, reference %d", seed, step, lr, env.LeftDegree(lr), degL[lr])
+				}
+				if len(env.LeftImage(lr)) != degL[lr] {
+					t.Fatalf("seed %d step %d: LeftImage(%v) has %d entries, reference %d", seed, step, lr, len(env.LeftImage(lr)), degL[lr])
+				}
+			}
+			for tj := 0; tj < len(right.Relations()[0].Tuples); tj++ {
+				rr := Ref{Rel: 0, Idx: tj}
+				if env.RightDegree(rr) != degR[rr] {
+					t.Fatalf("seed %d step %d: RightDegree(%v) = %d, reference %d", seed, step, rr, env.RightDegree(rr), degR[rr])
+				}
+			}
+			if !env.IsComplete() {
+				t.Fatalf("seed %d step %d: match not complete after TryAddPair-only growth", seed, step)
+			}
+		}
+
+		nL, nR := len(left.Relations()[0].Tuples), len(right.Relations()[0].Tuples)
+		for step := 0; step < 300; step++ {
+			switch op := rng.Intn(10); {
+			case op < 6: // try a random pair
+				p := Pair{L: Ref{Rel: 0, Idx: rng.Intn(nL)}, R: Ref{Rel: 0, Idx: rng.Intn(nR)}}
+				would := env.WouldAccept(p)
+				if env.TryAddPair(p) {
+					if !would {
+						t.Fatalf("seed %d step %d: WouldAccept(%v) = false but TryAddPair succeeded", seed, step, p)
+					}
+					accepted = append(accepted, p)
+				} else if would {
+					t.Fatalf("seed %d step %d: WouldAccept(%v) = true but TryAddPair failed", seed, step, p)
+				}
+			case op < 8: // push a checkpoint
+				stack = append(stack, frame{mark: env.Mark(), pairs: append([]Pair(nil), accepted...)})
+			default: // pop to a random earlier checkpoint
+				if len(stack) == 0 {
+					continue
+				}
+				k := rng.Intn(len(stack))
+				env.Undo(stack[k].mark)
+				accepted = append(accepted[:0], stack[k].pairs...)
+				stack = stack[:k]
+			}
+			check(step)
+		}
+
+		// Zero Mark rolls everything back (the exact search relies on it).
+		env.Undo(Mark{})
+		accepted = accepted[:0]
+		check(-1)
+	}
+}

@@ -3,6 +3,14 @@
 // instance matches. Its central type, Env, is the shared working state of
 // both the exact and the signature algorithm: the two instances, the value
 // unifier, and the tuple mapping grown so far, with exact rollback.
+//
+// Env runs on the integer-coded representation of internal/model: NewEnv
+// interns every constant and null of the comparison once into dense ValueID
+// codes and recodes both instances' tuples as flat []ValueID rows. The
+// per-pair hot path — ModeAllows, TryAddPair, Undo — then works exclusively
+// on arrays indexed by flattened tuple positions (one dense index space per
+// side, relations concatenated) and never touches a Go map or allocates per
+// probe.
 package match
 
 import (
@@ -75,13 +83,22 @@ type Env struct {
 	Left, Right *model.Instance
 	LRels       []*model.Relation
 	RRels       []*model.Relation
-	U           *unify.Unifier
-	Mode        Mode
+	// LCode and RCode are the integer-coded images of LRels and RRels,
+	// built once by NewEnv over the shared interner In.
+	LCode, RCode []*model.CodedRelation
+	In           *model.Interner
+	U            *unify.Unifier
+	Mode         Mode
+
+	// lBase/rBase map a Ref to its flattened per-side tuple index:
+	// flat = base[ref.Rel] + ref.Idx. The flat index spaces are dense,
+	// so the image tables below are plain slices.
+	lBase, rBase []int
+	nL, nR       int
 
 	pairs    []Pair
-	pairSet  map[Pair]bool
-	leftImg  map[Ref][]Ref
-	rightImg map[Ref][]Ref
+	leftImg  [][]Ref // flat left index -> matched right refs
+	rightImg [][]Ref // flat right index -> matched left refs
 }
 
 // ErrSchemaMismatch is returned when the two instances do not share a
@@ -99,8 +116,9 @@ var ErrSharedNulls = errors.New("match: instances share labeled nulls")
 // bitmasks.
 var ErrTooManyAttributes = errors.New("match: relations with more than 64 attributes are not supported")
 
-// NewEnv validates the comparison preconditions and returns a fresh
-// environment with an empty tuple mapping.
+// NewEnv validates the comparison preconditions, interns both instances into
+// the integer-coded representation, and returns a fresh environment with an
+// empty tuple mapping.
 func NewEnv(left, right *model.Instance, mode Mode) (*Env, error) {
 	if !model.SameSchema(left, right) {
 		return nil, ErrSchemaMismatch
@@ -111,8 +129,11 @@ func NewEnv(left, right *model.Instance, mode Mode) (*Env, error) {
 		}
 	}
 	// Register nulls in sorted order so union-find representatives (and
-	// therefore reported value mappings) are deterministic.
-	u := unify.New()
+	// therefore reported value mappings) are deterministic. Interning
+	// follows the same order: nulls first (sorted, left then right), then
+	// constants in scan order during coding.
+	in := model.NewInterner()
+	u := unify.NewInterned(in)
 	for _, v := range left.SortedVars() {
 		u.AddNull(v, unify.Left)
 	}
@@ -122,18 +143,44 @@ func NewEnv(left, right *model.Instance, mode Mode) (*Env, error) {
 		}
 		u.AddNull(v, unify.Right)
 	}
-	return &Env{
-		Left:     left,
-		Right:    right,
-		LRels:    left.Relations(),
-		RRels:    right.Relations(),
-		U:        u,
-		Mode:     mode,
-		pairSet:  map[Pair]bool{},
-		leftImg:  map[Ref][]Ref{},
-		rightImg: map[Ref][]Ref{},
-	}, nil
+	e := &Env{
+		Left:  left,
+		Right: right,
+		LRels: left.Relations(),
+		RRels: right.Relations(),
+		In:    in,
+		U:     u,
+		Mode:  mode,
+	}
+	code := func(rels []*model.Relation) (codes []*model.CodedRelation, base []int, n int) {
+		codes = make([]*model.CodedRelation, len(rels))
+		base = make([]int, len(rels))
+		for i, rel := range rels {
+			codes[i] = in.Code(rel)
+			base[i] = n
+			n += len(rel.Tuples)
+		}
+		return codes, base, n
+	}
+	e.LCode, e.lBase, e.nL = code(e.LRels)
+	e.RCode, e.rBase, e.nR = code(e.RRels)
+	e.leftImg = make([][]Ref, e.nL)
+	e.rightImg = make([][]Ref, e.nR)
+	return e, nil
 }
+
+// FlatL returns the dense per-side index of a left tuple (relations
+// concatenated in schema order).
+func (e *Env) FlatL(ref Ref) int { return e.lBase[ref.Rel] + ref.Idx }
+
+// FlatR returns the dense per-side index of a right tuple.
+func (e *Env) FlatR(ref Ref) int { return e.rBase[ref.Rel] + ref.Idx }
+
+// NumLeftTuples returns the size of the left flat index space.
+func (e *Env) NumLeftTuples() int { return e.nL }
+
+// NumRightTuples returns the size of the right flat index space.
+func (e *Env) NumRightTuples() int { return e.nR }
 
 // LeftTuple returns the left tuple addressed by ref.
 func (e *Env) LeftTuple(ref Ref) *model.Tuple {
@@ -145,6 +192,22 @@ func (e *Env) RightTuple(ref Ref) *model.Tuple {
 	return &e.RRels[ref.Rel].Tuples[ref.Idx]
 }
 
+// LeftRow returns the coded row of a left tuple.
+func (e *Env) LeftRow(ref Ref) []model.ValueID {
+	return e.LCode[ref.Rel].Row(ref.Idx)
+}
+
+// RightRow returns the coded row of a right tuple.
+func (e *Env) RightRow(ref Ref) []model.ValueID {
+	return e.RCode[ref.Rel].Row(ref.Idx)
+}
+
+// LeftMask returns the ground mask of a left tuple.
+func (e *Env) LeftMask(ref Ref) uint64 { return e.LCode[ref.Rel].Masks[ref.Idx] }
+
+// RightMask returns the ground mask of a right tuple.
+func (e *Env) RightMask(ref Ref) uint64 { return e.RCode[ref.Rel].Masks[ref.Idx] }
+
 // Pairs returns the current tuple mapping. The slice is shared; callers
 // must not mutate it.
 func (e *Env) Pairs() []Pair { return e.pairs }
@@ -153,33 +216,49 @@ func (e *Env) Pairs() []Pair { return e.pairs }
 func (e *Env) NumPairs() int { return len(e.pairs) }
 
 // LeftImage returns m(t) for a left tuple: the right tuples it is matched to.
-func (e *Env) LeftImage(ref Ref) []Ref { return e.leftImg[ref] }
+func (e *Env) LeftImage(ref Ref) []Ref { return e.leftImg[e.FlatL(ref)] }
 
 // RightImage returns m(t') for a right tuple.
-func (e *Env) RightImage(ref Ref) []Ref { return e.rightImg[ref] }
+func (e *Env) RightImage(ref Ref) []Ref { return e.rightImg[e.FlatR(ref)] }
 
 // LeftDegree returns |m(t)| for a left tuple.
-func (e *Env) LeftDegree(ref Ref) int { return len(e.leftImg[ref]) }
+func (e *Env) LeftDegree(ref Ref) int { return len(e.leftImg[e.FlatL(ref)]) }
 
 // RightDegree returns |m(t')| for a right tuple.
-func (e *Env) RightDegree(ref Ref) int { return len(e.rightImg[ref]) }
+func (e *Env) RightDegree(ref Ref) int { return len(e.rightImg[e.FlatR(ref)]) }
 
-// Has reports whether the pair is already part of the mapping.
-func (e *Env) Has(p Pair) bool { return e.pairSet[p] }
+// Has reports whether the pair is already part of the mapping. It scans the
+// smaller of the two endpoints' images — degrees are tiny in practice, and
+// the scan keeps the per-pair bookkeeping free of map probes.
+func (e *Env) Has(p Pair) bool {
+	li, ri := e.leftImg[e.FlatL(p.L)], e.rightImg[e.FlatR(p.R)]
+	if len(li) <= len(ri) {
+		for _, r := range li {
+			if r == p.R {
+				return true
+			}
+		}
+		return false
+	}
+	for _, l := range ri {
+		if l == p.L {
+			return true
+		}
+	}
+	return false
+}
 
 // ModeAllows reports whether adding the pair would respect the mode's
 // injectivity restrictions given the current mapping.
 func (e *Env) ModeAllows(p Pair) bool {
-	if e.pairSet[p] {
+	fl, fr := e.FlatL(p.L), e.FlatR(p.R)
+	if e.Mode.LeftInjective && len(e.leftImg[fl]) > 0 {
 		return false
 	}
-	if e.Mode.LeftInjective && len(e.leftImg[p.L]) > 0 {
+	if e.Mode.RightInjective && len(e.rightImg[fr]) > 0 {
 		return false
 	}
-	if e.Mode.RightInjective && len(e.rightImg[p.R]) > 0 {
-		return false
-	}
-	return true
+	return !e.Has(p)
 }
 
 // Mark is a checkpoint capturing the environment state for Undo.
@@ -200,13 +279,21 @@ func (e *Env) Undo(m Mark) {
 	for len(e.pairs) > m.nvals {
 		p := e.pairs[len(e.pairs)-1]
 		e.pairs = e.pairs[:len(e.pairs)-1]
-		delete(e.pairSet, p)
-		e.leftImg[p.L] = pop(e.leftImg[p.L])
-		e.rightImg[p.R] = pop(e.rightImg[p.R])
+		fl, fr := e.FlatL(p.L), e.FlatR(p.R)
+		e.leftImg[fl] = pop(e.leftImg[fl])
+		e.rightImg[fr] = pop(e.rightImg[fr])
 	}
 }
 
 func pop(s []Ref) []Ref { return s[:len(s)-1] }
+
+// addPair records an accepted pair in the dense image tables.
+func (e *Env) addPair(p Pair) {
+	e.pairs = append(e.pairs, p)
+	fl, fr := e.FlatL(p.L), e.FlatR(p.R)
+	e.leftImg[fl] = append(e.leftImg[fl], p.R)
+	e.rightImg[fr] = append(e.rightImg[fr], p.L)
+}
 
 // TryAddPair attempts to extend the match with a pair, unifying the two
 // tuples cell by cell. It returns false and leaves the environment
@@ -217,18 +304,15 @@ func (e *Env) TryAddPair(p Pair) bool {
 	if p.L.Rel != p.R.Rel || !e.ModeAllows(p) {
 		return false
 	}
-	lt, rt := e.LeftTuple(p.L), e.RightTuple(p.R)
+	lrow, rrow := e.LeftRow(p.L), e.RightRow(p.R)
 	um := e.U.Mark()
-	for i := range lt.Values {
-		if !e.U.Merge(lt.Values[i], rt.Values[i]) {
+	for i := range lrow {
+		if !e.U.MergeID(lrow[i], rrow[i]) {
 			e.U.Undo(um)
 			return false
 		}
 	}
-	e.pairs = append(e.pairs, p)
-	e.pairSet[p] = true
-	e.leftImg[p.L] = append(e.leftImg[p.L], p.R)
-	e.rightImg[p.R] = append(e.rightImg[p.R], p.L)
+	e.addPair(p)
 	return true
 }
 
@@ -244,12 +328,13 @@ func (e *Env) TryAddPartialPair(p Pair, minShared int) (added bool, conflicts in
 	if minShared < 1 {
 		minShared = 1
 	}
-	lt, rt := e.LeftTuple(p.L), e.RightTuple(p.R)
+	lrow, rrow := e.LeftRow(p.L), e.RightRow(p.R)
+	null := e.In.NullFlags()
 	um := e.U.Mark()
 	shared := 0
-	for i := range lt.Values {
-		lv, rv := lt.Values[i], rt.Values[i]
-		if lv.IsConst() && rv.IsConst() {
+	for i := range lrow {
+		lv, rv := lrow[i], rrow[i]
+		if !null[lv] && !null[rv] {
 			if lv == rv {
 				shared++
 			} else {
@@ -257,7 +342,7 @@ func (e *Env) TryAddPartialPair(p Pair, minShared int) (added bool, conflicts in
 			}
 			continue
 		}
-		if !e.U.Merge(lv, rv) {
+		if !e.U.MergeID(lv, rv) {
 			conflicts++
 		}
 	}
@@ -265,10 +350,7 @@ func (e *Env) TryAddPartialPair(p Pair, minShared int) (added bool, conflicts in
 		e.U.Undo(um)
 		return false, conflicts
 	}
-	e.pairs = append(e.pairs, p)
-	e.pairSet[p] = true
-	e.leftImg[p.L] = append(e.leftImg[p.L], p.R)
-	e.rightImg[p.R] = append(e.rightImg[p.R], p.L)
+	e.addPair(p)
 	return true, conflicts
 }
 
@@ -289,7 +371,7 @@ func (e *Env) CheckTotality() error {
 	if e.Mode.RequireLeftTotal {
 		for ri, r := range e.LRels {
 			for ti := range r.Tuples {
-				if len(e.leftImg[Ref{ri, ti}]) == 0 {
+				if len(e.leftImg[e.lBase[ri]+ti]) == 0 {
 					return fmt.Errorf("match: left tuple t%d unmatched but mode requires left-total", r.Tuples[ti].ID)
 				}
 			}
@@ -298,7 +380,7 @@ func (e *Env) CheckTotality() error {
 	if e.Mode.RequireRightTotal {
 		for ri, r := range e.RRels {
 			for ti := range r.Tuples {
-				if len(e.rightImg[Ref{ri, ti}]) == 0 {
+				if len(e.rightImg[e.rBase[ri]+ti]) == 0 {
 					return fmt.Errorf("match: right tuple t%d unmatched but mode requires right-total", r.Tuples[ti].ID)
 				}
 			}
@@ -310,7 +392,8 @@ func (e *Env) CheckTotality() error {
 // ValueMapping materializes one side's value mapping h from the unifier:
 // every value of that side's active domain maps to its class
 // representative. Identity entries are included so the result is total on
-// the active domain (Def. 4.1).
+// the active domain (Def. 4.1). This is a decode-boundary helper: it works
+// in caller-facing Values, not IDs.
 func (e *Env) ValueMapping(side unify.Side) map[model.Value]model.Value {
 	src := e.Left
 	if side == unify.Right {
@@ -328,9 +411,9 @@ func (e *Env) ValueMapping(side unify.Side) map[model.Value]model.Value {
 // invariant check for tests and for externally supplied matches.
 func (e *Env) IsComplete() bool {
 	for _, p := range e.pairs {
-		lt, rt := e.LeftTuple(p.L), e.RightTuple(p.R)
-		for i := range lt.Values {
-			if !e.U.SameClass(lt.Values[i], rt.Values[i]) {
+		lrow, rrow := e.LeftRow(p.L), e.RightRow(p.R)
+		for i := range lrow {
+			if !e.U.SameClassID(lrow[i], rrow[i]) {
 				return false
 			}
 		}

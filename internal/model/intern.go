@@ -1,0 +1,108 @@
+package model
+
+// This file implements the integer-coded representation the comparison
+// engine runs on. String-backed Values are interned once per comparison into
+// dense ValueID codes; tuples become flat []ValueID rows. Every hot path —
+// union-find merges, signature hashing, cell scoring, candidate indexing —
+// then works on small integers and array indexing instead of string-keyed
+// maps. The textual Values are recovered through the Interner only at the
+// explanation boundary (see instcmp's fillExplanation).
+
+// ValueID is a dense integer code for a Value within one comparison. IDs are
+// assigned consecutively from 0 by an Interner; the same Value always
+// receives the same ID from a given Interner, and distinct Values receive
+// distinct IDs, so two cells hold the same value exactly when their IDs are
+// equal.
+type ValueID int32
+
+// NoValueID is a sentinel that is never a valid ValueID.
+const NoValueID ValueID = -1
+
+// Interner assigns dense ValueID codes to Values and decodes them back. It
+// is shared by both sides of one comparison: left and right cells that hold
+// the same constant receive the same ID, which is what makes ID equality
+// meaningful. The zero value is not usable; call NewInterner.
+type Interner struct {
+	ids  map[Value]ValueID
+	vals []Value
+	null []bool
+}
+
+// NewInterner returns an empty interner.
+func NewInterner() *Interner {
+	return &Interner{ids: make(map[Value]ValueID)}
+}
+
+// Intern returns v's ID, assigning the next dense code on first sight.
+func (in *Interner) Intern(v Value) ValueID {
+	if id, ok := in.ids[v]; ok {
+		return id
+	}
+	id := ValueID(len(in.vals))
+	in.ids[v] = id
+	in.vals = append(in.vals, v)
+	in.null = append(in.null, v.IsNull())
+	return id
+}
+
+// Lookup returns v's ID without interning it.
+func (in *Interner) Lookup(v Value) (ValueID, bool) {
+	id, ok := in.ids[v]
+	return id, ok
+}
+
+// ValueOf decodes an ID back to its Value.
+func (in *Interner) ValueOf(id ValueID) Value { return in.vals[id] }
+
+// IsNull reports whether the coded value is a labeled null.
+func (in *Interner) IsNull(id ValueID) bool { return in.null[id] }
+
+// Len returns the number of interned values; valid IDs are [0, Len).
+func (in *Interner) Len() int { return len(in.vals) }
+
+// NullFlags exposes the ID-indexed nullness table for hot loops. The slice
+// is shared with the interner and only valid until the next Intern call;
+// callers must treat it as read-only.
+func (in *Interner) NullFlags() []bool { return in.null }
+
+// CodedRelation is the integer-coded image of one relation: all rows
+// flattened into a single []ValueID (row-major, cache-friendly) plus each
+// row's ground mask (the bitmask of constant-valued attributes, the quantity
+// the signature algorithm's null-pattern machinery works with).
+type CodedRelation struct {
+	Arity int
+	// Masks holds the per-row ground masks; len(Masks) is the row count.
+	Masks []uint64
+	vals  []ValueID
+}
+
+// Code interns every cell of the relation and returns its coded image.
+// Relations wider than 64 attributes cannot be mask-coded; callers validate
+// arity beforehand (match.NewEnv does).
+func (in *Interner) Code(rel *Relation) *CodedRelation {
+	c := &CodedRelation{
+		Arity: rel.Arity(),
+		Masks: make([]uint64, len(rel.Tuples)),
+		vals:  make([]ValueID, 0, len(rel.Tuples)*rel.Arity()),
+	}
+	for ti := range rel.Tuples {
+		var mask uint64
+		for a, v := range rel.Tuples[ti].Values {
+			if v.IsConst() {
+				mask |= 1 << a
+			}
+			c.vals = append(c.vals, in.Intern(v))
+		}
+		c.Masks[ti] = mask
+	}
+	return c
+}
+
+// Rows returns the number of coded rows.
+func (c *CodedRelation) Rows() int { return len(c.Masks) }
+
+// Row returns the i-th coded row. The slice aliases the relation's flat
+// storage; callers must not mutate it.
+func (c *CodedRelation) Row(i int) []ValueID {
+	return c.vals[i*c.Arity : (i+1)*c.Arity : (i+1)*c.Arity]
+}

@@ -1,0 +1,94 @@
+// Package regress pins the numeric behavior of the comparison algorithms
+// against golden scores captured from the pre-interning, string-based
+// implementation. The integer-coded core is a pure representation change:
+// every score must come out bit-identical, so the comparisons below use
+// exact float64 equality, not tolerances.
+package regress
+
+import (
+	"testing"
+
+	"instcmp/internal/datasets"
+	"instcmp/internal/exact"
+	"instcmp/internal/generator"
+	"instcmp/internal/match"
+	"instcmp/internal/signature"
+)
+
+// goldenSignature holds signature-algorithm scores recorded from the
+// string-based implementation (λ = 0.5).
+var goldenSignature = []struct {
+	name  datasets.Name
+	rows  int
+	noise generator.Noise
+	mode  match.Mode
+	seed  int64
+	want  float64
+}{
+	{datasets.Doct, 200, generator.Noise{CellPct: 0.05}, match.OneToOne, 1, 0.78300000000000025},
+	{datasets.Doct, 200, generator.Noise{CellPct: 0.25, NullReuse: 0.3}, match.Functional, 1, 0.28958333333333336},
+	{datasets.Bike, 150, generator.Noise{CellPct: 0.05, RandomPct: 0.1, RedundantPct: 0.1}, match.ManyToMany, 1, 0.5973501125434828},
+	{datasets.Git, 150, generator.Noise{CellPct: 0.10}, match.OneToOne, 1, 0.23201754385964912},
+	{datasets.Bus, 100, generator.Noise{CellPct: 0.50}, match.ManyToMany, 1, 0},
+	{datasets.Doct, 200, generator.Noise{CellPct: 0.05}, match.OneToOne, 2, 0.74950000000000006},
+	{datasets.Doct, 200, generator.Noise{CellPct: 0.25, NullReuse: 0.3}, match.Functional, 2, 0.25600000000000006},
+	{datasets.Bike, 150, generator.Noise{CellPct: 0.05, RandomPct: 0.1, RedundantPct: 0.1}, match.ManyToMany, 2, 0.53345610804174337},
+	{datasets.Git, 150, generator.Noise{CellPct: 0.10}, match.OneToOne, 2, 0.13321637426900584},
+	{datasets.Bus, 100, generator.Noise{CellPct: 0.50}, match.ManyToMany, 2, 0},
+	{datasets.Doct, 200, generator.Noise{CellPct: 0.05}, match.OneToOne, 3, 0.78400000000000025},
+	{datasets.Doct, 200, generator.Noise{CellPct: 0.25, NullReuse: 0.3}, match.Functional, 3, 0.31416666666666665},
+	{datasets.Bike, 150, generator.Noise{CellPct: 0.05, RandomPct: 0.1, RedundantPct: 0.1}, match.ManyToMany, 3, 0.61868221812973201},
+	{datasets.Git, 150, generator.Noise{CellPct: 0.10}, match.OneToOne, 3, 0.15067251461988304},
+	{datasets.Bus, 100, generator.Noise{CellPct: 0.50}, match.ManyToMany, 3, 0},
+}
+
+func TestSignatureGoldenScores(t *testing.T) {
+	for _, tc := range goldenSignature {
+		base, err := datasets.Generate(tc.name, tc.rows, tc.seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := tc.noise
+		n.Seed = tc.seed
+		sc := generator.Make(base, n)
+		res, err := signature.Run(sc.Source, sc.Target, tc.mode, signature.Options{Lambda: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Score != tc.want {
+			t.Errorf("%s rows=%d seed=%d mode=%v: score %.17g, golden %.17g",
+				tc.name, tc.rows, tc.seed, tc.mode, res.Score, tc.want)
+		}
+	}
+}
+
+// goldenExact holds exhaustive exact-search scores (Doct, 12 rows, CellPct
+// 0.2, 1-to-1, λ = 0.5) from the string-based implementation.
+var goldenExact = []struct {
+	seed int64
+	want float64
+}{
+	{1, 0.43333333333333335},
+	{2, 0.44166666666666665},
+	{3, 0.24166666666666667},
+}
+
+func TestExactGoldenScores(t *testing.T) {
+	for _, tc := range goldenExact {
+		base, err := datasets.Generate(datasets.Doct, 12, tc.seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := generator.Make(base, generator.Noise{CellPct: 0.2, Seed: tc.seed})
+		res, err := exact.Run(sc.Source, sc.Target, match.OneToOne, exact.Options{Lambda: 0.5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Exhaustive {
+			t.Fatalf("seed %d: search not exhaustive", tc.seed)
+		}
+		if res.Score != tc.want {
+			t.Errorf("seed %d: score %.17g, golden %.17g", tc.seed, res.Score, tc.want)
+		}
+	}
+}

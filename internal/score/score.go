@@ -2,6 +2,12 @@
 // of the paper: cell scores (Def. 5.5 with the non-injectivity measure ⊓ of
 // Eq. 6 and the null-to-constant penalty λ), tuple scores (Def. 5.2), and
 // the normalized instance-match score (Def. 5.3).
+//
+// Scoring runs on the comparison's integer-coded representation: cells are
+// compared by dense ValueID (equal constants are equal IDs), ⊓ comes from
+// the ID-indexed union-find, and per-tuple accumulation uses flat arrays
+// instead of Ref-keyed maps. The Value-based Cell/CellP entry points remain
+// for callers outside the coded world.
 package score
 
 import (
@@ -45,20 +51,29 @@ func Cell(u *unify.Unifier, lv, rv model.Value, lambda float64) float64 {
 // CellP is Cell with full scoring parameters: unequal constants earn their
 // ConstSim similarity instead of 0 when one is configured.
 func CellP(u *unify.Unifier, lv, rv model.Value, p Params) float64 {
-	if lv.IsConst() && rv.IsConst() {
+	in := u.Interner()
+	return CellIDP(u, in.Intern(lv), in.Intern(rv), p)
+}
+
+// CellIDP is the coded-cell form of CellP: the hot path of all pair scoring.
+// Equal constants are equal IDs; the interner is consulted for raw strings
+// only on the rare differing-constants-with-ConstSim branch.
+func CellIDP(u *unify.Unifier, lv, rv model.ValueID, p Params) float64 {
+	ln, rn := u.IsNullID(lv), u.IsNullID(rv)
+	if !ln && !rn {
 		if lv == rv {
 			return 1
 		}
 		if p.ConstSim != nil {
-			return p.ConstSim(lv.Raw(), rv.Raw())
+			return p.ConstSim(u.Raw(lv), u.Raw(rv))
 		}
 		return 0
 	}
-	if !u.SameClass(lv, rv) {
+	if !u.SameClassID(lv, rv) {
 		return 0
 	}
-	den := float64(u.SideCount(lv, unify.Left) + u.SideCount(rv, unify.Right))
-	if lv.IsNull() && rv.IsNull() {
+	den := float64(u.SideCountID(lv, unify.Left) + u.SideCountID(rv, unify.Right))
+	if ln && rn {
 		return 2 / den
 	}
 	return 2 * p.Lambda / den
@@ -72,10 +87,10 @@ func PairScore(e *match.Env, p match.Pair, lambda float64) float64 {
 
 // PairScoreP is PairScore with full scoring parameters.
 func PairScoreP(e *match.Env, pair match.Pair, p Params) float64 {
-	lt, rt := e.LeftTuple(pair.L), e.RightTuple(pair.R)
+	lrow, rrow := e.LeftRow(pair.L), e.RightRow(pair.R)
 	s := 0.0
-	for i := range lt.Values {
-		s += CellP(e.U, lt.Values[i], rt.Values[i], p)
+	for i := range lrow {
+		s += CellIDP(e.U, lrow[i], rrow[i], p)
 	}
 	return s
 }
@@ -87,43 +102,37 @@ func TupleScores(e *match.Env, lambda float64) (left, right float64) {
 	return TupleScoresP(e, Params{Lambda: lambda})
 }
 
-// TupleScoresP is TupleScores with full scoring parameters. Summation
-// follows the tuple mapping's insertion order, so equal matches always
-// yield bit-identical scores (no map-iteration nondeterminism).
+// TupleScoresP is TupleScores with full scoring parameters. Accumulation is
+// indexed by flattened tuple position, and summation follows the tuple
+// mapping's insertion order, so equal matches always yield bit-identical
+// scores (no map-iteration nondeterminism).
 func TupleScoresP(e *match.Env, params Params) (left, right float64) {
 	// Pair scores are symmetric in the pair, so compute each once and
 	// credit both endpoints' averages.
-	type acc struct {
-		sum float64
-		n   int
-	}
-	la := map[match.Ref]*acc{}
-	ra := map[match.Ref]*acc{}
-	var lorder, rorder []*acc
+	lsum := make([]float64, e.NumLeftTuples())
+	rsum := make([]float64, e.NumRightTuples())
+	lcnt := make([]int32, e.NumLeftTuples())
+	rcnt := make([]int32, e.NumRightTuples())
+	var lorder, rorder []int32
 	for _, p := range e.Pairs() {
 		s := PairScoreP(e, p, params)
-		l := la[p.L]
-		if l == nil {
-			l = &acc{}
-			la[p.L] = l
-			lorder = append(lorder, l)
+		fl, fr := e.FlatL(p.L), e.FlatR(p.R)
+		if lcnt[fl] == 0 {
+			lorder = append(lorder, int32(fl))
 		}
-		l.sum += s
-		l.n++
-		r := ra[p.R]
-		if r == nil {
-			r = &acc{}
-			ra[p.R] = r
-			rorder = append(rorder, r)
+		lsum[fl] += s
+		lcnt[fl]++
+		if rcnt[fr] == 0 {
+			rorder = append(rorder, int32(fr))
 		}
-		r.sum += s
-		r.n++
+		rsum[fr] += s
+		rcnt[fr]++
 	}
-	for _, a := range lorder {
-		left += a.sum / float64(a.n)
+	for _, fl := range lorder {
+		left += lsum[fl] / float64(lcnt[fl])
 	}
-	for _, a := range rorder {
-		right += a.sum / float64(a.n)
+	for _, fr := range rorder {
+		right += rsum[fr] / float64(rcnt[fr])
 	}
 	return left, right
 }

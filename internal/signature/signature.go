@@ -15,13 +15,17 @@
 // a signature-map entry, so this is a pure optimization that keeps the
 // fully-signature-based case (Case 2 of Sec. 6.2) linear in the instance
 // size and combinatorial only in the number of distinct null patterns.
+//
+// The whole phase runs on the comparison's integer-coded representation:
+// signatures are FNV-1a hashes over (attribute, ValueID) sequences instead
+// of built strings, ground masks are precomputed per coded row, and the
+// greedy bookkeeping (per-tuple score sums) lives in flat arrays indexed by
+// flattened tuple position.
 package signature
 
 import (
 	"math/bits"
 	"sort"
-	"strconv"
-	"strings"
 	"time"
 
 	"instcmp/internal/compat"
@@ -100,8 +104,8 @@ func Run(left, right *model.Instance, mode match.Mode, opt Options) (*Result, er
 	s := &runner{
 		env:  env,
 		opt:  opt,
-		sumL: map[match.Ref]float64{},
-		sumR: map[match.Ref]float64{},
+		sumL: make([]float64, env.NumLeftTuples()),
+		sumR: make([]float64, env.NumRightTuples()),
 	}
 
 	start := time.Now()
@@ -148,8 +152,19 @@ type runner struct {
 	// perfectOnly restricts tryPair to pairs scoring the full arity.
 	perfectOnly bool
 	// Running per-tuple pair-score sums (values as of insertion time),
-	// backing the net-gain guard in tryPair.
-	sumL, sumR map[match.Ref]float64
+	// backing the net-gain guard in tryPair. Indexed by flattened tuple
+	// position.
+	sumL, sumR []float64
+	// rescueEntries is scratch for rescue's per-mask hash index, reused
+	// across masks and relations.
+	rescueEntries []sigEntry
+}
+
+// sigEntry is one row of rescue's sorted hash index: the row's
+// sub-signature hash and its position.
+type sigEntry struct {
+	h  uint64
+	li int32
 }
 
 // leftSaturated reports whether a left tuple cannot take further partners.
@@ -161,36 +176,21 @@ func (s *runner) rightSaturated(ref match.Ref) bool {
 	return s.env.Mode.RightInjective && s.env.RightDegree(ref) > 0
 }
 
-// sigString renders the Def. 6.2 signature of a tuple on the attribute set
-// given as a bitmask: attribute/value pairs in lexicographic attribute
-// order. attrOrder lists attribute positions sorted by attribute name.
-// Used for debugging and the partial-mode map; the hot paths hash instead.
-func sigString(t *model.Tuple, mask uint64, attrOrder []int) string {
-	var b strings.Builder
-	for _, a := range attrOrder {
-		if mask&(1<<a) == 0 {
-			continue
-		}
-		b.WriteString(strconv.Itoa(a))
-		b.WriteByte('\x1e')
-		b.WriteString(t.Values[a].Raw())
-		b.WriteByte('\x1f')
-	}
-	return b.String()
-}
-
 // FNV-1a constants for sigHash.
 const (
 	fnvOffset = 14695981039346656037
 	fnvPrime  = 1099511628211
 )
 
-// sigHash is the allocation-free form of sigString: an FNV-1a hash of the
-// signature's attribute/value sequence. Hash collisions are harmless — a
-// colliding candidate merely reaches the pair-compatibility check
-// (TryAddPair / TryAddPartialPair), which verifies the real values — so
-// hashing only ever adds spurious candidates, never drops real ones.
-func sigHash(t *model.Tuple, mask uint64, attrOrder []int) uint64 {
+// sigHash hashes the Def. 6.2 signature of a coded row on the attribute set
+// given as a bitmask: an FNV-1a hash of the (attribute, ValueID) sequence
+// in lexicographic attribute order. With interned cells this touches 8
+// bytes per attribute instead of rebuilding and hashing the value strings.
+// Hash collisions are harmless — a colliding candidate merely reaches the
+// pair-compatibility check (TryAddPair / TryAddPartialPair), which verifies
+// the real values — so hashing only ever adds spurious candidates, never
+// drops real ones.
+func sigHash(row []model.ValueID, mask uint64, attrOrder []int) uint64 {
 	h := uint64(fnvOffset)
 	for _, a := range attrOrder {
 		if mask&(1<<a) == 0 {
@@ -198,12 +198,7 @@ func sigHash(t *model.Tuple, mask uint64, attrOrder []int) uint64 {
 		}
 		h ^= uint64(a) + 1
 		h *= fnvPrime
-		raw := t.Values[a].Raw()
-		for i := 0; i < len(raw); i++ {
-			h ^= uint64(raw[i])
-			h *= fnvPrime
-		}
-		h ^= 0x1f
+		h ^= uint64(uint32(row[a]))
 		h *= fnvPrime
 	}
 	return h
@@ -221,32 +216,31 @@ func attrOrder(rel *model.Relation) []int {
 	return order
 }
 
-// sigMap indexes the tuples of one relation side by signature strings.
+// sigMap indexes the rows of one coded relation side by signature hashes.
 type sigMap struct {
 	bySig    map[uint64][]int
 	patterns []uint64 // distinct indexed attribute sets, largest first
 }
 
-// buildSigMap indexes every tuple of the relation. In the default mode each
-// tuple is indexed once, under its maximal signature (Alg. 4 line 3). In
-// partial mode each tuple is indexed under every signature with at least
+// buildSigMap indexes every row of the coded relation. In the default mode
+// each row is indexed once, under its maximal signature (Alg. 4 line 3). In
+// partial mode each row is indexed under every signature with at least
 // minSig attributes (Sec. 6.3).
-func buildSigMap(rel *model.Relation, order []int, partial bool, minSig int) *sigMap {
+func buildSigMap(crel *model.CodedRelation, order []int, partial bool, minSig int) *sigMap {
 	m := &sigMap{bySig: map[uint64][]int{}}
 	seen := map[uint64]bool{}
-	add := func(ti int, t *model.Tuple, mask uint64) {
+	add := func(ti int, row []model.ValueID, mask uint64) {
 		if !seen[mask] {
 			seen[mask] = true
 			m.patterns = append(m.patterns, mask)
 		}
-		sig := sigHash(t, mask, order)
+		sig := sigHash(row, mask, order)
 		m.bySig[sig] = append(m.bySig[sig], ti)
 	}
-	for ti := range rel.Tuples {
-		t := &rel.Tuples[ti]
-		maxMask := compat.GroundMask(t)
+	for ti := 0; ti < crel.Rows(); ti++ {
+		row, maxMask := crel.Row(ti), crel.Masks[ti]
 		if !partial {
-			add(ti, t, maxMask)
+			add(ti, row, maxMask)
 			continue
 		}
 		// Enumerate sub-signatures of the maximal signature with at
@@ -256,7 +250,7 @@ func buildSigMap(rel *model.Relation, order []int, partial bool, minSig int) *si
 		}
 		for sub := maxMask; ; sub = (sub - 1) & maxMask {
 			if bits.OnesCount64(sub) >= minSig {
-				add(ti, t, sub)
+				add(ti, row, sub)
 			}
 			if sub == 0 {
 				break
@@ -278,13 +272,12 @@ func buildSigMap(rel *model.Relation, order []int, partial bool, minSig int) *si
 // the left relation and scans the right (Alg. 3 line 3), false the reverse
 // (line 4).
 func (s *runner) pass(ri int, mapLeft bool) {
-	lrel, rrel := s.env.LRels[ri], s.env.RRels[ri]
-	mapRel, scanRel := lrel, rrel
+	mapCode, scanCode := s.env.LCode[ri], s.env.RCode[ri]
 	if !mapLeft {
-		mapRel, scanRel = rrel, lrel
+		mapCode, scanCode = scanCode, mapCode
 	}
-	order := attrOrder(lrel)
-	sm := buildSigMap(mapRel, order, s.opt.Partial, s.opt.MinPartialSig)
+	order := attrOrder(s.env.LRels[ri])
+	sm := buildSigMap(mapCode, order, s.opt.Partial, s.opt.MinPartialSig)
 
 	mapSaturated := s.leftSaturated
 	scanSaturated := s.rightSaturated
@@ -299,16 +292,15 @@ func (s *runner) pass(ri int, mapLeft bool) {
 	}
 
 scan:
-	for si := range scanRel.Tuples {
-		t := &scanRel.Tuples[si]
-		ground := compat.GroundMask(t)
+	for si := 0; si < scanCode.Rows(); si++ {
+		row, ground := scanCode.Row(si), scanCode.Masks[si]
 		// Progressively smaller indexed attribute subsets (Alg. 4
 		// line 6, via the null-pattern optimization).
 		for _, pm := range sm.patterns {
 			if pm&^ground != 0 {
 				continue // pattern uses an attribute that is null in t
 			}
-			sig := sigHash(t, pm, order)
+			sig := sigHash(row, pm, order)
 			for _, mi := range sm.bySig[sig] {
 				if mapSaturated(match.Ref{Rel: ri, Idx: mi}) {
 					continue
@@ -348,19 +340,20 @@ func (s *runner) tryPair(p match.Pair) bool {
 		s.env.Undo(m)
 		return false
 	}
+	fl, fr := s.env.FlatL(p.L), s.env.FlatR(p.R)
 	dl, dr := sc, sc
 	if kl > 0 {
-		dl = (s.sumL[p.L]+sc)/(kl+1) - s.sumL[p.L]/kl
+		dl = (s.sumL[fl]+sc)/(kl+1) - s.sumL[fl]/kl
 	}
 	if kr > 0 {
-		dr = (s.sumR[p.R]+sc)/(kr+1) - s.sumR[p.R]/kr
+		dr = (s.sumR[fr]+sc)/(kr+1) - s.sumR[fr]/kr
 	}
 	if dl+dr < -1e-12 && !s.opt.NoGainGuard {
 		s.env.Undo(m)
 		return false
 	}
-	s.sumL[p.L] += sc
-	s.sumR[p.R] += sc
+	s.sumL[fl] += sc
+	s.sumR[fr] += sc
 	return true
 }
 
@@ -378,16 +371,18 @@ const maxRescueMasks = 256
 // sub-signatures. Pairs sharing no constant attribute at all are left to
 // the completion step.
 func (s *runner) rescue(ri int) {
-	lrel, rrel := s.env.LRels[ri], s.env.RRels[ri]
-	order := attrOrder(lrel)
+	lcode, rcode := s.env.LCode[ri], s.env.RCode[ri]
+	order := attrOrder(s.env.LRels[ri])
 
-	unmatched := func(rel *model.Relation, left bool) []int {
+	unmatched := func(crel *model.CodedRelation, left bool) []int {
 		var out []int
-		for ti := range rel.Tuples {
+		for ti := 0; ti < crel.Rows(); ti++ {
 			ref := match.Ref{Rel: ri, Idx: ti}
-			deg := s.env.RightDegree(ref)
+			var deg int
 			if left {
 				deg = s.env.LeftDegree(ref)
+			} else {
+				deg = s.env.RightDegree(ref)
 			}
 			if deg == 0 {
 				out = append(out, ti)
@@ -395,16 +390,16 @@ func (s *runner) rescue(ri int) {
 		}
 		return out
 	}
-	leftUn, rightUn := unmatched(lrel, true), unmatched(rrel, false)
+	leftUn, rightUn := unmatched(lcode, true), unmatched(rcode, false)
 	if len(leftUn) == 0 || len(rightUn) == 0 {
 		return
 	}
 
-	distinctMasks := func(rel *model.Relation, idxs []int) []uint64 {
+	distinctMasks := func(crel *model.CodedRelation, idxs []int) []uint64 {
 		seen := map[uint64]bool{}
 		var out []uint64
 		for _, ti := range idxs {
-			m := compat.GroundMask(&rel.Tuples[ti])
+			m := crel.Masks[ti]
 			if !seen[m] {
 				seen[m] = true
 				out = append(out, m)
@@ -412,7 +407,7 @@ func (s *runner) rescue(ri int) {
 		}
 		return out
 	}
-	lMasks, rMasks := distinctMasks(lrel, leftUn), distinctMasks(rrel, rightUn)
+	lMasks, rMasks := distinctMasks(lcode, leftUn), distinctMasks(rcode, rightUn)
 	seen := map[uint64]bool{}
 	var masks []uint64
 	for _, gl := range lMasks {
@@ -438,30 +433,38 @@ func (s *runner) rescue(ri int) {
 	// Tuple pairs share many mask intersections; attempt each pair once.
 	attempted := map[match.Pair]bool{}
 	for _, m := range masks {
-		bySig := map[uint64][]int{}
+		// Per-mask hash index over the eligible left rows: a slice of
+		// (hash, position) entries sorted by hash, probed by binary
+		// search. The backing array is scratch reused across masks; the
+		// stable sort keeps equal-hash entries in leftUn order, so
+		// probes visit candidates in the same order a bucket map built
+		// by appending would.
+		entries := s.rescueEntries[:0]
 		for _, li := range leftUn {
-			t := &lrel.Tuples[li]
 			if s.leftSaturated(match.Ref{Rel: ri, Idx: li}) {
 				continue
 			}
-			if compat.GroundMask(t)&m == m {
-				h := sigHash(t, m, order)
-				bySig[h] = append(bySig[h], li)
+			if lcode.Masks[li]&m == m {
+				entries = append(entries, sigEntry{h: sigHash(lcode.Row(li), m, order), li: int32(li)})
 			}
 		}
-		if len(bySig) == 0 {
+		s.rescueEntries = entries
+		if len(entries) == 0 {
 			continue
 		}
+		sort.SliceStable(entries, func(i, j int) bool { return entries[i].h < entries[j].h })
 		for _, ci := range rightUn {
 			rref := match.Ref{Rel: ri, Idx: ci}
 			if s.rightSaturated(rref) {
 				continue
 			}
-			t := &rrel.Tuples[ci]
-			if compat.GroundMask(t)&m != m {
+			if rcode.Masks[ci]&m != m {
 				continue
 			}
-			for _, li := range bySig[sigHash(t, m, order)] {
+			h := sigHash(rcode.Row(ci), m, order)
+			lo := sort.Search(len(entries), func(i int) bool { return entries[i].h >= h })
+			for j := lo; j < len(entries) && entries[j].h == h; j++ {
+				li := int(entries[j].li)
 				lref := match.Ref{Rel: ri, Idx: li}
 				if s.leftSaturated(lref) {
 					continue
@@ -483,16 +486,16 @@ func (s *runner) rescue(ri int) {
 // CompatibleTuples, confirmed greedily against the current match.
 func (s *runner) complete() {
 	for ri := range s.env.LRels {
-		lrel, rrel := s.env.LRels[ri], s.env.RRels[ri]
+		lcode, rcode := s.env.LCode[ri], s.env.RCode[ri]
 		// Injective sides only need their unmatched tuples considered;
 		// non-injective sides stay fully in play (Cases 1-4, Sec. 6.2).
 		var leftIdxs, rightIdxs []int
-		for ti := range lrel.Tuples {
+		for ti := 0; ti < lcode.Rows(); ti++ {
 			if !s.leftSaturated(match.Ref{Rel: ri, Idx: ti}) {
 				leftIdxs = append(leftIdxs, ti)
 			}
 		}
-		for ti := range rrel.Tuples {
+		for ti := 0; ti < rcode.Rows(); ti++ {
 			if !s.rightSaturated(match.Ref{Rel: ri, Idx: ti}) {
 				rightIdxs = append(rightIdxs, ti)
 			}
@@ -500,10 +503,10 @@ func (s *runner) complete() {
 		if len(leftIdxs) == 0 || len(rightIdxs) == 0 {
 			continue
 		}
-		ix := compat.NewIndex(rrel, rightIdxs)
+		ix := compat.NewCodedIndex(rcode, rightIdxs, s.env.In)
 		for _, li := range leftIdxs {
 			lref := match.Ref{Rel: ri, Idx: li}
-			for _, ci := range ix.Candidates(&lrel.Tuples[li]) {
+			for _, ci := range ix.Candidates(lcode.Row(li), lcode.Masks[li]) {
 				if s.rightSaturated(match.Ref{Rel: ri, Idx: ci}) {
 					continue
 				}

@@ -12,6 +12,14 @@
 // null — and the per-side class sizes yield the paper's non-injectivity
 // measure ⊓.
 //
+// The union-find runs entirely on dense model.ValueID codes: parents, class
+// sizes, per-side null counts, and class constants are flat int32 arrays
+// indexed by ID, and the undo trail is a slice of plain integers. MergeID /
+// UndoTo therefore never touch a map or allocate per merge (the trail slice
+// amortizes), which is what the comparison algorithms hammer on. The
+// Value-based methods are thin wrappers that intern on demand; they exist
+// for callers outside the hot path (tests, explanation assembly).
+//
 // The Unifier deliberately does not use path compression: all mutations go
 // through an undo trail, so tentative merges made while exploring a match
 // (exact search backtracking, greedy compatibility probes) can be rolled
@@ -42,38 +50,73 @@ func (s Side) String() string {
 	return "right"
 }
 
-type node struct {
-	parent *node
-	size   int
-	val    model.Value
-	side   Side // registration side; meaningful for null nodes only
+// side-array states: 0 = unregistered null (using it panics, like the old
+// node-based implementation), 1/2 = null registered Left/Right, 3 = constant.
+const (
+	sideNone  uint8 = 0
+	sideLeft  uint8 = 1
+	sideRight uint8 = 2
+	sideConst uint8 = 3
+)
 
-	// The fields below are only meaningful at class roots.
-	hasConst bool
-	constVal model.Value
-	nl, nr   int // number of left/right nulls in the class
-}
-
+// trailEntry records one merge for exact rollback: the absorbed child root,
+// the surviving root, and the root's pre-merge aggregates.
 type trailEntry struct {
-	child        *node // became non-root; undo resets child.parent = child
-	root         *node // absorbed child; undo restores the fields below
-	prevHasConst bool
-	prevConst    model.Value
-	prevNl       int
-	prevNr       int
-	prevSize     int
+	child, root int32
+	prevCls     model.ValueID
+	prevNl      int32
+	prevNr      int32
+	prevSize    int32
 }
 
-// Unifier is a union-find over values with constant-conflict detection and
-// an undo trail. The zero value is not usable; call New.
+// Unifier is a union-find over interned values with constant-conflict
+// detection and an undo trail. The zero value is not usable; call New or
+// NewInterned.
 type Unifier struct {
-	nodes map[model.Value]*node
+	in *model.Interner
+
+	// All arrays are indexed by ValueID and grown lazily to the interner's
+	// size. cls holds the class constant's ID at roots (NoValueID if the
+	// class has none); nl/nr count left/right nulls in the class at roots.
+	parent []int32
+	size   []int32
+	nl     []int32
+	nr     []int32
+	cls    []model.ValueID
+	side   []uint8
+
 	trail []trailEntry
 }
 
-// New returns an empty unifier.
-func New() *Unifier {
-	return &Unifier{nodes: make(map[model.Value]*node)}
+// New returns an empty unifier with its own private interner.
+func New() *Unifier { return NewInterned(model.NewInterner()) }
+
+// NewInterned returns an empty unifier over a shared interner, so that IDs
+// handed to MergeID et al. agree with IDs used elsewhere in the comparison.
+func NewInterned(in *model.Interner) *Unifier {
+	return &Unifier{in: in}
+}
+
+// Interner returns the unifier's interner.
+func (u *Unifier) Interner() *model.Interner { return u.in }
+
+// ensure grows the per-ID arrays to cover every interned value. New slots
+// start as singleton roots; constants carry themselves as class constant.
+func (u *Unifier) ensure() {
+	n := u.in.Len()
+	for i := len(u.parent); i < n; i++ {
+		u.parent = append(u.parent, int32(i))
+		u.size = append(u.size, 1)
+		u.nl = append(u.nl, 0)
+		u.nr = append(u.nr, 0)
+		if u.in.IsNull(model.ValueID(i)) {
+			u.cls = append(u.cls, model.NoValueID)
+			u.side = append(u.side, sideNone)
+		} else {
+			u.cls = append(u.cls, model.ValueID(i))
+			u.side = append(u.side, sideConst)
+		}
+	}
 }
 
 // AddNull registers a labeled null as belonging to the given side. It is
@@ -83,76 +126,85 @@ func (u *Unifier) AddNull(v model.Value, side Side) {
 	if v.IsConst() {
 		panic("unify: AddNull called with a constant")
 	}
-	if n, ok := u.nodes[v]; ok {
-		if n.side != side {
-			panic(fmt.Sprintf("unify: null %v registered on both sides", v))
+	u.AddNullID(u.in.Intern(v), side)
+}
+
+// AddNullID is AddNull for an already-interned null. Nulls must be
+// registered before they participate in any merge.
+func (u *Unifier) AddNullID(id model.ValueID, side Side) {
+	u.ensure()
+	want := sideLeft
+	if side == Right {
+		want = sideRight
+	}
+	switch u.side[id] {
+	case sideNone:
+		u.side[id] = want
+		if side == Left {
+			u.nl[id] = 1
+		} else {
+			u.nr[id] = 1
 		}
-		return
+	case want:
+		// idempotent re-registration
+	case sideConst:
+		panic("unify: AddNullID called with a constant")
+	default:
+		panic(fmt.Sprintf("unify: null %v registered on both sides", u.in.ValueOf(id)))
 	}
-	n := &node{size: 1, val: v, side: side}
-	n.parent = n
-	if side == Left {
-		n.nl = 1
-	} else {
-		n.nr = 1
-	}
-	u.nodes[v] = n
 }
 
-// get returns the node for v, creating constant nodes lazily. Nulls must
-// have been registered with AddNull first.
-func (u *Unifier) get(v model.Value) *node {
-	if n, ok := u.nodes[v]; ok {
-		return n
+// findID returns the root of id's class. Unregistered nulls panic, matching
+// the precondition that AddNull precedes use.
+func (u *Unifier) findID(id model.ValueID) int32 {
+	i := int32(id)
+	if u.side[i] == sideNone {
+		panic(fmt.Sprintf("unify: null %v used before AddNull", u.in.ValueOf(id)))
 	}
-	if v.IsNull() {
-		panic(fmt.Sprintf("unify: null %v used before AddNull", v))
+	for u.parent[i] != i {
+		i = u.parent[i]
 	}
-	n := &node{size: 1, val: v, hasConst: true, constVal: v}
-	n.parent = n
-	u.nodes[v] = n
-	return n
+	return i
 }
 
-func (u *Unifier) find(v model.Value) *node {
-	n := u.get(v)
-	for n.parent != n {
-		n = n.parent
-	}
-	return n
-}
-
-// Merge equates two values. It returns false — leaving the unifier
-// unchanged — when the merge would put two distinct constants in one class.
-func (u *Unifier) Merge(a, b model.Value) bool {
-	ra, rb := u.find(a), u.find(b)
+// MergeID equates two interned values. It returns false — leaving the
+// unifier unchanged — when the merge would put two distinct constants in one
+// class. The merge path is map-free and allocation-free (modulo trail
+// growth).
+func (u *Unifier) MergeID(a, b model.ValueID) bool {
+	u.ensure()
+	ra, rb := u.findID(a), u.findID(b)
 	if ra == rb {
 		return true
 	}
-	if ra.hasConst && rb.hasConst && ra.constVal != rb.constVal {
+	ca, cb := u.cls[ra], u.cls[rb]
+	if ca >= 0 && cb >= 0 && ca != cb {
 		return false
 	}
-	if ra.size < rb.size {
+	if u.size[ra] < u.size[rb] {
 		ra, rb = rb, ra
 	}
 	u.trail = append(u.trail, trailEntry{
-		child:        rb,
-		root:         ra,
-		prevHasConst: ra.hasConst,
-		prevConst:    ra.constVal,
-		prevNl:       ra.nl,
-		prevNr:       ra.nr,
-		prevSize:     ra.size,
+		child:    rb,
+		root:     ra,
+		prevCls:  u.cls[ra],
+		prevNl:   u.nl[ra],
+		prevNr:   u.nr[ra],
+		prevSize: u.size[ra],
 	})
-	rb.parent = ra
-	ra.size += rb.size
-	ra.nl += rb.nl
-	ra.nr += rb.nr
-	if !ra.hasConst && rb.hasConst {
-		ra.hasConst = true
-		ra.constVal = rb.constVal
+	u.parent[rb] = ra
+	u.size[ra] += u.size[rb]
+	u.nl[ra] += u.nl[rb]
+	u.nr[ra] += u.nr[rb]
+	if u.cls[ra] < 0 {
+		u.cls[ra] = u.cls[rb]
 	}
 	return true
+}
+
+// Merge equates two values, interning them on demand.
+func (u *Unifier) Merge(a, b model.Value) bool {
+	return u.MergeID(u.in.Intern(a), u.in.Intern(b))
 }
 
 // Mark returns a checkpoint for Undo.
@@ -163,13 +215,24 @@ func (u *Unifier) Undo(mark int) {
 	for len(u.trail) > mark {
 		e := u.trail[len(u.trail)-1]
 		u.trail = u.trail[:len(u.trail)-1]
-		e.child.parent = e.child
-		e.root.hasConst = e.prevHasConst
-		e.root.constVal = e.prevConst
-		e.root.nl = e.prevNl
-		e.root.nr = e.prevNr
-		e.root.size = e.prevSize
+		u.parent[e.child] = e.child
+		u.cls[e.root] = e.prevCls
+		u.nl[e.root] = e.prevNl
+		u.nr[e.root] = e.prevNr
+		u.size[e.root] = e.prevSize
 	}
+}
+
+// SameClassID reports whether two interned values are currently equated.
+func (u *Unifier) SameClassID(a, b model.ValueID) bool {
+	if a == b {
+		return true
+	}
+	if !u.in.IsNull(a) && !u.in.IsNull(b) {
+		return false
+	}
+	u.ensure()
+	return u.findID(a) == u.findID(b)
 }
 
 // SameClass reports whether two values are currently equated. Values that
@@ -182,25 +245,58 @@ func (u *Unifier) SameClass(a, b model.Value) bool {
 	if a.IsConst() && b.IsConst() {
 		return false
 	}
-	return u.find(a) == u.find(b)
+	return u.SameClassID(u.in.Intern(a), u.in.Intern(b))
+}
+
+// ClassConstID returns the ID of the constant of id's class, if any.
+func (u *Unifier) ClassConstID(id model.ValueID) (model.ValueID, bool) {
+	u.ensure()
+	c := u.cls[u.findID(id)]
+	return c, c >= 0
 }
 
 // ClassConst returns the constant of v's class, if any.
 func (u *Unifier) ClassConst(v model.Value) (model.Value, bool) {
-	r := u.find(v)
-	return r.constVal, r.hasConst
+	id, ok := u.ClassConstID(u.in.Intern(v))
+	if !ok {
+		return model.Value{}, false
+	}
+	return u.in.ValueOf(id), true
+}
+
+// RepresentativeID returns the ID every member of id's class maps to under
+// the value mappings induced by the unifier: the class constant when the
+// class contains one, otherwise the canonical null of the class (the root).
+func (u *Unifier) RepresentativeID(id model.ValueID) model.ValueID {
+	u.ensure()
+	r := u.findID(id)
+	if c := u.cls[r]; c >= 0 {
+		return c
+	}
+	return model.ValueID(r)
 }
 
 // Representative returns the value every member of v's class maps to under
 // the value mappings induced by the unifier: the class constant when the
-// class contains one, otherwise the canonical null of the class (the root's
-// value). Constants always map to themselves.
+// class contains one, otherwise the canonical null of the class. Constants
+// always map to themselves.
 func (u *Unifier) Representative(v model.Value) model.Value {
-	r := u.find(v)
-	if r.hasConst {
-		return r.constVal
+	return u.in.ValueOf(u.RepresentativeID(u.in.Intern(v)))
+}
+
+// SideCountID returns ⊓ for an interned value: 1 for constants, and for a
+// null the number of same-side nulls mapped to the same representative
+// (Eq. 6 of the paper).
+func (u *Unifier) SideCountID(id model.ValueID, side Side) int {
+	if !u.in.IsNull(id) {
+		return 1
 	}
-	return r.val
+	u.ensure()
+	r := u.findID(id)
+	if side == Left {
+		return int(u.nl[r])
+	}
+	return int(u.nr[r])
 }
 
 // SideCount returns ⊓ for v: 1 for constants, and for a null the number of
@@ -209,15 +305,24 @@ func (u *Unifier) SideCount(v model.Value, side Side) int {
 	if v.IsConst() {
 		return 1
 	}
-	r := u.find(v)
-	if side == Left {
-		return r.nl
-	}
-	return r.nr
+	return u.SideCountID(u.in.Intern(v), side)
 }
+
+// IsNullID reports whether the coded value is a labeled null.
+func (u *Unifier) IsNullID(id model.ValueID) bool { return u.in.IsNull(id) }
+
+// Raw returns the decoded constant text or null name of an interned value.
+func (u *Unifier) Raw(id model.ValueID) string { return u.in.ValueOf(id).Raw() }
 
 // Registered reports whether a null has been registered.
 func (u *Unifier) Registered(v model.Value) bool {
-	_, ok := u.nodes[v]
-	return ok
+	id, ok := u.in.Lookup(v)
+	if !ok {
+		return false
+	}
+	if v.IsConst() {
+		return true
+	}
+	u.ensure()
+	return u.side[id] != sideNone
 }

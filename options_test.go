@@ -1,0 +1,43 @@
+package instcmp
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestCompareRejectsInvalidOptions pins the Options validation: λ outside
+// [0, 1) and negative MinPartialSig are caller errors, reported up front
+// instead of producing out-of-range scores.
+func TestCompareRejectsInvalidOptions(t *testing.T) {
+	l, r := NewInstance(), NewInstance()
+	l.AddRelation("R", "A")
+	r.AddRelation("R", "A")
+	l.Append("R", Const("x"))
+	r.Append("R", Const("x"))
+
+	cases := []struct {
+		name    string
+		opt     Options
+		wantSub string
+	}{
+		{"negative lambda", Options{Lambda: -0.1}, "Lambda"},
+		{"lambda one", Options{Lambda: 1}, "Lambda"},
+		{"lambda above one", Options{Lambda: 1.5}, "Lambda"},
+		{"negative min partial sig", Options{MinPartialSig: -1}, "MinPartialSig"},
+	}
+	for _, tc := range cases {
+		if _, err := Compare(l, r, &tc.opt); err == nil {
+			t.Errorf("%s: Compare accepted invalid options %+v", tc.name, tc.opt)
+		} else if !strings.Contains(err.Error(), tc.wantSub) {
+			t.Errorf("%s: error %q does not mention %s", tc.name, err, tc.wantSub)
+		}
+	}
+
+	// The boundary values stay valid: λ = 0 (meaning DefaultLambda) and
+	// explicit zero λ, plus λ just under 1.
+	for _, opt := range []Options{{}, {ExplicitZeroLambda: true}, {Lambda: 0.999}} {
+		if _, err := Compare(l, r, &opt); err != nil {
+			t.Errorf("Compare rejected valid options %+v: %v", opt, err)
+		}
+	}
+}
