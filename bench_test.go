@@ -103,6 +103,50 @@ func BenchmarkTable2Exact(b *testing.B) {
 	}
 }
 
+// BenchmarkExactParallel measures the exact engine's warm-start and worker
+// variants on a workload the cold engine of PR 1 cannot finish: Doct 100
+// rows with Table-3-style noise (5% cells nulled, 10% random and 10%
+// redundant tuples) in the general n-to-m mode. The general search's
+// first descent greedily includes every consistent pair — a poor leaf —
+// so a cold run burns its whole budget proving nothing, while the
+// signature warm start hands the search an incumbent that meets the
+// root's optimistic bound and certifies the optimum at node 1. Scores are
+// identical across all variants; only wall-clock (and Exhaustive, for the
+// budget-capped cold run) differs. The nowarm variant is the PR-1 engine
+// (same canonical DFS, empty incumbent) under a 10-second budget;
+// Exhaustive is not asserted there because it never finishes.
+func BenchmarkExactParallel(b *testing.B) {
+	base, err := datasets.Generate(datasets.Doct, 100, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	sc := generator.Make(base, generator.Noise{
+		CellPct: 0.05, RandomPct: 0.1, RedundantPct: 0.1, Seed: benchSeed,
+	})
+	for _, v := range []struct {
+		name       string
+		opt        exact.Options
+		exhaustive bool
+	}{
+		{"warm/workers=1", exact.Options{Lambda: 0.5, Workers: 1, Timeout: 2 * time.Minute}, true},
+		{"warm/workers=4", exact.Options{Lambda: 0.5, Workers: 4, Timeout: 2 * time.Minute}, true},
+		{"nowarm/workers=1", exact.Options{Lambda: 0.5, Workers: 1, NoWarmStart: true, Timeout: 10 * time.Second}, false},
+	} {
+		b.Run(v.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				res, err := exact.Run(sc.Source, sc.Target, match.ManyToMany, v.opt)
+				if err != nil {
+					b.Fatal(err)
+				}
+				if v.exhaustive && !res.Exhaustive {
+					b.Fatal("warm-started search did not finish at bench size")
+				}
+			}
+		})
+	}
+}
+
 // BenchmarkTable3 reproduces Table 3 (addRandomAndRedundant, n-to-m).
 func BenchmarkTable3(b *testing.B) {
 	for _, name := range []datasets.Name{datasets.Doct, datasets.Bike, datasets.Git} {

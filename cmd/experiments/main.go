@@ -36,6 +36,8 @@ func main() {
 		verRows   = flag.Int("versioning-rows", 0, "row count for table 7 (0 = paper sizes: Iris 120, NBA 9360)")
 		exactRows = flag.Int("exact-max-rows", 1000, "run the exact algorithm for configurations up to this many rows (0 = never; larger rows report the score by construction, the paper's *)")
 		exactTO   = flag.Duration("exact-timeout", 60*time.Second, "budget per exact run")
+		exactW    = flag.Int("exact-workers", 0, "exact-search workers (0 = GOMAXPROCS)")
+		noWarm    = flag.Bool("exact-no-warm-start", false, "disable the exact search's signature warm start (ablation)")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -44,10 +46,12 @@ func main() {
 	}
 
 	cfg := experiments.Config{
-		Seed:         *seed,
-		Lambda:       *lambda,
-		ExactMaxRows: *exactRows,
-		ExactTimeout: *exactTO,
+		Seed:             *seed,
+		Lambda:           *lambda,
+		ExactMaxRows:     *exactRows,
+		ExactTimeout:     *exactTO,
+		ExactWorkers:     *exactW,
+		ExactNoWarmStart: *noWarm,
 	}
 
 	args := flag.Args()

@@ -18,6 +18,7 @@ import (
 	"io"
 	"os"
 	"path/filepath"
+	"runtime"
 	"strings"
 
 	"instcmp"
@@ -37,6 +38,7 @@ func run(args []string, out io.Writer) error {
 		minOverlap = fs.Float64("min-overlap", 0.05, "constant-overlap prefilter threshold (0 disables)")
 		top        = fs.Int("top", 0, "print only the best N candidates (0 = all)")
 		anonNulls  = fs.Bool("anon-nulls", false, "treat empty CSV cells as fresh labeled nulls")
+		workers    = fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent candidate comparisons (ranking order is identical for every value)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -71,7 +73,7 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("no datasets found in %s", fs.Arg(1))
 	}
 
-	res, err := lake.Rank(example, cands, lake.Options{MinValueOverlap: *minOverlap})
+	res, err := lake.Rank(example, cands, lake.Options{MinValueOverlap: *minOverlap, Workers: *workers})
 	if err != nil {
 		return err
 	}

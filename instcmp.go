@@ -102,8 +102,12 @@ func (a Algorithm) String() string {
 }
 
 // autoExactLimit is the AlgoAuto cutoff: instances with at most this many
-// tuples combined go to the exact algorithm.
-const autoExactLimit = 16
+// tuples combined go to the exact algorithm. Raised from 16 after the
+// warm-started search landed: seeding the incumbent with the signature
+// match keeps exact runs on 32 combined tuples in the low milliseconds
+// (see EXPERIMENTS.md "Auto cutoff"), comparable to the signature
+// algorithm's own cost at that size.
+const autoExactLimit = 32
 
 // Options configures Compare. The zero value is valid: the most general
 // mode (n-to-m), λ = DefaultLambda, automatic algorithm selection.
@@ -123,6 +127,10 @@ type Options struct {
 	ExactMaxNodes int64
 	// ExactTimeout bounds exact-search wall-clock time (0 = unbounded).
 	ExactTimeout time.Duration
+	// ExactWorkers is the number of parallel exact-search workers:
+	// 0 = GOMAXPROCS, 1 = single-threaded. The score is identical for
+	// every worker count; only wall-clock time changes.
+	ExactWorkers int
 	// Partial enables the Sec. 6.3 partial-mapping variant of the
 	// signature algorithm.
 	Partial bool
@@ -203,6 +211,9 @@ func Compare(left, right *Instance, opt *Options) (*Result, error) {
 	if opt.MinPartialSig < 0 {
 		return nil, fmt.Errorf("instcmp: MinPartialSig must be non-negative, got %d", opt.MinPartialSig)
 	}
+	if opt.ExactWorkers < 0 {
+		return nil, fmt.Errorf("instcmp: ExactWorkers must be non-negative, got %d", opt.ExactWorkers)
+	}
 	start := time.Now()
 	l, r, rightPrefix, err := normalize(left, right, opt.AlignSchemas)
 	if err != nil {
@@ -231,6 +242,7 @@ func Compare(left, right *Instance, opt *Options) (*Result, error) {
 			Lambda:   opt.lambda(),
 			MaxNodes: opt.ExactMaxNodes,
 			Timeout:  opt.ExactTimeout,
+			Workers:  opt.ExactWorkers,
 		})
 		if err != nil {
 			return nil, err

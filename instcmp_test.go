@@ -172,6 +172,9 @@ func TestLambdaOptions(t *testing.T) {
 }
 
 func TestExactBudgetSurfaced(t *testing.T) {
+	// All-null left vs mixed null/constant right: the warm start cannot
+	// reach the root's optimistic bound (constants only earn λ against
+	// nulls), so the search descends and trips the 10-node budget.
 	in := NewInstance()
 	in.AddRelation("R", "A")
 	for i := 0; i < 9; i++ {
@@ -180,7 +183,11 @@ func TestExactBudgetSurfaced(t *testing.T) {
 	other := NewInstance()
 	other.AddRelation("R", "A")
 	for i := 0; i < 9; i++ {
-		other.Append("R", Null("V"+Nullf(i)))
+		if i%2 == 0 {
+			other.Append("R", Null("V"+Nullf(i)))
+		} else {
+			other.Append("R", Const("k"+Nullf(i)))
+		}
 	}
 	res, err := Compare(in, other, &Options{Algorithm: AlgoExact, ExactMaxNodes: 10, Mode: ManyToMany})
 	if err != nil {

@@ -12,6 +12,20 @@
 // (Thm. 5.11), so the search carries a node/time budget; results indicate
 // whether the search space was exhausted.
 //
+// Two engine-level accelerations sit on top of the plain DFS, neither of
+// which changes the returned score (see DESIGN.md §9 for the argument):
+//
+//   - Warm start: the signature algorithm (Sec. 6.2) runs first on the same
+//     environment and its match — re-inserted in the search's canonical
+//     order so its score is bit-identical to the corresponding leaf's —
+//     seeds the incumbent, so the suffix bounds prune from node 1 instead
+//     of only after the first full descent.
+//   - Parallel search: the tree is cut at a configurable prefix depth into
+//     independent subtree tasks executed by workers that own cloned
+//     environments; the incumbent is shared through an atomic
+//     bits-of-float64 CAS and task results are reduced in canonical task
+//     order, so the worker count never changes the returned score.
+//
 // The search runs on the comparison's integer-coded rows: candidate
 // generation probes compat.CodedIndex, the static per-pair bounds read
 // ValueIDs and precomputed ground masks, and the suffix bounds accumulate
@@ -19,13 +33,18 @@
 package exact
 
 import (
+	"math"
+	"runtime"
 	"sort"
+	"sync"
+	"sync/atomic"
 	"time"
 
 	"instcmp/internal/compat"
 	"instcmp/internal/match"
 	"instcmp/internal/model"
 	"instcmp/internal/score"
+	"instcmp/internal/signature"
 )
 
 // Options configures an exact run.
@@ -33,9 +52,26 @@ type Options struct {
 	// Lambda is the null-to-constant penalty of Def. 5.5.
 	Lambda float64
 	// MaxNodes bounds the number of search-tree nodes (0 = no bound).
+	// Under parallel execution the bound is enforced within one flush
+	// batch per worker (workers publish node counts every nodeFlushBatch
+	// nodes); with Workers = 1 it is exact, as before.
 	MaxNodes int64
-	// Timeout bounds wall-clock time (0 = no bound).
+	// Timeout bounds wall-clock time (0 = no bound). The warm-start
+	// signature run is polynomial and not counted against it.
 	Timeout time.Duration
+	// Workers is the number of parallel search workers: 0 = GOMAXPROCS,
+	// 1 = single-threaded. The returned score is identical for every
+	// worker count; only wall-clock time (and, under a budget, how much
+	// of the space gets explored) changes.
+	Workers int
+	// SplitDepth is the prefix depth at which the search tree is cut into
+	// subtree tasks when more than one worker runs (0 = automatic: the
+	// shallowest depth whose decision count reaches ~8 tasks per worker).
+	SplitDepth int
+	// NoWarmStart disables seeding the incumbent with the signature
+	// algorithm's match (ablation switch; the warm start never changes
+	// the returned score, only how fast the search converges).
+	NoWarmStart bool
 }
 
 // Result is the outcome of an exact search.
@@ -47,8 +83,13 @@ type Result struct {
 	// Exhaustive reports whether the whole search space was explored; if
 	// false the score is a lower bound on the true similarity.
 	Exhaustive bool
-	// Nodes is the number of search-tree nodes visited.
+	// Nodes is the number of search-tree nodes visited, summed over all
+	// workers (task-prefix enumeration included).
 	Nodes int64
+	// WarmScore is the warm-start incumbent the search began from, -1
+	// when the warm start was disabled or not applicable. Warm-started
+	// budget-capped runs therefore never report less than WarmScore.
+	WarmScore float64
 }
 
 // Run executes the exact algorithm. The returned environment holds the best
@@ -58,42 +99,62 @@ func Run(left, right *model.Instance, mode match.Mode, opt Options) (*Result, er
 	if err != nil {
 		return nil, err
 	}
-	s := &searcher{
-		env:    env,
-		lambda: opt.Lambda,
-		maxN:   opt.MaxNodes,
-	}
+	p := newProblem(env, opt.Lambda)
+	sh := &shared{maxN: opt.MaxNodes}
+	sh.best.Store(math.Float64bits(-1))
 	if opt.Timeout > 0 {
-		s.deadline = time.Now().Add(opt.Timeout)
+		sh.deadline = time.Now().Add(opt.Timeout)
 	}
-	s.collectPairs()
-	s.denom = float64(left.Size() + right.Size())
-	s.best = -1
-	s.exhausted = true
-	if mode.LeftInjective {
-		s.searchFunctional(0)
+
+	best, bestPairs := -1.0, []match.Pair(nil)
+	warmScore := -1.0
+	if !opt.NoWarmStart {
+		if wp, ws, ok := warmStart(env, p); ok {
+			best, bestPairs, warmScore = ws, wp, ws
+			sh.offer(ws)
+		}
+	}
+
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers == 1 {
+		s := &searcher{p: p, sh: sh, env: env, solo: true, best: best}
+		s.search(0)
+		sh.nodes.Add(s.nodes)
+		if s.best > best {
+			best, bestPairs = s.best, s.bestPairs
+		}
 	} else {
-		s.searchGeneral(0)
+		for _, tr := range searchParallel(env, p, sh, best, workers, opt.SplitDepth) {
+			if tr.score > best {
+				best, bestPairs = tr.score, tr.pairs
+			}
+		}
 	}
 
 	// Re-apply the best mapping so the returned Env reflects it.
 	env.Undo(match.Mark{})
-	res := &Result{Env: env, Exhaustive: s.exhausted, Nodes: s.nodes}
-	for _, p := range s.bestPairs {
-		if !env.TryAddPair(p) {
-			panic("exact: best mapping no longer applies")
-		}
+	res := &Result{Env: env, Exhaustive: !sh.stop.Load(), Nodes: sh.nodes.Load(), WarmScore: warmScore}
+	if !env.Replay(bestPairs) {
+		panic("exact: best mapping no longer applies")
 	}
 	res.Pairs = env.Pairs()
 	res.Score = score.Match(env, opt.Lambda)
 	return res, nil
 }
 
-type searcher struct {
-	env    *match.Env
+// problem is the immutable description of one search: the candidate
+// structures and bounds, computed once and shared read-only by every
+// worker.
+type problem struct {
 	lambda float64
-
-	// Functional search state: per left tuple, its candidate partners.
+	// functional selects the per-left-tuple search; general mode works on
+	// the flat pair list.
+	functional bool
+	// Functional search state: per left tuple, its candidate partners,
+	// indexed by flattened left-tuple position.
 	lefts []leftChoice
 	// General search state: the flattened compatible pair list.
 	pairs []match.Pair
@@ -104,19 +165,15 @@ type searcher struct {
 	suffix []float64
 	// leftSuffix[i] bounds the contribution of lefts[i:] (functional).
 	leftSuffix []float64
-	// committedUB is a running upper bound on the numerator contribution
-	// of the pairs currently in the environment (2 x optimistic score
-	// each), maintained incrementally.
-	committedUB float64
+	denom      float64
+}
 
-	denom     float64
-	best      float64
-	bestPairs []match.Pair
-	nodes     int64
-	maxN      int64
-	deadline  time.Time
-	exhausted bool
-	stopped   bool
+// levels returns the depth of the full search tree.
+func (p *problem) levels() int {
+	if p.functional {
+		return len(p.lefts)
+	}
+	return len(p.pairs)
 }
 
 type leftChoice struct {
@@ -128,6 +185,210 @@ type leftChoice struct {
 	// bestOpt is the largest optimistic pair score among the candidates:
 	// an upper bound on what matching this tuple can contribute per side.
 	bestOpt float64
+}
+
+// shared is the cross-worker mutable state: the incumbent, the aggregated
+// node count, and the budget trip-wire.
+type shared struct {
+	// best holds math.Float64bits of the best score found so far; workers
+	// raise it with a CAS loop (offer) and read it for pruning. It only
+	// ever increases, and every stored value is some leaf's score (or the
+	// warm start's), so pruning against it never cuts a strictly better
+	// leaf — which is what makes the returned score independent of worker
+	// count and timing.
+	best  atomic.Uint64
+	nodes atomic.Int64
+	// stop trips once the node or time budget is exceeded and makes every
+	// worker unwind; a tripped search reports Exhaustive = false.
+	stop     atomic.Bool
+	maxN     int64
+	deadline time.Time
+}
+
+func (sh *shared) incumbent() float64 { return math.Float64frombits(sh.best.Load()) }
+
+// offer raises the shared incumbent to sc if it improves it.
+func (sh *shared) offer(sc float64) {
+	for {
+		old := sh.best.Load()
+		if sc <= math.Float64frombits(old) {
+			return
+		}
+		if sh.best.CompareAndSwap(old, math.Float64bits(sc)) {
+			return
+		}
+	}
+}
+
+// searcher is one search executor: the solo searcher of a single-threaded
+// run (and of task enumeration), or one parallel worker. It owns an
+// environment; everything else is shared.
+type searcher struct {
+	p   *problem
+	sh  *shared
+	env *match.Env
+	// committedUB is a running upper bound on the numerator contribution
+	// of the pairs currently in the environment (2 x optimistic score
+	// each), maintained incrementally.
+	committedUB float64
+	// solo marks the single-threaded searcher: budget checks skip the
+	// atomics and count exactly per node, preserving the sequential
+	// engine's behavior bit for bit.
+	solo bool
+	// nodes counts visited nodes: the running total when solo, the count
+	// since the last flush for a parallel worker.
+	nodes   int64
+	stopped bool
+	// best/bestPairs track the best leaf seen by this searcher (per task
+	// for parallel workers, which reset them in runTask).
+	best      float64
+	bestPairs []match.Pair
+}
+
+// nodeFlushBatch is how many nodes a parallel worker accumulates before
+// publishing them to the shared counter and re-checking the budget; the
+// node budget is therefore enforced within workers x nodeFlushBatch nodes.
+const nodeFlushBatch = 64
+
+// budgetExceeded checks the node/time budget; once it trips, it stays
+// tripped (for every worker) so the whole search unwinds immediately and
+// the result is marked inexact.
+func (s *searcher) budgetExceeded() bool {
+	if s.stopped {
+		return true
+	}
+	s.nodes++
+	if s.solo {
+		if s.sh.maxN > 0 && s.nodes > s.sh.maxN {
+			s.trip()
+			return true
+		}
+		if !s.sh.deadline.IsZero() && s.nodes%1024 == 0 && time.Now().After(s.sh.deadline) {
+			s.trip()
+			return true
+		}
+		return false
+	}
+	if s.sh.stop.Load() {
+		s.stopped = true
+		return true
+	}
+	if s.nodes >= nodeFlushBatch {
+		return s.flush()
+	}
+	return false
+}
+
+// flush publishes the worker's node count and re-checks the budget.
+func (s *searcher) flush() bool {
+	n := s.sh.nodes.Add(s.nodes)
+	s.nodes = 0
+	if s.sh.maxN > 0 && n > s.sh.maxN {
+		s.trip()
+		return true
+	}
+	if !s.sh.deadline.IsZero() && time.Now().After(s.sh.deadline) {
+		s.trip()
+		return true
+	}
+	return false
+}
+
+func (s *searcher) trip() {
+	s.stopped = true
+	s.sh.stop.Store(true)
+}
+
+// incumbent is the pruning threshold: the searcher's own best, raised by
+// the shared incumbent when other workers run.
+func (s *searcher) incumbent() float64 {
+	if s.solo {
+		return s.best
+	}
+	if g := s.sh.incumbent(); g > s.best {
+		return g
+	}
+	return s.best
+}
+
+// evaluate scores the current mapping and records it if it is the best.
+func (s *searcher) evaluate() {
+	var sc float64
+	if s.p.denom == 0 {
+		sc = 1
+	} else {
+		sc = score.Match(s.env, s.p.lambda)
+	}
+	if sc > s.best {
+		s.best = sc
+		s.bestPairs = append([]match.Pair(nil), s.env.Pairs()...)
+		if !s.solo {
+			s.sh.offer(sc)
+		}
+	}
+}
+
+// search runs the mode's DFS from level i on the current environment.
+func (s *searcher) search(i int) {
+	if s.p.functional {
+		s.searchFunctional(i)
+	} else {
+		s.searchGeneral(i)
+	}
+}
+
+// searchFunctional assigns each left tuple (in order) one candidate or none.
+// Right-injectivity, when required by the mode, is enforced by TryAddPair.
+func (s *searcher) searchFunctional(i int) {
+	if s.budgetExceeded() {
+		return
+	}
+	if i == len(s.p.lefts) {
+		s.evaluate()
+		return
+	}
+	// Optimistic bound: committed pairs contribute at most their
+	// optimistic scores (⊓ growth only lowers them), remaining left
+	// tuples at most 2·bestOpt each.
+	if s.p.denom > 0 && (s.committedUB+s.p.leftSuffix[i])/s.p.denom <= s.incumbent() {
+		return
+	}
+	lc := &s.p.lefts[i]
+	for ci, r := range lc.cands {
+		m := s.env.Mark()
+		if s.env.TryAddPair(match.Pair{L: lc.ref, R: r}) {
+			opt := 2 * lc.opts[ci]
+			s.committedUB += opt
+			s.searchFunctional(i + 1)
+			s.committedUB -= opt
+			s.env.Undo(m)
+		}
+	}
+	// The unmatched branch: Def. 5.3 can prefer leaving a tuple out.
+	s.searchFunctional(i + 1)
+}
+
+// searchGeneral includes or excludes each compatible pair.
+func (s *searcher) searchGeneral(i int) {
+	if s.budgetExceeded() {
+		return
+	}
+	if i == len(s.p.pairs) {
+		s.evaluate()
+		return
+	}
+	if s.p.denom > 0 && (s.committedUB+s.p.suffix[i])/s.p.denom <= s.incumbent() {
+		return
+	}
+	m := s.env.Mark()
+	if s.env.TryAddPair(s.p.pairs[i]) {
+		opt := 2 * s.p.pairOpt[i]
+		s.committedUB += opt
+		s.searchGeneral(i + 1)
+		s.committedUB -= opt
+		s.env.Undo(m)
+	}
+	s.searchGeneral(i + 1)
 }
 
 // optScore is a static upper bound on a pair's Def. 5.5 score within any
@@ -151,12 +412,17 @@ func optScore(lrow, rrow []model.ValueID, lmask, rmask uint64, lambda float64) f
 	return s
 }
 
-// collectPairs runs CompatibleTuples per relation and prepares the search
-// structures for the configured mode.
-func (s *searcher) collectPairs() {
-	for ri := range s.env.LRels {
-		lcode, rcode := s.env.LCode[ri], s.env.RCode[ri]
-		ix := compat.NewCodedIndex(rcode, nil, s.env.In)
+// newProblem runs CompatibleTuples per relation and prepares the search
+// structures for the environment's mode.
+func newProblem(env *match.Env, lambda float64) *problem {
+	p := &problem{
+		lambda:     lambda,
+		functional: env.Mode.LeftInjective,
+		denom:      float64(env.Left.Size() + env.Right.Size()),
+	}
+	for ri := range env.LRels {
+		lcode, rcode := env.LCode[ri], env.RCode[ri]
+		ix := compat.NewCodedIndex(rcode, nil, env.In)
 		arity := float64(lcode.Arity)
 		for li := 0; li < lcode.Rows(); li++ {
 			lrow, lmask := lcode.Row(li), lcode.Masks[li]
@@ -176,45 +442,46 @@ func (s *searcher) collectPairs() {
 			lc.opts = make([]float64, len(cs))
 			for i, ci := range cs {
 				lc.cands[i] = match.Ref{Rel: ri, Idx: ci}
-				opt := optScore(lrow, rcode.Row(ci), lmask, rcode.Masks[ci], s.lambda)
+				opt := optScore(lrow, rcode.Row(ci), lmask, rcode.Masks[ci], lambda)
 				lc.opts[i] = opt
 				if opt > lc.bestOpt {
 					lc.bestOpt = opt
 				}
-				s.pairs = append(s.pairs, match.Pair{L: lref, R: lc.cands[i]})
-				s.pairOpt = append(s.pairOpt, opt)
+				p.pairs = append(p.pairs, match.Pair{L: lref, R: lc.cands[i]})
+				p.pairOpt = append(p.pairOpt, opt)
 			}
-			s.lefts = append(s.lefts, lc)
+			p.lefts = append(p.lefts, lc)
 		}
 	}
 	// Suffix bound for the functional search: matching lefts[j] adds at
 	// most 2·bestOpt to the numerator (its own tuple score plus its
 	// partner's).
-	s.leftSuffix = make([]float64, len(s.lefts)+1)
-	for i := len(s.lefts) - 1; i >= 0; i-- {
-		s.leftSuffix[i] = s.leftSuffix[i+1] + 2*s.lefts[i].bestOpt
+	p.leftSuffix = make([]float64, len(p.lefts)+1)
+	for i := len(p.lefts) - 1; i >= 0; i-- {
+		p.leftSuffix[i] = p.leftSuffix[i+1] + 2*p.lefts[i].bestOpt
 	}
 	// Suffix bound for the general search: a pair can contribute at most
 	// its optimistic score to each endpoint's tuple score, but tuples
 	// repeat across pairs, so count each tuple's best remaining pair
 	// only.
-	s.suffix = make([]float64, len(s.pairs)+1)
-	bestL := make([]float64, s.env.NumLeftTuples())
-	bestR := make([]float64, s.env.NumRightTuples())
-	for i := len(s.pairs) - 1; i >= 0; i-- {
-		p := s.pairs[i]
-		fl, fr := s.env.FlatL(p.L), s.env.FlatR(p.R)
+	p.suffix = make([]float64, len(p.pairs)+1)
+	bestL := make([]float64, env.NumLeftTuples())
+	bestR := make([]float64, env.NumRightTuples())
+	for i := len(p.pairs) - 1; i >= 0; i-- {
+		pr := p.pairs[i]
+		fl, fr := env.FlatL(pr.L), env.FlatR(pr.R)
 		add := 0.0
-		if opt := s.pairOpt[i]; opt > bestL[fl] {
+		if opt := p.pairOpt[i]; opt > bestL[fl] {
 			add += opt - bestL[fl]
 			bestL[fl] = opt
 		}
-		if opt := s.pairOpt[i]; opt > bestR[fr] {
+		if opt := p.pairOpt[i]; opt > bestR[fr] {
 			add += opt - bestR[fr]
 			bestR[fr] = opt
 		}
-		s.suffix[i] = s.suffix[i+1] + add
+		p.suffix[i] = p.suffix[i+1] + add
 	}
+	return p
 }
 
 // sharedConsts counts attributes where both rows hold the same constant;
@@ -229,89 +496,240 @@ func sharedConsts(a, b []model.ValueID, both uint64) int {
 	return n
 }
 
-// budgetExceeded checks the node/time budget; once it trips, it stays
-// tripped so the whole search unwinds immediately and the result is marked
-// inexact.
-func (s *searcher) budgetExceeded() bool {
-	if s.stopped {
-		return true
+// warmStart runs the signature algorithm on the search's own environment
+// and converts its match into an incumbent. The pairs are re-inserted in
+// the search's canonical order (left-tuple order in the functional modes,
+// candidate-pair order in the general mode), so the incumbent score is
+// bit-identical to the score evaluate() would produce at the corresponding
+// leaf — which is what keeps warm-started scores equal to cold ones. The
+// environment is returned with an empty mapping either way.
+func warmStart(env *match.Env, p *problem) (pairs []match.Pair, sc float64, ok bool) {
+	m := env.Mark()
+	if _, err := signature.RunEnv(env, signature.Options{Lambda: p.lambda}); err != nil {
+		env.Undo(m)
+		return nil, 0, false
 	}
-	s.nodes++
-	if s.maxN > 0 && s.nodes > s.maxN {
-		s.stopped, s.exhausted = true, false
-		return true
+	canon := append([]match.Pair(nil), env.Pairs()...)
+	env.Undo(m)
+	if !p.canonicalize(env, canon) {
+		return nil, 0, false
 	}
-	if !s.deadline.IsZero() && s.nodes%1024 == 0 && time.Now().After(s.deadline) {
-		s.stopped, s.exhausted = true, false
-		return true
+	if !env.Replay(canon) {
+		// Cannot happen for a complete signature match; bail out
+		// rather than seed an incumbent no leaf reproduces.
+		return nil, 0, false
 	}
-	return false
-}
-
-// evaluate scores the current mapping and records it if it is the best.
-func (s *searcher) evaluate() {
-	var sc float64
-	if s.denom == 0 {
+	if p.denom == 0 {
 		sc = 1
 	} else {
-		sc = score.Match(s.env, s.lambda)
+		sc = score.Match(env, p.lambda)
 	}
-	if sc > s.best {
-		s.best = sc
-		s.bestPairs = append(s.bestPairs[:0], s.env.Pairs()...)
-	}
+	pairs = append([]match.Pair(nil), env.Pairs()...)
+	env.Undo(m)
+	return pairs, sc, true
 }
 
-// searchFunctional assigns each left tuple (in order) one candidate or none.
-// Right-injectivity, when required by the mode, is enforced by TryAddPair.
-func (s *searcher) searchFunctional(i int) {
-	if s.budgetExceeded() {
-		return
+// canonicalize sorts a match's pairs into the DFS insertion order of the
+// search and verifies every pair is a known candidate. It reports false
+// when some pair is outside the candidate structures (impossible for a
+// sound CompatibleTuples; checked defensively because the warm start's
+// score equality depends on it).
+func (p *problem) canonicalize(env *match.Env, pairs []match.Pair) bool {
+	if p.functional {
+		for _, pr := range pairs {
+			lc := &p.lefts[env.FlatL(pr.L)]
+			found := false
+			for _, r := range lc.cands {
+				if r == pr.R {
+					found = true
+					break
+				}
+			}
+			if !found {
+				return false
+			}
+		}
+		sort.Slice(pairs, func(a, b int) bool {
+			return env.FlatL(pairs[a].L) < env.FlatL(pairs[b].L)
+		})
+		return true
 	}
-	if i == len(s.lefts) {
-		s.evaluate()
-		return
+	idx := make(map[match.Pair]int, len(p.pairs))
+	for i, pr := range p.pairs {
+		idx[pr] = i
 	}
-	// Optimistic bound: committed pairs contribute at most their
-	// optimistic scores (⊓ growth only lowers them), remaining left
-	// tuples at most 2·bestOpt each.
-	if s.denom > 0 && (s.committedUB+s.leftSuffix[i])/s.denom <= s.best {
-		return
-	}
-	lc := s.lefts[i]
-	for ci, r := range lc.cands {
-		m := s.env.Mark()
-		if s.env.TryAddPair(match.Pair{L: lc.ref, R: r}) {
-			opt := 2 * lc.opts[ci]
-			s.committedUB += opt
-			s.searchFunctional(i + 1)
-			s.committedUB -= opt
-			s.env.Undo(m)
+	for _, pr := range pairs {
+		if _, ok := idx[pr]; !ok {
+			return false
 		}
 	}
-	// The unmatched branch: Def. 5.3 can prefer leaving a tuple out.
-	s.searchFunctional(i + 1)
+	sort.Slice(pairs, func(a, b int) bool { return idx[pairs[a]] < idx[pairs[b]] })
+	return true
 }
 
-// searchGeneral includes or excludes each compatible pair.
-func (s *searcher) searchGeneral(i int) {
+// task is one unit of parallel work: the decision prefix identifying a
+// subtree. In functional mode decisions[j] is the candidate index chosen
+// for left tuple j (-1 = left unmatched); in general mode decisions[j] is
+// 1 to include pair j and 0 to exclude it.
+type task struct {
+	decisions []int32
+}
+
+type taskResult struct {
+	score float64
+	pairs []match.Pair
+}
+
+// searchParallel cuts the tree at a prefix depth into subtree tasks and
+// runs them on a worker pool. Tasks are enumerated in canonical DFS order
+// and results reduced in that same order, so the outcome is a function of
+// the task results alone, not of scheduling.
+func searchParallel(env *match.Env, p *problem, sh *shared, warm float64, workers, splitDepth int) []taskResult {
+	depth := splitDepth
+	if depth <= 0 {
+		depth = p.autoSplitDepth(workers)
+	}
+	if depth > p.levels() {
+		depth = p.levels()
+	}
+
+	// Enumerate feasible prefixes on the root environment, pruning with
+	// the warm incumbent; enumeration nodes count against the budget.
+	enum := &searcher{p: p, sh: sh, env: env, solo: true, best: warm}
+	var tasks []task
+	enum.enumerate(0, depth, nil, func(dec []int32) {
+		tasks = append(tasks, task{decisions: append([]int32(nil), dec...)})
+	})
+	sh.nodes.Add(enum.nodes)
+	if enum.stopped || len(tasks) == 0 {
+		return nil
+	}
+
+	results := make([]taskResult, len(tasks))
+	for i := range results {
+		// Tasks left unrun by a budget trip must not win the reduction.
+		results[i].score = math.Inf(-1)
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			ws := &searcher{p: p, sh: sh, env: env.Clone()}
+			for {
+				ti := int(next.Add(1)) - 1
+				if ti >= len(tasks) || sh.stop.Load() {
+					break
+				}
+				results[ti] = ws.runTask(tasks[ti])
+			}
+			sh.nodes.Add(ws.nodes)
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// autoSplitDepth picks the shallowest split depth whose decision count
+// reaches about eight tasks per worker, so the pool stays busy without
+// generating an excessive prefix enumeration.
+func (p *problem) autoSplitDepth(workers int) int {
+	target := 8 * workers
+	if target < 16 {
+		target = 16
+	}
+	prod := 1
+	if p.functional {
+		for i := range p.lefts {
+			prod *= len(p.lefts[i].cands) + 1
+			if prod >= target {
+				return i + 1
+			}
+		}
+		return len(p.lefts)
+	}
+	for i := range p.pairs {
+		prod *= 2
+		if prod >= target {
+			return i + 1
+		}
+	}
+	return len(p.pairs)
+}
+
+// enumerate walks the prefix levels of the tree in DFS order, emitting the
+// decision vector of every feasible, unpruned prefix of the given depth
+// (or of a complete assignment, when the tree is shallower).
+func (s *searcher) enumerate(i, depth int, dec []int32, emit func([]int32)) {
 	if s.budgetExceeded() {
 		return
 	}
-	if i == len(s.pairs) {
-		s.evaluate()
+	if i == depth || i == s.p.levels() {
+		emit(dec)
 		return
 	}
-	if s.denom > 0 && (s.committedUB+s.suffix[i])/s.denom <= s.best {
+	if s.p.functional {
+		if s.p.denom > 0 && (s.committedUB+s.p.leftSuffix[i])/s.p.denom <= s.incumbent() {
+			return
+		}
+		lc := &s.p.lefts[i]
+		for ci, r := range lc.cands {
+			m := s.env.Mark()
+			if s.env.TryAddPair(match.Pair{L: lc.ref, R: r}) {
+				opt := 2 * lc.opts[ci]
+				s.committedUB += opt
+				s.enumerate(i+1, depth, append(dec, int32(ci)), emit)
+				s.committedUB -= opt
+				s.env.Undo(m)
+			}
+		}
+		s.enumerate(i+1, depth, append(dec, -1), emit)
+		return
+	}
+	if s.p.denom > 0 && (s.committedUB+s.p.suffix[i])/s.p.denom <= s.incumbent() {
 		return
 	}
 	m := s.env.Mark()
-	if s.env.TryAddPair(s.pairs[i]) {
-		opt := 2 * s.pairOpt[i]
+	if s.env.TryAddPair(s.p.pairs[i]) {
+		opt := 2 * s.p.pairOpt[i]
 		s.committedUB += opt
-		s.searchGeneral(i + 1)
+		s.enumerate(i+1, depth, append(dec, 1), emit)
 		s.committedUB -= opt
 		s.env.Undo(m)
 	}
-	s.searchGeneral(i + 1)
+	s.enumerate(i+1, depth, append(dec, 0), emit)
+}
+
+// runTask replays the task's prefix decisions into the worker's
+// environment and searches the subtree below them, returning the subtree's
+// best leaf. Replay cannot fail: feasibility was established during
+// enumeration on an environment in the identical state.
+func (s *searcher) runTask(t task) taskResult {
+	m := s.env.Mark()
+	s.best, s.bestPairs = math.Inf(-1), nil
+	for level, d := range t.decisions {
+		if s.p.functional {
+			if d < 0 {
+				continue
+			}
+			lc := &s.p.lefts[level]
+			if !s.env.TryAddPair(match.Pair{L: lc.ref, R: lc.cands[d]}) {
+				panic("exact: task prefix replay failed")
+			}
+			s.committedUB += 2 * lc.opts[d]
+		} else {
+			if d == 0 {
+				continue
+			}
+			if !s.env.TryAddPair(s.p.pairs[level]) {
+				panic("exact: task prefix replay failed")
+			}
+			s.committedUB += 2 * s.p.pairOpt[level]
+		}
+	}
+	s.search(len(t.decisions))
+	s.env.Undo(m)
+	s.committedUB = 0
+	return taskResult{score: s.best, pairs: s.bestPairs}
 }

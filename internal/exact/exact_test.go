@@ -208,7 +208,11 @@ func TestBudgetStopsSearch(t *testing.T) {
 		rows2[i] = []model.Value{n(model.Nullf("R%d", i).Raw()), c("k")}
 	}
 	r := build(rows2)
-	res, err := Run(l, r, match.ManyToMany, Options{Lambda: lambda, MaxNodes: 50})
+	// Pin the legacy single-threaded cold-start engine: the warm start
+	// solves this degenerate instance at node 1 (every pair is perfect),
+	// and the parallel node budget is only batch-accurate.
+	res, err := Run(l, r, match.ManyToMany,
+		Options{Lambda: lambda, MaxNodes: 50, Workers: 1, NoWarmStart: true})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -232,7 +236,7 @@ func TestTimeoutStopsSearch(t *testing.T) {
 	}
 	start := time.Now()
 	res, err := Run(build(rows), build(rows2), match.ManyToMany,
-		Options{Lambda: lambda, Timeout: 50 * time.Millisecond})
+		Options{Lambda: lambda, Timeout: 50 * time.Millisecond, NoWarmStart: true})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,0 +1,235 @@
+package exact
+
+import (
+	"math"
+	"math/rand"
+	"runtime"
+	"testing"
+	"time"
+
+	"instcmp/internal/match"
+	"instcmp/internal/model"
+)
+
+// randomInstance builds a noisy instance for engine-equivalence tests:
+// enough overlap that matches exist, enough nulls that the search branches.
+func randomInstance(rng *rand.Rand, side string, rows, cols, vals int, nullPct float64) *model.Instance {
+	in := model.NewInstance()
+	attrs := make([]string, cols)
+	for j := range attrs {
+		attrs[j] = string(rune('A' + j))
+	}
+	in.AddRelation("R", attrs...)
+	for i := 0; i < rows; i++ {
+		row := make([]model.Value, cols)
+		for j := range row {
+			if rng.Float64() < nullPct {
+				row[j] = model.Nullf("%s_%d_%d", side, i, j)
+			} else {
+				row[j] = model.Constf("c%d", rng.Intn(vals))
+			}
+		}
+		in.Append("R", row...)
+	}
+	return in
+}
+
+// TestEngineVariantsBitIdentical is the tentpole's core promise: the score
+// is bit-identical (==, not approximately equal) across worker counts and
+// with/without the warm start.
+func TestEngineVariantsBitIdentical(t *testing.T) {
+	rng := rand.New(rand.NewSource(41))
+	modes := []match.Mode{match.OneToOne, match.Functional, match.ManyToMany}
+	for trial := 0; trial < 12; trial++ {
+		rows := 4 + trial%3
+		l := randomInstance(rng, "L", rows, 3, 4, 0.3)
+		r := randomInstance(rng, "R", rows, 3, 4, 0.3)
+		mode := modes[trial%len(modes)]
+
+		variants := []Options{
+			{Lambda: lambda, Workers: 1},
+			{Lambda: lambda, Workers: 1, NoWarmStart: true},
+			{Lambda: lambda, Workers: 4},
+			{Lambda: lambda, Workers: 4, NoWarmStart: true},
+			{Lambda: lambda, Workers: 4, SplitDepth: 1},
+			{Lambda: lambda, Workers: 2, SplitDepth: 3},
+		}
+		var ref *Result
+		for vi, opt := range variants {
+			res, err := Run(l, r, mode, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !res.Exhaustive {
+				t.Fatalf("trial %d variant %d: unbudgeted search not exhaustive", trial, vi)
+			}
+			if vi == 0 {
+				ref = res
+				continue
+			}
+			if res.Score != ref.Score {
+				t.Fatalf("trial %d mode %v variant %+v: score %v != reference %v",
+					trial, mode, opt, res.Score, ref.Score)
+			}
+		}
+	}
+}
+
+// TestWarmStartSeedsIncumbent: a warm-started search reports the signature
+// score it started from, and on instances where the signature is optimal
+// the search just certifies it.
+func TestWarmStartSeedsIncumbent(t *testing.T) {
+	l := build([][]model.Value{{c("a"), c("b")}, {c("x"), n("N1")}})
+	r := build([][]model.Value{{c("a"), c("b")}, {c("x"), n("V1")}})
+	res, err := Run(l, r, match.OneToOne, Options{Lambda: lambda, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.WarmScore-1) > 1e-9 {
+		t.Errorf("WarmScore = %v, want 1 (signature finds the isomorphism)", res.WarmScore)
+	}
+	if res.Score != 1 {
+		t.Errorf("score = %v, want 1", res.Score)
+	}
+	cold, err := Run(l, r, match.OneToOne, Options{Lambda: lambda, Workers: 1, NoWarmStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.WarmScore != -1 {
+		t.Errorf("cold WarmScore = %v, want -1", cold.WarmScore)
+	}
+	if res.Nodes >= cold.Nodes {
+		t.Errorf("warm start did not prune: %d warm nodes vs %d cold", res.Nodes, cold.Nodes)
+	}
+}
+
+// TestBudgetExpiredReturnsWarmMatch pins the satellite-2 fix: when the
+// budget expires before the search improves on the warm start, the result
+// carries the signature match, not an empty mapping.
+func TestBudgetExpiredReturnsWarmMatch(t *testing.T) {
+	// Ex. 3.1: the signature match scores (12+4λ)/24, the root's optimistic
+	// bound is higher, so a 1-node budget trips before the first leaf.
+	l := model.NewInstance()
+	l.AddRelation("Conf", "Id", "Name", "Year", "Org")
+	l.Append("Conf", n("N1"), c("VLDB"), c("1975"), c("VLDB End."))
+	l.Append("Conf", n("N2"), c("VLDB"), n("N4"), c("VLDB End."))
+	l.Append("Conf", n("N3"), c("SIGMOD"), c("1977"), c("ACM"))
+	r := model.NewInstance()
+	r.AddRelation("Conf", "Id", "Name", "Year", "Org")
+	r.Append("Conf", n("Va"), c("VLDB"), c("1975"), c("VLDB End."))
+	r.Append("Conf", n("Vb"), c("VLDB"), c("1976"), n("Vc"))
+	r.Append("Conf", c("3"), c("ICDE"), c("1984"), c("IEEE"))
+	res, err := Run(l, r, match.OneToOne, Options{Lambda: lambda, MaxNodes: 1, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exhaustive {
+		t.Fatal("one-node budget cannot be exhaustive here")
+	}
+	if res.WarmScore < 0 {
+		t.Fatal("warm start did not run")
+	}
+	if len(res.Pairs) == 0 {
+		t.Error("budget-expired result lost the warm-start match")
+	}
+	if res.Score != res.WarmScore {
+		t.Errorf("budget-expired score = %v, want the warm score %v", res.Score, res.WarmScore)
+	}
+
+	// Same budget without the warm start: the old empty-mapping behavior.
+	cold, err := Run(l, r, match.OneToOne,
+		Options{Lambda: lambda, MaxNodes: 1, Workers: 1, NoWarmStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cold.Pairs) != 0 {
+		t.Errorf("cold 1-node search returned %d pairs, want 0", len(cold.Pairs))
+	}
+	if cold.Score >= res.Score {
+		t.Errorf("warm budget-expired score %v should beat cold %v here", res.Score, cold.Score)
+	}
+}
+
+// TestParallelBudget pins the satellite-3 semantics: under parallel
+// execution the node budget is honored within one flush batch per worker
+// plus one task transition, and no goroutines leak.
+func TestParallelBudget(t *testing.T) {
+	before := runtime.NumGoroutine()
+	rows := make([][]model.Value, 10)
+	rows2 := make([][]model.Value, 10)
+	for i := range rows {
+		rows[i] = []model.Value{n(model.Nullf("L%d", i).Raw()), n(model.Nullf("LL%d", i).Raw())}
+		rows2[i] = []model.Value{n(model.Nullf("R%d", i).Raw()), n(model.Nullf("RR%d", i).Raw())}
+	}
+	const workers, maxNodes = 4, 2000
+	res, err := Run(build(rows), build(rows2), match.ManyToMany,
+		Options{Lambda: lambda, MaxNodes: maxNodes, Workers: workers, NoWarmStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Exhaustive {
+		t.Fatal("100-pair general search cannot finish in 2000 nodes")
+	}
+	// Every worker may overshoot by at most one unflushed batch, plus one
+	// batch of enumeration slack.
+	slack := int64((workers + 1) * nodeFlushBatch)
+	if res.Nodes > maxNodes+slack {
+		t.Errorf("parallel budget overshot: %d nodes > %d + %d", res.Nodes, maxNodes, slack)
+	}
+	// Workers must all have exited (wg.Wait in searchParallel); allow the
+	// runtime a moment to retire them before counting.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(10 * time.Millisecond)
+	}
+	if after := runtime.NumGoroutine(); after > before {
+		t.Errorf("goroutine leak: %d before, %d after", before, after)
+	}
+}
+
+// TestParallelTimeout: the deadline stops a parallel search promptly.
+func TestParallelTimeout(t *testing.T) {
+	rows := make([][]model.Value, 12)
+	rows2 := make([][]model.Value, 12)
+	for i := range rows {
+		rows[i] = []model.Value{n(model.Nullf("L%d", i).Raw()), n(model.Nullf("LL%d", i).Raw())}
+		rows2[i] = []model.Value{n(model.Nullf("R%d", i).Raw()), n(model.Nullf("RR%d", i).Raw())}
+	}
+	start := time.Now()
+	res, err := Run(build(rows), build(rows2), match.ManyToMany,
+		Options{Lambda: lambda, Timeout: 50 * time.Millisecond, Workers: 4, NoWarmStart: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("parallel timeout ignored: ran %v", elapsed)
+	}
+	if res.Exhaustive {
+		t.Log("note: search finished within the timeout (machine is fast); no assertion")
+	}
+}
+
+// TestSplitDepthVariantsExhaustive: extreme split depths (every level a
+// task boundary / no split at all) still explore the full space.
+func TestSplitDepthVariantsExhaustive(t *testing.T) {
+	rng := rand.New(rand.NewSource(17))
+	l := randomInstance(rng, "L", 4, 2, 3, 0.3)
+	r := randomInstance(rng, "R", 4, 2, 3, 0.3)
+	ref, err := Run(l, r, match.OneToOne, Options{Lambda: lambda, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, depth := range []int{1, 2, 100} {
+		res, err := Run(l, r, match.OneToOne,
+			Options{Lambda: lambda, Workers: 3, SplitDepth: depth})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !res.Exhaustive {
+			t.Fatalf("depth %d: not exhaustive", depth)
+		}
+		if res.Score != ref.Score {
+			t.Fatalf("depth %d: score %v != %v", depth, res.Score, ref.Score)
+		}
+	}
+}

@@ -33,6 +33,11 @@ type Config struct {
 	ExactTimeout time.Duration
 	// ExactMaxNodes bounds each exact run's search nodes (0 = unbounded).
 	ExactMaxNodes int64
+	// ExactWorkers is the exact search's worker count (0 = GOMAXPROCS).
+	ExactWorkers int
+	// ExactNoWarmStart disables the exact search's signature warm start
+	// (ablation; never changes scores, only wall-clock time).
+	ExactNoWarmStart bool
 }
 
 func (c Config) lambda() float64 {
@@ -47,7 +52,13 @@ func (c Config) exactOpts() exact.Options {
 	if to == 0 {
 		to = 5 * time.Minute
 	}
-	return exact.Options{Lambda: c.lambda(), Timeout: to, MaxNodes: c.ExactMaxNodes}
+	return exact.Options{
+		Lambda:      c.lambda(),
+		Timeout:     to,
+		MaxNodes:    c.ExactMaxNodes,
+		Workers:     c.ExactWorkers,
+		NoWarmStart: c.ExactNoWarmStart,
+	}
 }
 
 // Table1Row is one line of Table 1: dataset statistics.

@@ -35,8 +35,11 @@ type Options struct {
 	// default for discovery: candidate tables may merge or split rows).
 	Mode instcmp.Mode
 	// Workers runs full comparisons concurrently (0 or 1 = sequential).
-	// Comparisons are independent — Compare never mutates its inputs —
-	// so candidates parallelize trivially.
+	// Comparisons are independent — Compare never mutates its inputs, and
+	// alignName clones rather than renames — so candidates parallelize
+	// trivially, and the ranking is identical for every worker count
+	// (results land in per-candidate slots and are sorted with a
+	// deterministic comparator). cmd/lakefind defaults to GOMAXPROCS.
 	Workers int
 }
 

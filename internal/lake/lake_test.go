@@ -2,6 +2,7 @@ package lake
 
 import (
 	"math/rand"
+	"runtime"
 	"testing"
 
 	"instcmp"
@@ -101,23 +102,50 @@ func TestRankPrefilterPrunes(t *testing.T) {
 
 // TestRankParallelMatchesSequential: the worker pool must produce the same
 // ranking as the sequential path (run with -race to check for data races).
+// TestRankParallelMatchesSequential pins the property cmd/lakefind's
+// Workers = GOMAXPROCS default relies on: the ranking (names, scores,
+// overlaps, prune decisions, and order) is identical for every worker
+// count.
 func TestRankParallelMatchesSequential(t *testing.T) {
 	example, cands := buildLake(t)
 	seq, err := Rank(example, cands, Options{})
 	if err != nil {
 		t.Fatal(err)
 	}
-	par, err := Rank(example, cands, Options{Workers: 4})
-	if err != nil {
-		t.Fatal(err)
-	}
-	if len(seq) != len(par) {
-		t.Fatalf("lengths differ: %d vs %d", len(seq), len(par))
-	}
-	for i := range seq {
-		if seq[i] != par[i] {
-			t.Errorf("rank %d differs: %+v vs %+v", i, seq[i], par[i])
+	for _, workers := range []int{2, 4, runtime.GOMAXPROCS(0), 16} {
+		par, err := Rank(example, cands, Options{Workers: workers})
+		if err != nil {
+			t.Fatal(err)
 		}
+		if len(seq) != len(par) {
+			t.Fatalf("workers=%d: lengths differ: %d vs %d", workers, len(seq), len(par))
+		}
+		for i := range seq {
+			if seq[i] != par[i] {
+				t.Errorf("workers=%d rank %d differs: %+v vs %+v", workers, i, seq[i], par[i])
+			}
+		}
+	}
+}
+
+// BenchmarkRank measures lake ranking sequentially and at the lakefind
+// default worker count (alignName + normalization + signature comparison
+// per surviving candidate).
+func BenchmarkRank(b *testing.B) {
+	base := datasets.IrisData(100, rand.New(rand.NewSource(4)))
+	var cands []Candidate
+	for i := 0; i < 8; i++ {
+		c := generator.Make(base, generator.Noise{CellPct: 0.05 * float64(i%4), Seed: int64(i)}).Target
+		cands = append(cands, Candidate{Name: string(rune('a' + i)), Instance: c})
+	}
+	for name, workers := range map[string]int{"workers=1": 1, "workers=max": runtime.GOMAXPROCS(0)} {
+		b.Run(name, func(b *testing.B) {
+			for i := 0; i < b.N; i++ {
+				if _, err := Rank(base, cands, Options{Workers: workers}); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }
 

@@ -1,0 +1,116 @@
+package match
+
+import (
+	"sync"
+	"testing"
+
+	"instcmp/internal/model"
+	"instcmp/internal/unify"
+)
+
+func cloneFixture(t *testing.T) *Env {
+	t.Helper()
+	l := model.NewInstance()
+	l.AddRelation("R", "A", "B")
+	l.Append("R", model.Null("N1"), model.Const("b"))
+	l.Append("R", model.Null("N2"), model.Const("c"))
+	l.Append("R", model.Const("x"), model.Null("N3"))
+	r := model.NewInstance()
+	r.AddRelation("R", "A", "B")
+	r.Append("R", model.Null("V1"), model.Const("b"))
+	r.Append("R", model.Null("V2"), model.Const("c"))
+	r.Append("R", model.Const("x"), model.Null("V3"))
+	env, err := NewEnv(l, r, ManyToMany)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return env
+}
+
+func TestCloneIsIndependent(t *testing.T) {
+	env := cloneFixture(t)
+	if !env.TryAddPair(Pair{L: Ref{Idx: 0}, R: Ref{Idx: 0}}) {
+		t.Fatal("seed pair refused")
+	}
+	cl := env.Clone()
+	if cl.NumPairs() != 1 || !cl.Has(Pair{L: Ref{Idx: 0}, R: Ref{Idx: 0}}) {
+		t.Fatal("clone did not carry the current mapping")
+	}
+
+	// Mutations on the clone are invisible to the original and vice versa.
+	if !cl.TryAddPair(Pair{L: Ref{Idx: 1}, R: Ref{Idx: 1}}) {
+		t.Fatal("clone pair refused")
+	}
+	if env.NumPairs() != 1 {
+		t.Errorf("original gained a pair from the clone: %d", env.NumPairs())
+	}
+	if !env.TryAddPair(Pair{L: Ref{Idx: 2}, R: Ref{Idx: 2}}) {
+		t.Fatal("original pair refused after clone")
+	}
+	if cl.NumPairs() != 2 || cl.Has(Pair{L: Ref{Idx: 2}, R: Ref{Idx: 2}}) {
+		t.Error("clone saw the original's new pair")
+	}
+
+	// Undo on the clone must not disturb the original's unifier state.
+	cl.Undo(Mark{})
+	if cl.NumPairs() != 0 {
+		t.Errorf("clone undo left %d pairs", cl.NumPairs())
+	}
+	if env.NumPairs() != 2 {
+		t.Errorf("original pairs = %d after clone undo, want 2", env.NumPairs())
+	}
+	if !env.U.SameClass(model.Null("N1"), model.Null("V1")) {
+		t.Error("original lost a unification after clone undo")
+	}
+}
+
+// TestCloneConcurrentSearch drives several clones concurrently under -race:
+// clones share only immutable data, so parallel add/undo cycles must not
+// race.
+func TestCloneConcurrentSearch(t *testing.T) {
+	env := cloneFixture(t)
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			cl := env.Clone()
+			for iter := 0; iter < 200; iter++ {
+				m := cl.Mark()
+				for i := 0; i < 3; i++ {
+					cl.TryAddPair(Pair{L: Ref{Idx: i}, R: Ref{Idx: (i + w) % 3}})
+				}
+				for _, p := range cl.Pairs() {
+					cl.U.SideCountID(cl.LeftRow(p.L)[0], unify.Left)
+				}
+				cl.Undo(m)
+			}
+		}(w)
+	}
+	wg.Wait()
+	if env.NumPairs() != 0 {
+		t.Errorf("root env mutated by clones: %d pairs", env.NumPairs())
+	}
+}
+
+func TestReplayAllOrNothing(t *testing.T) {
+	env := cloneFixture(t)
+	good := []Pair{{L: Ref{Idx: 0}, R: Ref{Idx: 0}}, {L: Ref{Idx: 1}, R: Ref{Idx: 1}}}
+	if !env.Replay(good) {
+		t.Fatal("consistent replay refused")
+	}
+	if env.NumPairs() != 2 {
+		t.Fatalf("replay applied %d pairs, want 2", env.NumPairs())
+	}
+	env.Undo(Mark{})
+
+	// A replay containing an inconsistent pair must roll back entirely:
+	// matching t0 (N1,b) with r1 (V2,c) conflicts on the constant cell.
+	bad := []Pair{{L: Ref{Idx: 1}, R: Ref{Idx: 1}}, {L: Ref{Idx: 0}, R: Ref{Idx: 1}}}
+	if env.Replay(bad) {
+		t.Fatal("inconsistent replay accepted")
+	}
+	if env.NumPairs() != 0 {
+		t.Errorf("failed replay left %d pairs behind", env.NumPairs())
+	}
+}

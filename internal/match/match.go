@@ -169,6 +169,47 @@ func NewEnv(left, right *model.Instance, mode Mode) (*Env, error) {
 	return e, nil
 }
 
+// Clone returns an independent copy of the environment: the immutable
+// comparison data (instances, coded relations, interner, flat index bases)
+// is shared, while the mutable match state — unifier, tuple mapping, image
+// tables — is deep-copied. Clones can be extended and rolled back
+// concurrently with each other and with the original, which is what the
+// parallel exact search hands each worker.
+func (e *Env) Clone() *Env {
+	ne := *e
+	ne.U = e.U.Clone()
+	ne.pairs = append([]Pair(nil), e.pairs...)
+	ne.leftImg = cloneImages(e.leftImg)
+	ne.rightImg = cloneImages(e.rightImg)
+	return &ne
+}
+
+func cloneImages(img [][]Ref) [][]Ref {
+	out := make([][]Ref, len(img))
+	for i, refs := range img {
+		if len(refs) > 0 {
+			out[i] = append([]Ref(nil), refs...)
+		}
+	}
+	return out
+}
+
+// Replay extends the match with a sequence of pairs, all-or-nothing: when
+// any pair is rejected the environment is rolled back to its prior state
+// and Replay reports false. Search engines use it to re-establish a match
+// (a warm-start incumbent, a subtree-task prefix) in a fresh or cloned
+// environment.
+func (e *Env) Replay(pairs []Pair) bool {
+	m := e.Mark()
+	for _, p := range pairs {
+		if !e.TryAddPair(p) {
+			e.Undo(m)
+			return false
+		}
+	}
+	return true
+}
+
 // FlatL returns the dense per-side index of a left tuple (relations
 // concatenated in schema order).
 func (e *Env) FlatL(ref Ref) int { return e.lBase[ref.Rel] + ref.Idx }

@@ -8,6 +8,7 @@ package regress
 import (
 	"testing"
 
+	"instcmp"
 	"instcmp/internal/datasets"
 	"instcmp/internal/exact"
 	"instcmp/internal/generator"
@@ -73,6 +74,11 @@ var goldenExact = []struct {
 	{3, 0.24166666666666667},
 }
 
+// TestExactGoldenScores pins the exact engine's score against the golden
+// values across every engine variant: single-threaded and parallel, with
+// and without the signature warm start. The four variants must agree
+// bit-for-bit with each other and with the goldens — the warm start and
+// the parallel decomposition are pure accelerations.
 func TestExactGoldenScores(t *testing.T) {
 	for _, tc := range goldenExact {
 		base, err := datasets.Generate(datasets.Doct, 12, tc.seed)
@@ -80,15 +86,50 @@ func TestExactGoldenScores(t *testing.T) {
 			t.Fatal(err)
 		}
 		sc := generator.Make(base, generator.Noise{CellPct: 0.2, Seed: tc.seed})
-		res, err := exact.Run(sc.Source, sc.Target, match.OneToOne, exact.Options{Lambda: 0.5})
+		for _, workers := range []int{1, 4} {
+			for _, noWarm := range []bool{false, true} {
+				res, err := exact.Run(sc.Source, sc.Target, match.OneToOne,
+					exact.Options{Lambda: 0.5, Workers: workers, NoWarmStart: noWarm})
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !res.Exhaustive {
+					t.Fatalf("seed %d workers=%d noWarm=%v: search not exhaustive",
+						tc.seed, workers, noWarm)
+				}
+				if res.Score != tc.want {
+					t.Errorf("seed %d workers=%d noWarm=%v: score %.17g, golden %.17g",
+						tc.seed, workers, noWarm, res.Score, tc.want)
+				}
+			}
+		}
+	}
+}
+
+// TestCompareGoldenAcrossExactWorkers pins the same property at the public
+// API level: Compare with AlgoExact returns bit-identical scores for
+// ExactWorkers 1 and 4.
+func TestCompareGoldenAcrossExactWorkers(t *testing.T) {
+	for _, tc := range goldenExact {
+		base, err := datasets.Generate(datasets.Doct, 12, tc.seed)
 		if err != nil {
 			t.Fatal(err)
 		}
-		if !res.Exhaustive {
-			t.Fatalf("seed %d: search not exhaustive", tc.seed)
-		}
-		if res.Score != tc.want {
-			t.Errorf("seed %d: score %.17g, golden %.17g", tc.seed, res.Score, tc.want)
+		sc := generator.Make(base, generator.Noise{CellPct: 0.2, Seed: tc.seed})
+		for _, workers := range []int{1, 4} {
+			res, err := instcmp.Compare(sc.Source, sc.Target, &instcmp.Options{
+				Mode:         instcmp.OneToOne,
+				Lambda:       0.5,
+				Algorithm:    instcmp.AlgoExact,
+				ExactWorkers: workers,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Score != tc.want {
+				t.Errorf("seed %d ExactWorkers=%d: score %.17g, golden %.17g",
+					tc.seed, workers, res.Score, tc.want)
+			}
 		}
 	}
 }

@@ -24,6 +24,7 @@
 package signature
 
 import (
+	"fmt"
 	"math/bits"
 	"sort"
 	"time"
@@ -99,6 +100,19 @@ func Run(left, right *model.Instance, mode match.Mode, opt Options) (*Result, er
 	env, err := match.NewEnv(left, right, mode)
 	if err != nil {
 		return nil, err
+	}
+	return RunEnv(env, opt)
+}
+
+// RunEnv executes the signature algorithm on a caller-prepared environment
+// whose tuple mapping must be empty. It exists so other engines can reuse
+// the algorithm as a bound provider without re-interning the instances: the
+// exact search warm-starts its branch-and-bound by running RunEnv on its
+// own environment, reading off the match, and rolling it back with
+// Mark/Undo (every mutation goes through the environment's trail).
+func RunEnv(env *match.Env, opt Options) (*Result, error) {
+	if env.NumPairs() != 0 {
+		return nil, fmt.Errorf("signature: RunEnv requires an empty tuple mapping, got %d pairs", env.NumPairs())
 	}
 	r := &Result{Env: env}
 	s := &runner{

@@ -5,7 +5,6 @@ import (
 	"math/rand"
 	"testing"
 
-	"instcmp/internal/exact"
 	"instcmp/internal/match"
 	"instcmp/internal/model"
 )
@@ -69,49 +68,6 @@ func TestFig6Scenario(t *testing.T) {
 	if res.Stats.SigMatches != 2 || res.Stats.CompatMatches != 0 {
 		t.Errorf("phase split = %d sig + %d compat, want 2 + 0",
 			res.Stats.SigMatches, res.Stats.CompatMatches)
-	}
-}
-
-func TestAgreesWithExactOnRandomSmallInstances(t *testing.T) {
-	rng := rand.New(rand.NewSource(7))
-	modes := []match.Mode{match.OneToOne, match.Functional, match.ManyToMany}
-	var worst float64
-	for trial := 0; trial < 60; trial++ {
-		mk := func(side string) *model.Instance {
-			rows := make([][]model.Value, 4)
-			for i := range rows {
-				rows[i] = make([]model.Value, 3)
-				for j := range rows[i] {
-					if rng.Intn(4) == 0 {
-						rows[i][j] = model.Nullf("%s%d_%d_%d", side, trial, i, j)
-					} else {
-						rows[i][j] = model.Constf("c%d", rng.Intn(4))
-					}
-				}
-			}
-			return build(rows)
-		}
-		l, r := mk("L"), mk("R")
-		mode := modes[trial%len(modes)]
-		ex, err := exact.Run(l, r, mode, exact.Options{Lambda: lambda, MaxNodes: 2_000_000})
-		if err != nil {
-			t.Fatal(err)
-		}
-		if !ex.Exhaustive {
-			continue
-		}
-		sig := run(t, l, r, mode)
-		if sig.Score > ex.Score+1e-9 {
-			t.Fatalf("trial %d: signature %v exceeds exact optimum %v", trial, sig.Score, ex.Score)
-		}
-		if d := ex.Score - sig.Score; d > worst {
-			worst = d
-		}
-	}
-	// The paper reports <1% score difference; on these tiny instances the
-	// greedy may lose a bit more, but must stay close.
-	if worst > 0.15 {
-		t.Errorf("worst exact-signature gap = %v, want <= 0.15", worst)
 	}
 }
 

@@ -1,0 +1,61 @@
+package unify
+
+import (
+	"testing"
+
+	"instcmp/internal/model"
+)
+
+func TestCloneIndependence(t *testing.T) {
+	u := New()
+	n1, n2, n3 := model.Null("N1"), model.Null("N2"), model.Null("N3")
+	u.AddNull(n1, Left)
+	u.AddNull(n2, Left)
+	u.AddNull(n3, Right)
+	if !u.Merge(n1, model.Const("a")) {
+		t.Fatal("merge refused")
+	}
+
+	cl := u.Clone()
+	if got, _ := cl.ClassConst(n1); got != model.Const("a") {
+		t.Fatalf("clone lost class constant: %v", got)
+	}
+
+	// Diverge: the clone merges n2 into the "a" class, the original merges
+	// n2 with a different constant. Neither sees the other's merge.
+	if !cl.Merge(n2, n1) {
+		t.Fatal("clone merge refused")
+	}
+	if !u.Merge(n2, model.Const("b")) {
+		t.Fatal("original merge refused (clone state leaked)")
+	}
+	if c, _ := cl.ClassConst(n2); c != model.Const("a") {
+		t.Errorf("clone n2 class constant = %v, want a", c)
+	}
+	if c, _ := u.ClassConst(n2); c != model.Const("b") {
+		t.Errorf("original n2 class constant = %v, want b", c)
+	}
+
+	// Undo past the clone point on the clone; the original's trail is its
+	// own copy and survives.
+	cl.Undo(0)
+	if _, ok := cl.ClassConst(n1); ok {
+		t.Error("clone undo(0) left a class constant")
+	}
+	if c, _ := u.ClassConst(n1); c != model.Const("a") {
+		t.Errorf("original damaged by clone undo: %v", c)
+	}
+
+	// A clone taken before arrays were grown still works: interning new
+	// values after cloning grows each copy independently.
+	n4 := model.Null("N4")
+	cl2 := u.Clone()
+	cl2.AddNull(n4, Right)
+	if !cl2.Merge(n4, n3) {
+		t.Fatal("clone merge of late-interned null refused")
+	}
+	u.AddNull(n4, Right)
+	if u.SameClass(n4, n3) {
+		t.Error("original saw the clone's merge")
+	}
+}
