@@ -14,8 +14,10 @@
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strconv"
 	"strings"
@@ -38,6 +40,7 @@ func main() {
 		exactTO   = flag.Duration("exact-timeout", 60*time.Second, "budget per exact run")
 		exactW    = flag.Int("exact-workers", 0, "exact-search workers (0 = GOMAXPROCS)")
 		noWarm    = flag.Bool("exact-no-warm-start", false, "disable the exact search's signature warm start (ablation)")
+		stats     = flag.Bool("stats", false, "print cumulative engine counters (expvar) after each experiment")
 	)
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -87,7 +90,26 @@ func main() {
 			fmt.Fprintf(os.Stderr, "experiments: %s: %v\n", name, err)
 			os.Exit(1)
 		}
+		if *stats {
+			printEngineStats(os.Stdout)
+		}
 		fmt.Printf("(%s finished in %v)\n\n", name, time.Since(start).Round(time.Millisecond))
+	}
+}
+
+// printEngineStats dumps the engines' cumulative expvar counters — the same
+// maps a long-running process would expose over /debug/vars.
+func printEngineStats(w io.Writer) {
+	for _, name := range []string{"instcmp.api", "instcmp.exact", "instcmp.signature", "instcmp.lake"} {
+		m, ok := expvar.Get(name).(*expvar.Map)
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(w, "%s:", name)
+		m.Do(func(kv expvar.KeyValue) {
+			fmt.Fprintf(w, " %s=%s", kv.Key, kv.Value)
+		})
+		fmt.Fprintln(w)
 	}
 }
 

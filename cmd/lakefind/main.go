@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -35,10 +36,14 @@ func main() {
 func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("lakefind", flag.ContinueOnError)
 	var (
-		minOverlap = fs.Float64("min-overlap", 0.05, "constant-overlap prefilter threshold (0 disables)")
-		top        = fs.Int("top", 0, "print only the best N candidates (0 = all)")
-		anonNulls  = fs.Bool("anon-nulls", false, "treat empty CSV cells as fresh labeled nulls")
-		workers    = fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent candidate comparisons (ranking order is identical for every value)")
+		minOverlap  = fs.Float64("min-overlap", 0.05, "constant-overlap prefilter threshold (0 disables)")
+		top         = fs.Int("top", 0, "print only the best N candidates (0 = all)")
+		anonNulls   = fs.Bool("anon-nulls", false, "treat empty CSV cells as fresh labeled nulls")
+		workers     = fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent candidate comparisons (ranking order is identical for every value)")
+		lambda      = fs.Float64("lambda", -1, "null-to-constant penalty λ in [0, 1); -1 = paper default, 0 = nulls matched to constants score nothing")
+		candTimeout = fs.Duration("candidate-timeout", 0, "per-candidate comparison budget; a candidate over budget degrades to its prefilter overlap (0 = none)")
+		timeout     = fs.Duration("timeout", 0, "overall ranking deadline; exceeding it aborts the ranking (0 = none)")
+		stats       = fs.Bool("stats", false, "print per-candidate comparison statistics after the ranking")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -73,7 +78,24 @@ func run(args []string, out io.Writer) error {
 		return fmt.Errorf("no datasets found in %s", fs.Arg(1))
 	}
 
-	res, err := lake.Rank(example, cands, lake.Options{MinValueOverlap: *minOverlap, Workers: *workers})
+	opt := lake.Options{
+		MinValueOverlap:     *minOverlap,
+		Workers:             *workers,
+		PerCandidateTimeout: *candTimeout,
+	}
+	switch {
+	case *lambda == 0:
+		opt.ExplicitZeroLambda = true
+	case *lambda > 0:
+		opt.Lambda = *lambda
+	}
+	ctx := context.Background()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+	res, err := lake.RankContext(ctx, example, cands, opt)
 	if err != nil {
 		return err
 	}
@@ -83,10 +105,24 @@ func run(args []string, out io.Writer) error {
 			break
 		}
 		score := fmt.Sprintf("%.4f", r.Score)
-		if r.Pruned {
+		switch {
+		case r.Pruned:
 			score = "(pruned)"
+		case r.TimedOut:
+			score = "(timeout)"
 		}
 		fmt.Fprintf(out, "%-30s  %9s  %8.3f\n", r.Name, score, r.Overlap)
+	}
+	if *stats {
+		fmt.Fprintln(out)
+		for _, r := range res {
+			if r.Stats == nil {
+				continue // pruned before comparison: nothing to report
+			}
+			s := r.Stats
+			fmt.Fprintf(out, "stats %-24s  sig=%d compat=%d attempts=%d rejects=%d evals=%d search=%v\n",
+				r.Name, s.SigMatches, s.CompatMatches, s.PairAttempts, s.PairRejects, s.ScoreEvals, s.SearchTime)
+		}
 	}
 	return nil
 }

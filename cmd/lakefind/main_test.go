@@ -65,6 +65,61 @@ func TestRunTopAndPrefilter(t *testing.T) {
 	}
 }
 
+func TestRunStatsFlag(t *testing.T) {
+	example, lakeDir := setupLake(t)
+	var out strings.Builder
+	if err := run([]string{"-stats", example, lakeDir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "stats twin.csv") {
+		t.Errorf("-stats printed no per-candidate line:\n%s", got)
+	}
+	if !strings.Contains(got, "attempts=") || !strings.Contains(got, "search=") {
+		t.Errorf("stats line missing counters:\n%s", got)
+	}
+}
+
+func TestRunLambdaFlag(t *testing.T) {
+	example, lakeDir := setupLake(t)
+	// partial.csv holds a null where the example has a constant; λ = 0
+	// removes that cell's credit, so partial's score must drop.
+	var def, zero strings.Builder
+	if err := run([]string{example, lakeDir}, &def); err != nil {
+		t.Fatal(err)
+	}
+	if err := run([]string{"-lambda", "0", example, lakeDir}, &zero); err != nil {
+		t.Fatal(err)
+	}
+	score := func(s, name string) string {
+		for _, line := range strings.Split(s, "\n") {
+			if strings.HasPrefix(line, name) {
+				return strings.Fields(line)[1]
+			}
+		}
+		t.Fatalf("%s missing:\n%s", name, s)
+		return ""
+	}
+	d, z := score(def.String(), "partial.csv"), score(zero.String(), "partial.csv")
+	if d <= z {
+		t.Errorf("λ=0 should lower partial.csv's score: default %s, zero %s", d, z)
+	}
+	if score(def.String(), "twin.csv") != score(zero.String(), "twin.csv") {
+		t.Error("λ=0 changed a null-free candidate's score")
+	}
+}
+
+func TestRunCandidateTimeout(t *testing.T) {
+	example, lakeDir := setupLake(t)
+	var out strings.Builder
+	if err := run([]string{"-candidate-timeout", "1ns", example, lakeDir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(out.String(), "(timeout)") {
+		t.Errorf("no candidate marked (timeout):\n%s", out.String())
+	}
+}
+
 func TestRunErrors(t *testing.T) {
 	example, lakeDir := setupLake(t)
 	if err := run([]string{example}, &strings.Builder{}); err == nil {

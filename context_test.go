@@ -1,0 +1,126 @@
+package instcmp
+
+import (
+	"context"
+	"testing"
+	"time"
+)
+
+// bigPair builds two related instances large enough that neither algorithm
+// finishes before its first cancellation poll when the context is already
+// canceled.
+func bigPair() (*Instance, *Instance) {
+	l, r := NewInstance(), NewInstance()
+	l.AddRelation("R", "A", "B")
+	r.AddRelation("R", "A", "B")
+	for i := 0; i < 30; i++ {
+		l.Append("R", Const(Nullf(i%9)), Null("L"+Nullf(i%9)+Nullf(i/9)))
+		r.Append("R", Const(Nullf(i%9)), Null("R"+Nullf(i%9)+Nullf(i/9)))
+	}
+	return l, r
+}
+
+// TestCompareContextCanceled: a canceled context makes both algorithms stop
+// as an anytime operation — nil error, Result.Stopped = StoppedCanceled, and
+// a well-formed (partial) explanation.
+func TestCompareContextCanceled(t *testing.T) {
+	l, r := bigPair()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, algo := range []Algorithm{AlgoSignature, AlgoExact} {
+		res, err := CompareContext(ctx, l, r, &Options{Algorithm: algo})
+		if err != nil {
+			t.Fatalf("%v: %v", algo, err)
+		}
+		if res.Stopped != StoppedCanceled {
+			t.Errorf("%v: Stopped = %q, want %q", algo, res.Stopped, StoppedCanceled)
+		}
+		if res.Score < 0 || res.Score > 1 {
+			t.Errorf("%v: canceled score out of range: %v", algo, res.Score)
+		}
+		if res.LeftValueMapping == nil || res.RightValueMapping == nil {
+			t.Errorf("%v: canceled result missing value mappings", algo)
+		}
+	}
+}
+
+// TestCompareContextBackgroundMatchesCompare: with a background context,
+// CompareContext is exactly Compare — same score, no Stopped reason.
+func TestCompareContextBackgroundMatchesCompare(t *testing.T) {
+	l, r := bigPair()
+	for _, algo := range []Algorithm{AlgoSignature, AlgoExact} {
+		opt := &Options{Algorithm: algo, ExactMaxNodes: 50000}
+		plain, err := Compare(l, r, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		viaCtx, err := CompareContext(context.Background(), l, r, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if plain.Score != viaCtx.Score {
+			t.Errorf("%v: CompareContext score %v != Compare score %v", algo, viaCtx.Score, plain.Score)
+		}
+		if viaCtx.Stopped != plain.Stopped {
+			t.Errorf("%v: Stopped mismatch: %q vs %q", algo, viaCtx.Stopped, plain.Stopped)
+		}
+	}
+}
+
+// TestCompareContextPromptReturn: cancelling mid-comparison returns within
+// the engines' bounded poll interval, not after the full (exponential)
+// search.
+func TestCompareContextPromptReturn(t *testing.T) {
+	l, r := bigPair()
+	ctx, cancel := context.WithCancel(context.Background())
+	go func() {
+		time.Sleep(20 * time.Millisecond)
+		cancel()
+	}()
+	start := time.Now()
+	res, err := CompareContext(ctx, l, r, &Options{Algorithm: AlgoExact})
+	cancel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if elapsed := time.Since(start); elapsed > 5*time.Second {
+		t.Errorf("canceled comparison ran %v", elapsed)
+	}
+	if res.Exhaustive {
+		t.Log("note: search finished before the cancel (fast machine); no assertion")
+	} else if res.Stopped != StoppedCanceled {
+		t.Errorf("Stopped = %q, want %q", res.Stopped, StoppedCanceled)
+	}
+	if res.Stats.WarmScore >= 0 && res.Score < res.Stats.WarmScore {
+		t.Errorf("canceled score %v below warm incumbent %v", res.Score, res.Stats.WarmScore)
+	}
+}
+
+// TestCompareStatsPhases: the unified stats record per-phase wall time and
+// match-construction counters for both algorithms.
+func TestCompareStatsPhases(t *testing.T) {
+	l, r := bigPair()
+	for _, algo := range []Algorithm{AlgoSignature, AlgoExact} {
+		opt := &Options{Algorithm: algo, ExactMaxNodes: 50000}
+		res, err := Compare(l, r, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		s := res.Stats
+		if s.SearchTime <= 0 {
+			t.Errorf("%v: SearchTime = %v", algo, s.SearchTime)
+		}
+		if s.PairAttempts == 0 {
+			t.Errorf("%v: PairAttempts = 0", algo)
+		}
+		if s.ScoreEvals == 0 {
+			t.Errorf("%v: ScoreEvals = 0", algo)
+		}
+		if algo == AlgoSignature && s.Nodes != 0 {
+			t.Errorf("signature run reports %d exact nodes", s.Nodes)
+		}
+		if algo == AlgoExact && s.Nodes == 0 {
+			t.Error("exact run reports 0 nodes")
+		}
+	}
+}

@@ -24,6 +24,8 @@
 package instcmp
 
 import (
+	"context"
+	"expvar"
 	"fmt"
 	"strings"
 	"time"
@@ -157,6 +159,76 @@ func (o *Options) lambda() float64 {
 	return o.Lambda
 }
 
+// Stopped reasons reported by Result.Stopped: comparing incomplete
+// instances is NP-hard (Thm. 5.11), so any budgeted or canceled comparison
+// can stop early — the result then carries the best match found so far and
+// one of these reasons.
+const (
+	// StoppedTimeout: Options.ExactTimeout expired.
+	StoppedTimeout = exact.StoppedTimeout
+	// StoppedNodeBudget: Options.ExactMaxNodes was exhausted.
+	StoppedNodeBudget = exact.StoppedNodeBudget
+	// StoppedCanceled: the CompareContext context was canceled.
+	StoppedCanceled = exact.StoppedCanceled
+)
+
+// ComparisonStats is the unified observability record populated by every
+// comparison, regardless of algorithm. Collecting it never perturbs the
+// search: all counters are observations of decisions the algorithms make
+// anyway, so scores are bit-identical with and without anyone reading them.
+type ComparisonStats struct {
+	// Exact-search counters (zero for signature runs).
+
+	// Nodes is the number of search-tree nodes visited across all
+	// workers.
+	Nodes int64
+	// Prunes counts subtrees cut by the optimistic bounds.
+	Prunes int64
+	// Improvements counts incumbent improvements recorded by searchers.
+	Improvements int64
+	// WarmScore is the incumbent the exact search started from (-1 when
+	// not warm-started or for signature runs).
+	WarmScore float64
+
+	// Signature phase breakdown: the signature algorithm's own run, or
+	// the exact search's warm start.
+
+	// SigMatches counts tuple pairs discovered by signature probing.
+	SigMatches int
+	// CompatMatches counts pairs added by the completion step.
+	CompatMatches int
+	// ScoreAfterSig is the signature match's score before completion.
+	ScoreAfterSig float64
+	// SigPhase and CompatPhase record signature wall-clock time per phase.
+	SigPhase, CompatPhase time.Duration
+
+	// Match-construction counters (both algorithms).
+
+	// PairAttempts and PairRejects count tuple-pair insertion attempts
+	// and their rejections (mode or unification conflicts).
+	PairAttempts, PairRejects int64
+	// ScoreEvals counts pair-score evaluations.
+	ScoreEvals int64
+
+	// Per-phase wall clock of the comparison as a whole.
+
+	// NormalizeTime covers input normalization (copying, null renaming,
+	// schema alignment).
+	NormalizeTime time.Duration
+	// SearchTime covers the algorithm run itself.
+	SearchTime time.Duration
+	// ExplainTime covers extracting pairs, unmatched tuples, and value
+	// mappings from the final match.
+	ExplainTime time.Duration
+}
+
+// apiVars exports cumulative comparison counters for long-running processes
+// (expvar key "instcmp.api"): comparisons, comparisons_exact,
+// comparisons_signature, stopped, nodes, pair_attempts, elapsed_ns. The
+// engine packages export finer-grained counters under "instcmp.exact" and
+// "instcmp.signature".
+var apiVars = expvar.NewMap("instcmp.api")
+
 // MatchedPair is one element of the resulting tuple mapping, with its
 // contribution to the score.
 type MatchedPair struct {
@@ -187,9 +259,14 @@ type Result struct {
 	// LeftValueMapping and RightValueMapping are h_l and h_r restricted
 	// to labeled nulls (constants always map to themselves).
 	LeftValueMapping, RightValueMapping map[Value]Value
-	// SignatureStats reports the signature algorithm's phase breakdown
-	// (nil for exact runs).
-	SignatureStats *signature.Stats
+	// Stopped is empty for a comparison that ran to its natural end, and
+	// one of StoppedTimeout, StoppedNodeBudget, StoppedCanceled when it
+	// was cut short. A stopped comparison still reports the best match
+	// found so far (anytime behavior); for the exact algorithm Score is
+	// then a lower bound on the true similarity.
+	Stopped string
+	// Stats is the unified run record, populated by both algorithms.
+	Stats ComparisonStats
 	// Elapsed is the total comparison time.
 	Elapsed time.Duration
 }
@@ -199,6 +276,18 @@ type Result struct {
 // copies (disjoint tuple identifiers and null namespaces, and — with
 // AlignSchemas — padded schemas).
 func Compare(left, right *Instance, opt *Options) (*Result, error) {
+	return CompareContext(context.Background(), left, right, opt)
+}
+
+// CompareContext is Compare with a cancellation context. Because the
+// underlying problem is NP-hard, cancellation is an anytime operation, not
+// an error: when ctx is canceled (or times out) mid-comparison, the call
+// returns promptly — within a bounded polling interval of the engines' node
+// and scan loops — with the best match found so far, Result.Stopped set to
+// StoppedCanceled, and the explanation filled in for that partial match.
+// Callers that need hard failure semantics can check Result.Stopped (or
+// ctx.Err()) themselves.
+func CompareContext(ctx context.Context, left, right *Instance, opt *Options) (*Result, error) {
 	if left == nil || right == nil {
 		return nil, fmt.Errorf("instcmp: Compare requires two non-nil instances")
 	}
@@ -235,10 +324,13 @@ func Compare(left, right *Instance, opt *Options) (*Result, error) {
 	}
 
 	res := &Result{Algorithm: algo}
+	res.Stats.NormalizeTime = time.Since(start)
+	res.Stats.WarmScore = -1
+	searchStart := time.Now()
 	var env *match.Env
 	switch algo {
 	case AlgoExact:
-		ex, err := exact.Run(l, r, opt.Mode, exact.Options{
+		ex, err := exact.RunContext(ctx, l, r, opt.Mode, exact.Options{
 			Lambda:   opt.lambda(),
 			MaxNodes: opt.ExactMaxNodes,
 			Timeout:  opt.ExactTimeout,
@@ -250,8 +342,17 @@ func Compare(left, right *Instance, opt *Options) (*Result, error) {
 		env = ex.Env
 		res.Score = ex.Score
 		res.Exhaustive = ex.Exhaustive
+		res.Stopped = ex.Stopped
+		res.Stats.Nodes = ex.Nodes
+		res.Stats.Prunes = ex.Prunes
+		res.Stats.Improvements = ex.Improvements
+		res.Stats.WarmScore = ex.WarmScore
+		if ex.SigStats != nil {
+			res.Stats.fillSignature(*ex.SigStats)
+		}
+		res.Stats.fillEnv(ex.EnvStats)
 	case AlgoSignature:
-		sig, err := signature.Run(l, r, opt.Mode, signature.Options{
+		sig, err := signature.RunContext(ctx, l, r, opt.Mode, signature.Options{
 			Lambda:        opt.lambda(),
 			Partial:       opt.Partial,
 			MinPartialSig: opt.MinPartialSig,
@@ -262,14 +363,50 @@ func Compare(left, right *Instance, opt *Options) (*Result, error) {
 		}
 		env = sig.Env
 		res.Score = sig.Score
-		res.SignatureStats = &sig.Stats
+		res.Stopped = sig.Stopped
+		res.Stats.fillSignature(sig.Stats)
+		res.Stats.fillEnv(env.Stats)
 	default:
 		return nil, fmt.Errorf("instcmp: unknown algorithm %d", algo)
 	}
+	res.Stats.SearchTime = time.Since(searchStart)
 
+	explainStart := time.Now()
 	res.fillExplanation(env, opt.lambda(), left, right, rightPrefix)
+	res.Stats.ExplainTime = time.Since(explainStart)
 	res.Elapsed = time.Since(start)
+	res.publish()
 	return res, nil
+}
+
+// fillEnv copies match-construction counters into the unified stats. The
+// exact engine passes its aggregate over all worker environments; the
+// signature engine its single environment's counters.
+func (s *ComparisonStats) fillEnv(st match.EnvStats) {
+	s.PairAttempts = st.PairAttempts
+	s.PairRejects = st.PairRejects
+	s.ScoreEvals = st.ScoreEvals
+}
+
+// fillSignature copies a signature phase breakdown into the unified stats.
+func (s *ComparisonStats) fillSignature(sig signature.Stats) {
+	s.SigMatches = sig.SigMatches
+	s.CompatMatches = sig.CompatMatches
+	s.ScoreAfterSig = sig.ScoreAfterSig
+	s.SigPhase = sig.SigPhase
+	s.CompatPhase = sig.CompatPhase
+}
+
+// publish feeds the comparison's aggregates into the package expvars.
+func (r *Result) publish() {
+	apiVars.Add("comparisons", 1)
+	apiVars.Add("comparisons_"+r.Algorithm.String(), 1)
+	if r.Stopped != "" {
+		apiVars.Add("stopped", 1)
+	}
+	apiVars.Add("nodes", r.Stats.Nodes)
+	apiVars.Add("pair_attempts", r.Stats.PairAttempts)
+	apiVars.Add("elapsed_ns", int64(r.Elapsed))
 }
 
 // Similarity is a convenience wrapper returning only the score, computed

@@ -90,7 +90,7 @@ func TestCompareAlgorithmSelection(t *testing.T) {
 	if res.Algorithm != AlgoSignature {
 		t.Errorf("large input should use signature, got %v", res.Algorithm)
 	}
-	if res.SignatureStats == nil {
+	if res.Stats.SigMatches == 0 && res.Stats.CompatMatches == 0 {
 		t.Error("signature stats missing")
 	}
 	if math.Abs(res.Score-1) > 1e-9 {

@@ -46,10 +46,15 @@ func ReadRelation(in *model.Instance, r io.Reader, opt ReadOptions) error {
 	if err != nil {
 		return fmt.Errorf("csvio: reading header of %s: %w", name, err)
 	}
+	seen := make(map[string]int, len(header))
 	for i, attr := range header {
 		if attr == "" {
 			return fmt.Errorf("csvio: %s: empty attribute name in header column %d", name, i+1)
 		}
+		if first, dup := seen[attr]; dup {
+			return fmt.Errorf("csvio: %s: duplicate attribute %q in header columns %d and %d", name, attr, first+1, i+1)
+		}
+		seen[attr] = i
 	}
 	in.AddRelation(name, header...)
 	for {

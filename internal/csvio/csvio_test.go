@@ -56,6 +56,25 @@ func TestReadRelationErrors(t *testing.T) {
 	}
 }
 
+func TestReadRelationDuplicateAttributes(t *testing.T) {
+	// Duplicate attribute names would make per-attribute addressing
+	// ambiguous downstream (alignment, signatures); reject at parse time
+	// and name both offending columns.
+	in := model.NewInstance()
+	err := ReadRelation(in, strings.NewReader("A,B,A\nx,y,z\n"), ReadOptions{RelationName: "R"})
+	if err == nil {
+		t.Fatal("duplicate attribute names not reported")
+	}
+	for _, want := range []string{`duplicate attribute "A"`, "columns 1 and 3"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("error %q does not mention %q", err, want)
+		}
+	}
+	if in.Relation("R") != nil {
+		t.Error("relation added despite duplicate header")
+	}
+}
+
 func TestWriteReadRoundTrip(t *testing.T) {
 	in := model.NewInstance()
 	in.AddRelation("Conf", "Name", "Year")

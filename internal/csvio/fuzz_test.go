@@ -28,6 +28,13 @@ func FuzzReadRelation(f *testing.F) {
 		if rel == nil {
 			t.Fatal("no error but relation missing")
 		}
+		attrs := map[string]bool{}
+		for _, a := range rel.Attrs {
+			if attrs[a] {
+				t.Fatalf("duplicate attribute %q survived parsing", a)
+			}
+			attrs[a] = true
+		}
 		for _, tu := range rel.Tuples {
 			if len(tu.Values) != rel.Arity() {
 				t.Fatalf("tuple arity %d != relation arity %d", len(tu.Values), rel.Arity())

@@ -33,6 +33,8 @@
 package exact
 
 import (
+	"context"
+	"expvar"
 	"math"
 	"runtime"
 	"sort"
@@ -46,6 +48,44 @@ import (
 	"instcmp/internal/score"
 	"instcmp/internal/signature"
 )
+
+// Result.Stopped reasons. A stopped search still returns the best incumbent
+// found so far (at minimum the warm start's match, when enabled).
+const (
+	// StoppedTimeout: the Options.Timeout deadline passed.
+	StoppedTimeout = "timeout"
+	// StoppedNodeBudget: the Options.MaxNodes budget was exhausted.
+	StoppedNodeBudget = "node-budget"
+	// StoppedCanceled: the context passed to RunContext was canceled.
+	StoppedCanceled = "canceled"
+)
+
+// Internal trip codes backing Result.Stopped; stopNone means the search ran
+// to exhaustion.
+const (
+	stopNone int32 = iota
+	stopTimeout
+	stopNodeBudget
+	stopCanceled
+)
+
+func stoppedString(code int32) string {
+	switch code {
+	case stopTimeout:
+		return StoppedTimeout
+	case stopNodeBudget:
+		return StoppedNodeBudget
+	case stopCanceled:
+		return StoppedCanceled
+	default:
+		return ""
+	}
+}
+
+// vars exports cumulative search counters for long-running processes
+// (expvar key "instcmp.exact"): runs, nodes, prunes, improvements,
+// exhaustive, stopped_timeout, stopped_node_budget, stopped_canceled.
+var vars = expvar.NewMap("instcmp.exact")
 
 // Options configures an exact run.
 type Options struct {
@@ -86,21 +126,48 @@ type Result struct {
 	// Nodes is the number of search-tree nodes visited, summed over all
 	// workers (task-prefix enumeration included).
 	Nodes int64
+	// Prunes counts subtrees cut by the optimistic suffix bounds, summed
+	// over all workers.
+	Prunes int64
+	// Improvements counts incumbent improvements recorded by searchers
+	// (per task under parallel execution, so the count depends on worker
+	// scheduling; the score never does).
+	Improvements int64
 	// WarmScore is the warm-start incumbent the search began from, -1
 	// when the warm start was disabled or not applicable. Warm-started
 	// budget-capped runs therefore never report less than WarmScore.
 	WarmScore float64
+	// SigStats is the warm-start signature run's phase breakdown, nil
+	// when the warm start was disabled or not applicable.
+	SigStats *signature.Stats
+	// Stopped reports why a non-exhaustive search stopped: one of
+	// StoppedTimeout, StoppedNodeBudget, StoppedCanceled. Empty when
+	// Exhaustive.
+	Stopped string
+	// EnvStats aggregates the pair-attempt counters of the root
+	// environment and every worker clone.
+	EnvStats match.EnvStats
 }
 
 // Run executes the exact algorithm. The returned environment holds the best
 // match re-applied, so callers can extract value mappings and explanations.
 func Run(left, right *model.Instance, mode match.Mode, opt Options) (*Result, error) {
+	return RunContext(context.Background(), left, right, mode, opt)
+}
+
+// RunContext is Run with a cancellation context. Cancellation is polled in
+// the node loop alongside the deadline — every soloPollInterval nodes
+// single-threaded, every nodeFlushBatch nodes per parallel worker — so a
+// canceled search returns promptly with the best incumbent found so far and
+// Result.Stopped = StoppedCanceled. The context also bounds the warm-start
+// signature run.
+func RunContext(ctx context.Context, left, right *model.Instance, mode match.Mode, opt Options) (*Result, error) {
 	env, err := match.NewEnv(left, right, mode)
 	if err != nil {
 		return nil, err
 	}
 	p := newProblem(env, opt.Lambda)
-	sh := &shared{maxN: opt.MaxNodes}
+	sh := &shared{maxN: opt.MaxNodes, ctx: ctx}
 	sh.best.Store(math.Float64bits(-1))
 	if opt.Timeout > 0 {
 		sh.deadline = time.Now().Add(opt.Timeout)
@@ -108,25 +175,35 @@ func Run(left, right *model.Instance, mode match.Mode, opt Options) (*Result, er
 
 	best, bestPairs := -1.0, []match.Pair(nil)
 	warmScore := -1.0
+	var sigStats *signature.Stats
 	if !opt.NoWarmStart {
-		if wp, ws, ok := warmStart(env, p); ok {
+		if wp, ws, st, ok := warmStart(ctx, env, p); ok {
 			best, bestPairs, warmScore = ws, wp, ws
+			sigStats = st
 			sh.offer(ws)
 		}
+	}
+	// A context canceled before (or during) the warm start skips the
+	// search entirely; the result is the incumbent found so far.
+	if ctx.Err() != nil {
+		sh.trip(stopCanceled)
 	}
 
 	workers := opt.Workers
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	if workers == 1 {
+	switch {
+	case sh.stop.Load():
+		// Pre-tripped: nothing to search.
+	case workers == 1:
 		s := &searcher{p: p, sh: sh, env: env, solo: true, best: best}
 		s.search(0)
-		sh.nodes.Add(s.nodes)
+		s.publish()
 		if s.best > best {
 			best, bestPairs = s.best, s.bestPairs
 		}
-	} else {
+	default:
 		for _, tr := range searchParallel(env, p, sh, best, workers, opt.SplitDepth) {
 			if tr.score > best {
 				best, bestPairs = tr.score, tr.pairs
@@ -136,13 +213,47 @@ func Run(left, right *model.Instance, mode match.Mode, opt Options) (*Result, er
 
 	// Re-apply the best mapping so the returned Env reflects it.
 	env.Undo(match.Mark{})
-	res := &Result{Env: env, Exhaustive: !sh.stop.Load(), Nodes: sh.nodes.Load(), WarmScore: warmScore}
+	reason := sh.reason.Load()
+	res := &Result{
+		Env:          env,
+		Exhaustive:   reason == stopNone,
+		Nodes:        sh.nodes.Load(),
+		Prunes:       sh.prunes.Load(),
+		Improvements: sh.improved.Load(),
+		WarmScore:    warmScore,
+		SigStats:     sigStats,
+		Stopped:      stoppedString(reason),
+	}
 	if !env.Replay(bestPairs) {
 		panic("exact: best mapping no longer applies")
 	}
 	res.Pairs = env.Pairs()
 	res.Score = score.Match(env, opt.Lambda)
+	res.EnvStats = env.Stats
+	res.EnvStats.Add(sh.cloneStats)
+	publishRun(res)
 	return res, nil
+}
+
+// publishRun feeds the run's aggregate counters into the package expvars.
+func publishRun(res *Result) {
+	vars.Add("runs", 1)
+	vars.Add("nodes", res.Nodes)
+	vars.Add("prunes", res.Prunes)
+	vars.Add("improvements", res.Improvements)
+	if res.Exhaustive {
+		vars.Add("exhaustive", 1)
+	} else {
+		vars.Add("stopped_"+statKey(res.Stopped), 1)
+	}
+}
+
+// statKey converts a Stopped reason to an expvar key fragment.
+func statKey(reason string) string {
+	if reason == StoppedNodeBudget {
+		return "node_budget"
+	}
+	return reason
 }
 
 // problem is the immutable description of one search: the candidate
@@ -198,11 +309,37 @@ type shared struct {
 	// count and timing.
 	best  atomic.Uint64
 	nodes atomic.Int64
-	// stop trips once the node or time budget is exceeded and makes every
-	// worker unwind; a tripped search reports Exhaustive = false.
+	// prunes and improved aggregate the searchers' local stat counters
+	// (published alongside nodes; they never influence the search).
+	prunes   atomic.Int64
+	improved atomic.Int64
+	// stop trips once the node or time budget is exceeded or the context
+	// is canceled, and makes every worker unwind; a tripped search
+	// reports Exhaustive = false. reason records the first trip's cause.
 	stop     atomic.Bool
+	reason   atomic.Int32
 	maxN     int64
 	deadline time.Time
+	// ctx carries caller cancellation; never nil (context.Background for
+	// the ctx-less entry points).
+	ctx context.Context
+
+	// cloneStats aggregates the env counters of finished worker clones.
+	mu         sync.Mutex
+	cloneStats match.EnvStats
+}
+
+// addCloneStats merges a worker clone's env counters into the run total.
+func (sh *shared) addCloneStats(st match.EnvStats) {
+	sh.mu.Lock()
+	sh.cloneStats.Add(st)
+	sh.mu.Unlock()
+}
+
+// trip stops the whole search, recording the first cause to win.
+func (sh *shared) trip(code int32) {
+	sh.reason.CompareAndSwap(stopNone, code)
+	sh.stop.Store(true)
 }
 
 func (sh *shared) incumbent() float64 { return math.Float64frombits(sh.best.Load()) }
@@ -237,8 +374,12 @@ type searcher struct {
 	solo bool
 	// nodes counts visited nodes: the running total when solo, the count
 	// since the last flush for a parallel worker.
-	nodes   int64
-	stopped bool
+	nodes int64
+	// prunes and improved are searcher-local stat counters, published to
+	// the shared totals by publish().
+	prunes   int64
+	improved int64
+	stopped  bool
 	// best/bestPairs track the best leaf seen by this searcher (per task
 	// for parallel workers, which reset them in runTask).
 	best      float64
@@ -250,9 +391,14 @@ type searcher struct {
 // node budget is therefore enforced within workers x nodeFlushBatch nodes.
 const nodeFlushBatch = 64
 
-// budgetExceeded checks the node/time budget; once it trips, it stays
-// tripped (for every worker) so the whole search unwinds immediately and
-// the result is marked inexact.
+// soloPollInterval is how many nodes the single-threaded searcher visits
+// between deadline/cancellation polls: the poll interval that bounds how
+// far a solo search can overshoot its Timeout or outlive its context.
+const soloPollInterval = 1024
+
+// budgetExceeded checks the node/time budget and the context; once it
+// trips, it stays tripped (for every worker) so the whole search unwinds
+// immediately and the result is marked inexact.
 func (s *searcher) budgetExceeded() bool {
 	if s.stopped {
 		return true
@@ -260,12 +406,18 @@ func (s *searcher) budgetExceeded() bool {
 	s.nodes++
 	if s.solo {
 		if s.sh.maxN > 0 && s.nodes > s.sh.maxN {
-			s.trip()
+			s.trip(stopNodeBudget)
 			return true
 		}
-		if !s.sh.deadline.IsZero() && s.nodes%1024 == 0 && time.Now().After(s.sh.deadline) {
-			s.trip()
-			return true
+		if s.nodes%soloPollInterval == 0 {
+			if !s.sh.deadline.IsZero() && time.Now().After(s.sh.deadline) {
+				s.trip(stopTimeout)
+				return true
+			}
+			if s.sh.ctx.Err() != nil {
+				s.trip(stopCanceled)
+				return true
+			}
 		}
 		return false
 	}
@@ -279,24 +431,39 @@ func (s *searcher) budgetExceeded() bool {
 	return false
 }
 
-// flush publishes the worker's node count and re-checks the budget.
+// flush publishes the worker's node count and re-checks the budget and the
+// context.
 func (s *searcher) flush() bool {
 	n := s.sh.nodes.Add(s.nodes)
 	s.nodes = 0
 	if s.sh.maxN > 0 && n > s.sh.maxN {
-		s.trip()
+		s.trip(stopNodeBudget)
 		return true
 	}
 	if !s.sh.deadline.IsZero() && time.Now().After(s.sh.deadline) {
-		s.trip()
+		s.trip(stopTimeout)
+		return true
+	}
+	if s.sh.ctx.Err() != nil {
+		s.trip(stopCanceled)
 		return true
 	}
 	return false
 }
 
-func (s *searcher) trip() {
+// trip stops this searcher and the whole shared search.
+func (s *searcher) trip(code int32) {
 	s.stopped = true
-	s.sh.stop.Store(true)
+	s.sh.trip(code)
+}
+
+// publish flushes the searcher's remaining stat counters into the shared
+// totals (once, when the searcher is done).
+func (s *searcher) publish() {
+	s.sh.nodes.Add(s.nodes)
+	s.sh.prunes.Add(s.prunes)
+	s.sh.improved.Add(s.improved)
+	s.nodes, s.prunes, s.improved = 0, 0, 0
 }
 
 // incumbent is the pruning threshold: the searcher's own best, raised by
@@ -321,6 +488,7 @@ func (s *searcher) evaluate() {
 	}
 	if sc > s.best {
 		s.best = sc
+		s.improved++
 		s.bestPairs = append([]match.Pair(nil), s.env.Pairs()...)
 		if !s.solo {
 			s.sh.offer(sc)
@@ -351,6 +519,7 @@ func (s *searcher) searchFunctional(i int) {
 	// optimistic scores (⊓ growth only lowers them), remaining left
 	// tuples at most 2·bestOpt each.
 	if s.p.denom > 0 && (s.committedUB+s.p.leftSuffix[i])/s.p.denom <= s.incumbent() {
+		s.prunes++
 		return
 	}
 	lc := &s.p.lefts[i]
@@ -378,6 +547,7 @@ func (s *searcher) searchGeneral(i int) {
 		return
 	}
 	if s.p.denom > 0 && (s.committedUB+s.p.suffix[i])/s.p.denom <= s.incumbent() {
+		s.prunes++
 		return
 	}
 	m := s.env.Mark()
@@ -502,22 +672,25 @@ func sharedConsts(a, b []model.ValueID, both uint64) int {
 // candidate-pair order in the general mode), so the incumbent score is
 // bit-identical to the score evaluate() would produce at the corresponding
 // leaf — which is what keeps warm-started scores equal to cold ones. The
-// environment is returned with an empty mapping either way.
-func warmStart(env *match.Env, p *problem) (pairs []match.Pair, sc float64, ok bool) {
+// environment is returned with an empty mapping either way. The context
+// bounds the signature run itself; a canceled warm start still seeds the
+// partial match it grew (any prefix of the greedy match is valid).
+func warmStart(ctx context.Context, env *match.Env, p *problem) (pairs []match.Pair, sc float64, st *signature.Stats, ok bool) {
 	m := env.Mark()
-	if _, err := signature.RunEnv(env, signature.Options{Lambda: p.lambda}); err != nil {
+	sig, err := signature.RunEnvContext(ctx, env, signature.Options{Lambda: p.lambda})
+	if err != nil {
 		env.Undo(m)
-		return nil, 0, false
+		return nil, 0, nil, false
 	}
 	canon := append([]match.Pair(nil), env.Pairs()...)
 	env.Undo(m)
 	if !p.canonicalize(env, canon) {
-		return nil, 0, false
+		return nil, 0, nil, false
 	}
 	if !env.Replay(canon) {
 		// Cannot happen for a complete signature match; bail out
 		// rather than seed an incumbent no leaf reproduces.
-		return nil, 0, false
+		return nil, 0, nil, false
 	}
 	if p.denom == 0 {
 		sc = 1
@@ -526,7 +699,8 @@ func warmStart(env *match.Env, p *problem) (pairs []match.Pair, sc float64, ok b
 	}
 	pairs = append([]match.Pair(nil), env.Pairs()...)
 	env.Undo(m)
-	return pairs, sc, true
+	stats := sig.Stats
+	return pairs, sc, &stats, true
 }
 
 // canonicalize sorts a match's pairs into the DFS insertion order of the
@@ -600,7 +774,7 @@ func searchParallel(env *match.Env, p *problem, sh *shared, warm float64, worker
 	enum.enumerate(0, depth, nil, func(dec []int32) {
 		tasks = append(tasks, task{decisions: append([]int32(nil), dec...)})
 	})
-	sh.nodes.Add(enum.nodes)
+	enum.publish()
 	if enum.stopped || len(tasks) == 0 {
 		return nil
 	}
@@ -624,7 +798,8 @@ func searchParallel(env *match.Env, p *problem, sh *shared, warm float64, worker
 				}
 				results[ti] = ws.runTask(tasks[ti])
 			}
-			sh.nodes.Add(ws.nodes)
+			ws.publish()
+			sh.addCloneStats(ws.env.Stats)
 		}()
 	}
 	wg.Wait()
@@ -671,6 +846,7 @@ func (s *searcher) enumerate(i, depth int, dec []int32, emit func([]int32)) {
 	}
 	if s.p.functional {
 		if s.p.denom > 0 && (s.committedUB+s.p.leftSuffix[i])/s.p.denom <= s.incumbent() {
+			s.prunes++
 			return
 		}
 		lc := &s.p.lefts[i]
@@ -688,6 +864,7 @@ func (s *searcher) enumerate(i, depth int, dec []int32, emit func([]int32)) {
 		return
 	}
 	if s.p.denom > 0 && (s.committedUB+s.p.suffix[i])/s.p.denom <= s.incumbent() {
+		s.prunes++
 		return
 	}
 	m := s.env.Mark()

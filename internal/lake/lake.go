@@ -12,13 +12,20 @@
 package lake
 
 import (
+	"context"
+	"expvar"
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"instcmp"
 	"instcmp/internal/model"
 )
+
+// vars exports cumulative ranking counters for long-running processes
+// (expvar key "instcmp.lake"): rankings, candidates, pruned, timed_out.
+var vars = expvar.NewMap("instcmp.lake")
 
 // Options tunes the search.
 type Options struct {
@@ -29,8 +36,12 @@ type Options struct {
 	// MaxSample caps the number of distinct constants sampled per
 	// instance for the prefilter (0 = 1000).
 	MaxSample int
-	// Lambda is the scoring penalty (0 = default).
+	// Lambda is the scoring penalty (0 = default; use ExplicitZeroLambda
+	// to request λ = 0).
 	Lambda float64
+	// ExplicitZeroLambda forces λ = 0: nulls matched to constants score
+	// nothing. Without it, Lambda = 0 silently means the default penalty.
+	ExplicitZeroLambda bool
 	// Mode restricts tuple mappings (zero value = n-to-m, the right
 	// default for discovery: candidate tables may merge or split rows).
 	Mode instcmp.Mode
@@ -41,18 +52,32 @@ type Options struct {
 	// (results land in per-candidate slots and are sorted with a
 	// deterministic comparator). cmd/lakefind defaults to GOMAXPROCS.
 	Workers int
+	// PerCandidateTimeout bounds each candidate's full comparison (0 = no
+	// bound). The comparison problem is NP-hard and even the polynomial
+	// signature algorithm can be slow on pathological candidates, so
+	// without a per-candidate budget one bad dataset stalls the whole
+	// ranking. A candidate that exceeds its budget degrades to its
+	// prefilter overlap: TimedOut = true, score 0, ranked with the pruned
+	// candidates instead of failing the ranking.
+	PerCandidateTimeout time.Duration
 }
 
 // Result is one ranked candidate.
 type Result struct {
 	Name string
 	// Score is the instance similarity against the example (0 when
-	// pruned).
+	// pruned or timed out).
 	Score float64
 	// Overlap is the prefilter's constant-overlap estimate.
 	Overlap float64
 	// Pruned reports that the candidate never reached full comparison.
 	Pruned bool
+	// TimedOut reports that the candidate's comparison exceeded
+	// Options.PerCandidateTimeout and was degraded to its prefilter
+	// overlap.
+	TimedOut bool
+	// Stats is the candidate's comparison record (nil when pruned).
+	Stats *instcmp.ComparisonStats
 }
 
 // Candidate names one dataset of the lake.
@@ -62,8 +87,17 @@ type Candidate struct {
 }
 
 // Rank scores every candidate against the example and returns them ranked
-// best first (pruned candidates last, by overlap).
+// best first (pruned and timed-out candidates last, by overlap).
 func Rank(example *instcmp.Instance, lake []Candidate, opt Options) ([]Result, error) {
+	return RankContext(context.Background(), example, lake, opt)
+}
+
+// RankContext is Rank with a cancellation context covering the whole
+// ranking: when ctx is canceled the ranking aborts and returns ctx.Err().
+// Independently, Options.PerCandidateTimeout budgets each candidate's own
+// comparison; exceeding it degrades that one candidate instead of failing
+// the ranking.
+func RankContext(ctx context.Context, example *instcmp.Instance, lake []Candidate, opt Options) ([]Result, error) {
 	if opt.MaxSample == 0 {
 		opt.MaxSample = 1000
 	}
@@ -79,14 +113,36 @@ func Rank(example *instcmp.Instance, lake []Candidate, opt Options) ([]Result, e
 			out[i] = r
 			return
 		}
-		res, err := instcmp.Compare(example, alignName(example, cand.Instance), &instcmp.Options{
-			Mode:         opt.Mode,
-			Lambda:       opt.Lambda,
-			Algorithm:    instcmp.AlgoSignature,
-			AlignSchemas: true,
+		cctx := ctx
+		if opt.PerCandidateTimeout > 0 {
+			var cancel context.CancelFunc
+			cctx, cancel = context.WithTimeout(ctx, opt.PerCandidateTimeout)
+			defer cancel()
+		}
+		res, err := instcmp.CompareContext(cctx, example, alignName(example, cand.Instance), &instcmp.Options{
+			Mode:               opt.Mode,
+			Lambda:             opt.Lambda,
+			ExplicitZeroLambda: opt.ExplicitZeroLambda,
+			Algorithm:          instcmp.AlgoSignature,
+			AlignSchemas:       true,
 		})
 		if err != nil {
 			errs[i] = err
+			return
+		}
+		r.Stats = &res.Stats
+		if res.Stopped != "" {
+			if ctx.Err() != nil {
+				// The overall context was canceled: fail the
+				// ranking, not the candidate.
+				errs[i] = ctx.Err()
+				return
+			}
+			// The candidate blew its own budget: degrade it to the
+			// prefilter overlap, like a pruned candidate but marked
+			// so callers can tell the difference.
+			r.TimedOut = true
+			out[i] = r
 			return
 		}
 		r.Score = res.Score
@@ -96,13 +152,20 @@ func Rank(example *instcmp.Instance, lake []Candidate, opt Options) ([]Result, e
 	// recorded there is no point launching further comparisons: the loops
 	// below fail fast. Results computed before the error are still written
 	// to their out slots, keeping the (discarded) partial state
-	// deterministic; the first error by candidate order is returned.
+	// deterministic, and the first error by candidate order is returned.
+	// That ordering guarantee holds in the concurrent path because
+	// launches happen strictly in candidate order: when the fail-fast
+	// break stops launching, the launched candidates form a prefix
+	// [0..k] of the lake, every one of them runs to completion under
+	// wg.Wait, and the scan below returns the lowest-index error of that
+	// prefix — no unlaunched candidate has a smaller index than a
+	// launched one (pinned by TestRankReturnsFirstErrorByCandidateOrder).
 	var failed atomic.Bool
 	if opt.Workers > 1 {
 		var wg sync.WaitGroup
 		sem := make(chan struct{}, opt.Workers)
 		for i := range lake {
-			if failed.Load() {
+			if failed.Load() || ctx.Err() != nil {
 				break
 			}
 			wg.Add(1)
@@ -119,6 +182,9 @@ func Rank(example *instcmp.Instance, lake []Candidate, opt Options) ([]Result, e
 		wg.Wait()
 	} else {
 		for i := range lake {
+			if ctx.Err() != nil {
+				break
+			}
 			rank(i)
 			if errs[i] != nil {
 				break
@@ -130,15 +196,29 @@ func Rank(example *instcmp.Instance, lake []Candidate, opt Options) ([]Result, e
 			return nil, err
 		}
 	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	degraded := func(r Result) bool { return r.Pruned || r.TimedOut }
 	sort.SliceStable(out, func(i, j int) bool {
-		if out[i].Pruned != out[j].Pruned {
-			return !out[i].Pruned
+		if degraded(out[i]) != degraded(out[j]) {
+			return !degraded(out[i])
 		}
 		if out[i].Score != out[j].Score {
 			return out[i].Score > out[j].Score
 		}
 		return out[i].Overlap > out[j].Overlap
 	})
+	vars.Add("rankings", 1)
+	vars.Add("candidates", int64(len(out)))
+	for _, r := range out {
+		if r.Pruned {
+			vars.Add("pruned", 1)
+		}
+		if r.TimedOut {
+			vars.Add("timed_out", 1)
+		}
+	}
 	return out, nil
 }
 

@@ -99,6 +99,33 @@ type Env struct {
 	pairs    []Pair
 	leftImg  [][]Ref // flat left index -> matched right refs
 	rightImg [][]Ref // flat right index -> matched left refs
+
+	// Stats counts the match-construction work done through this
+	// environment (see instcmp.ComparisonStats). Counters are plain ints:
+	// an Env is single-goroutine state, and parallel engines aggregate the
+	// counters of their per-worker clones on completion.
+	Stats EnvStats
+}
+
+// EnvStats counts the pair-level work performed on one environment. The
+// counters never influence any decision the algorithms make; they exist for
+// observability only.
+type EnvStats struct {
+	// PairAttempts counts TryAddPair/TryAddPartialPair calls.
+	PairAttempts int64
+	// PairRejects counts attempts rejected by the mode or by a
+	// unification conflict.
+	PairRejects int64
+	// ScoreEvals counts pair-score evaluations (score.PairScoreP).
+	ScoreEvals int64
+}
+
+// Add accumulates another environment's counters (used to merge per-worker
+// clones into one total).
+func (s *EnvStats) Add(o EnvStats) {
+	s.PairAttempts += o.PairAttempts
+	s.PairRejects += o.PairRejects
+	s.ScoreEvals += o.ScoreEvals
 }
 
 // ErrSchemaMismatch is returned when the two instances do not share a
@@ -177,6 +204,9 @@ func NewEnv(left, right *model.Instance, mode Mode) (*Env, error) {
 // parallel exact search hands each worker.
 func (e *Env) Clone() *Env {
 	ne := *e
+	// Clones start with fresh counters so per-worker totals can be summed
+	// with the original's without double counting.
+	ne.Stats = EnvStats{}
 	ne.U = e.U.Clone()
 	ne.pairs = append([]Pair(nil), e.pairs...)
 	ne.leftImg = cloneImages(e.leftImg)
@@ -342,7 +372,9 @@ func (e *Env) addPair(p Pair) {
 // unification hits a constant conflict (the pair is incompatible with the
 // current match, Sec. 6.1 step 2).
 func (e *Env) TryAddPair(p Pair) bool {
+	e.Stats.PairAttempts++
 	if p.L.Rel != p.R.Rel || !e.ModeAllows(p) {
+		e.Stats.PairRejects++
 		return false
 	}
 	lrow, rrow := e.LeftRow(p.L), e.RightRow(p.R)
@@ -350,6 +382,7 @@ func (e *Env) TryAddPair(p Pair) bool {
 	for i := range lrow {
 		if !e.U.MergeID(lrow[i], rrow[i]) {
 			e.U.Undo(um)
+			e.Stats.PairRejects++
 			return false
 		}
 	}
@@ -363,7 +396,9 @@ func (e *Env) TryAddPair(p Pair) bool {
 // agree on at least minShared constant attributes. It returns whether the
 // pair was added and the number of conflicting cells.
 func (e *Env) TryAddPartialPair(p Pair, minShared int) (added bool, conflicts int) {
+	e.Stats.PairAttempts++
 	if p.L.Rel != p.R.Rel || !e.ModeAllows(p) {
+		e.Stats.PairRejects++
 		return false, 0
 	}
 	if minShared < 1 {
@@ -389,6 +424,7 @@ func (e *Env) TryAddPartialPair(p Pair, minShared int) (added bool, conflicts in
 	}
 	if conflicts > 0 && shared < minShared {
 		e.U.Undo(um)
+		e.Stats.PairRejects++
 		return false, conflicts
 	}
 	e.addPair(p)

@@ -6,6 +6,7 @@
 package regress
 
 import (
+	"context"
 	"testing"
 
 	"instcmp"
@@ -101,6 +102,64 @@ func TestExactGoldenScores(t *testing.T) {
 					t.Errorf("seed %d workers=%d noWarm=%v: score %.17g, golden %.17g",
 						tc.seed, workers, noWarm, res.Score, tc.want)
 				}
+			}
+		}
+	}
+}
+
+// TestCompareContextGoldenScores pins that threading a context and
+// collecting the unified stats never perturbs the search: CompareContext
+// with an uncancelable background context reproduces the goldens
+// bit-identically for both algorithms and both worker counts.
+func TestCompareContextGoldenScores(t *testing.T) {
+	sigCase := goldenSignature[0]
+	base, err := datasets.Generate(sigCase.name, sigCase.rows, sigCase.seed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := sigCase.noise
+	n.Seed = sigCase.seed
+	sc := generator.Make(base, n)
+	res, err := instcmp.CompareContext(context.Background(), sc.Source, sc.Target, &instcmp.Options{
+		Mode:      sigCase.mode,
+		Lambda:    0.5,
+		Algorithm: instcmp.AlgoSignature,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Score != sigCase.want {
+		t.Errorf("signature via context: score %.17g, golden %.17g", res.Score, sigCase.want)
+	}
+	if res.Stopped != "" {
+		t.Errorf("uncanceled run reported Stopped = %q", res.Stopped)
+	}
+
+	for _, tc := range goldenExact {
+		base, err := datasets.Generate(datasets.Doct, 12, tc.seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sc := generator.Make(base, generator.Noise{CellPct: 0.2, Seed: tc.seed})
+		for _, workers := range []int{1, 4} {
+			res, err := instcmp.CompareContext(context.Background(), sc.Source, sc.Target, &instcmp.Options{
+				Mode:         instcmp.OneToOne,
+				Lambda:       0.5,
+				Algorithm:    instcmp.AlgoExact,
+				ExactWorkers: workers,
+			})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Score != tc.want {
+				t.Errorf("seed %d ExactWorkers=%d via context: score %.17g, golden %.17g",
+					tc.seed, workers, res.Score, tc.want)
+			}
+			if res.Stopped != "" {
+				t.Errorf("seed %d: uncanceled run reported Stopped = %q", tc.seed, res.Stopped)
+			}
+			if res.Stats.Nodes == 0 || res.Stats.PairAttempts == 0 {
+				t.Errorf("seed %d: stats not populated: %+v", tc.seed, res.Stats)
 			}
 		}
 	}

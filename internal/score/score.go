@@ -87,6 +87,7 @@ func PairScore(e *match.Env, p match.Pair, lambda float64) float64 {
 
 // PairScoreP is PairScore with full scoring parameters.
 func PairScoreP(e *match.Env, pair match.Pair, p Params) float64 {
+	e.Stats.ScoreEvals++
 	lrow, rrow := e.LeftRow(pair.L), e.RightRow(pair.R)
 	s := 0.0
 	for i := range lrow {

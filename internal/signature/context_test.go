@@ -1,0 +1,56 @@
+package signature
+
+import (
+	"context"
+	"testing"
+
+	"instcmp/internal/match"
+	"instcmp/internal/model"
+)
+
+// TestRunContextCanceled: a canceled context stops the greedy rounds and the
+// completion step, returning the (possibly empty) match grown so far with
+// Stopped = StoppedCanceled — still a valid, consistently scored match.
+func TestRunContextCanceled(t *testing.T) {
+	rows := make([][]model.Value, 40)
+	rows2 := make([][]model.Value, 40)
+	for i := range rows {
+		rows[i] = []model.Value{c(model.Constf("v%d", i).Raw()), n(model.Nullf("L%d", i).Raw())}
+		rows2[i] = []model.Value{c(model.Constf("v%d", i).Raw()), n(model.Nullf("R%d", i).Raw())}
+	}
+	l, r := build(rows), build(rows2)
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	res, err := RunContext(ctx, l, r, match.OneToOne, Options{Lambda: lambda})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Stopped != StoppedCanceled {
+		t.Errorf("Stopped = %q, want %q", res.Stopped, StoppedCanceled)
+	}
+	// The partial match must still be internally consistent: every reported
+	// pair is in the environment, and the score matches its state.
+	if got := res.Env.NumPairs(); got != res.Stats.SigMatches+res.Stats.CompatMatches {
+		t.Errorf("pair accounting inconsistent: %d pairs vs %d+%d",
+			got, res.Stats.SigMatches, res.Stats.CompatMatches)
+	}
+	if res.Score < 0 || res.Score > 1 {
+		t.Errorf("canceled score out of range: %v", res.Score)
+	}
+
+	// The same comparison uncanceled completes with a perfect score and no
+	// Stopped reason.
+	full, err := Run(l, r, match.OneToOne, Options{Lambda: lambda})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.Stopped != "" {
+		t.Errorf("uncanceled run reported Stopped = %q", full.Stopped)
+	}
+	if full.Score <= res.Score && res.Score != full.Score {
+		t.Errorf("full score %v not above canceled %v", full.Score, res.Score)
+	}
+	if full.Score != 1 {
+		t.Errorf("full score = %v, want 1 (null-renamed copy)", full.Score)
+	}
+}

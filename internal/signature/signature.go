@@ -24,6 +24,8 @@
 package signature
 
 import (
+	"context"
+	"expvar"
 	"fmt"
 	"math/bits"
 	"sort"
@@ -34,6 +36,15 @@ import (
 	"instcmp/internal/model"
 	"instcmp/internal/score"
 )
+
+// StoppedCanceled is the Result.Stopped reason for a run cut short by
+// context cancellation.
+const StoppedCanceled = "canceled"
+
+// vars exports cumulative run counters for long-running processes
+// (expvar key "instcmp.signature"): runs, sig_matches, compat_matches,
+// canceled.
+var vars = expvar.NewMap("instcmp.signature")
 
 // Options configures a signature-algorithm run.
 type Options struct {
@@ -92,16 +103,29 @@ type Result struct {
 	Env   *match.Env
 	Score float64
 	Stats Stats
+	// Stopped is empty for a run that completed normally, and
+	// StoppedCanceled when the context was canceled mid-run. A canceled
+	// run still returns the match grown so far and its score (the
+	// algorithm is greedy, so any prefix of its work is a valid — merely
+	// smaller — instance match).
+	Stopped string
 }
 
 // Run executes the signature algorithm on two instances under the given
 // mode. The instances must share a schema and have disjoint nulls.
 func Run(left, right *model.Instance, mode match.Mode, opt Options) (*Result, error) {
+	return RunContext(context.Background(), left, right, mode, opt)
+}
+
+// RunContext is Run with a cancellation context, polled between phases and
+// relations (the algorithm is polynomial, so per-relation granularity keeps
+// cancellation prompt without per-pair overhead).
+func RunContext(ctx context.Context, left, right *model.Instance, mode match.Mode, opt Options) (*Result, error) {
 	env, err := match.NewEnv(left, right, mode)
 	if err != nil {
 		return nil, err
 	}
-	return RunEnv(env, opt)
+	return RunEnvContext(ctx, env, opt)
 }
 
 // RunEnv executes the signature algorithm on a caller-prepared environment
@@ -111,12 +135,18 @@ func Run(left, right *model.Instance, mode match.Mode, opt Options) (*Result, er
 // own environment, reading off the match, and rolling it back with
 // Mark/Undo (every mutation goes through the environment's trail).
 func RunEnv(env *match.Env, opt Options) (*Result, error) {
+	return RunEnvContext(context.Background(), env, opt)
+}
+
+// RunEnvContext is RunEnv with a cancellation context.
+func RunEnvContext(ctx context.Context, env *match.Env, opt Options) (*Result, error) {
 	if env.NumPairs() != 0 {
 		return nil, fmt.Errorf("signature: RunEnv requires an empty tuple mapping, got %d pairs", env.NumPairs())
 	}
 	r := &Result{Env: env}
 	s := &runner{
 		env:  env,
+		ctx:  ctx,
 		opt:  opt,
 		sumL: make([]float64, env.NumLeftTuples()),
 		sumR: make([]float64, env.NumRightTuples()),
@@ -130,9 +160,13 @@ func RunEnv(env *match.Env, opt Options) (*Result, error) {
 	if opt.SingleRound {
 		rounds = []bool{false}
 	}
+rounds:
 	for _, perfect := range rounds {
 		s.perfectOnly = perfect
 		for ri := range env.LRels {
+			if s.canceled() {
+				break rounds
+			}
 			// Pass 1: signature map over the left relation, scan
 			// the right; pass 2 the reverse.
 			s.pass(ri, true)
@@ -152,16 +186,26 @@ func RunEnv(env *match.Env, opt Options) (*Result, error) {
 	r.Stats.ScoreAfterSig = score.MatchP(env, opt.params())
 
 	start = time.Now()
-	s.complete()
+	if !s.canceled() {
+		s.complete()
+	}
 	r.Stats.CompatMatches = env.NumPairs() - r.Stats.SigMatches
 	r.Stats.CompatPhase = time.Since(start)
 
 	r.Score = score.MatchP(env, opt.params())
+	if s.canceled() {
+		r.Stopped = StoppedCanceled
+		vars.Add("canceled", 1)
+	}
+	vars.Add("runs", 1)
+	vars.Add("sig_matches", int64(r.Stats.SigMatches))
+	vars.Add("compat_matches", int64(r.Stats.CompatMatches))
 	return r, nil
 }
 
 type runner struct {
 	env *match.Env
+	ctx context.Context
 	opt Options
 	// perfectOnly restricts tryPair to pairs scoring the full arity.
 	perfectOnly bool
@@ -172,6 +216,25 @@ type runner struct {
 	// rescueEntries is scratch for rescue's per-mask hash index, reused
 	// across masks and relations.
 	rescueEntries []sigEntry
+	// stopped latches the first observed context cancellation so later
+	// checks are a plain field read.
+	stopped bool
+}
+
+// cancelPollInterval bounds how many tuples a scan processes between
+// context polls: lakes are dominated by single-relation instances, so
+// between-relation checks alone would not bound cancellation latency.
+const cancelPollInterval = 1024
+
+// canceled reports (and latches) context cancellation.
+func (s *runner) canceled() bool {
+	if s.stopped {
+		return true
+	}
+	if s.ctx.Err() != nil {
+		s.stopped = true
+	}
+	return s.stopped
 }
 
 // sigEntry is one row of rescue's sorted hash index: the row's
@@ -307,6 +370,9 @@ func (s *runner) pass(ri int, mapLeft bool) {
 
 scan:
 	for si := 0; si < scanCode.Rows(); si++ {
+		if si%cancelPollInterval == 0 && s.canceled() {
+			return
+		}
 		row, ground := scanCode.Row(si), scanCode.Masks[si]
 		// Progressively smaller indexed attribute subsets (Alg. 4
 		// line 6, via the null-pattern optimization).
@@ -447,6 +513,9 @@ func (s *runner) rescue(ri int) {
 	// Tuple pairs share many mask intersections; attempt each pair once.
 	attempted := map[match.Pair]bool{}
 	for _, m := range masks {
+		if s.canceled() {
+			return
+		}
 		// Per-mask hash index over the eligible left rows: a slice of
 		// (hash, position) entries sorted by hash, probed by binary
 		// search. The backing array is scratch reused across masks; the
@@ -518,7 +587,10 @@ func (s *runner) complete() {
 			continue
 		}
 		ix := compat.NewCodedIndex(rcode, rightIdxs, s.env.In)
-		for _, li := range leftIdxs {
+		for n, li := range leftIdxs {
+			if n%cancelPollInterval == 0 && s.canceled() {
+				return
+			}
 			lref := match.Ref{Rel: ri, Idx: li}
 			for _, ci := range ix.Candidates(lcode.Row(li), lcode.Masks[li]) {
 				if s.rightSaturated(match.Ref{Rel: ri, Idx: ci}) {
