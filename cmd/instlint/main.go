@@ -1,0 +1,59 @@
+// Command instlint runs the project's invariant analyzers (DESIGN.md §11)
+// over the module, go-vet style:
+//
+//	go run ./cmd/instlint ./...
+//
+// Each finding prints as file:line:col: message (analyzer). The exit code
+// is 1 when any finding survives the //instlint:allow directives, 2 on
+// load/typecheck errors, 0 otherwise. Scoping — which analyzer applies to
+// which package — lives in internal/lint/suite.
+package main
+
+import (
+	"fmt"
+	"io"
+	"os"
+
+	"instcmp/internal/lint"
+	"instcmp/internal/lint/load"
+	"instcmp/internal/lint/suite"
+)
+
+func main() {
+	patterns := os.Args[1:]
+	os.Exit(run(".", patterns, os.Stdout, os.Stderr))
+}
+
+// run is main without the process plumbing, so the self-check test can
+// invoke the linter in-process against the repository tree.
+func run(dir string, patterns []string, out, errOut io.Writer) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := load.Packages(dir, patterns)
+	if err != nil {
+		fmt.Fprintf(errOut, "instlint: %v\n", err)
+		return 2
+	}
+	found := false
+	for _, pkg := range pkgs {
+		analyzers := suite.For(pkg.ImportPath)
+		if len(analyzers) == 0 {
+			continue
+		}
+		diags, err := lint.Analyze(pkg.Pass, analyzers)
+		if err != nil {
+			fmt.Fprintf(errOut, "instlint: %s: %v\n", pkg.ImportPath, err)
+			return 2
+		}
+		for _, d := range diags {
+			pos := pkg.Pass.Fset.Position(d.Pos)
+			fmt.Fprintf(out, "%s: %s (%s)\n", pos, d.Message, d.Analyzer)
+			found = true
+		}
+	}
+	if found {
+		return 1
+	}
+	return 0
+}

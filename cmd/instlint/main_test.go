@@ -1,0 +1,19 @@
+package main
+
+import (
+	"bytes"
+	"testing"
+)
+
+// TestSelfRun runs the full analyzer suite over the repository tree. The
+// tree must stay lint-clean: every invariant violation is either fixed or
+// carries a justified //instlint:allow directive.
+func TestSelfRun(t *testing.T) {
+	if testing.Short() {
+		t.Skip("typechecks the whole module from source; skipped in -short")
+	}
+	var out, errOut bytes.Buffer
+	if code := run("../..", []string{"./..."}, &out, &errOut); code != 0 {
+		t.Fatalf("instlint exited %d on the repository tree:\n%s%s", code, out.String(), errOut.String())
+	}
+}

@@ -166,7 +166,7 @@ func RunContext(ctx context.Context, left, right *model.Instance, mode match.Mod
 	if err != nil {
 		return nil, err
 	}
-	p := newProblem(env, opt.Lambda)
+	p := newProblem(ctx, env, opt.Lambda)
 	sh := &shared{maxN: opt.MaxNodes, ctx: ctx}
 	sh.best.Store(math.Float64bits(-1))
 	if opt.Timeout > 0 {
@@ -176,7 +176,10 @@ func RunContext(ctx context.Context, left, right *model.Instance, mode match.Mod
 	best, bestPairs := -1.0, []match.Pair(nil)
 	warmScore := -1.0
 	var sigStats *signature.Stats
-	if !opt.NoWarmStart {
+	// The ctx.Err() guard also protects canonicalize: a canceled
+	// newProblem returns a truncated candidate structure that must not be
+	// indexed by a warm-start match.
+	if !opt.NoWarmStart && ctx.Err() == nil {
 		if wp, ws, st, ok := warmStart(ctx, env, p); ok {
 			best, bestPairs, warmScore = ws, wp, ws
 			sigStats = st
@@ -583,18 +586,29 @@ func optScore(lrow, rrow []model.ValueID, lmask, rmask uint64, lambda float64) f
 }
 
 // newProblem runs CompatibleTuples per relation and prepares the search
-// structures for the environment's mode.
-func newProblem(env *match.Env, lambda float64) *problem {
+// structures for the environment's mode. Cancellation is polled every
+// soloPollInterval left rows — candidate generation is quadratic and can
+// dominate short deadlines. A canceled build stops enumerating but still
+// produces internally consistent (truncated) structures; RunContext never
+// searches or canonicalizes against them, because its pre-search ctx.Err()
+// check trips first.
+func newProblem(ctx context.Context, env *match.Env, lambda float64) *problem {
 	p := &problem{
 		lambda:     lambda,
 		functional: env.Mode.LeftInjective,
 		denom:      float64(env.Left.Size() + env.Right.Size()),
 	}
+	rows := 0
+build:
 	for ri := range env.LRels {
 		lcode, rcode := env.LCode[ri], env.RCode[ri]
 		ix := compat.NewCodedIndex(rcode, nil, env.In)
 		arity := float64(lcode.Arity)
 		for li := 0; li < lcode.Rows(); li++ {
+			if rows%soloPollInterval == 0 && ctx.Err() != nil {
+				break build
+			}
+			rows++
 			lrow, lmask := lcode.Row(li), lcode.Masks[li]
 			// The index reuses its candidate buffer; copy before
 			// sorting and storing.
@@ -710,6 +724,7 @@ func warmStart(ctx context.Context, env *match.Env, p *problem) (pairs []match.P
 // score equality depends on it).
 func (p *problem) canonicalize(env *match.Env, pairs []match.Pair) bool {
 	if p.functional {
+		//instlint:allow ctxpoll -- one candidate-list scan per warm-start pair, runs once per search; dwarfed by the newProblem build, which does poll
 		for _, pr := range pairs {
 			lc := &p.lefts[env.FlatL(pr.L)]
 			found := false

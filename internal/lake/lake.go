@@ -21,6 +21,7 @@ import (
 
 	"instcmp"
 	"instcmp/internal/model"
+	"instcmp/internal/score"
 )
 
 // vars exports cumulative ranking counters for long-running processes
@@ -204,7 +205,9 @@ func RankContext(ctx context.Context, example *instcmp.Instance, lake []Candidat
 		if degraded(out[i]) != degraded(out[j]) {
 			return !degraded(out[i])
 		}
-		if out[i].Score != out[j].Score {
+		// Bit-level inequality: the ranking must not merge scores the
+		// golden tests distinguish (floatscore bans raw float !=).
+		if !score.SameScore(out[i].Score, out[j].Score) {
 			return out[i].Score > out[j].Score
 		}
 		return out[i].Overlap > out[j].Overlap
@@ -241,6 +244,7 @@ func alignName(example, cand *instcmp.Instance) *instcmp.Instance {
 // first-seen order (deterministic).
 func sampleConsts(in *model.Instance, max int) map[model.Value]bool {
 	set := make(map[model.Value]bool, max)
+	//instlint:allow ctxpoll -- capped at max distinct constants (default 1000); one sample costs microseconds and the rank loop around it polls ctx
 	for _, rel := range in.Relations() {
 		for _, t := range rel.Tuples {
 			for _, v := range t.Values {

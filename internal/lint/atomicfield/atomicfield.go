@@ -1,0 +1,106 @@
+// Package atomicfield enforces consistent atomicity (DESIGN.md §11): a
+// struct field that is accessed through the function-style sync/atomic API
+// anywhere in the package must be accessed that way everywhere. A single
+// plain read or write of such a field is a data race — the race detector
+// only catches it when the schedule cooperates, and on weakly-ordered
+// hardware it silently yields torn or stale values in the shared search
+// state.
+//
+// The engine itself uses the typed atomics (atomic.Uint64, atomic.Bool),
+// which make this mistake unrepresentable; this analyzer guards the
+// function-style escape hatch so it stays safe if it ever appears.
+package atomicfield
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"instcmp/internal/lint"
+)
+
+// Analyzer is the atomicfield invariant checker.
+var Analyzer = &lint.Analyzer{
+	Name: "atomicfield",
+	Doc:  "fields accessed via sync/atomic must be accessed atomically everywhere",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) ([]lint.Diagnostic, error) {
+	// Pass 1: collect fields that appear as &field arguments of
+	// sync/atomic calls, and remember those selector nodes as exempt.
+	atomicFields := map[*types.Var]bool{}
+	exempt := map[*ast.SelectorExpr]bool{}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok || !isAtomicCall(pass, call) {
+				return true
+			}
+			for _, arg := range call.Args {
+				field, sel := addressedField(pass, arg)
+				if field != nil {
+					atomicFields[field] = true
+					exempt[sel] = true
+				}
+			}
+			return true
+		})
+	}
+	if len(atomicFields) == 0 {
+		return nil, nil
+	}
+	// Pass 2: flag every other access to those fields.
+	var diags []lint.Diagnostic
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok || exempt[sel] {
+				return true
+			}
+			field, ok := pass.ObjectOf(sel.Sel).(*types.Var)
+			if !ok || !atomicFields[field] {
+				return true
+			}
+			diags = append(diags, lint.Diagnostic{
+				Pos: sel.Pos(),
+				Message: "field " + field.Name() + " is accessed with sync/atomic elsewhere; " +
+					"this plain access races with it — use the atomic API (or a typed atomic) here too",
+			})
+			return true
+		})
+	}
+	return diags, nil
+}
+
+// isAtomicCall reports whether the call targets the sync/atomic package.
+func isAtomicCall(pass *lint.Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	pkg, ok := pass.ObjectOf(id).(*types.PkgName)
+	return ok && pkg.Imported().Path() == "sync/atomic"
+}
+
+// addressedField unwraps &x.f and returns the struct field var and its
+// selector node, or nil.
+func addressedField(pass *lint.Pass, arg ast.Expr) (*types.Var, *ast.SelectorExpr) {
+	un, ok := ast.Unparen(arg).(*ast.UnaryExpr)
+	if !ok || un.Op != token.AND {
+		return nil, nil
+	}
+	sel, ok := ast.Unparen(un.X).(*ast.SelectorExpr)
+	if !ok {
+		return nil, nil
+	}
+	v, ok := pass.ObjectOf(sel.Sel).(*types.Var)
+	if !ok || !v.IsField() {
+		return nil, nil
+	}
+	return v, sel
+}

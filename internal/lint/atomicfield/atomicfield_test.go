@@ -1,0 +1,12 @@
+package atomicfield_test
+
+import (
+	"testing"
+
+	"instcmp/internal/lint/atomicfield"
+	"instcmp/internal/lint/linttest"
+)
+
+func TestAtomicfield(t *testing.T) {
+	linttest.Run(t, "testdata/fixture", atomicfield.Analyzer)
+}

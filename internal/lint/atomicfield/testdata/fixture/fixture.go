@@ -1,0 +1,43 @@
+// Package fixture seeds atomicfield violations and legal patterns.
+package fixture
+
+import "sync/atomic"
+
+type counter struct {
+	n     int64 // accessed atomically: every access must stay atomic
+	hits  int64 // accessed atomically
+	limit int64 // never accessed atomically: plain access is fine
+	typed atomic.Int64
+}
+
+func (c *counter) bump()       { atomic.AddInt64(&c.n, 1) }
+func (c *counter) read() int64 { return atomic.LoadInt64(&c.n) }
+func (c *counter) record()     { atomic.StoreInt64(&c.hits, 1) }
+
+func (c *counter) racyRead() int64 {
+	return c.n // want "plain access races"
+}
+
+func (c *counter) racyWrite() {
+	c.hits = 0 // want "plain access races"
+}
+
+func (c *counter) racyCompare(limit int64) bool {
+	return c.n > limit // want "plain access races"
+}
+
+func (c *counter) plainOnly() int64 {
+	c.limit++ // limit has no atomic accesses anywhere: exempt
+	return c.limit
+}
+
+func (c *counter) typedOnly() int64 {
+	// Typed atomics cannot be accessed non-atomically; nothing to flag.
+	c.typed.Add(1)
+	return c.typed.Load()
+}
+
+func (c *counter) resetBeforeStart() {
+	//instlint:allow atomicfield -- single-goroutine setup phase, no readers yet
+	c.hits = 0
+}

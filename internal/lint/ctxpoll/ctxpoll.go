@@ -1,0 +1,265 @@
+// Package ctxpoll enforces the engine's cancellation latency contract
+// (DESIGN.md §11): long-running scan loops in the search and signature
+// paths must poll for cancellation, or a context cancel can go unanswered
+// for the rest of a multi-second pass.
+//
+// "Long-running" is approximated structurally: an outermost loop is
+// suspicious when its per-iteration work contains another loop — directly
+// nested, or via a call to a package-local function that itself loops
+// (computed as a fixed point). A suspicious loop must contain a poll:
+//
+//   - ctx.Err() or ctx.Done() on a context.Context,
+//   - .Load() on a stop/cancel/done/abort-named atomic flag, or
+//   - a call to a package-local function that (transitively) polls.
+//
+// Flat loops are exempt — their latency is one iteration's work. Function
+// literals are analyzed as functions of their own (goroutine bodies run on
+// their own schedule), not as part of the enclosing loop.
+package ctxpoll
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"instcmp/internal/lint"
+)
+
+// Analyzer is the ctxpoll invariant checker.
+var Analyzer = &lint.Analyzer{
+	Name: "ctxpoll",
+	Doc:  "nested scan loops must poll for cancellation (ctx.Err, stop-flag Load, or a polling helper)",
+	Run:  run,
+}
+
+// stopNames are substrings identifying an atomic cancellation flag.
+var stopNames = []string{"stop", "cancel", "done", "abort"}
+
+type analysis struct {
+	pass    *lint.Pass
+	decls   map[*types.Func]*ast.FuncDecl
+	polling map[*types.Func]bool
+	loopy   map[*types.Func]bool
+	diags   []lint.Diagnostic
+}
+
+func run(pass *lint.Pass) ([]lint.Diagnostic, error) {
+	a := &analysis{
+		pass:    pass,
+		decls:   map[*types.Func]*ast.FuncDecl{},
+		polling: map[*types.Func]bool{},
+		loopy:   map[*types.Func]bool{},
+	}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			if obj, ok := pass.Info.Defs[fd.Name].(*types.Func); ok {
+				a.decls[obj] = fd
+			}
+		}
+	}
+	a.classify()
+	for _, f := range pass.Files {
+		// Keep descending after a FuncDecl/FuncLit so nested literals are
+		// found; checkBody itself skips literal subtrees, so each body is
+		// loop-checked exactly once.
+		ast.Inspect(f, func(n ast.Node) bool {
+			switch n := n.(type) {
+			case *ast.FuncDecl:
+				if n.Body != nil {
+					a.checkBody(n.Body)
+				}
+			case *ast.FuncLit:
+				a.checkBody(n.Body)
+			}
+			return true
+		})
+	}
+	return a.diags, nil
+}
+
+// classify computes the polling and loopy function sets to a fixed point:
+// calling a polling (loopy) function makes the caller polling (loopy).
+func (a *analysis) classify() {
+	for changed := true; changed; {
+		changed = false
+		for obj, fd := range a.decls {
+			if !a.polling[obj] && a.scan(fd.Body, func(n ast.Node) bool { return a.polls(n) }) {
+				a.polling[obj] = true
+				changed = true
+			}
+			if !a.loopy[obj] && a.scan(fd.Body, func(n ast.Node) bool { return a.loops(n) }) {
+				a.loopy[obj] = true
+				changed = true
+			}
+		}
+	}
+}
+
+// scan walks a subtree, skipping function literals, and reports whether
+// pred holds for any node.
+func (a *analysis) scan(root ast.Node, pred func(ast.Node) bool) bool {
+	if root == nil {
+		return false
+	}
+	found := false
+	ast.Inspect(root, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if pred(n) {
+			found = true
+			return false
+		}
+		return true
+	})
+	return found
+}
+
+// polls reports whether the node is a cancellation poll.
+func (a *analysis) polls(n ast.Node) bool {
+	call, ok := n.(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		switch sel.Sel.Name {
+		case "Err", "Done":
+			if isContext(a.pass.TypeOf(sel.X)) {
+				return true
+			}
+		case "Load":
+			if isStopName(lastName(sel.X)) {
+				return true
+			}
+		}
+	}
+	if fn := a.localCallee(call); fn != nil && a.polling[fn] {
+		return true
+	}
+	return false
+}
+
+// loops reports whether the node introduces per-iteration work: a loop
+// statement or a call to a loopy package-local function.
+func (a *analysis) loops(n ast.Node) bool {
+	switch n := n.(type) {
+	case *ast.ForStmt, *ast.RangeStmt:
+		return true
+	case *ast.CallExpr:
+		if fn := a.localCallee(n); fn != nil && a.loopy[fn] {
+			return true
+		}
+	}
+	return false
+}
+
+// localCallee resolves a call to a function or method declared in the
+// package being analyzed, or nil.
+func (a *analysis) localCallee(call *ast.CallExpr) *types.Func {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil
+	}
+	fn, ok := a.pass.ObjectOf(id).(*types.Func)
+	if !ok || fn.Pkg() != a.pass.Pkg {
+		return nil
+	}
+	return fn
+}
+
+// checkBody reports every suspicious outermost loop without a poll.
+// Nested loops are part of their outermost loop's iteration work; a poll
+// anywhere in the nest satisfies the contract.
+func (a *analysis) checkBody(body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			return false // analyzed as its own function by run
+		case *ast.ForStmt:
+			parts := []ast.Node{n.Body}
+			if n.Cond != nil {
+				parts = append(parts, n.Cond)
+			}
+			if n.Post != nil {
+				parts = append(parts, n.Post)
+			}
+			a.checkLoop(n.For, parts)
+			return false
+		case *ast.RangeStmt:
+			// The range expression is evaluated once, before iteration —
+			// it is setup cost, not per-iteration work.
+			a.checkLoop(n.For, []ast.Node{n.Body})
+			return false
+		}
+		return true
+	})
+}
+
+func (a *analysis) checkLoop(pos token.Pos, parts []ast.Node) {
+	suspicious, polled := false, false
+	for _, p := range parts {
+		if p == nil {
+			continue
+		}
+		if a.scan(p, func(n ast.Node) bool { return a.loops(n) }) {
+			suspicious = true
+		}
+		if a.scan(p, func(n ast.Node) bool { return a.polls(n) }) {
+			polled = true
+		}
+	}
+	if suspicious && !polled {
+		a.diags = append(a.diags, lint.Diagnostic{
+			Pos: pos,
+			Message: "nested scan loop never polls for cancellation; " +
+				"check ctx.Err()/canceled()/stop.Load() every batch of iterations",
+		})
+	}
+}
+
+// isContext reports whether t is context.Context.
+func isContext(t types.Type) bool {
+	if t == nil {
+		return false
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// lastName extracts the final identifier of an expression like s.stop.
+func lastName(e ast.Expr) string {
+	switch e := e.(type) {
+	case *ast.Ident:
+		return e.Name
+	case *ast.SelectorExpr:
+		return e.Sel.Name
+	}
+	return ""
+}
+
+func isStopName(name string) bool {
+	l := strings.ToLower(name)
+	for _, s := range stopNames {
+		if strings.Contains(l, s) {
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,12 @@
+package ctxpoll_test
+
+import (
+	"testing"
+
+	"instcmp/internal/lint/ctxpoll"
+	"instcmp/internal/lint/linttest"
+)
+
+func TestCtxpoll(t *testing.T) {
+	linttest.Run(t, "testdata/fixture", ctxpoll.Analyzer)
+}

@@ -1,0 +1,125 @@
+// Package fixture seeds ctxpoll violations and the engine's legal polling
+// patterns.
+package fixture
+
+import (
+	"context"
+	"sync/atomic"
+)
+
+type runner struct{ ctx context.Context }
+
+// canceled is a polling helper: calling it counts as a poll anywhere.
+func (r *runner) canceled() bool { return r.ctx.Err() != nil }
+
+// inner is a loopy helper: calling it from a loop makes that loop nested.
+func inner(row []int) int {
+	t := 0
+	for _, v := range row {
+		t += v
+	}
+	return t
+}
+
+// scanUnpolled is the satellite-required seed: a nested scan loop with no
+// cancellation poll anywhere.
+func scanUnpolled(rows [][]int) int {
+	total := 0
+	for _, row := range rows { // want "never polls for cancellation"
+		for _, v := range row {
+			total += v
+		}
+	}
+	return total
+}
+
+// callsLoopy hides the inner loop behind a package-local call; the fixed
+// point still sees it.
+func callsLoopy(rows [][]int) int {
+	total := 0
+	for _, row := range rows { // want "never polls for cancellation"
+		total += inner(row)
+	}
+	return total
+}
+
+// scanCtx polls the context directly.
+func scanCtx(ctx context.Context, rows [][]int) int {
+	total := 0
+	for _, row := range rows {
+		if ctx.Err() != nil {
+			return total
+		}
+		for _, v := range row {
+			total += v
+		}
+	}
+	return total
+}
+
+// scanHelper polls through a package-local helper, like the engine's
+// batched canceled() checks.
+func scanHelper(r *runner, rows [][]int) int {
+	total := 0
+	for i, row := range rows {
+		if i%1024 == 0 && r.canceled() {
+			return total
+		}
+		total += inner(row)
+	}
+	return total
+}
+
+// scanStopFlag polls an atomic stop flag, like exact's shared.stop.
+type worker struct{ stop atomic.Bool }
+
+func (w *worker) drain(rows [][]int) int {
+	total := 0
+	for _, row := range rows {
+		if w.stop.Load() {
+			return total
+		}
+		total += inner(row)
+	}
+	return total
+}
+
+// flatLoop has no nested work: latency is one iteration, exempt.
+func flatLoop(xs []int) int {
+	t := 0
+	for _, x := range xs {
+		t += x
+	}
+	return t
+}
+
+// boundedScan is deliberately unpolled and carries the justified escape
+// hatch the engine uses for provably tiny scans.
+func boundedScan(grid *[8][8]int) int {
+	t := 0
+	//instlint:allow ctxpoll -- 8x8 worst case, completes in nanoseconds
+	for _, row := range grid {
+		for _, v := range row {
+			t += v
+		}
+	}
+	return t
+}
+
+// goroutineBody: the literal is its own function; its polled loop is fine
+// and the spawning loop is flat.
+func goroutineBody(ctx context.Context, rows [][]int, out chan<- int) {
+	for i := range rows {
+		row := rows[i]
+		go func() {
+			t := 0
+			for _, v := range row {
+				if ctx.Err() != nil {
+					return
+				}
+				t += v
+			}
+			out <- t
+		}()
+	}
+}

@@ -1,0 +1,123 @@
+// Package floatscore enforces the engine's float-comparison discipline
+// (DESIGN.md §11): similarity scores are float64s whose bit-identical
+// reproducibility across worker counts is pinned by the regress goldens, so
+// ad-hoc comparisons that blur or hide that contract are banned in the
+// scoring and search packages.
+//
+// Two shapes are flagged:
+//
+//   - Raw == / != between two float64 expressions. Equality on computed
+//     floats either wants bit-pattern identity (score.SameScore) or a
+//     documented tolerance (score.LessEps with a named epsilon); a bare
+//     operator does not say which, and reads as a bug. Comparisons against
+//     the constant 0 are exempt — the engine's zero checks (empty
+//     denominators, unset options) are exact by construction.
+//
+//   - Ordering comparisons (< <= > >=) with an inline epsilon literal, such
+//     as `a < b-1e-9`. These encode a tolerance policy at the use site;
+//     they must go through the named helpers so every tolerance is
+//     documented in one place (score.LessEps, score.PerfectEps,
+//     score.GainEps). Plain ordering without an epsilon stays legal: the
+//     branch-and-bound incumbent comparisons are ordinary float orderings
+//     and are deterministic as-is.
+package floatscore
+
+import (
+	"go/ast"
+	"go/constant"
+	"go/token"
+	"go/types"
+	"math"
+
+	"instcmp/internal/lint"
+)
+
+// inlineEpsilonBound classifies a float literal as an inline tolerance:
+// anything nonzero below this magnitude only ever appears as an epsilon.
+const inlineEpsilonBound = 1e-6
+
+// Analyzer is the floatscore invariant checker.
+var Analyzer = &lint.Analyzer{
+	Name: "floatscore",
+	Doc:  "forbid raw ==/!= on float64 scores and inline-epsilon orderings; use score.SameScore / score.LessEps",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) ([]lint.Diagnostic, error) {
+	var diags []lint.Diagnostic
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			be, ok := n.(*ast.BinaryExpr)
+			if !ok {
+				return true
+			}
+			switch be.Op {
+			case token.EQL, token.NEQ:
+				if isFloat(pass, be.X) && isFloat(pass, be.Y) &&
+					!isZeroConst(pass, be.X) && !isZeroConst(pass, be.Y) {
+					diags = append(diags, lint.Diagnostic{
+						Pos: be.OpPos,
+						Message: "raw " + be.Op.String() + " on float64 values; compare bit patterns " +
+							"(score.SameScore) or use an epsilon helper (score.LessEps)",
+					})
+				}
+			case token.LSS, token.LEQ, token.GTR, token.GEQ:
+				if (isFloat(pass, be.X) || isFloat(pass, be.Y)) &&
+					(hasInlineEpsilon(pass, be.X) || hasInlineEpsilon(pass, be.Y)) {
+					diags = append(diags, lint.Diagnostic{
+						Pos: be.OpPos,
+						Message: "inline epsilon in float64 comparison; use score.LessEps " +
+							"with a named, documented epsilon",
+					})
+				}
+			}
+			return true
+		})
+	}
+	return diags, nil
+}
+
+// isFloat reports whether the expression's type is a floating-point kind.
+func isFloat(pass *lint.Pass, e ast.Expr) bool {
+	t := pass.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsFloat != 0
+}
+
+// isZeroConst reports whether the expression is the constant zero.
+func isZeroConst(pass *lint.Pass, e ast.Expr) bool {
+	tv, ok := pass.Info.Types[e]
+	if !ok || tv.Value == nil {
+		return false
+	}
+	return constant.Sign(tv.Value) == 0
+}
+
+// hasInlineEpsilon reports whether the expression's subtree contains a
+// nonzero numeric literal with magnitude below inlineEpsilonBound.
+func hasInlineEpsilon(pass *lint.Pass, e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		lit, ok := n.(*ast.BasicLit)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.Info.Types[lit]
+		if !ok || tv.Value == nil {
+			return true
+		}
+		v := tv.Value
+		if v.Kind() != constant.Float && v.Kind() != constant.Int {
+			return true
+		}
+		f, _ := constant.Float64Val(v)
+		if f != 0 && math.Abs(f) < inlineEpsilonBound {
+			found = true
+		}
+		return true
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package floatscore_test
+
+import (
+	"testing"
+
+	"instcmp/internal/lint/floatscore"
+	"instcmp/internal/lint/linttest"
+)
+
+func TestFloatscore(t *testing.T) {
+	linttest.Run(t, "testdata/fixture", floatscore.Analyzer)
+}

@@ -1,0 +1,46 @@
+// Package fixture seeds floatscore violations and legal patterns.
+package fixture
+
+import "math"
+
+func sameScore(a, b float64) bool { return math.Float64bits(a) == math.Float64bits(b) }
+
+func lessEps(a, b, eps float64) bool { return a < b-eps }
+
+func bad(a, b float64, scores []float64) bool {
+	if a == b { // want "raw == on float64"
+		return true
+	}
+	if scores[0] != scores[1] { // want "raw != on float64"
+		return false
+	}
+	if a < b-1e-9 { // want "inline epsilon"
+		return false
+	}
+	return a+1e-12 >= b // want "inline epsilon"
+}
+
+func good(a, b float64, n int) bool {
+	if a == 0 || b != 0 { // exact-zero checks are well-defined
+		return true
+	}
+	if float64(n) == a { // want "raw == on float64"
+		return false
+	}
+	if sameScore(a, b) { // the documented bit-pattern helper
+		return true
+	}
+	if lessEps(a, b, 1e-9) { // named epsilon through the helper
+		return false
+	}
+	//instlint:allow floatscore -- exercising the justified-suppression path
+	return a == b
+}
+
+func ordering(a, b float64) bool {
+	return a > b || a <= 0.5 // plain orderings are legal
+}
+
+func ints(a, b int) bool {
+	return a == b // integer equality is out of scope
+}

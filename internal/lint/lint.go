@@ -1,0 +1,155 @@
+// Package lint is the spine of instlint, the repository's custom static-
+// analysis suite (DESIGN.md §11). It defines the Analyzer/Pass/Diagnostic
+// contract the per-invariant analyzers implement, mirroring the shape of
+// golang.org/x/tools/go/analysis — the container this repo builds in has no
+// module proxy access, so the framework is reimplemented on the standard
+// library (go/ast + go/types) rather than vendored.
+//
+// Each analyzer machine-checks one invariant the engine's correctness or
+// determinism rests on: bit-identical float scores across worker counts,
+// order-insensitive map iteration in scoring paths, balanced Mark/Undo
+// search-state discipline, context-poll coverage in scan loops, and
+// atomic-only access to fields shared with sync/atomic.
+//
+// # Suppression directives
+//
+// A finding can be suppressed with a justified directive on the flagged
+// line or the line directly above it:
+//
+//	//instlint:allow <analyzer> -- <justification>
+//
+// The justification is mandatory: a directive without one is itself
+// reported as a finding, so every suppression documents why the invariant
+// holds anyway.
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one invariant checker. Run inspects the package in pass and
+// returns its findings; the driver handles suppression directives, output,
+// and exit status.
+type Analyzer struct {
+	// Name is the analyzer's identifier, used in output and in
+	// //instlint:allow directives.
+	Name string
+	// Doc is a one-paragraph description of the enforced invariant.
+	Doc string
+	// Run performs the analysis.
+	Run func(*Pass) ([]Diagnostic, error)
+}
+
+// Pass is the analysis input for one package: its syntax, type information,
+// and file set, shared by every analyzer that runs on the package.
+type Pass struct {
+	Fset  *token.FileSet
+	Files []*ast.File
+	Pkg   *types.Package
+	Info  *types.Info
+}
+
+// TypeOf returns the type of an expression, or nil when unknown.
+func (p *Pass) TypeOf(e ast.Expr) types.Type {
+	return p.Info.TypeOf(e)
+}
+
+// ObjectOf returns the object an identifier denotes (definition or use),
+// or nil.
+func (p *Pass) ObjectOf(id *ast.Ident) types.Object {
+	return p.Info.ObjectOf(id)
+}
+
+// Diagnostic is one finding of one analyzer.
+type Diagnostic struct {
+	Pos     token.Pos
+	Message string
+	// Analyzer is filled in by the driver.
+	Analyzer string
+}
+
+// directive is one parsed //instlint:allow comment.
+type directive struct {
+	line      int // line the comment sits on
+	analyzers []string
+	justified bool
+	pos       token.Pos
+}
+
+const directivePrefix = "//instlint:allow"
+
+// parseDirectives extracts the //instlint:allow directives of a file.
+func parseDirectives(fset *token.FileSet, f *ast.File) []directive {
+	var out []directive
+	for _, cg := range f.Comments {
+		for _, c := range cg.List {
+			text := c.Text
+			if !strings.HasPrefix(text, directivePrefix) {
+				continue
+			}
+			rest := strings.TrimPrefix(text, directivePrefix)
+			d := directive{line: fset.Position(c.Pos()).Line, pos: c.Pos()}
+			names, justification, found := strings.Cut(rest, "--")
+			d.justified = found && strings.TrimSpace(justification) != ""
+			for _, name := range strings.Fields(names) {
+				d.analyzers = append(d.analyzers, strings.TrimSuffix(name, ","))
+			}
+			out = append(out, d)
+		}
+	}
+	return out
+}
+
+// Analyze runs the analyzers over the pass, applies suppression directives,
+// and returns the surviving findings sorted by position. Malformed
+// directives (no analyzer name, or a missing "-- justification") are
+// reported under the pseudo-analyzer "directive".
+func Analyze(pass *Pass, analyzers []*Analyzer) ([]Diagnostic, error) {
+	// allowed[line] -> analyzer names suppressed on that line.
+	allowed := map[int]map[string]bool{}
+	var diags []Diagnostic
+	for _, f := range pass.Files {
+		for _, d := range parseDirectives(pass.Fset, f) {
+			if len(d.analyzers) == 0 || !d.justified {
+				diags = append(diags, Diagnostic{
+					Pos:      d.pos,
+					Analyzer: "directive",
+					Message:  "malformed directive: want //instlint:allow <analyzer> -- <justification>",
+				})
+				continue
+			}
+			for _, name := range d.analyzers {
+				// A directive shields its own line and the next, so it
+				// works both inline and as a standalone comment line
+				// above the flagged statement.
+				for _, line := range []int{d.line, d.line + 1} {
+					if allowed[line] == nil {
+						allowed[line] = map[string]bool{}
+					}
+					allowed[line][name] = true
+				}
+			}
+		}
+	}
+	for _, a := range analyzers {
+		found, err := a.Run(pass)
+		if err != nil {
+			return nil, fmt.Errorf("%s: %w", a.Name, err)
+		}
+		for _, d := range found {
+			d.Analyzer = a.Name
+			line := pass.Fset.Position(d.Pos).Line
+			if allowed[line][a.Name] {
+				continue
+			}
+			diags = append(diags, d)
+		}
+	}
+	sort.SliceStable(diags, func(i, j int) bool { return diags[i].Pos < diags[j].Pos })
+	return diags, nil
+}

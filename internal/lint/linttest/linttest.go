@@ -1,0 +1,124 @@
+// Package linttest runs an analyzer over a fixture directory and checks its
+// findings against expectation comments, in the style of
+// golang.org/x/tools/go/analysis/analysistest: a line that should be
+// flagged carries a comment
+//
+//	// want "regexp"
+//
+// and the test fails on any finding without a matching want, or any want
+// without a matching finding. Clean fixtures simply carry no want comments,
+// so every fixture package doubles as a failing and a passing case.
+package linttest
+
+import (
+	"fmt"
+	"go/token"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+
+	"instcmp/internal/lint"
+	"instcmp/internal/lint/load"
+)
+
+// expectation is one parsed want comment.
+type expectation struct {
+	file    string
+	line    int
+	pattern *regexp.Regexp
+	matched bool
+}
+
+const wantMarker = "// want "
+
+// parseWants extracts the want expectations of the fixture's files.
+func parseWants(pass *lint.Pass) ([]*expectation, error) {
+	var out []*expectation
+	for _, f := range pass.Files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				text := c.Text
+				if !strings.HasPrefix(text, wantMarker) {
+					continue
+				}
+				pos := pass.Fset.Position(c.Pos())
+				for _, q := range splitQuoted(strings.TrimPrefix(text, wantMarker)) {
+					s, err := strconv.Unquote(q)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want %s: %v", pos, q, err)
+					}
+					re, err := regexp.Compile(s)
+					if err != nil {
+						return nil, fmt.Errorf("%s: bad want pattern %q: %v", pos, s, err)
+					}
+					out = append(out, &expectation{file: pos.Filename, line: pos.Line, pattern: re})
+				}
+			}
+		}
+	}
+	return out, nil
+}
+
+// splitQuoted splits `"a" "b"` into its quoted tokens.
+func splitQuoted(s string) []string {
+	var out []string
+	for {
+		s = strings.TrimSpace(s)
+		if !strings.HasPrefix(s, `"`) {
+			return out
+		}
+		end := 1
+		for end < len(s) && s[end] != '"' {
+			if s[end] == '\\' {
+				end++
+			}
+			end++
+		}
+		if end >= len(s) {
+			return out
+		}
+		out = append(out, s[:end+1])
+		s = s[end+1:]
+	}
+}
+
+// Run loads the fixture directory, runs the analyzer (with the standard
+// suppression-directive handling), and verifies the findings against the
+// fixture's want comments.
+func Run(t *testing.T, fixtureDir string, a *lint.Analyzer) {
+	t.Helper()
+	pass, err := load.Dir(fixtureDir)
+	if err != nil {
+		t.Fatalf("loading fixture: %v", err)
+	}
+	wants, err := parseWants(pass)
+	if err != nil {
+		t.Fatal(err)
+	}
+	diags, err := lint.Analyze(pass, []*lint.Analyzer{a})
+	if err != nil {
+		t.Fatalf("running %s: %v", a.Name, err)
+	}
+	for _, d := range diags {
+		pos := pass.Fset.Position(d.Pos)
+		if !matchWant(wants, pos, d.Message) {
+			t.Errorf("%s: unexpected finding [%s]: %s", pos, d.Analyzer, d.Message)
+		}
+	}
+	for _, w := range wants {
+		if !w.matched {
+			t.Errorf("%s:%d: expected finding matching %q, got none", w.file, w.line, w.pattern)
+		}
+	}
+}
+
+func matchWant(wants []*expectation, pos token.Position, msg string) bool {
+	for _, w := range wants {
+		if !w.matched && w.file == pos.Filename && w.line == pos.Line && w.pattern.MatchString(msg) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}

@@ -1,0 +1,211 @@
+// Package load parses and type-checks the module's packages for instlint.
+// Package discovery shells out to `go list -json` (so build constraints and
+// pattern expansion match the toolchain exactly); type checking runs through
+// go/types with the standard library's source importer, which resolves
+// stdlib imports from GOROOT/src — no export data, no network, no
+// dependency on golang.org/x/tools.
+package load
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+
+	"instcmp/internal/lint"
+)
+
+// Package is one loaded, type-checked package.
+type Package struct {
+	ImportPath string
+	Dir        string
+	Pass       *lint.Pass
+}
+
+// listedPackage is the subset of `go list -json` output the loader needs.
+type listedPackage struct {
+	ImportPath string
+	Dir        string
+	Name       string
+	GoFiles    []string
+	Imports    []string
+}
+
+// goList expands the patterns into the module's packages.
+func goList(dir string, patterns []string) ([]*listedPackage, error) {
+	args := append([]string{"list", "-json=ImportPath,Dir,Name,GoFiles,Imports"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list %s: %v\n%s", strings.Join(patterns, " "), err, stderr.String())
+	}
+	var out []*listedPackage
+	dec := json.NewDecoder(&stdout)
+	for {
+		p := &listedPackage{}
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list: decoding output: %v", err)
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}
+
+// chainImporter resolves module-local imports from the already-checked
+// package set and everything else through the source importer.
+type chainImporter struct {
+	local map[string]*types.Package
+	std   types.Importer
+}
+
+func (c *chainImporter) Import(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if p, ok := c.local[path]; ok {
+		return p, nil
+	}
+	return c.std.Import(path)
+}
+
+func newInfo() *types.Info {
+	return &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Implicits:  map[ast.Node]types.Object{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+}
+
+// parseDir parses the named files of one directory into one package's
+// syntax trees.
+func parseDir(fset *token.FileSet, dir string, files []string) ([]*ast.File, error) {
+	var out []*ast.File
+	for _, name := range files {
+		f, err := parser.ParseFile(fset, filepath.Join(dir, name), nil, parser.ParseComments)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, f)
+	}
+	return out, nil
+}
+
+// Packages loads, parses, and type-checks the packages matched by the go
+// list patterns, rooted at dir (the module root or any directory inside
+// it). Only non-test files are analyzed: the enforced invariants live in
+// engine code, and test files routinely violate them on purpose (fixtures,
+// equality assertions on scores).
+func Packages(dir string, patterns []string) ([]*Package, error) {
+	listed, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	byPath := make(map[string]*listedPackage, len(listed))
+	for _, p := range listed {
+		byPath[p.ImportPath] = p
+	}
+
+	fset := token.NewFileSet()
+	imp := &chainImporter{
+		local: map[string]*types.Package{},
+		std:   importer.ForCompiler(fset, "source", nil),
+	}
+
+	var out []*Package
+	// check type-checks one listed package after its module-local imports,
+	// in dependency order.
+	checking := map[string]bool{}
+	var check func(p *listedPackage) error
+	check = func(p *listedPackage) error {
+		if _, done := imp.local[p.ImportPath]; done || checking[p.ImportPath] {
+			return nil
+		}
+		checking[p.ImportPath] = true
+		for _, dep := range p.Imports {
+			if d, ok := byPath[dep]; ok {
+				if err := check(d); err != nil {
+					return err
+				}
+			}
+		}
+		files, err := parseDir(fset, p.Dir, p.GoFiles)
+		if err != nil {
+			return err
+		}
+		info := newInfo()
+		conf := types.Config{Importer: imp}
+		pkg, err := conf.Check(p.ImportPath, fset, files, info)
+		if err != nil {
+			return fmt.Errorf("type-checking %s: %v", p.ImportPath, err)
+		}
+		imp.local[p.ImportPath] = pkg
+		out = append(out, &Package{
+			ImportPath: p.ImportPath,
+			Dir:        p.Dir,
+			Pass:       &lint.Pass{Fset: fset, Files: files, Pkg: pkg, Info: info},
+		})
+		return nil
+	}
+	for _, p := range listed {
+		if err := check(p); err != nil {
+			return nil, err
+		}
+	}
+	// Dependency-order loading may emit packages out of listing order;
+	// restore a stable, reader-friendly order.
+	sort.Slice(out, func(i, j int) bool { return out[i].ImportPath < out[j].ImportPath })
+	return out, nil
+}
+
+// Dir loads a single directory as one package outside the module's package
+// graph — the fixture loader behind linttest. Every .go file in the
+// directory is part of the package; imports resolve from the standard
+// library only, so fixtures are self-contained.
+func Dir(dir string) (*lint.Pass, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	if len(names) == 0 {
+		return nil, fmt.Errorf("load: no .go files in %s", dir)
+	}
+	fset := token.NewFileSet()
+	files, err := parseDir(fset, dir, names)
+	if err != nil {
+		return nil, err
+	}
+	info := newInfo()
+	conf := types.Config{Importer: &chainImporter{
+		local: map[string]*types.Package{},
+		std:   importer.ForCompiler(fset, "source", nil),
+	}}
+	pkg, err := conf.Check(files[0].Name.Name, fset, files, info)
+	if err != nil {
+		return nil, fmt.Errorf("type-checking fixture %s: %v", dir, err)
+	}
+	return &lint.Pass{Fset: fset, Files: files, Pkg: pkg, Info: info}, nil
+}

@@ -1,0 +1,158 @@
+// Package maporder bans map iteration in the engine's deterministic hot
+// paths (DESIGN.md §11). Go randomizes map iteration order per run, so any
+// `range` over a map inside scoring or search code is a determinism leak:
+// it can reorder float accumulation (float addition does not commute
+// bitwise), candidate generation, or greedy tie-breaking, and break the
+// bit-identical golden scores pinned by internal/regress.
+//
+// A map range is accepted only when its body is provably order-insensitive:
+// every statement is an exactly-commutative accumulation (integer ++/--/+=,
+// possibly under a call-free if) or a constant-valued map insert keyed by
+// the loop variable. Anything else — float accumulation, appends, calls —
+// must iterate sorted keys (or a slice built in insertion order) instead,
+// or carry a justified //instlint:allow directive.
+package maporder
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"instcmp/internal/lint"
+)
+
+// Analyzer is the maporder invariant checker.
+var Analyzer = &lint.Analyzer{
+	Name: "maporder",
+	Doc:  "forbid order-sensitive map iteration in deterministic hot paths; sort keys first",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) ([]lint.Diagnostic, error) {
+	var diags []lint.Diagnostic
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			rs, ok := n.(*ast.RangeStmt)
+			if !ok {
+				return true
+			}
+			t := pass.TypeOf(rs.X)
+			if t == nil {
+				return true
+			}
+			if _, isMap := t.Underlying().(*types.Map); !isMap {
+				return true
+			}
+			if orderInsensitive(pass, rs) {
+				return true
+			}
+			diags = append(diags, lint.Diagnostic{
+				Pos: rs.For,
+				Message: "map iteration order is randomized; this loop's effects depend on it " +
+					"— sort the keys first or accumulate into position-indexed state",
+			})
+			return true
+		})
+	}
+	return diags, nil
+}
+
+// orderInsensitive reports whether every statement of the range body is an
+// exactly-commutative accumulation, so any iteration order produces the
+// same final state.
+func orderInsensitive(pass *lint.Pass, rs *ast.RangeStmt) bool {
+	keyVar := rangeVarObj(pass, rs.Key)
+	for _, st := range rs.Body.List {
+		if !insensitiveStmt(pass, st, keyVar) {
+			return false
+		}
+	}
+	return true
+}
+
+// rangeVarObj resolves the range key variable, or nil.
+func rangeVarObj(pass *lint.Pass, key ast.Expr) types.Object {
+	id, ok := key.(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	return pass.ObjectOf(id)
+}
+
+func insensitiveStmt(pass *lint.Pass, st ast.Stmt, keyVar types.Object) bool {
+	switch s := st.(type) {
+	case *ast.IncDecStmt:
+		return isIntegral(pass, s.X)
+	case *ast.AssignStmt:
+		if len(s.Lhs) != 1 || len(s.Rhs) != 1 || hasCall(s.Rhs[0]) {
+			return false
+		}
+		switch s.Tok {
+		case token.ADD_ASSIGN:
+			// Integer sums commute exactly; float sums do not (the whole
+			// point of this analyzer).
+			return isIntegral(pass, s.Lhs[0])
+		case token.ASSIGN:
+			// m[k] = <constant or key-derived value>: distinct keys write
+			// distinct slots, so order cannot matter.
+			ix, ok := s.Lhs[0].(*ast.IndexExpr)
+			if !ok {
+				return false
+			}
+			if _, isMap := pass.TypeOf(ix.X).Underlying().(*types.Map); !isMap {
+				return false
+			}
+			id, ok := ix.Index.(*ast.Ident)
+			return ok && keyVar != nil && pass.ObjectOf(id) == keyVar
+		}
+		return false
+	case *ast.IfStmt:
+		if s.Init != nil || hasCall(s.Cond) {
+			return false
+		}
+		for _, inner := range s.Body.List {
+			if !insensitiveStmt(pass, inner, keyVar) {
+				return false
+			}
+		}
+		switch e := s.Else.(type) {
+		case nil:
+		case *ast.BlockStmt:
+			for _, inner := range e.List {
+				if !insensitiveStmt(pass, inner, keyVar) {
+					return false
+				}
+			}
+		default:
+			return insensitiveStmt(pass, e, keyVar)
+		}
+		return true
+	case *ast.BranchStmt:
+		return s.Tok == token.CONTINUE && s.Label == nil
+	}
+	return false
+}
+
+// isIntegral reports whether the expression has an integer type.
+func isIntegral(pass *lint.Pass, e ast.Expr) bool {
+	t := pass.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// hasCall reports whether the expression's subtree contains any call (calls
+// may observe or mutate state, which makes order visible). Conversions
+// count too: staying conservative keeps the exemption sound.
+func hasCall(e ast.Expr) bool {
+	found := false
+	ast.Inspect(e, func(n ast.Node) bool {
+		if _, ok := n.(*ast.CallExpr); ok {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,12 @@
+package maporder_test
+
+import (
+	"testing"
+
+	"instcmp/internal/lint/linttest"
+	"instcmp/internal/lint/maporder"
+)
+
+func TestMaporder(t *testing.T) {
+	linttest.Run(t, "testdata/fixture", maporder.Analyzer)
+}

@@ -1,0 +1,73 @@
+// Package fixture seeds maporder violations and legal patterns.
+package fixture
+
+import "sort"
+
+func sumScores(scores map[string]float64) float64 {
+	total := 0.0
+	for _, s := range scores { // want "map iteration order"
+		total += s
+	}
+	return total
+}
+
+func sumSorted(scores map[string]float64) float64 {
+	keys := make([]string, 0, len(scores))
+	for k := range scores { // want "map iteration order"
+		keys = append(keys, k) // the append itself runs in map order; the
+	} // analyzer cannot see the later sort, so this builder loop needs a
+	sort.Strings(keys) // justified allow directive (next function).
+	total := 0.0
+	for _, k := range keys { // ranging the sorted slice is clean
+		total += scores[k]
+	}
+	return total
+}
+
+//instlint:allow maporder -- keys slice is fully sorted before any order-sensitive use
+func sumSortedAllowed(scores map[string]float64) float64 {
+	keys := make([]string, 0, len(scores))
+	//instlint:allow maporder -- append order irrelevant: sorted before use below
+	for k := range scores {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	total := 0.0
+	for _, k := range keys {
+		total += scores[k]
+	}
+	return total
+}
+
+func countIntersection(a, b map[string]bool) int {
+	n := 0
+	for v := range a { // exactly-commutative integer counting: exempt
+		if b[v] {
+			n++
+		}
+	}
+	return n
+}
+
+func markAll(src map[int]bool, dst map[int]bool) {
+	for k := range src { // distinct-key inserts keyed by the loop var: exempt
+		dst[k] = true
+	}
+}
+
+func firstKey(m map[int]string) (best int) {
+	for k := range m { // want "map iteration order"
+		if k > best {
+			best = k
+		}
+	}
+	return best
+}
+
+func overSlice(xs []float64) float64 {
+	t := 0.0
+	for _, x := range xs { // slices iterate deterministically: out of scope
+		t += x
+	}
+	return t
+}

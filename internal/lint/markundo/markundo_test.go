@@ -1,0 +1,12 @@
+package markundo_test
+
+import (
+	"testing"
+
+	"instcmp/internal/lint/linttest"
+	"instcmp/internal/lint/markundo"
+)
+
+func TestMarkundo(t *testing.T) {
+	linttest.Run(t, "testdata/fixture", markundo.Analyzer)
+}

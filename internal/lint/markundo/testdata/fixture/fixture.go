@@ -1,0 +1,118 @@
+// Package fixture seeds markundo violations and the engine's legal
+// checkpoint/rollback idioms against a structural double of match.Env.
+package fixture
+
+// Mark is a checkpoint token, mirroring match.Mark.
+type Mark struct{ pairs, trail int }
+
+// Env is a structural double of match.Env: Mark/Undo plus one boolean
+// mutator and one readonly accessor.
+type Env struct {
+	pairs []int
+	trail []int
+}
+
+func (e *Env) Mark() Mark                { return Mark{len(e.pairs), len(e.trail)} }
+func (e *Env) Undo(m Mark)               { e.pairs = e.pairs[:m.pairs]; e.trail = e.trail[:m.trail] }
+func (e *Env) TryAddPair(p int) bool     { e.pairs = append(e.pairs, p); return p >= 0 }
+func (e *Env) Add(p int)                 { e.pairs = append(e.pairs, p) }
+func (e *Env) Pairs() []int              { return e.pairs }
+func (e *Env) WouldAccept(p int) bool    { return p >= 0 }
+func consume(e *Env, m Mark) (int, Mark) { return len(e.pairs), m }
+
+// earlyReturnLeak is the satellite-required seed: the success path returns
+// with the environment still mutated under m.
+func earlyReturnLeak(e *Env, p int) bool {
+	m := e.Mark()
+	if e.TryAddPair(p) {
+		return true // want "return leaks mutations made under mark m"
+	}
+	e.Undo(m)
+	return false
+}
+
+// fallOffEndLeak rolls back on one branch only and falls off the end
+// dirty on the other.
+func fallOffEndLeak(e *Env, p int) {
+	m := e.Mark() // want "mark m is not undone before the function exits"
+	e.Add(p)
+	if p < 0 {
+		e.Undo(m)
+	}
+}
+
+// loopIterationLeak re-marks every iteration but only undoes on one branch.
+func loopIterationLeak(e *Env, ps []int) {
+	for _, p := range ps { // want "mark m does not reach e.Undo on every path"
+		m := e.Mark()
+		if e.TryAddPair(p) {
+			e.Undo(m)
+		} else {
+			e.Add(-p)
+		}
+	}
+}
+
+// conditionalUndo is the engine's core idiom: TryAddPair mutates only when
+// it returns true, so Undo is needed only inside the success branch.
+func conditionalUndo(e *Env, p int) {
+	m := e.Mark()
+	if e.TryAddPair(p) {
+		e.Add(p)
+		e.Undo(m)
+	}
+}
+
+// negatedEarlyReturn is the other half of the idiom: a false TryAddPair
+// leaves the environment untouched, so the early return is clean.
+func negatedEarlyReturn(e *Env, p int) bool {
+	m := e.Mark()
+	if !e.TryAddPair(p) {
+		return false
+	}
+	e.Add(p)
+	e.Undo(m)
+	return true
+}
+
+// deferredUndo covers every exit path with one deferred rollback.
+func deferredUndo(e *Env, ps []int) int {
+	m := e.Mark()
+	defer e.Undo(m)
+	n := 0
+	for _, p := range ps {
+		if !e.TryAddPair(p) {
+			return n
+		}
+		n++
+	}
+	return n
+}
+
+// readonlyOnly never mutates, so the mark can be dropped without Undo.
+func readonlyOnly(e *Env, p int) int {
+	_ = e.Mark()
+	if e.WouldAccept(p) {
+		return len(e.Pairs())
+	}
+	return 0
+}
+
+// escapedMark hands the mark to a helper; responsibility moves with it.
+func escapedMark(e *Env, p int) int {
+	m := e.Mark()
+	e.Add(p)
+	n, _ := consume(e, m)
+	return n
+}
+
+// allowedLeak shows the escape hatch for deliberate state hand-off.
+func allowedLeak(e *Env, p int) bool {
+	m := e.Mark()
+	if e.TryAddPair(p) {
+		//instlint:allow markundo -- caller rolls back via the mark it passed in
+		return true
+	}
+	e.Undo(m)
+	return false
+}

@@ -1,0 +1,66 @@
+// Package suite wires the instlint analyzers to the packages whose
+// invariants they enforce. Scoping lives here, not in the analyzers:
+// each analyzer states a rule; the suite states where the rule is law
+// (DESIGN.md §11 maps each entry to the PR that introduced its invariant).
+package suite
+
+import (
+	"strings"
+
+	"instcmp/internal/lint"
+	"instcmp/internal/lint/atomicfield"
+	"instcmp/internal/lint/ctxpoll"
+	"instcmp/internal/lint/floatscore"
+	"instcmp/internal/lint/maporder"
+	"instcmp/internal/lint/markundo"
+)
+
+// Scoped pairs an analyzer with the import-path suffixes it applies to.
+// A nil Paths means every package.
+type Scoped struct {
+	Analyzer *lint.Analyzer
+	Paths    []string
+}
+
+// Analyzers returns the full suite in reporting order.
+func Analyzers() []Scoped {
+	return []Scoped{
+		// Score comparison discipline: everywhere scores flow.
+		{floatscore.Analyzer, []string{
+			"internal/score", "internal/exact", "internal/signature",
+			"internal/lake", "internal/compat", "internal/match",
+		}},
+		// Determinism hot paths: scoring, search, signatures, compat
+		// closure, lake ranking.
+		{maporder.Analyzer, []string{
+			"internal/score", "internal/exact", "internal/signature",
+			"internal/compat", "internal/lake",
+		}},
+		// Mark/Undo trail discipline: the branch-and-bound search.
+		{markundo.Analyzer, []string{"internal/exact"}},
+		// Cancellation latency: the long-running scan paths.
+		{ctxpoll.Analyzer, []string{
+			"internal/exact", "internal/signature", "internal/lake",
+		}},
+		// Atomicity consistency: module-wide.
+		{atomicfield.Analyzer, nil},
+	}
+}
+
+// For returns the analyzers that apply to a package import path.
+func For(importPath string) []*lint.Analyzer {
+	var out []*lint.Analyzer
+	for _, s := range Analyzers() {
+		if s.Paths == nil {
+			out = append(out, s.Analyzer)
+			continue
+		}
+		for _, p := range s.Paths {
+			if importPath == p || strings.HasSuffix(importPath, "/"+p) {
+				out = append(out, s.Analyzer)
+				break
+			}
+		}
+	}
+	return out
+}

@@ -1,0 +1,40 @@
+// Float comparison helpers: the only sanctioned ways to compare scores.
+//
+// The engine's determinism contract (internal/regress) pins scores to the
+// bit level, so score comparisons must be explicit about their tolerance.
+// Raw == / != on float64 is banned by the floatscore analyzer (DESIGN.md
+// §11): identity checks go through SameScore, which compares bit patterns
+// and therefore distinguishes nothing the goldens don't; tolerance checks
+// go through LessEps with one of the named epsilons below, so every slack
+// in the engine is documented at its declaration rather than scattered as
+// inline literals.
+package score
+
+import "math"
+
+// Epsilons used by the engine, named so each tolerance is declared once.
+const (
+	// PerfectEps is the slack under which a per-tuple score counts as a
+	// perfect (full-arity) match in the signature pass: accumulated
+	// per-column contributions of an exact match can sit a few ulps under
+	// the integer arity.
+	PerfectEps = 1e-9
+
+	// GainEps is the minimum improvement the signature rescue pass must
+	// see before it accepts a swap; anything smaller is float noise and
+	// would make pass output depend on evaluation order.
+	GainEps = 1e-12
+)
+
+// SameScore reports whether two scores are bit-identical. This is the
+// equality the golden tests enforce, so it is also the equality the engine
+// uses: NaNs with the same payload compare equal, +0 and -0 do not.
+func SameScore(a, b float64) bool {
+	return math.Float64bits(a) == math.Float64bits(b)
+}
+
+// LessEps reports whether a is smaller than b by more than eps. It is the
+// sanctioned form of every "a < b - 1e-k" tolerance comparison.
+func LessEps(a, b, eps float64) bool {
+	return a < b-eps
+}

@@ -1,0 +1,68 @@
+package score
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSameScore(t *testing.T) {
+	cases := []struct {
+		name string
+		a, b float64
+		want bool
+	}{
+		{"identical", 0.75, 0.75, true},
+		{"different", 0.75, 0.7500000001, false},
+		{"zero signs differ", 0.0, math.Copysign(0, -1), false},
+		{"same nan payload", math.NaN(), math.NaN(), true},
+		{"inf", math.Inf(1), math.Inf(1), true},
+	}
+	for _, c := range cases {
+		if got := SameScore(c.a, c.b); got != c.want {
+			t.Errorf("%s: SameScore(%v, %v) = %v, want %v", c.name, c.a, c.b, got, c.want)
+		}
+	}
+}
+
+func TestLessEps(t *testing.T) {
+	// LessEps(a, b, eps) must be exactly a < b-eps: the signature pass
+	// goldens depend on the rewritten forms computing the same branch.
+	cases := []struct {
+		name string
+		a, b float64
+		eps  float64
+		want bool
+	}{
+		{"clearly less", 1.0, 2.0, PerfectEps, true},
+		{"equal", 2.0, 2.0, PerfectEps, false},
+		{"within eps", 2.0 - 1e-10, 2.0, PerfectEps, false},
+		{"just outside eps", 2.0 - 1e-8, 2.0, PerfectEps, true},
+		{"gain guard noise", -1e-13, 0, GainEps, false},
+		{"gain guard real loss", -1e-9, 0, GainEps, true},
+	}
+	for _, c := range cases {
+		got := LessEps(c.a, c.b, c.eps)
+		if got != c.want {
+			t.Errorf("%s: LessEps(%v, %v, %v) = %v, want %v", c.name, c.a, c.b, c.eps, got, c.want)
+		}
+		if exact := c.a < c.b-c.eps; got != exact {
+			t.Errorf("%s: LessEps diverges from inline form", c.name)
+		}
+	}
+}
+
+func TestNamedEpsilonsMatchHistoricalInlineValues(t *testing.T) {
+	// The constants replaced inline literals in internal/signature; the
+	// golden scores stay bit-identical only if they are exactly equal.
+	if PerfectEps != 1e-9 {
+		t.Errorf("PerfectEps = %v, want 1e-9", PerfectEps)
+	}
+	if GainEps != 1e-12 {
+		t.Errorf("GainEps = %v, want 1e-12", GainEps)
+	}
+	// The gain-guard rewrite LessEps(dl+dr, 0, GainEps) relies on
+	// 0-GainEps being exactly -GainEps.
+	if 0-GainEps != -1e-12 {
+		t.Error("0-GainEps is not exactly -1e-12")
+	}
+}

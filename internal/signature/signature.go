@@ -302,8 +302,12 @@ type sigMap struct {
 // buildSigMap indexes every row of the coded relation. In the default mode
 // each row is indexed once, under its maximal signature (Alg. 4 line 3). In
 // partial mode each row is indexed under every signature with at least
-// minSig attributes (Sec. 6.3).
-func buildSigMap(crel *model.CodedRelation, order []int, partial bool, minSig int) *sigMap {
+// minSig attributes (Sec. 6.3). Cancellation is polled every
+// cancelPollInterval rows; a canceled build returns the partial index,
+// which is safe because the scan that consumes it polls before its first
+// row and bails out immediately.
+func (s *runner) buildSigMap(crel *model.CodedRelation, order []int) *sigMap {
+	partial, minSig := s.opt.Partial, s.opt.MinPartialSig
 	m := &sigMap{bySig: map[uint64][]int{}}
 	seen := map[uint64]bool{}
 	add := func(ti int, row []model.ValueID, mask uint64) {
@@ -315,6 +319,9 @@ func buildSigMap(crel *model.CodedRelation, order []int, partial bool, minSig in
 		m.bySig[sig] = append(m.bySig[sig], ti)
 	}
 	for ti := 0; ti < crel.Rows(); ti++ {
+		if ti%cancelPollInterval == 0 && s.canceled() {
+			break
+		}
 		row, maxMask := crel.Row(ti), crel.Masks[ti]
 		if !partial {
 			add(ti, row, maxMask)
@@ -354,7 +361,7 @@ func (s *runner) pass(ri int, mapLeft bool) {
 		mapCode, scanCode = scanCode, mapCode
 	}
 	order := attrOrder(s.env.LRels[ri])
-	sm := buildSigMap(mapCode, order, s.opt.Partial, s.opt.MinPartialSig)
+	sm := s.buildSigMap(mapCode, order)
 
 	mapSaturated := s.leftSaturated
 	scanSaturated := s.rightSaturated
@@ -416,7 +423,7 @@ func (s *runner) tryPair(p match.Pair) bool {
 		return false
 	}
 	sc := score.PairScoreP(s.env, p, s.opt.params())
-	if s.perfectOnly && sc < float64(s.env.LRels[p.L.Rel].Arity())-1e-9 {
+	if s.perfectOnly && score.LessEps(sc, float64(s.env.LRels[p.L.Rel].Arity()), score.PerfectEps) {
 		s.env.Undo(m)
 		return false
 	}
@@ -428,7 +435,9 @@ func (s *runner) tryPair(p match.Pair) bool {
 	if kr > 0 {
 		dr = (s.sumR[fr]+sc)/(kr+1) - s.sumR[fr]/kr
 	}
-	if dl+dr < -1e-12 && !s.opt.NoGainGuard {
+	// score.LessEps(x, 0, GainEps) is exactly x < -1e-12: 0-GainEps has an
+	// exact float64 representation, so the guard's branch is unchanged.
+	if score.LessEps(dl+dr, 0, score.GainEps) && !s.opt.NoGainGuard {
 		s.env.Undo(m)
 		return false
 	}
@@ -491,6 +500,11 @@ func (s *runner) rescue(ri int) {
 	seen := map[uint64]bool{}
 	var masks []uint64
 	for _, gl := range lMasks {
+		// The mask product is quadratic in distinct null patterns; bail
+		// out between left masks so a cancel is answered promptly.
+		if s.canceled() {
+			return
+		}
 		for _, gr := range rMasks {
 			m := gl & gr
 			if m != 0 && !seen[m] {
