@@ -284,24 +284,69 @@ func BenchmarkAblationNullAttrs(b *testing.B) {
 }
 
 // BenchmarkSignatureScaling measures raw signature throughput across
-// instance sizes (the scalability story of Tables 2-3's Sig T(s) column).
+// instance sizes (the scalability story of Tables 2-3's Sig T(s) column),
+// sequential and with the parallel pipeline at 4 workers. The score is
+// bit-identical across the workers axis; only wall-clock differs.
 func BenchmarkSignatureScaling(b *testing.B) {
 	for _, rows := range []int{1000, 5000, 20000} {
-		b.Run(fmt.Sprintf("rows-%d", rows), func(b *testing.B) {
-			b.ReportAllocs()
-			base, err := datasets.Generate(datasets.Doct, rows, benchSeed)
-			if err != nil {
-				b.Fatal(err)
-			}
-			noise := experiments.Table2Noise
-			noise.Seed = benchSeed
-			sc := generator.Make(base, noise)
-			b.ResetTimer()
-			for i := 0; i < b.N; i++ {
-				if _, err := signature.Run(sc.Source, sc.Target, match.OneToOne,
-					signature.Options{Lambda: 0.5}); err != nil {
+		for _, workers := range []int{1, 4} {
+			b.Run(fmt.Sprintf("rows-%d/workers-%d", rows, workers), func(b *testing.B) {
+				b.ReportAllocs()
+				base, err := datasets.Generate(datasets.Doct, rows, benchSeed)
+				if err != nil {
 					b.Fatal(err)
 				}
+				noise := experiments.Table2Noise
+				noise.Seed = benchSeed
+				sc := generator.Make(base, noise)
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					if _, err := signature.Run(sc.Source, sc.Target, match.OneToOne,
+						signature.Options{Lambda: 0.5, Workers: workers}); err != nil {
+						b.Fatal(err)
+					}
+				}
+			})
+		}
+	}
+}
+
+// BenchmarkSignatureParallel measures the parallel signature pipeline on the
+// workload it targets: the Git dataset's wide 19-attribute relation, where
+// per-row signature hashing, pattern scans, and completion probes dominate.
+// Subbenchmarks sweep the worker count; every variant is verified to
+// produce the sequential score (worker invariance is the pipeline's
+// contract, see DESIGN.md §12). Speedup over workers-1 is the tentpole
+// metric; on a single-CPU machine the parallel variants only add pipeline
+// overhead, so interpret ratios together with the recorded GOMAXPROCS.
+func BenchmarkSignatureParallel(b *testing.B) {
+	base, err := datasets.Generate(datasets.Git, 2000, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	noise := experiments.Table2Noise
+	noise.Seed = benchSeed
+	sc := generator.Make(base, noise)
+	seq, err := signature.Run(sc.Source, sc.Target, match.OneToOne, signature.Options{Lambda: 0.5, Workers: 1})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers-%d", workers), func(b *testing.B) {
+			b.ReportAllocs()
+			var res *signature.Result
+			for i := 0; i < b.N; i++ {
+				res, err = signature.Run(sc.Source, sc.Target, match.OneToOne,
+					signature.Options{Lambda: 0.5, Workers: workers})
+				if err != nil {
+					b.Fatal(err)
+				}
+			}
+			if res.Score != seq.Score {
+				b.Fatalf("workers=%d: score %v, sequential %v", workers, res.Score, seq.Score)
+			}
+			if workers > 1 && res.Stats.ScanBlocks == 0 {
+				b.Fatalf("workers=%d: parallel scan never engaged", workers)
 			}
 		})
 	}

@@ -1,0 +1,202 @@
+// Command benchjson converts `go test -bench -benchmem` text output into a
+// stable JSON document, so benchmark numbers can be committed (BENCH_PR5.json)
+// and diffed across PRs without scraping free-form text.
+//
+// Usage:
+//
+//	go test -bench=Signature -benchmem ./... | benchjson -o BENCH_PR5.json
+//
+// Each benchmark line ("BenchmarkFoo/sub-4  12  345 ns/op  67 B/op  8
+// allocs/op  1.5 extra-metric") becomes one entry keyed by the benchmark
+// name; repeated runs of the same name (-count > 1) are averaged. Lines that
+// are not benchmark results (PASS, ok, pkg headers) pass through untouched
+// to stderr so the run's verdict stays visible in CI logs.
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// Entry is the aggregated result of one benchmark across its runs.
+type Entry struct {
+	Runs       int     `json:"runs"`
+	Iterations int64   `json:"iterations"`
+	NsPerOp    float64 `json:"ns_per_op"`
+	// BytesPerOp and AllocsPerOp are -1 when -benchmem was not in effect.
+	BytesPerOp  float64 `json:"bytes_per_op"`
+	AllocsPerOp float64 `json:"allocs_per_op"`
+	// Extra holds any custom b.ReportMetric units (e.g. "sig-score").
+	Extra map[string]float64 `json:"extra,omitempty"`
+}
+
+// Doc is the emitted JSON document.
+type Doc struct {
+	// Env records what the numbers mean: nominal parallelism and CPU count
+	// at conversion time (benchmarks inherit the same environment in CI).
+	Env struct {
+		GOOS       string `json:"goos"`
+		GOARCH     string `json:"goarch"`
+		GOMAXPROCS int    `json:"gomaxprocs"`
+		NumCPU     int    `json:"num_cpu"`
+	} `json:"env"`
+	Benchmarks map[string]*Entry `json:"benchmarks"`
+}
+
+func main() {
+	out := flag.String("o", "", "output file (default stdout)")
+	flag.Parse()
+	doc, n, err := parse(os.Stdin, os.Stderr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	if n == 0 {
+		fmt.Fprintln(os.Stderr, "benchjson: no benchmark lines in input")
+		os.Exit(1)
+	}
+	enc, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	enc = append(enc, '\n')
+	if *out == "" {
+		os.Stdout.Write(enc)
+		return
+	}
+	if err := os.WriteFile(*out, enc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "benchjson:", err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "benchjson: wrote %d benchmarks to %s\n", n, *out)
+}
+
+// parse consumes go-test bench output from r, echoing non-benchmark lines to
+// echo, and returns the aggregated document plus the number of distinct
+// benchmark names seen.
+func parse(r io.Reader, echo io.Writer) (*Doc, int, error) {
+	doc := &Doc{Benchmarks: map[string]*Entry{}}
+	doc.Env.GOOS = runtime.GOOS
+	doc.Env.GOARCH = runtime.GOARCH
+	doc.Env.GOMAXPROCS = runtime.GOMAXPROCS(0)
+	doc.Env.NumCPU = runtime.NumCPU()
+
+	sums := map[string]*Entry{}
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 1<<20), 1<<20)
+	for sc.Scan() {
+		line := sc.Text()
+		name, res, ok := parseLine(line)
+		if !ok {
+			fmt.Fprintln(echo, line)
+			continue
+		}
+		e := sums[name]
+		if e == nil {
+			e = &Entry{BytesPerOp: -1, AllocsPerOp: -1}
+			sums[name] = e
+		}
+		e.Runs++
+		e.Iterations += res.Iterations
+		e.NsPerOp += res.NsPerOp
+		if res.BytesPerOp >= 0 {
+			if e.BytesPerOp < 0 {
+				e.BytesPerOp = 0
+			}
+			e.BytesPerOp += res.BytesPerOp
+		}
+		if res.AllocsPerOp >= 0 {
+			if e.AllocsPerOp < 0 {
+				e.AllocsPerOp = 0
+			}
+			e.AllocsPerOp += res.AllocsPerOp
+		}
+		for k, v := range res.Extra {
+			if e.Extra == nil {
+				e.Extra = map[string]float64{}
+			}
+			e.Extra[k] += v
+		}
+	}
+	if err := sc.Err(); err != nil {
+		return nil, 0, err
+	}
+	for name, e := range sums {
+		n := float64(e.Runs)
+		e.NsPerOp /= n
+		if e.BytesPerOp >= 0 {
+			e.BytesPerOp /= n
+		}
+		if e.AllocsPerOp >= 0 {
+			e.AllocsPerOp /= n
+		}
+		for k := range e.Extra {
+			e.Extra[k] /= n
+		}
+		doc.Benchmarks[name] = e
+	}
+	return doc, len(doc.Benchmarks), nil
+}
+
+// parseLine recognizes one benchmark result line. The go tool appends the
+// GOMAXPROCS suffix ("-4") to the name; it is kept as-is so runs at
+// different parallelism stay distinct keys.
+func parseLine(line string) (string, *Entry, bool) {
+	fields := strings.Fields(line)
+	// Minimum shape: Benchmark<Name>-P  N  F ns/op
+	if len(fields) < 4 || !strings.HasPrefix(fields[0], "Benchmark") {
+		return "", nil, false
+	}
+	iters, err := strconv.ParseInt(fields[1], 10, 64)
+	if err != nil {
+		return "", nil, false
+	}
+	e := &Entry{Iterations: iters, BytesPerOp: -1, AllocsPerOp: -1}
+	seenNs := false
+	// Values come in "<number> <unit>" pairs after the iteration count.
+	for i := 2; i+1 < len(fields); i += 2 {
+		v, err := strconv.ParseFloat(fields[i], 64)
+		if err != nil {
+			return "", nil, false
+		}
+		switch unit := fields[i+1]; unit {
+		case "ns/op":
+			e.NsPerOp = v
+			seenNs = true
+		case "B/op":
+			e.BytesPerOp = v
+		case "allocs/op":
+			e.AllocsPerOp = v
+		case "MB/s":
+			// throughput is derivable from ns/op; skip
+		default:
+			if e.Extra == nil {
+				e.Extra = map[string]float64{}
+			}
+			e.Extra[unit] = v
+		}
+	}
+	if !seenNs {
+		return "", nil, false
+	}
+	return fields[0], e, true
+}
+
+// sortedNames is used by tests to iterate deterministically.
+func sortedNames(doc *Doc) []string {
+	names := make([]string, 0, len(doc.Benchmarks))
+	for name := range doc.Benchmarks {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+const canned = `goos: linux
+goarch: amd64
+pkg: instcmp
+cpu: Some CPU @ 2.00GHz
+BenchmarkSignatureParallel/workers-1-4         	      10	 110000000 ns/op	12000000 B/op	   90000 allocs/op
+BenchmarkSignatureParallel/workers-1-4         	      10	 130000000 ns/op	12000000 B/op	   90000 allocs/op
+BenchmarkSignatureParallel/workers-4-4         	      20	  40000000 ns/op	13000000 B/op	   95000 allocs/op
+BenchmarkTable2/doct/500-4                     	      50	  21000000 ns/op	         0.9123 sig-score	         0.001 score-diff
+BenchmarkNoMem-4                               	     100	   5000000 ns/op
+PASS
+ok  	instcmp	12.345s
+`
+
+func TestParse(t *testing.T) {
+	var echoed strings.Builder
+	doc, n, err := parse(strings.NewReader(canned), &echoed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 4 {
+		t.Fatalf("parsed %d benchmarks, want 4: %v", n, sortedNames(doc))
+	}
+
+	w1 := doc.Benchmarks["BenchmarkSignatureParallel/workers-1-4"]
+	if w1 == nil {
+		t.Fatal("workers-1 entry missing")
+	}
+	if w1.Runs != 2 || w1.NsPerOp != 120000000 {
+		t.Errorf("workers-1: runs=%d ns/op=%v, want 2 runs averaged to 1.2e8", w1.Runs, w1.NsPerOp)
+	}
+	if w1.AllocsPerOp != 90000 || w1.BytesPerOp != 12000000 {
+		t.Errorf("workers-1 mem: %v B/op %v allocs/op", w1.BytesPerOp, w1.AllocsPerOp)
+	}
+	if w1.Iterations != 20 {
+		t.Errorf("workers-1 iterations summed to %d, want 20", w1.Iterations)
+	}
+
+	t2 := doc.Benchmarks["BenchmarkTable2/doct/500-4"]
+	if t2 == nil {
+		t.Fatal("table2 entry missing")
+	}
+	if got := t2.Extra["sig-score"]; got != 0.9123 {
+		t.Errorf("sig-score extra metric = %v", got)
+	}
+	if got := t2.Extra["score-diff"]; got != 0.001 {
+		t.Errorf("score-diff extra metric = %v", got)
+	}
+
+	nomem := doc.Benchmarks["BenchmarkNoMem-4"]
+	if nomem == nil {
+		t.Fatal("no-mem entry missing")
+	}
+	if nomem.BytesPerOp != -1 || nomem.AllocsPerOp != -1 {
+		t.Errorf("no -benchmem run should report -1 mem stats, got %v / %v", nomem.BytesPerOp, nomem.AllocsPerOp)
+	}
+
+	// Non-benchmark lines pass through for CI logs.
+	for _, want := range []string{"goos: linux", "PASS", "ok  \tinstcmp"} {
+		if !strings.Contains(echoed.String(), want) {
+			t.Errorf("echo output lost line %q", want)
+		}
+	}
+}
+
+func TestParseLineRejects(t *testing.T) {
+	for _, line := range []string{
+		"PASS",
+		"ok  	instcmp	1.2s",
+		"Benchmark",                       // no fields
+		"BenchmarkX notanumber 5 ns/op",   // bad iteration count
+		"BenchmarkX 10 5 bogus-unit-only", // no ns/op pair
+	} {
+		if _, _, ok := parseLine(line); ok {
+			t.Errorf("parseLine accepted %q", line)
+		}
+	}
+}

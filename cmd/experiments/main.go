@@ -39,6 +39,7 @@ func main() {
 		exactRows = flag.Int("exact-max-rows", 1000, "run the exact algorithm for configurations up to this many rows (0 = never; larger rows report the score by construction, the paper's *)")
 		exactTO   = flag.Duration("exact-timeout", 60*time.Second, "budget per exact run")
 		exactW    = flag.Int("exact-workers", 0, "exact-search workers (0 = GOMAXPROCS)")
+		sigW      = flag.Int("sig-workers", 0, "signature-pipeline workers per comparison (0 = GOMAXPROCS, 1 = sequential; scores are identical either way)")
 		noWarm    = flag.Bool("exact-no-warm-start", false, "disable the exact search's signature warm start (ablation)")
 		stats     = flag.Bool("stats", false, "print cumulative engine counters (expvar) after each experiment")
 	)
@@ -55,6 +56,7 @@ func main() {
 		ExactTimeout:     *exactTO,
 		ExactWorkers:     *exactW,
 		ExactNoWarmStart: *noWarm,
+		SigWorkers:       *sigW,
 	}
 
 	args := flag.Args()

@@ -38,6 +38,7 @@ func run(args []string, out io.Writer) error {
 		algo        = fs.String("algo", "auto", `algorithm: "auto", "signature", or "exact"`)
 		lambda      = fs.Float64("lambda", instcmp.DefaultLambda, "null-to-constant penalty λ (0 ≤ λ < 1)")
 		timeout     = fs.Duration("exact-timeout", time.Minute, "budget for the exact algorithm")
+		sigWorkers  = fs.Int("sig-workers", 0, "signature-pipeline workers (0 = GOMAXPROCS, 1 = sequential; the score is identical either way)")
 		anonNulls   = fs.Bool("anon-nulls", false, "treat empty CSV cells as fresh labeled nulls")
 		align       = fs.Bool("align-schemas", false, "pad missing relations/attributes with fresh nulls instead of failing")
 		partial     = fs.Bool("partial", false, "allow partial matches (tuples may conflict on constants)")
@@ -76,6 +77,7 @@ func run(args []string, out io.Writer) error {
 		ExactTimeout: *timeout,
 		AlignSchemas: *align,
 		Partial:      *partial,
+		SigWorkers:   *sigWorkers,
 	}
 	if *fuzzy {
 		opt.ConstSimilarity = instcmp.Levenshtein

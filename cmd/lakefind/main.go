@@ -40,6 +40,7 @@ func run(args []string, out io.Writer) error {
 		top         = fs.Int("top", 0, "print only the best N candidates (0 = all)")
 		anonNulls   = fs.Bool("anon-nulls", false, "treat empty CSV cells as fresh labeled nulls")
 		workers     = fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent candidate comparisons (ranking order is identical for every value)")
+		sigWorkers  = fs.Int("sig-workers", 1, "signature-pipeline workers inside each comparison (1 = sequential; raise for lakes with few large datasets)")
 		lambda      = fs.Float64("lambda", -1, "null-to-constant penalty λ in [0, 1); -1 = paper default, 0 = nulls matched to constants score nothing")
 		candTimeout = fs.Duration("candidate-timeout", 0, "per-candidate comparison budget; a candidate over budget degrades to its prefilter overlap (0 = none)")
 		timeout     = fs.Duration("timeout", 0, "overall ranking deadline; exceeding it aborts the ranking (0 = none)")
@@ -81,6 +82,7 @@ func run(args []string, out io.Writer) error {
 	opt := lake.Options{
 		MinValueOverlap:     *minOverlap,
 		Workers:             *workers,
+		SigWorkers:          *sigWorkers,
 		PerCandidateTimeout: *candTimeout,
 	}
 	switch {

@@ -133,6 +133,12 @@ type Options struct {
 	// 0 = GOMAXPROCS, 1 = single-threaded. The score is identical for
 	// every worker count; only wall-clock time changes.
 	ExactWorkers int
+	// SigWorkers is the number of parallel pipeline workers inside a
+	// single signature run: 0 = GOMAXPROCS, 1 = single-threaded. Workers
+	// only do read-only work and a single committer applies pairs in
+	// canonical scan order, so scores and stats are bit-identical for
+	// every worker count; only wall-clock time changes.
+	SigWorkers int
 	// Partial enables the Sec. 6.3 partial-mapping variant of the
 	// signature algorithm.
 	Partial bool
@@ -201,6 +207,13 @@ type ComparisonStats struct {
 	ScoreAfterSig float64
 	// SigPhase and CompatPhase record signature wall-clock time per phase.
 	SigPhase, CompatPhase time.Duration
+	// SigWorkers is the signature pipeline's resolved worker count (1 for
+	// a sequential run, 0 when no signature phase ran at all).
+	SigWorkers int
+	// SigParallelBlocks totals the signature pipeline's committed
+	// produce/commit units across phases (scan blocks, rescue tasks,
+	// completion blocks); 0 when the run stayed sequential.
+	SigParallelBlocks int
 
 	// Match-construction counters (both algorithms).
 
@@ -303,6 +316,9 @@ func CompareContext(ctx context.Context, left, right *Instance, opt *Options) (*
 	if opt.ExactWorkers < 0 {
 		return nil, fmt.Errorf("instcmp: ExactWorkers must be non-negative, got %d", opt.ExactWorkers)
 	}
+	if opt.SigWorkers < 0 {
+		return nil, fmt.Errorf("instcmp: SigWorkers must be non-negative, got %d", opt.SigWorkers)
+	}
 	start := time.Now()
 	l, r, rightPrefix, err := normalize(left, right, opt.AlignSchemas)
 	if err != nil {
@@ -357,6 +373,7 @@ func CompareContext(ctx context.Context, left, right *Instance, opt *Options) (*
 			Partial:       opt.Partial,
 			MinPartialSig: opt.MinPartialSig,
 			ConstSim:      opt.ConstSimilarity,
+			Workers:       opt.SigWorkers,
 		})
 		if err != nil {
 			return nil, err
@@ -395,6 +412,8 @@ func (s *ComparisonStats) fillSignature(sig signature.Stats) {
 	s.ScoreAfterSig = sig.ScoreAfterSig
 	s.SigPhase = sig.SigPhase
 	s.CompatPhase = sig.CompatPhase
+	s.SigWorkers = sig.Workers
+	s.SigParallelBlocks = sig.ScanBlocks + sig.RescueTasks + sig.CompleteBlocks
 }
 
 // publish feeds the comparison's aggregates into the package expvars.

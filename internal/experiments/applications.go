@@ -111,7 +111,7 @@ func RunTable6(cfg Config, sizes []int) ([]Table6Row, error) {
 				return nil, err
 			}
 			start := time.Now()
-			sig, err := signature.Run(sol, goldR, match.Functional, signature.Options{Lambda: cfg.lambda()})
+			sig, err := signature.Run(sol, goldR, match.Functional, cfg.sigOpts())
 			if err != nil {
 				return nil, err
 			}
@@ -232,7 +232,7 @@ func RunAblationNullAttrs(cfg Config, rows int) ([]NullAttrsPoint, error) {
 			return nil, err
 		}
 		start := time.Now()
-		sig, err := signature.Run(sc.Source, sc.Target, match.OneToOne, signature.Options{Lambda: cfg.lambda()})
+		sig, err := signature.Run(sc.Source, sc.Target, match.OneToOne, cfg.sigOpts())
 		if err != nil {
 			return nil, err
 		}

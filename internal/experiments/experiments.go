@@ -38,6 +38,10 @@ type Config struct {
 	// ExactNoWarmStart disables the exact search's signature warm start
 	// (ablation; never changes scores, only wall-clock time).
 	ExactNoWarmStart bool
+	// SigWorkers is the signature pipeline's worker count inside each
+	// comparison (0 = GOMAXPROCS, 1 = sequential). Scores are
+	// bit-identical for every value; only wall-clock time changes.
+	SigWorkers int
 }
 
 func (c Config) lambda() float64 {
@@ -45,6 +49,11 @@ func (c Config) lambda() float64 {
 		return score.DefaultLambda
 	}
 	return c.Lambda
+}
+
+// sigOpts bundles the signature-algorithm options every experiment uses.
+func (c Config) sigOpts() signature.Options {
+	return signature.Options{Lambda: c.lambda(), Workers: c.SigWorkers}
 }
 
 func (c Config) exactOpts() exact.Options {
@@ -137,7 +146,7 @@ func scoreRow(cfg Config, name datasets.Name, rows int, noise generator.Noise, m
 	}
 
 	start := time.Now()
-	sig, err := signature.Run(sc.Source, sc.Target, mode, signature.Options{Lambda: cfg.lambda()})
+	sig, err := signature.Run(sc.Source, sc.Target, mode, cfg.sigOpts())
 	if err != nil {
 		return ScoreRow{}, err
 	}
@@ -243,7 +252,7 @@ func RunFigure8(cfg Config, rows int, pcts []float64) ([]Fig8Point, error) {
 			if err != nil {
 				return nil, err
 			}
-			sig, err := signature.Run(sc.Source, sc.Target, match.OneToOne, signature.Options{Lambda: cfg.lambda()})
+			sig, err := signature.Run(sc.Source, sc.Target, match.OneToOne, cfg.sigOpts())
 			if err != nil {
 				return nil, err
 			}
@@ -281,7 +290,7 @@ func RunTable4(cfg Config, rows int) ([]Table4Row, error) {
 		noise := Table3Noise
 		noise.Seed = cfg.Seed
 		sc := generator.Make(base, noise)
-		sig, err := signature.Run(sc.Source, sc.Target, match.ManyToMany, signature.Options{Lambda: cfg.lambda()})
+		sig, err := signature.Run(sc.Source, sc.Target, match.ManyToMany, cfg.sigOpts())
 		if err != nil {
 			return nil, err
 		}

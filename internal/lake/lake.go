@@ -53,6 +53,14 @@ type Options struct {
 	// (results land in per-candidate slots and are sorted with a
 	// deterministic comparator). cmd/lakefind defaults to GOMAXPROCS.
 	Workers int
+	// SigWorkers is the signature pipeline's worker count inside each
+	// candidate comparison (1 = sequential). 0 keeps candidates sequential
+	// too: the ranking already fans out across candidates, and nesting
+	// per-comparison workers on top oversubscribes the machine. Set it
+	// explicitly for lakes with few large datasets, where per-comparison
+	// parallelism is the only parallelism available. Scores are identical
+	// for every value.
+	SigWorkers int
 	// PerCandidateTimeout bounds each candidate's full comparison (0 = no
 	// bound). The comparison problem is NP-hard and even the polynomial
 	// signature algorithm can be slow on pathological candidates, so
@@ -102,6 +110,13 @@ func RankContext(ctx context.Context, example *instcmp.Instance, lake []Candidat
 	if opt.MaxSample == 0 {
 		opt.MaxSample = 1000
 	}
+	// 0 means "sequential inside each comparison" here, unlike
+	// instcmp.Options.SigWorkers where 0 means GOMAXPROCS: candidate-level
+	// parallelism is the default way a ranking saturates the machine.
+	sigWorkers := opt.SigWorkers
+	if sigWorkers == 0 {
+		sigWorkers = 1
+	}
 	exSample := sampleConsts(example, opt.MaxSample)
 	out := make([]Result, len(lake))
 	errs := make([]error, len(lake))
@@ -126,6 +141,7 @@ func RankContext(ctx context.Context, example *instcmp.Instance, lake []Candidat
 			ExplicitZeroLambda: opt.ExplicitZeroLambda,
 			Algorithm:          instcmp.AlgoSignature,
 			AlignSchemas:       true,
+			SigWorkers:         sigWorkers,
 		})
 		if err != nil {
 			errs[i] = err

@@ -106,6 +106,40 @@ func boundedScan(grid *[8][8]int) int {
 	return t
 }
 
+// workerLoopUnpolled seeds the parallel-pipeline shape: a worker goroutine
+// draining a token channel, doing nested per-block row work, and never
+// polling. The FuncLit is analyzed as its own function, so the claim loop
+// itself must carry the diagnostic.
+func workerLoopUnpolled(tokens chan struct{}, blocks [][]int, out chan<- int) {
+	go func() {
+		for range tokens { // want "never polls for cancellation"
+			t := 0
+			for _, v := range blocks[0] {
+				t += v
+			}
+			out <- t
+		}
+	}()
+}
+
+// workerLoopPolled is the compliant variant every produce closure in the
+// signature pipeline follows: the block body polls the context before the
+// nested scan.
+func workerLoopPolled(ctx context.Context, tokens chan struct{}, blocks [][]int, out chan<- int) {
+	go func() {
+		for range tokens {
+			if ctx.Err() != nil {
+				return
+			}
+			t := 0
+			for _, v := range blocks[0] {
+				t += v
+			}
+			out <- t
+		}
+	}()
+}
+
 // goroutineBody: the literal is its own function; its polled loop is fine
 // and the spawning loop is flat.
 func goroutineBody(ctx context.Context, rows [][]int, out chan<- int) {

@@ -64,6 +64,87 @@ func TestSignatureGoldenScores(t *testing.T) {
 	}
 }
 
+// TestSignatureGoldenAcrossWorkers pins the parallel signature pipeline
+// against the same goldens: Workers 1 and 4 must reproduce every score
+// bit-identically (mirroring the exact engine's worker pins). The golden
+// instances sit below the pipeline's row gate, so this guards the
+// option-plumbing and the always-sharded sigMap; the gate-crossing case is
+// TestSignatureLargeInstanceWorkerInvariance below.
+func TestSignatureGoldenAcrossWorkers(t *testing.T) {
+	for _, tc := range goldenSignature {
+		base, err := datasets.Generate(tc.name, tc.rows, tc.seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := tc.noise
+		n.Seed = tc.seed
+		sc := generator.Make(base, n)
+		for _, workers := range []int{1, 4} {
+			res, err := signature.Run(sc.Source, sc.Target, tc.mode, signature.Options{Lambda: 0.5, Workers: workers})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if res.Score != tc.want {
+				t.Errorf("%s rows=%d seed=%d mode=%v workers=%d: score %.17g, golden %.17g",
+					tc.name, tc.rows, tc.seed, tc.mode, workers, res.Score, tc.want)
+			}
+		}
+	}
+}
+
+// TestSignatureLargeInstanceWorkerInvariance crosses the pipeline's
+// parallel gate (minParallelRows) with a 2000-row Table-2-shaped instance
+// and pins SigWorkers 1 and 4 against each other through the public API:
+// score, pair count, and signature stats must agree bit-for-bit, and the
+// parallel run must actually have committed pipeline blocks.
+func TestSignatureLargeInstanceWorkerInvariance(t *testing.T) {
+	base, err := datasets.Generate(datasets.Doct, 2000, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sc := generator.Make(base, generator.Noise{CellPct: 0.05, NullReuse: 0.3, Seed: 1})
+	var ref *instcmp.Result
+	for _, workers := range []int{1, 4} {
+		res, err := instcmp.Compare(sc.Source, sc.Target, &instcmp.Options{
+			Mode:       instcmp.OneToOne,
+			Lambda:     0.5,
+			Algorithm:  instcmp.AlgoSignature,
+			SigWorkers: workers,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Stats.SigWorkers != workers {
+			t.Errorf("SigWorkers=%d: Stats.SigWorkers = %d", workers, res.Stats.SigWorkers)
+		}
+		if workers == 1 {
+			ref = res
+			if res.Stats.SigParallelBlocks != 0 {
+				t.Errorf("sequential run committed %d parallel blocks", res.Stats.SigParallelBlocks)
+			}
+			continue
+		}
+		if res.Stats.SigParallelBlocks == 0 {
+			t.Errorf("SigWorkers=%d: parallel pipeline never engaged", workers)
+		}
+		if res.Score != ref.Score {
+			t.Errorf("SigWorkers=%d: score %.17g, sequential %.17g", workers, res.Score, ref.Score)
+		}
+		if len(res.Pairs) != len(ref.Pairs) {
+			t.Errorf("SigWorkers=%d: %d pairs, sequential %d", workers, len(res.Pairs), len(ref.Pairs))
+		}
+		if res.Stats.SigMatches != ref.Stats.SigMatches ||
+			res.Stats.CompatMatches != ref.Stats.CompatMatches ||
+			res.Stats.ScoreAfterSig != ref.Stats.ScoreAfterSig ||
+			res.Stats.PairAttempts != ref.Stats.PairAttempts ||
+			res.Stats.PairRejects != ref.Stats.PairRejects ||
+			res.Stats.ScoreEvals != ref.Stats.ScoreEvals {
+			t.Errorf("SigWorkers=%d: stats diverge from sequential run:\n  got  %+v\n  want %+v",
+				workers, res.Stats, ref.Stats)
+		}
+	}
+}
+
 // goldenExact holds exhaustive exact-search scores (Doct, 12 rows, CellPct
 // 0.2, 1-to-1, λ = 0.5) from the string-based implementation.
 var goldenExact = []struct {

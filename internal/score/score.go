@@ -11,6 +11,9 @@
 package score
 
 import (
+	"sync"
+	"sync/atomic"
+
 	"instcmp/internal/match"
 	"instcmp/internal/model"
 	"instcmp/internal/unify"
@@ -88,6 +91,14 @@ func PairScore(e *match.Env, p match.Pair, lambda float64) float64 {
 // PairScoreP is PairScore with full scoring parameters.
 func PairScoreP(e *match.Env, pair match.Pair, p Params) float64 {
 	e.Stats.ScoreEvals++
+	return pairScoreRaw(e, pair, p)
+}
+
+// pairScoreRaw is PairScoreP without the stats update: the parallel
+// scoring fan-out counts its evaluations in one batch on the caller, so
+// its workers must not write the shared counter. Everything it reads (the
+// coded rows, the unifier after a Sync) is immutable during scoring.
+func pairScoreRaw(e *match.Env, pair match.Pair, p Params) float64 {
 	lrow, rrow := e.LeftRow(pair.L), e.RightRow(pair.R)
 	s := 0.0
 	for i := range lrow {
@@ -147,10 +158,96 @@ func Match(e *match.Env, lambda float64) float64 {
 
 // MatchP is Match with full scoring parameters.
 func MatchP(e *match.Env, params Params) float64 {
+	return MatchPW(e, params, 1)
+}
+
+// MatchPW is MatchP with a parallel pair-scoring fan-out across workers
+// (<= 1 means sequential). Pair scores are independent of one another —
+// scoring only reads the frozen match and unifier — so workers fill a
+// per-pair score array and the fold runs in the exact sequential
+// accumulation order. The result is bit-identical to MatchP for every
+// worker count.
+func MatchPW(e *match.Env, params Params, workers int) float64 {
 	den := float64(e.Left.Size() + e.Right.Size())
 	if den == 0 {
 		return 1
 	}
-	l, r := TupleScoresP(e, params)
+	l, r := TupleScoresPW(e, params, workers)
 	return (l + r) / den
+}
+
+// minParallelPairs gates parallel tuple scoring: below this many matched
+// pairs the fan-out costs more than the scoring it splits.
+const minParallelPairs = 2048
+
+// scoreBlockPairs is the work unit of the parallel scoring fan-out.
+const scoreBlockPairs = 512
+
+// TupleScoresPW is TupleScoresP with a parallel pair-scoring fan-out
+// across workers (<= 1 means sequential).
+func TupleScoresPW(e *match.Env, params Params, workers int) (left, right float64) {
+	pairs := e.Pairs()
+	if workers <= 1 || len(pairs) < minParallelPairs {
+		return TupleScoresP(e, params)
+	}
+	// Grow the unifier's lazily-sized arrays up front so the workers'
+	// reads never observe a growth (comparisons never intern mid-run, so
+	// this is a no-op in practice).
+	e.U.Sync()
+	scores := make([]float64, len(pairs))
+	nBlocks := (len(pairs) + scoreBlockPairs - 1) / scoreBlockPairs
+	if workers > nBlocks {
+		workers = nBlocks
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				b := int(next.Add(1)) - 1
+				if b >= nBlocks {
+					return
+				}
+				end := min((b+1)*scoreBlockPairs, len(pairs))
+				for i := b * scoreBlockPairs; i < end; i++ {
+					scores[i] = pairScoreRaw(e, pairs[i], params)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	// One batch update instead of the sequential path's per-pair
+	// increments: the final counter is identical.
+	e.Stats.ScoreEvals += int64(len(pairs))
+
+	// Fold in the exact sequential accumulation order (the tuple
+	// mapping's insertion order), mirroring TupleScoresP.
+	lsum := make([]float64, e.NumLeftTuples())
+	rsum := make([]float64, e.NumRightTuples())
+	lcnt := make([]int32, e.NumLeftTuples())
+	rcnt := make([]int32, e.NumRightTuples())
+	var lorder, rorder []int32
+	for i, p := range pairs {
+		s := scores[i]
+		fl, fr := e.FlatL(p.L), e.FlatR(p.R)
+		if lcnt[fl] == 0 {
+			lorder = append(lorder, int32(fl))
+		}
+		lsum[fl] += s
+		lcnt[fl]++
+		if rcnt[fr] == 0 {
+			rorder = append(rorder, int32(fr))
+		}
+		rsum[fr] += s
+		rcnt[fr]++
+	}
+	for _, fl := range lorder {
+		left += lsum[fl] / float64(lcnt[fl])
+	}
+	for _, fr := range rorder {
+		right += rsum[fr] / float64(rcnt[fr])
+	}
+	return left, right
 }

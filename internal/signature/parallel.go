@@ -1,0 +1,467 @@
+// Parallel produce/commit pipeline for the signature algorithm (DESIGN.md
+// §12). The greedy phase is order-sensitive: tryPair's net-gain guard reads
+// insertion-time score sums and live degrees, so the set of accepted pairs
+// depends on the exact order in which candidates are attempted. The
+// pipeline therefore never lets workers touch the match: workers do the
+// read-only work (signature hashing, pattern probing, compatible-candidate
+// generation) for fixed-size blocks of the scan index, and the calling
+// goroutine commits every block's candidates in canonical scan order,
+// re-checking the live conditions (saturation, pair dedup, the guard
+// itself) exactly where the sequential loop checks them.
+//
+// Worker invariance rests on two facts. First, candidate generation is
+// independent of the match state: signature hashes, pattern lists, and
+// CompatibleTuples lists are functions of the coded inputs alone. Second,
+// saturation is monotone during a run — degrees only grow, Undo only
+// occurs inside a failed tryPair — so producing candidates without the
+// sequential loop's saturation early-outs is harmless: the committer's
+// live checks skip exactly the candidates the sequential loop would have
+// skipped, in the same order. The committed pair sequence, the EnvStats
+// counters, and every score are therefore bit-identical for any worker
+// count (pinned by the regress goldens and TestSignatureWorkerInvariance).
+package signature
+
+import (
+	"sort"
+	"sync"
+	"sync/atomic"
+
+	"instcmp/internal/compat"
+	"instcmp/internal/match"
+	"instcmp/internal/model"
+
+	"math/bits"
+)
+
+const (
+	// minParallelRows gates the parallel paths: below this many scan rows
+	// (or unmatched rescue rows) the fan-out overhead dominates the work
+	// being split and the sequential path is used even with Workers > 1.
+	minParallelRows = 512
+	// scanBlockRows is the produce/commit unit of the parallel pass and
+	// completion scans: big enough to amortize channel traffic, small
+	// enough that a handful of blocks are always in flight ahead of the
+	// committer.
+	scanBlockRows = 256
+	// sigBuildBlockRows is the hashing unit of the parallel sigMap build.
+	sigBuildBlockRows = 1024
+)
+
+// runBlocks drives the ordered produce/commit pipeline: produce(state, b)
+// runs on one of workers goroutines (each with its own state from
+// newState), and commit(b, result) runs on the calling goroutine for
+// b = 0, 1, ..., n-1 in ascending order. At most 2×workers blocks are in
+// flight at once, bounding payload memory. Workers claim blocks in
+// ascending order, so the lowest uncommitted block is always being
+// produced and the committer never stalls behind an unclaimed block.
+func runBlocks[S, T any](workers, n int, newState func() S, produce func(S, int) T, commit func(int, T)) {
+	if n <= 0 {
+		return
+	}
+	if workers > n {
+		workers = n
+	}
+	inflight := 2 * workers
+	if inflight > n {
+		inflight = n
+	}
+	results := make([]chan T, n)
+	for i := range results {
+		results[i] = make(chan T, 1)
+	}
+	// tokens carries permission to produce one block; capacity n keeps
+	// the committer's release sends non-blocking. Exactly n tokens are
+	// issued in total, one per block.
+	tokens := make(chan struct{}, n)
+	for i := 0; i < inflight; i++ {
+		tokens <- struct{}{}
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			state := newState()
+			for range tokens {
+				b := int(next.Add(1)) - 1
+				if b >= n {
+					return
+				}
+				results[b] <- produce(state, b)
+			}
+		}()
+	}
+	released := inflight
+	for b := 0; b < n; b++ {
+		commit(b, <-results[b])
+		if released < n {
+			tokens <- struct{}{}
+			released++
+		}
+	}
+	// Every result has been received, so every produce call has finished
+	// and the workers are idle on the token channel; closing it lets them
+	// exit.
+	close(tokens)
+	wg.Wait()
+}
+
+// parallelFor runs fn(i) for i in [0, n) across the runner's workers and
+// waits for all of them (a plain barrier, used where every sub-result is
+// needed before the next step can start).
+func (s *runner) parallelFor(n int, fn func(int)) {
+	workers := s.workers
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
+		for i := 0; i < n; i++ {
+			fn(i)
+		}
+		return
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= n {
+					return
+				}
+				fn(i)
+			}
+		}()
+	}
+	wg.Wait()
+}
+
+// sigItem is one record of the parallel sigMap build: a row's signature
+// hash under one indexed pattern, plus the row position. Shard filling
+// replays items in row order, reproducing the sequential bucket order.
+type sigItem struct {
+	h  uint64
+	ti int32
+}
+
+// buildSigMapParallel is the sharded two-phase form of buildSigMap. Phase 1
+// hashes fixed-size row blocks in parallel, each block recording its
+// (hash, row) items in row order plus the distinct patterns it saw. Phase 2
+// assigns each worker one shard — the hashes whose low bits select it —
+// and replays every block in order into that shard's private map, so
+// bucket contents end up in row order without any cross-worker merge.
+// The pattern list is the sorted union of the per-block pattern sets;
+// sortPatterns is a total order over distinct masks, so the result is
+// independent of discovery order and identical to the sequential build's.
+func (s *runner) buildSigMapParallel(crel *model.CodedRelation, order []int) *sigMap {
+	rows := crel.Rows()
+	nshards := 1
+	for nshards < s.workers {
+		nshards <<= 1
+	}
+	m := &sigMap{shards: make([]map[uint64][]int, nshards), mask: uint64(nshards - 1)}
+	partial, minSig := s.opt.Partial, s.opt.MinPartialSig
+	if minSig < 1 {
+		minSig = 1
+	}
+	nBlocks := (rows + sigBuildBlockRows - 1) / sigBuildBlockRows
+	type buildBlock struct {
+		items []sigItem
+		masks []uint64 // distinct patterns of the block, first-seen order
+	}
+	blocks := make([]buildBlock, nBlocks)
+	ctx := s.ctx
+	s.parallelFor(nBlocks, func(b int) {
+		start := b * sigBuildBlockRows
+		end := min(start+sigBuildBlockRows, rows)
+		bb := buildBlock{}
+		if !partial {
+			bb.items = make([]sigItem, 0, end-start)
+		}
+		seen := map[uint64]bool{}
+		add := func(ti int, row []model.ValueID, mask uint64) {
+			if !seen[mask] {
+				seen[mask] = true
+				bb.masks = append(bb.masks, mask)
+			}
+			bb.items = append(bb.items, sigItem{h: sigHash(row, mask, order), ti: int32(ti)})
+		}
+		for ti := start; ti < end; ti++ {
+			if (ti-start)%cancelPollInterval == 0 && ctx.Err() != nil {
+				// A canceled build may stay partial: the scan that
+				// consumes it polls before its first row and bails.
+				break
+			}
+			row, maxMask := crel.Row(ti), crel.Masks[ti]
+			if !partial {
+				add(ti, row, maxMask)
+				continue
+			}
+			for sub := maxMask; ; sub = (sub - 1) & maxMask {
+				if bits.OnesCount64(sub) >= minSig {
+					add(ti, row, sub)
+				}
+				if sub == 0 {
+					break
+				}
+			}
+		}
+		blocks[b] = bb
+	})
+	s.parallelFor(nshards, func(sh int) {
+		want := uint64(sh)
+		bySig := make(map[uint64][]int, rows/nshards+1)
+		for _, bb := range blocks {
+			if ctx.Err() != nil {
+				break
+			}
+			for _, it := range bb.items {
+				if it.h&m.mask == want {
+					bySig[it.h] = append(bySig[it.h], int(it.ti))
+				}
+			}
+		}
+		m.shards[sh] = bySig
+	})
+	if s.seenMasks == nil {
+		s.seenMasks = map[uint64]bool{}
+	} else {
+		clear(s.seenMasks)
+	}
+	m.patterns = s.patScratch[:0]
+	for b, bb := range blocks {
+		if b%cancelPollInterval == 0 && s.canceled() {
+			break
+		}
+		for _, mask := range bb.masks {
+			if !s.seenMasks[mask] {
+				s.seenMasks[mask] = true
+				m.patterns = append(m.patterns, mask)
+			}
+		}
+	}
+	sortPatterns(m.patterns)
+	s.patScratch = m.patterns
+	return m
+}
+
+// scanBlock is one produced unit of a parallel pass: for each row of the
+// block, the signature-map buckets its eligible patterns hit, flattened in
+// probe order. The bucket slices are the sigMap's own (read-only).
+type scanBlock struct {
+	nbkts   []int32 // per row of the block: how many bucket refs follow
+	buckets [][]int
+}
+
+// passParallel is the produce/commit form of pass's scan loop. Workers
+// probe the (immutable) signature map for each row's eligible patterns;
+// the committer replays the sequential scan loop — map-side saturation,
+// tryPair, the scan-side saturation early-out — over the produced buckets
+// in scan order. Empty buckets are skipped at produce time, which the
+// sequential loop treats as no-ops, so the attempt sequence is unchanged.
+func (s *runner) passParallel(ri int, mapLeft bool, scanCode *model.CodedRelation, sm *sigMap, order []int) {
+	mapSaturated, scanSaturated := s.leftSaturated, s.rightSaturated
+	if !mapLeft {
+		mapSaturated, scanSaturated = s.rightSaturated, s.leftSaturated
+	}
+	mkPair := func(mapIdx, scanIdx int) match.Pair {
+		if mapLeft {
+			return match.Pair{L: match.Ref{Rel: ri, Idx: mapIdx}, R: match.Ref{Rel: ri, Idx: scanIdx}}
+		}
+		return match.Pair{L: match.Ref{Rel: ri, Idx: scanIdx}, R: match.Ref{Rel: ri, Idx: mapIdx}}
+	}
+	rows := scanCode.Rows()
+	nBlocks := (rows + scanBlockRows - 1) / scanBlockRows
+	ctx := s.ctx
+	produce := func(_ struct{}, b int) scanBlock {
+		start := b * scanBlockRows
+		end := min(start+scanBlockRows, rows)
+		bb := scanBlock{nbkts: make([]int32, end-start)}
+		for si := start; si < end; si++ {
+			if (si-start)%cancelPollInterval == 0 && ctx.Err() != nil {
+				// Unproduced rows keep zero bucket counts; the
+				// committer bails on its own poll before using them.
+				break
+			}
+			row, ground := scanCode.Row(si), scanCode.Masks[si]
+			for _, pm := range sm.patterns {
+				if pm&^ground != 0 {
+					continue
+				}
+				if bkt := sm.bucket(sigHash(row, pm, order)); len(bkt) > 0 {
+					bb.buckets = append(bb.buckets, bkt)
+					bb.nbkts[si-start]++
+				}
+			}
+		}
+		return bb
+	}
+	commit := func(b int, bb scanBlock) {
+		s.scanBlocks++
+		base := b * scanBlockRows
+		k := 0
+	scan:
+		for i, n := range bb.nbkts {
+			if i%cancelPollInterval == 0 && s.canceled() {
+				return
+			}
+			si := base + i
+			rowBkts := bb.buckets[k : k+int(n)]
+			k += int(n)
+			for _, bkt := range rowBkts {
+				for _, mi := range bkt {
+					if mapSaturated(match.Ref{Rel: ri, Idx: mi}) {
+						continue
+					}
+					if !s.tryPair(mkPair(mi, si)) {
+						continue
+					}
+					if scanSaturated(match.Ref{Rel: ri, Idx: si}) {
+						continue scan // Alg. 4 "goto next scanned tuple"
+					}
+				}
+			}
+		}
+	}
+	runBlocks(s.workers, nBlocks, func() struct{} { return struct{}{} }, produce, commit)
+}
+
+// rescueTask is one produced unit of a parallel rescue round (one mask):
+// the hash index over the mask-eligible unmatched left rows, sorted by
+// hash (stable, so equal-hash entries stay in leftUn order), plus the
+// hash probes of the mask-eligible unmatched right rows in rightUn order.
+type rescueTask struct {
+	entries []sigEntry
+	probes  []sigEntry // li holds the right row index here
+}
+
+// rescueParallel fans the per-mask hash-join rounds of rescue out over
+// workers. Unlike the sequential round, workers do not filter saturated
+// left rows out of the index — saturation moves while earlier masks
+// commit — so the committer re-checks it at probe time, exactly where the
+// sequential probe loop checks it; extra (saturated) entries are skipped
+// there and change nothing else. The attempted-pair dedup map lives on the
+// committer and is shared across masks in mask order, as sequentially.
+func (s *runner) rescueParallel(ri int, masks []uint64, leftUn, rightUn []int, order []int, attempted map[match.Pair]bool) {
+	lcode, rcode := s.env.LCode[ri], s.env.RCode[ri]
+	ctx := s.ctx
+	produce := func(_ struct{}, mi int) rescueTask {
+		m := masks[mi]
+		var t rescueTask
+		for n, li := range leftUn {
+			if n%cancelPollInterval == 0 && ctx.Err() != nil {
+				return t
+			}
+			if lcode.Masks[li]&m == m {
+				t.entries = append(t.entries, sigEntry{h: sigHash(lcode.Row(li), m, order), li: int32(li)})
+			}
+		}
+		sort.SliceStable(t.entries, func(i, j int) bool { return t.entries[i].h < t.entries[j].h })
+		for n, ci := range rightUn {
+			if n%cancelPollInterval == 0 && ctx.Err() != nil {
+				return t
+			}
+			if rcode.Masks[ci]&m == m {
+				t.probes = append(t.probes, sigEntry{h: sigHash(rcode.Row(ci), m, order), li: int32(ci)})
+			}
+		}
+		return t
+	}
+	commit := func(_ int, t rescueTask) {
+		s.rescueTasks++
+		for n, pr := range t.probes {
+			if n%cancelPollInterval == 0 && s.canceled() {
+				return
+			}
+			ci := int(pr.li)
+			rref := match.Ref{Rel: ri, Idx: ci}
+			if s.rightSaturated(rref) {
+				continue
+			}
+			h := pr.h
+			lo := sort.Search(len(t.entries), func(i int) bool { return t.entries[i].h >= h })
+			for j := lo; j < len(t.entries) && t.entries[j].h == h; j++ {
+				li := int(t.entries[j].li)
+				lref := match.Ref{Rel: ri, Idx: li}
+				if s.leftSaturated(lref) {
+					continue
+				}
+				p := match.Pair{L: lref, R: rref}
+				if attempted[p] {
+					continue
+				}
+				attempted[p] = true
+				if s.tryPair(p) && s.rightSaturated(rref) {
+					break
+				}
+			}
+		}
+	}
+	runBlocks(s.workers, len(masks), func() struct{} { return struct{}{} }, produce, commit)
+}
+
+// candBlock is one produced unit of a parallel completion: for each left
+// row of the block, its CompatibleTuples candidates, flattened.
+type candBlock struct {
+	ncands []int32 // per left row of the block: how many candidates follow
+	cands  []int32
+}
+
+// completeParallel fans completion's candidate generation out over
+// leftIdxs blocks. Candidate lists are fully static — the coded index is
+// built once from a snapshot of the unsaturated right rows, and pairwise
+// compatibility does not depend on the match state — so workers compute
+// them with private Probers and the committer replays the sequential
+// confirmation loop (live right-saturation filter, tryPair, left-saturation
+// early-out) in left order.
+func (s *runner) completeParallel(ri int, leftIdxs []int, ix *compat.CodedIndex) {
+	lcode := s.env.LCode[ri]
+	nBlocks := (len(leftIdxs) + scanBlockRows - 1) / scanBlockRows
+	ctx := s.ctx
+	produce := func(p *compat.Prober, b int) candBlock {
+		start := b * scanBlockRows
+		end := min(start+scanBlockRows, len(leftIdxs))
+		bb := candBlock{ncands: make([]int32, end-start)}
+		for n := start; n < end; n++ {
+			if (n-start)%cancelPollInterval == 0 && ctx.Err() != nil {
+				break
+			}
+			li := leftIdxs[n]
+			cs := p.Candidates(lcode.Row(li), lcode.Masks[li])
+			bb.ncands[n-start] = int32(len(cs))
+			for _, ci := range cs {
+				bb.cands = append(bb.cands, int32(ci))
+			}
+		}
+		return bb
+	}
+	commit := func(b int, bb candBlock) {
+		s.completeBlocks++
+		base := b * scanBlockRows
+		k := 0
+		for i, n := range bb.ncands {
+			if i%cancelPollInterval == 0 && s.canceled() {
+				return
+			}
+			li := leftIdxs[base+i]
+			lref := match.Ref{Rel: ri, Idx: li}
+			row := bb.cands[k : k+int(n)]
+			k += int(n)
+			for _, ci := range row {
+				if s.rightSaturated(match.Ref{Rel: ri, Idx: int(ci)}) {
+					continue
+				}
+				if !s.tryPair(match.Pair{L: lref, R: match.Ref{Rel: ri, Idx: int(ci)}}) {
+					continue
+				}
+				if s.leftSaturated(lref) {
+					break // Alg. 3 "goto next left tuple"
+				}
+			}
+		}
+	}
+	runBlocks(s.workers, nBlocks, ix.NewProber, produce, commit)
+}

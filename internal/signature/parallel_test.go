@@ -1,0 +1,261 @@
+package signature
+
+// Worker-invariance tests for the parallel produce/commit pipeline: the
+// whole point of the design (DESIGN.md §12) is that Workers only changes
+// wall-clock time, never the result. Scenarios are sized above
+// minParallelRows so the parallel paths genuinely engage (asserted via the
+// Stats block counters, so a silently-skipped gate fails the test).
+
+import (
+	"context"
+	"slices"
+	"testing"
+	"time"
+
+	"instcmp/internal/datasets"
+	"instcmp/internal/generator"
+	"instcmp/internal/match"
+)
+
+// TestRunBlocksOrderedCommit pins the pipeline helper itself: every block
+// is produced exactly once, committed exactly once, and committed in
+// ascending block order regardless of worker count.
+func TestRunBlocksOrderedCommit(t *testing.T) {
+	for _, workers := range []int{1, 2, 3, 8} {
+		const n = 97
+		produced := make([]int, n)
+		var committed []int
+		runBlocks(workers, n,
+			func() int { return 0 },
+			func(state int, b int) int {
+				// Skew per-block work so completion order differs from
+				// block order.
+				x := state
+				for i := 0; i < (b%7)*1000; i++ {
+					x += i
+				}
+				produced[b]++
+				return b
+			},
+			func(b int, got int) {
+				if got != b {
+					t.Fatalf("workers=%d: block %d committed result %d", workers, b, got)
+				}
+				committed = append(committed, b)
+			})
+		for b, c := range produced {
+			if c != 1 {
+				t.Errorf("workers=%d: block %d produced %d times", workers, b, c)
+			}
+		}
+		if !slices.IsSorted(committed) || len(committed) != n {
+			t.Errorf("workers=%d: committed %d blocks, order sorted=%v", workers, len(committed), slices.IsSorted(committed))
+		}
+	}
+}
+
+// invarianceScenarios are Table-2- and Table-3-shaped workloads large
+// enough to cross the parallel gates, plus a rescue-heavy and a
+// partial-mode variant.
+var invarianceScenarios = []struct {
+	label string
+	name  datasets.Name
+	rows  int
+	noise generator.Noise
+	mode  match.Mode
+	opt   Options
+	// wantCompleteBlocks / wantRescueTasks assert that the respective
+	// parallel phase actually ran for Workers > 1.
+	wantCompleteBlocks bool
+	wantRescueTasks    bool
+}{
+	{
+		label: "table2-doct",
+		name:  datasets.Doct, rows: 1500,
+		noise: generator.Noise{CellPct: 0.05, NullReuse: 0.3},
+		mode:  match.OneToOne,
+		opt:   Options{Lambda: 0.5},
+	},
+	{
+		label: "table2-git-wide",
+		name:  datasets.Git, rows: 1200,
+		noise: generator.Noise{CellPct: 0.10},
+		mode:  match.OneToOne,
+		opt:   Options{Lambda: 0.5},
+	},
+	{
+		label: "table3-doct",
+		name:  datasets.Doct, rows: 1200,
+		noise: generator.Noise{CellPct: 0.05, NullReuse: 0.3, RandomPct: 0.10, RedundantPct: 0.10},
+		mode:  match.ManyToMany,
+		opt:   Options{Lambda: 0.5},
+		// n-to-m never saturates, so every left row reaches completion.
+		wantCompleteBlocks: true,
+	},
+	{
+		label: "rescue-heavy",
+		name:  datasets.Doct, rows: 1500,
+		noise:              generator.Noise{CellPct: 0.25, NullReuse: 0.3},
+		mode:               match.Functional,
+		opt:                Options{Lambda: 0.5},
+		wantRescueTasks:    true,
+		wantCompleteBlocks: true,
+	},
+	{
+		label: "partial",
+		name:  datasets.Doct, rows: 1200,
+		noise: generator.Noise{CellPct: 0.15, NullReuse: 0.3},
+		mode:  match.OneToOne,
+		opt:   Options{Lambda: 0.5, Partial: true, MinPartialSig: 2},
+	},
+}
+
+// TestSignatureWorkerInvariance runs every scenario at Workers 1, 2, and 8
+// and requires the score, the phase stats, the full pair list, and the
+// EnvStats counters to be identical — not approximately, bit-for-bit.
+func TestSignatureWorkerInvariance(t *testing.T) {
+	for _, sc := range invarianceScenarios {
+		t.Run(sc.label, func(t *testing.T) {
+			base, err := datasets.Generate(sc.name, sc.rows, 42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			noise := sc.noise
+			noise.Seed = 42
+			gen := generator.Make(base, noise)
+
+			type outcome struct {
+				score, afterSig           float64
+				sigMatches, compatMatches int
+				pairs                     []match.Pair
+				envStats                  match.EnvStats
+			}
+			runWith := func(workers int) (outcome, *Result) {
+				opt := sc.opt
+				opt.Workers = workers
+				res, err := Run(gen.Source, gen.Target, sc.mode, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				return outcome{
+					score:         res.Score,
+					afterSig:      res.Stats.ScoreAfterSig,
+					sigMatches:    res.Stats.SigMatches,
+					compatMatches: res.Stats.CompatMatches,
+					pairs:         slices.Clone(res.Env.Pairs()),
+					envStats:      res.Env.Stats,
+				}, res
+			}
+
+			ref, seqRes := runWith(1)
+			if seqRes.Stats.ScanBlocks != 0 || seqRes.Stats.RescueTasks != 0 || seqRes.Stats.CompleteBlocks != 0 {
+				t.Errorf("Workers=1 reported parallel blocks: %+v", seqRes.Stats)
+			}
+			for _, workers := range []int{2, 8} {
+				got, res := runWith(workers)
+				if got.score != ref.score {
+					t.Errorf("Workers=%d: score %.17g, sequential %.17g", workers, got.score, ref.score)
+				}
+				if got.afterSig != ref.afterSig {
+					t.Errorf("Workers=%d: ScoreAfterSig %.17g, sequential %.17g", workers, got.afterSig, ref.afterSig)
+				}
+				if got.sigMatches != ref.sigMatches || got.compatMatches != ref.compatMatches {
+					t.Errorf("Workers=%d: matches sig=%d compat=%d, sequential sig=%d compat=%d",
+						workers, got.sigMatches, got.compatMatches, ref.sigMatches, ref.compatMatches)
+				}
+				if !slices.Equal(got.pairs, ref.pairs) {
+					t.Errorf("Workers=%d: pair list diverges from sequential run", workers)
+				}
+				if got.envStats != ref.envStats {
+					t.Errorf("Workers=%d: EnvStats %+v, sequential %+v", workers, got.envStats, ref.envStats)
+				}
+				if res.Stats.Workers != workers {
+					t.Errorf("Workers=%d: Stats.Workers = %d", workers, res.Stats.Workers)
+				}
+				if res.Stats.ScanBlocks == 0 {
+					t.Errorf("Workers=%d: parallel scan never engaged (ScanBlocks = 0)", workers)
+				}
+				if sc.wantCompleteBlocks && res.Stats.CompleteBlocks == 0 {
+					t.Errorf("Workers=%d: parallel completion never engaged", workers)
+				}
+				if sc.wantRescueTasks && res.Stats.RescueTasks == 0 {
+					t.Errorf("Workers=%d: parallel rescue never engaged", workers)
+				}
+			}
+		})
+	}
+}
+
+// TestSignatureWorkerInvarianceAblations pins invariance under the ablation
+// switches too: the committer replays the sequential decision sequence no
+// matter which greedy refinements are on.
+func TestSignatureWorkerInvarianceAblations(t *testing.T) {
+	base, err := datasets.Generate(datasets.Doct, 1200, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := generator.Make(base, generator.Noise{CellPct: 0.15, NullReuse: 0.3, Seed: 7})
+	for _, abl := range []struct {
+		label string
+		opt   Options
+	}{
+		{"no-rescue", Options{Lambda: 0.5, DisableRescue: true}},
+		{"single-round", Options{Lambda: 0.5, SingleRound: true}},
+		{"no-gain-guard", Options{Lambda: 0.5, NoGainGuard: true}},
+	} {
+		t.Run(abl.label, func(t *testing.T) {
+			var ref *Result
+			for _, workers := range []int{1, 4} {
+				opt := abl.opt
+				opt.Workers = workers
+				res, err := Run(gen.Source, gen.Target, match.Functional, opt)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if ref == nil {
+					ref = res
+					continue
+				}
+				if res.Score != ref.Score || res.Stats.SigMatches != ref.Stats.SigMatches {
+					t.Errorf("Workers=%d: score %.17g matches %d, sequential %.17g / %d",
+						workers, res.Score, res.Stats.SigMatches, ref.Score, ref.Stats.SigMatches)
+				}
+				if !slices.Equal(res.Env.Pairs(), ref.Env.Pairs()) {
+					t.Errorf("Workers=%d: pair list diverges from sequential run", workers)
+				}
+			}
+		})
+	}
+}
+
+// TestParallelRunCancellation: a canceled parallel run terminates promptly,
+// reports StoppedCanceled, and leaves a usable (prefix) match, like the
+// sequential path.
+func TestParallelRunCancellation(t *testing.T) {
+	base, err := datasets.Generate(datasets.Doct, 2000, 42)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gen := generator.Make(base, generator.Noise{CellPct: 0.25, NullReuse: 0.3, Seed: 42})
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	done := make(chan *Result, 1)
+	go func() {
+		res, err := RunContext(ctx, gen.Source, gen.Target, match.Functional, Options{Lambda: 0.5, Workers: 4})
+		if err != nil {
+			t.Error(err)
+		}
+		done <- res
+	}()
+	select {
+	case res := <-done:
+		if res == nil {
+			t.Fatal("run failed")
+		}
+		if res.Stopped != StoppedCanceled {
+			t.Errorf("Stopped = %q, want %q", res.Stopped, StoppedCanceled)
+		}
+	case <-time.After(30 * time.Second):
+		t.Fatal("canceled parallel run did not return")
+	}
+}

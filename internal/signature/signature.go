@@ -28,6 +28,7 @@ import (
 	"expvar"
 	"fmt"
 	"math/bits"
+	"runtime"
 	"sort"
 	"time"
 
@@ -43,7 +44,8 @@ const StoppedCanceled = "canceled"
 
 // vars exports cumulative run counters for long-running processes
 // (expvar key "instcmp.signature"): runs, sig_matches, compat_matches,
-// canceled.
+// canceled, plus the parallel-pipeline unit counters scan_blocks,
+// rescue_tasks, complete_blocks (zero while runs stay sequential).
 var vars = expvar.NewMap("instcmp.signature")
 
 // Options configures a signature-algorithm run.
@@ -62,6 +64,13 @@ type Options struct {
 	// matches with their string similarity instead of 0 (the paper's
 	// Sec. 9 extension). Only meaningful with Partial.
 	ConstSim func(a, b string) float64
+	// Workers is the number of parallel pipeline workers inside a single
+	// run: 0 means GOMAXPROCS, 1 selects the plain sequential path. The
+	// result is bit-identical for every worker count — workers only do
+	// read-only work (signature hashing, pattern probing, candidate
+	// generation) and a single committer applies pairs in canonical scan
+	// order (DESIGN.md §12) — so only wall-clock time changes.
+	Workers int
 
 	// Ablation switches (benchmarks only; the defaults are what the
 	// library ships with):
@@ -95,6 +104,14 @@ type Stats struct {
 	// SigPhase and CompatPhase record wall-clock time per phase.
 	SigPhase    time.Duration
 	CompatPhase time.Duration
+	// Workers is the resolved pipeline worker count of the run (1 means
+	// the sequential path ran).
+	Workers int
+	// ScanBlocks, RescueTasks, and CompleteBlocks count the produce/commit
+	// units the parallel pipeline processed per phase (scan blocks of the
+	// signature passes, per-mask rescue tasks, completion candidate
+	// blocks). All three stay 0 on the sequential path.
+	ScanBlocks, RescueTasks, CompleteBlocks int
 }
 
 // Result is a completed signature run: the environment holds the final
@@ -143,13 +160,18 @@ func RunEnvContext(ctx context.Context, env *match.Env, opt Options) (*Result, e
 	if env.NumPairs() != 0 {
 		return nil, fmt.Errorf("signature: RunEnv requires an empty tuple mapping, got %d pairs", env.NumPairs())
 	}
+	workers := opt.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
 	r := &Result{Env: env}
 	s := &runner{
-		env:  env,
-		ctx:  ctx,
-		opt:  opt,
-		sumL: make([]float64, env.NumLeftTuples()),
-		sumR: make([]float64, env.NumRightTuples()),
+		env:     env,
+		ctx:     ctx,
+		opt:     opt,
+		workers: workers,
+		sumL:    make([]float64, env.NumLeftTuples()),
+		sumR:    make([]float64, env.NumRightTuples()),
 	}
 
 	start := time.Now()
@@ -183,7 +205,7 @@ rounds:
 	}
 	r.Stats.SigMatches = env.NumPairs()
 	r.Stats.SigPhase = time.Since(start)
-	r.Stats.ScoreAfterSig = score.MatchP(env, opt.params())
+	r.Stats.ScoreAfterSig = score.MatchPW(env, opt.params(), workers)
 
 	start = time.Now()
 	if !s.canceled() {
@@ -192,14 +214,21 @@ rounds:
 	r.Stats.CompatMatches = env.NumPairs() - r.Stats.SigMatches
 	r.Stats.CompatPhase = time.Since(start)
 
-	r.Score = score.MatchP(env, opt.params())
+	r.Score = score.MatchPW(env, opt.params(), workers)
 	if s.canceled() {
 		r.Stopped = StoppedCanceled
 		vars.Add("canceled", 1)
 	}
+	r.Stats.Workers = workers
+	r.Stats.ScanBlocks = s.scanBlocks
+	r.Stats.RescueTasks = s.rescueTasks
+	r.Stats.CompleteBlocks = s.completeBlocks
 	vars.Add("runs", 1)
 	vars.Add("sig_matches", int64(r.Stats.SigMatches))
 	vars.Add("compat_matches", int64(r.Stats.CompatMatches))
+	vars.Add("scan_blocks", int64(s.scanBlocks))
+	vars.Add("rescue_tasks", int64(s.rescueTasks))
+	vars.Add("complete_blocks", int64(s.completeBlocks))
 	return r, nil
 }
 
@@ -207,18 +236,44 @@ type runner struct {
 	env *match.Env
 	ctx context.Context
 	opt Options
+	// workers is the resolved pipeline worker count (>= 1); 1 selects the
+	// sequential code paths throughout.
+	workers int
 	// perfectOnly restricts tryPair to pairs scoring the full arity.
 	perfectOnly bool
 	// Running per-tuple pair-score sums (values as of insertion time),
 	// backing the net-gain guard in tryPair. Indexed by flattened tuple
 	// position.
 	sumL, sumR []float64
+	// orders caches each relation's lexicographic attribute order, which
+	// is pure but re-derived by every pass and rescue round otherwise.
+	orders [][]int
 	// rescueEntries is scratch for rescue's per-mask hash index, reused
-	// across masks and relations.
+	// across masks and relations (sequential path only; parallel rescue
+	// builds per-task indexes on the workers).
 	rescueEntries []sigEntry
+	// patScratch and seenMasks are buildSigMap scratch reused across the
+	// four builds per relation (two rounds × two directions).
+	patScratch []uint64
+	seenMasks  map[uint64]bool
+	// scanBlocks, rescueTasks, and completeBlocks count committed parallel
+	// pipeline units, feeding Stats.
+	scanBlocks, rescueTasks, completeBlocks int
 	// stopped latches the first observed context cancellation so later
-	// checks are a plain field read.
+	// checks are a plain field read. It is only ever touched from the
+	// goroutine running the phases; pipeline workers poll ctx directly.
 	stopped bool
+}
+
+// order returns the cached lexicographic attribute order of a relation.
+func (s *runner) order(ri int) []int {
+	if s.orders == nil {
+		s.orders = make([][]int, len(s.env.LRels))
+	}
+	if s.orders[ri] == nil {
+		s.orders[ri] = attrOrder(s.env.LRels[ri])
+	}
+	return s.orders[ri]
 }
 
 // cancelPollInterval bounds how many tuples a scan processes between
@@ -294,9 +349,32 @@ func attrOrder(rel *model.Relation) []int {
 }
 
 // sigMap indexes the rows of one coded relation side by signature hashes.
+// Buckets are split across power-of-two shards keyed by the low hash bits,
+// so the parallel build can fill shards independently; the sequential build
+// uses a single shard. Bucket contents are in row order either way, which
+// the scan's commit order relies on.
 type sigMap struct {
-	bySig    map[uint64][]int
+	shards   []map[uint64][]int
+	mask     uint64   // len(shards) - 1
 	patterns []uint64 // distinct indexed attribute sets, largest first
+}
+
+// bucket returns the rows indexed under the given signature hash.
+func (m *sigMap) bucket(sig uint64) []int {
+	return m.shards[sig&m.mask][sig]
+}
+
+// sortPatterns orders distinct signature masks canonically: larger
+// attribute sets first, ties by value. The order is total over distinct
+// masks, so sequential and parallel builds agree on it.
+func sortPatterns(patterns []uint64) {
+	sort.Slice(patterns, func(i, j int) bool {
+		pi, pj := bits.OnesCount64(patterns[i]), bits.OnesCount64(patterns[j])
+		if pi != pj {
+			return pi > pj
+		}
+		return patterns[i] < patterns[j]
+	})
 }
 
 // buildSigMap indexes every row of the coded relation. In the default mode
@@ -307,16 +385,28 @@ type sigMap struct {
 // which is safe because the scan that consumes it polls before its first
 // row and bails out immediately.
 func (s *runner) buildSigMap(crel *model.CodedRelation, order []int) *sigMap {
+	if s.workers > 1 && crel.Rows() >= minParallelRows {
+		return s.buildSigMapParallel(crel, order)
+	}
 	partial, minSig := s.opt.Partial, s.opt.MinPartialSig
-	m := &sigMap{bySig: map[uint64][]int{}}
-	seen := map[uint64]bool{}
+	// Size the bucket map from the row count (exact in the default mode,
+	// a floor in partial mode) and reuse the pattern scratch: the previous
+	// pass's sigMap is dead by the time the next one is built.
+	bySig := make(map[uint64][]int, crel.Rows())
+	m := &sigMap{shards: []map[uint64][]int{bySig}, patterns: s.patScratch[:0]}
+	if s.seenMasks == nil {
+		s.seenMasks = map[uint64]bool{}
+	} else {
+		clear(s.seenMasks)
+	}
+	seen := s.seenMasks
 	add := func(ti int, row []model.ValueID, mask uint64) {
 		if !seen[mask] {
 			seen[mask] = true
 			m.patterns = append(m.patterns, mask)
 		}
 		sig := sigHash(row, mask, order)
-		m.bySig[sig] = append(m.bySig[sig], ti)
+		bySig[sig] = append(bySig[sig], ti)
 	}
 	for ti := 0; ti < crel.Rows(); ti++ {
 		if ti%cancelPollInterval == 0 && s.canceled() {
@@ -341,13 +431,8 @@ func (s *runner) buildSigMap(crel *model.CodedRelation, order []int) *sigMap {
 			}
 		}
 	}
-	sort.Slice(m.patterns, func(i, j int) bool {
-		pi, pj := bits.OnesCount64(m.patterns[i]), bits.OnesCount64(m.patterns[j])
-		if pi != pj {
-			return pi > pj
-		}
-		return m.patterns[i] < m.patterns[j]
-	})
+	sortPatterns(m.patterns)
+	s.patScratch = m.patterns
 	return m
 }
 
@@ -360,8 +445,12 @@ func (s *runner) pass(ri int, mapLeft bool) {
 	if !mapLeft {
 		mapCode, scanCode = scanCode, mapCode
 	}
-	order := attrOrder(s.env.LRels[ri])
+	order := s.order(ri)
 	sm := s.buildSigMap(mapCode, order)
+	if s.workers > 1 && scanCode.Rows() >= minParallelRows {
+		s.passParallel(ri, mapLeft, scanCode, sm, order)
+		return
+	}
 
 	mapSaturated := s.leftSaturated
 	scanSaturated := s.rightSaturated
@@ -388,7 +477,7 @@ scan:
 				continue // pattern uses an attribute that is null in t
 			}
 			sig := sigHash(row, pm, order)
-			for _, mi := range sm.bySig[sig] {
+			for _, mi := range sm.bucket(sig) {
 				if mapSaturated(match.Ref{Rel: ri, Idx: mi}) {
 					continue
 				}
@@ -461,7 +550,7 @@ const maxRescueMasks = 256
 // the completion step.
 func (s *runner) rescue(ri int) {
 	lcode, rcode := s.env.LCode[ri], s.env.RCode[ri]
-	order := attrOrder(s.env.LRels[ri])
+	order := s.order(ri)
 
 	unmatched := func(crel *model.CodedRelation, left bool) []int {
 		var out []int
@@ -526,6 +615,10 @@ func (s *runner) rescue(ri int) {
 
 	// Tuple pairs share many mask intersections; attempt each pair once.
 	attempted := map[match.Pair]bool{}
+	if s.workers > 1 && len(masks) > 1 && len(leftUn)+len(rightUn) >= minParallelRows {
+		s.rescueParallel(ri, masks, leftUn, rightUn, order, attempted)
+		return
+	}
 	for _, m := range masks {
 		if s.canceled() {
 			return
@@ -583,6 +676,9 @@ func (s *runner) rescue(ri int) {
 // CompatibleTuples, confirmed greedily against the current match.
 func (s *runner) complete() {
 	for ri := range s.env.LRels {
+		if s.canceled() {
+			return
+		}
 		lcode, rcode := s.env.LCode[ri], s.env.RCode[ri]
 		// Injective sides only need their unmatched tuples considered;
 		// non-injective sides stay fully in play (Cases 1-4, Sec. 6.2).
@@ -601,6 +697,10 @@ func (s *runner) complete() {
 			continue
 		}
 		ix := compat.NewCodedIndex(rcode, rightIdxs, s.env.In)
+		if s.workers > 1 && len(leftIdxs) >= minParallelRows {
+			s.completeParallel(ri, leftIdxs, ix)
+			continue
+		}
 		for n, li := range leftIdxs {
 			if n%cancelPollInterval == 0 && s.canceled() {
 				return

@@ -119,6 +119,13 @@ func (u *Unifier) ensure() {
 	}
 }
 
+// Sync eagerly grows the per-ID arrays to cover every interned value, so
+// that subsequent read-only queries (SameClassID, SideCountID, ...) perform
+// no lazy growth. Parallel scoring fans concurrent readers out over one
+// unifier; after a Sync — and with no interning or merging in between —
+// those reads are write-free and race-free.
+func (u *Unifier) Sync() { u.ensure() }
+
 // AddNull registers a labeled null as belonging to the given side. It is
 // idempotent; registering the same null with two different sides panics
 // because it violates the disjoint-nulls precondition.
