@@ -430,6 +430,46 @@ func BenchmarkSignatureDesignAblations(b *testing.B) {
 	}
 }
 
+// BenchmarkPreparedCompare measures the Prepare/Compare split against the
+// one-shot path on the same pair: "oneshot" pays normalization and coding
+// every call, "prepared" pays them once outside the loop — the shape of a
+// resident registry serving repeated comparisons.
+func BenchmarkPreparedCompare(b *testing.B) {
+	base, err := datasets.Generate(datasets.Bike, 2000, benchSeed)
+	if err != nil {
+		b.Fatal(err)
+	}
+	noise := experiments.Table2Noise
+	noise.Seed = benchSeed
+	sc := generator.Make(base, noise)
+	opt := &instcmp.Options{Mode: instcmp.OneToOne, Algorithm: instcmp.AlgoSignature}
+	b.Run("oneshot", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := instcmp.Compare(sc.Source, sc.Target, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("prepared", func(b *testing.B) {
+		b.ReportAllocs()
+		lp, err := instcmp.Prepare(sc.Source)
+		if err != nil {
+			b.Fatal(err)
+		}
+		rp, err := instcmp.Prepare(sc.Target)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := instcmp.ComparePrepared(lp, rp, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+}
+
 // BenchmarkCompareAPI measures the public API end to end, normalization
 // included.
 func BenchmarkCompareAPI(b *testing.B) {

@@ -1,0 +1,73 @@
+// Command instcmp-serve runs the resident-registry comparison service:
+// instances are registered once over HTTP, kept resident in prepared form,
+// and compared many times without per-request normalization or coding.
+//
+//	instcmp-serve -addr :8080 -workers 8
+//
+// Endpoints (JSON; "_:" marks labeled nulls in cells):
+//
+//	GET    /healthz              liveness + instance count
+//	GET    /v1/instances         list registered instances
+//	POST   /v1/instances         register {"name": ..., "instance": {...}}
+//	GET    /v1/instances/{name}  one instance's summary
+//	DELETE /v1/instances/{name}  drop an instance
+//	POST   /v1/compare           {"left","right","options"} -> score
+//	POST   /v1/explain           compare + tuple pairs and value mappings
+//	POST   /v1/rank              {"example","candidates","options"} -> ranking
+//	GET    /debug/vars           expvar counters (instcmp.api/serve/...)
+//
+// Comparison requests honor options.timeout_ms as an anytime deadline: an
+// expired request answers with the best match found so far and "stopped"
+// set, it does not fail.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"instcmp/internal/serve"
+)
+
+func main() {
+	fs := flag.NewFlagSet("instcmp-serve", flag.ExitOnError)
+	var (
+		addr     = fs.String("addr", ":8080", "listen address")
+		workers  = fs.Int("workers", 0, "max concurrently running comparison requests (0 = GOMAXPROCS)")
+		maxBody  = fs.Int64("max-body", 0, "max request body bytes (0 = 64 MiB)")
+		shutdown = fs.Duration("shutdown-grace", 10*time.Second, "graceful shutdown grace period")
+	)
+	fs.Parse(os.Args[1:])
+
+	srv := serve.New(serve.NewRegistry(), serve.Options{
+		Workers:      *workers,
+		MaxBodyBytes: *maxBody,
+	})
+	hs := &http.Server{Addr: *addr, Handler: srv.Handler()}
+
+	errc := make(chan error, 1)
+	go func() { errc <- hs.ListenAndServe() }()
+	log.Printf("instcmp-serve listening on %s", *addr)
+
+	sigc := make(chan os.Signal, 1)
+	signal.Notify(sigc, os.Interrupt, syscall.SIGTERM)
+	select {
+	case err := <-errc:
+		log.Fatalf("instcmp-serve: %v", err)
+	case sig := <-sigc:
+		log.Printf("instcmp-serve: %v, shutting down", sig)
+		ctx, cancel := context.WithTimeout(context.Background(), *shutdown)
+		defer cancel()
+		if err := hs.Shutdown(ctx); err != nil && !errors.Is(err, http.ErrServerClosed) {
+			fmt.Fprintf(os.Stderr, "instcmp-serve: shutdown: %v\n", err)
+			os.Exit(1)
+		}
+	}
+}

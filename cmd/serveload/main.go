@@ -1,0 +1,297 @@
+// Command serveload is the load harness for instcmp-serve: it generates a
+// fleet of instances, registers them, replays a mixed stream of compare and
+// rank requests at a fixed concurrency, and reports latency percentiles and
+// degradation counts.
+//
+// With -addr it targets a running server; without it, it starts the service
+// in-process on a loopback listener and drives it over real HTTP — the form
+// CI uses as a smoke test.
+//
+// A fraction of requests (-degrade-pct) carry an anytime budget (a 1 ms
+// request deadline, a 1-node exact budget, or a 1 ms per-candidate rank
+// budget). Those must come back as degraded 200 responses ("stopped" set,
+// or timed-out rank candidates), not errors: serveload exits non-zero on
+// any request error, and also when degradation was requested but never
+// observed (the anytime contract would be broken).
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"log"
+	"math/rand"
+	"net"
+	"net/http"
+	"os"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"instcmp/internal/serve"
+)
+
+func main() {
+	fs := flag.NewFlagSet("serveload", flag.ExitOnError)
+	var (
+		addr        = fs.String("addr", "", "target server address (empty = start the service in-process)")
+		instances   = fs.Int("instances", 120, "number of generated instances to register")
+		rows        = fs.Int("rows", 40, "rows per generated instance")
+		requests    = fs.Int("requests", 2000, "number of mixed requests to replay")
+		concurrency = fs.Int("concurrency", runtime.GOMAXPROCS(0), "concurrent client connections")
+		rankPct     = fs.Float64("rank-pct", 0.15, "fraction of requests that are rankings")
+		rankCands   = fs.Int("rank-candidates", 8, "candidates per ranking request")
+		degradePct  = fs.Float64("degrade-pct", 0.15, "fraction of requests carrying an anytime budget")
+		seed        = fs.Int64("seed", 1, "generation seed")
+	)
+	fs.Parse(os.Args[1:])
+
+	base := *addr
+	if base == "" {
+		reg := serve.NewRegistry()
+		srv := serve.New(reg, serve.Options{Workers: *concurrency})
+		ln, err := net.Listen("tcp", "127.0.0.1:0")
+		if err != nil {
+			log.Fatalf("serveload: listen: %v", err)
+		}
+		go http.Serve(ln, srv.Handler())
+		base = "http://" + ln.Addr().String()
+		log.Printf("serveload: in-process server on %s (workers=%d)", base, *concurrency)
+	} else if base[0] == ':' {
+		base = "http://127.0.0.1" + base
+	} else {
+		base = "http://" + base
+	}
+	c := &client{base: base, hc: &http.Client{Timeout: 60 * time.Second}}
+
+	rng := rand.New(rand.NewSource(*seed))
+	names := make([]string, *instances)
+	regStart := time.Now()
+	for i := range names {
+		names[i] = fmt.Sprintf("t%03d", i)
+		req := serve.RegisterRequest{Name: names[i], Instance: genInstance(i, *rows, rng)}
+		status, body, err := c.post("/v1/instances", req)
+		if err != nil || status != http.StatusCreated {
+			log.Fatalf("serveload: register %s: status %d err %v body %s", names[i], status, err, body)
+		}
+	}
+	log.Printf("serveload: registered %d instances (%d rows each) in %v",
+		*instances, *rows, time.Since(regStart).Round(time.Millisecond))
+
+	plan := makePlan(names, *requests, *rankPct, *rankCands, *degradePct, rng)
+	var (
+		mu        sync.Mutex
+		lats      []time.Duration
+		stopped   int
+		timedOut  int
+		pruned    int
+		nErrs     int
+		nCompares int
+		nRanks    int
+	)
+	work := make(chan request)
+	var wg sync.WaitGroup
+	loadStart := time.Now()
+	for w := 0; w < *concurrency; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for req := range work {
+				t0 := time.Now()
+				st, to, pr, isRank, err := c.replay(req)
+				lat := time.Since(t0)
+				mu.Lock()
+				lats = append(lats, lat)
+				if err != nil {
+					nErrs++
+					log.Printf("serveload: request error: %v", err)
+				}
+				if isRank {
+					nRanks++
+				} else {
+					nCompares++
+				}
+				if st {
+					stopped++
+				}
+				timedOut += to
+				pruned += pr
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, req := range plan {
+		work <- req
+	}
+	close(work)
+	wg.Wait()
+	elapsed := time.Since(loadStart)
+
+	sort.Slice(lats, func(i, j int) bool { return lats[i] < lats[j] })
+	fmt.Printf("serveload: %d requests (%d compare, %d rank) at concurrency %d in %v (%.1f req/s)\n",
+		len(plan), nCompares, nRanks, *concurrency,
+		elapsed.Round(time.Millisecond), float64(len(plan))/elapsed.Seconds())
+	fmt.Printf("latency: p50 %v  p90 %v  p99 %v  max %v\n",
+		pct(lats, 0.50), pct(lats, 0.90), pct(lats, 0.99), pct(lats, 1.00))
+	fmt.Printf("degraded: %d stopped responses, %d timed-out rank candidates, %d pruned rank candidates\n",
+		stopped, timedOut, pruned)
+	fmt.Printf("errors: %d\n", nErrs)
+	if nErrs > 0 {
+		os.Exit(1)
+	}
+	if *degradePct > 0 && stopped+timedOut == 0 {
+		fmt.Println("serveload: degradation was requested but never observed — anytime contract broken")
+		os.Exit(1)
+	}
+}
+
+// request is one planned load request.
+type request struct {
+	compare *serve.CompareRequest
+	rank    *serve.RankRequest
+}
+
+// makePlan builds a deterministic mixed request stream.
+func makePlan(names []string, n int, rankPct float64, rankCands int, degradePct float64, rng *rand.Rand) []request {
+	plan := make([]request, 0, n)
+	for i := 0; i < n; i++ {
+		degrade := rng.Float64() < degradePct
+		if rng.Float64() < rankPct {
+			req := &serve.RankRequest{
+				Example:         names[rng.Intn(len(names))],
+				MinValueOverlap: 0.05,
+				Workers:         2,
+				Options:         serve.WireOptions{SigWorkers: 1},
+			}
+			for j := 0; j < rankCands; j++ {
+				cand := names[rng.Intn(len(names))]
+				if cand != req.Example {
+					req.Candidates = append(req.Candidates, cand)
+				}
+			}
+			if degrade {
+				req.PerCandidateTimeoutMS = 1
+			}
+			plan = append(plan, request{rank: req})
+			continue
+		}
+		l := rng.Intn(len(names))
+		r := rng.Intn(len(names))
+		if r == l {
+			r = (r + 1) % len(names)
+		}
+		req := &serve.CompareRequest{Left: names[l], Right: names[r]}
+		if degrade {
+			// Alternate between the two anytime budgets: a request
+			// deadline (the engines poll and stop) and an exact node
+			// budget (stops after one search node, deterministically).
+			if rng.Intn(2) == 0 {
+				req.Options.TimeoutMS = 1
+			} else {
+				req.Options.Algorithm = "exact"
+				req.Options.ExactMaxNodes = 1
+			}
+		}
+		plan = append(plan, request{compare: req})
+	}
+	return plan
+}
+
+// genInstance builds one single-relation instance: constants drawn from a
+// pool shared across instances (so rankings have real overlap), nulls from
+// a per-instance namespace (so prepared instances compare on the fast path,
+// without per-request null renaming).
+func genInstance(idx, rows int, rng *rand.Rand) serve.WireInstance {
+	attrs := []string{"a", "b", "c", "d"}
+	rel := serve.WireRelation{Name: "data", Attrs: attrs}
+	pool := rows * 3
+	nulls := 0
+	for r := 0; r < rows; r++ {
+		row := make([]string, len(attrs))
+		for c := range row {
+			switch {
+			case rng.Float64() < 0.12 && nulls > 0 && rng.Float64() < 0.3:
+				row[c] = fmt.Sprintf("_:i%d_n%d", idx, rng.Intn(nulls))
+			case rng.Float64() < 0.12:
+				row[c] = fmt.Sprintf("_:i%d_n%d", idx, nulls)
+				nulls++
+			default:
+				row[c] = fmt.Sprintf("v%d", rng.Intn(pool))
+			}
+		}
+		rel.Tuples = append(rel.Tuples, row)
+	}
+	return serve.WireInstance{Relations: []serve.WireRelation{rel}}
+}
+
+// client is a minimal JSON POST client.
+type client struct {
+	base string
+	hc   *http.Client
+}
+
+func (c *client) post(path string, body any) (int, []byte, error) {
+	buf, err := json.Marshal(body)
+	if err != nil {
+		return 0, nil, err
+	}
+	resp, err := c.hc.Post(c.base+path, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		return 0, nil, err
+	}
+	defer resp.Body.Close()
+	out, err := io.ReadAll(resp.Body)
+	return resp.StatusCode, out, err
+}
+
+// replay sends one planned request and classifies the outcome: stopped
+// response, timed-out/pruned rank candidates, or an error.
+func (c *client) replay(req request) (stopped bool, timedOut, pruned int, isRank bool, err error) {
+	if req.compare != nil {
+		status, body, err := c.post("/v1/compare", req.compare)
+		if err != nil {
+			return false, 0, 0, false, err
+		}
+		if status != http.StatusOK {
+			return false, 0, 0, false, fmt.Errorf("compare %s/%s: status %d: %s",
+				req.compare.Left, req.compare.Right, status, body)
+		}
+		var out serve.CompareResponse
+		if err := json.Unmarshal(body, &out); err != nil {
+			return false, 0, 0, false, fmt.Errorf("compare response: %v", err)
+		}
+		return out.Stopped != "", 0, 0, false, nil
+	}
+	status, body, err := c.post("/v1/rank", req.rank)
+	if err != nil {
+		return false, 0, 0, true, err
+	}
+	if status != http.StatusOK {
+		return false, 0, 0, true, fmt.Errorf("rank %s: status %d: %s", req.rank.Example, status, body)
+	}
+	var out serve.RankResponse
+	if err := json.Unmarshal(body, &out); err != nil {
+		return false, 0, 0, true, fmt.Errorf("rank response: %v", err)
+	}
+	for _, r := range out.Results {
+		if r.TimedOut {
+			timedOut++
+		}
+		if r.Pruned {
+			pruned++
+		}
+	}
+	return false, timedOut, pruned, true, nil
+}
+
+// pct returns the q-quantile of sorted latencies.
+func pct(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	i := int(q * float64(len(sorted)-1))
+	return sorted[i].Round(10 * time.Microsecond)
+}

@@ -155,6 +155,26 @@ type Options struct {
 	AlignSchemas bool
 }
 
+// validate rejects option values outside the paper's (or the engines')
+// domains. It is the single validation gate shared by the one-shot and the
+// prepared comparison paths, so both reject exactly the same inputs with
+// exactly the same errors.
+func (o *Options) validate() error {
+	if o.Lambda < 0 || o.Lambda >= 1 {
+		return fmt.Errorf("instcmp: Lambda must satisfy 0 <= λ < 1, got %v", o.Lambda)
+	}
+	if o.MinPartialSig < 0 {
+		return fmt.Errorf("instcmp: MinPartialSig must be non-negative, got %d", o.MinPartialSig)
+	}
+	if o.ExactWorkers < 0 {
+		return fmt.Errorf("instcmp: ExactWorkers must be non-negative, got %d", o.ExactWorkers)
+	}
+	if o.SigWorkers < 0 {
+		return fmt.Errorf("instcmp: SigWorkers must be non-negative, got %d", o.SigWorkers)
+	}
+	return nil
+}
+
 func (o *Options) lambda() float64 {
 	if o.ExplicitZeroLambda {
 		return 0
@@ -307,93 +327,34 @@ func CompareContext(ctx context.Context, left, right *Instance, opt *Options) (*
 	if opt == nil {
 		opt = &Options{}
 	}
-	if opt.Lambda < 0 || opt.Lambda >= 1 {
-		return nil, fmt.Errorf("instcmp: Lambda must satisfy 0 <= λ < 1, got %v", opt.Lambda)
-	}
-	if opt.MinPartialSig < 0 {
-		return nil, fmt.Errorf("instcmp: MinPartialSig must be non-negative, got %d", opt.MinPartialSig)
-	}
-	if opt.ExactWorkers < 0 {
-		return nil, fmt.Errorf("instcmp: ExactWorkers must be non-negative, got %d", opt.ExactWorkers)
-	}
-	if opt.SigWorkers < 0 {
-		return nil, fmt.Errorf("instcmp: SigWorkers must be non-negative, got %d", opt.SigWorkers)
-	}
-	start := time.Now()
-	l, r, rightPrefix, err := normalize(left, right, opt.AlignSchemas)
-	if err != nil {
+	if err := opt.validate(); err != nil {
 		return nil, err
 	}
-
-	algo := opt.Algorithm
-	if algo == AlgoAuto {
-		// Partial matching is implemented by the signature algorithm
-		// only; otherwise small inputs afford the exact search.
-		if !opt.Partial && l.NumTuples()+r.NumTuples() <= autoExactLimit {
-			algo = AlgoExact
-		} else {
-			algo = AlgoSignature
-		}
-	}
-	if algo == AlgoExact && opt.Partial {
-		return nil, fmt.Errorf("instcmp: the exact algorithm does not support partial matches; use AlgoSignature")
-	}
-
-	res := &Result{Algorithm: algo}
-	res.Stats.NormalizeTime = time.Since(start)
-	res.Stats.WarmScore = -1
-	searchStart := time.Now()
-	var env *match.Env
-	switch algo {
-	case AlgoExact:
-		ex, err := exact.RunContext(ctx, l, r, opt.Mode, exact.Options{
-			Lambda:   opt.lambda(),
-			MaxNodes: opt.ExactMaxNodes,
-			Timeout:  opt.ExactTimeout,
-			Workers:  opt.ExactWorkers,
-		})
-		if err != nil {
+	start := time.Now()
+	var lp, rp *Prepared
+	var err error
+	if opt.AlignSchemas && !model.SameSchema(left, right) {
+		// alignSchemas rebuilds both sides from scratch, so the rebuilt
+		// instances are owned outright — no defensive clone needed.
+		al, ar := alignSchemas(left, right)
+		if lp, err = prepareOwned(al); err != nil {
 			return nil, err
 		}
-		env = ex.Env
-		res.Score = ex.Score
-		res.Exhaustive = ex.Exhaustive
-		res.Stopped = ex.Stopped
-		res.Stats.Nodes = ex.Nodes
-		res.Stats.Prunes = ex.Prunes
-		res.Stats.Improvements = ex.Improvements
-		res.Stats.WarmScore = ex.WarmScore
-		if ex.SigStats != nil {
-			res.Stats.fillSignature(*ex.SigStats)
-		}
-		res.Stats.fillEnv(ex.EnvStats)
-	case AlgoSignature:
-		sig, err := signature.RunContext(ctx, l, r, opt.Mode, signature.Options{
-			Lambda:        opt.lambda(),
-			Partial:       opt.Partial,
-			MinPartialSig: opt.MinPartialSig,
-			ConstSim:      opt.ConstSimilarity,
-			Workers:       opt.SigWorkers,
-		})
-		if err != nil {
+		if rp, err = prepareOwned(ar); err != nil {
 			return nil, err
 		}
-		env = sig.Env
-		res.Score = sig.Score
-		res.Stopped = sig.Stopped
-		res.Stats.fillSignature(sig.Stats)
-		res.Stats.fillEnv(env.Stats)
-	default:
-		return nil, fmt.Errorf("instcmp: unknown algorithm %d", algo)
+	} else {
+		if !model.SameSchema(left, right) {
+			return nil, match.ErrSchemaMismatch
+		}
+		if lp, err = prepareOwned(left.Clone()); err != nil {
+			return nil, err
+		}
+		if rp, err = prepareOwned(right.Clone()); err != nil {
+			return nil, err
+		}
 	}
-	res.Stats.SearchTime = time.Since(searchStart)
-
-	explainStart := time.Now()
-	res.fillExplanation(env, opt.lambda(), left, right, rightPrefix)
-	res.Stats.ExplainTime = time.Since(explainStart)
-	res.Elapsed = time.Since(start)
-	res.publish()
-	return res, nil
+	return comparePrepared(ctx, lp, rp, opt, start)
 }
 
 // fillEnv copies match-construction counters into the unified stats. The

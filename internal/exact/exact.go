@@ -35,6 +35,7 @@ package exact
 import (
 	"context"
 	"expvar"
+	"fmt"
 	"math"
 	"runtime"
 	"sort"
@@ -165,6 +166,28 @@ func RunContext(ctx context.Context, left, right *model.Instance, mode match.Mod
 	env, err := match.NewEnv(left, right, mode)
 	if err != nil {
 		return nil, err
+	}
+	return RunEnvContext(ctx, env, opt)
+}
+
+// RunPreparedContext is RunContext over prepared instances: the environment
+// is assembled from the two sides' resident codings (match.NewEnvPrepared)
+// instead of normalizing and interning from scratch. The search — including
+// its warm start — is bit-identical to RunContext on the same instances.
+func RunPreparedContext(ctx context.Context, left, right *match.PreparedSide, mode match.Mode, opt Options) (*Result, error) {
+	env, err := match.NewEnvPrepared(left, right, mode)
+	if err != nil {
+		return nil, err
+	}
+	return RunEnvContext(ctx, env, opt)
+}
+
+// RunEnvContext executes the exact search on a caller-supplied environment
+// whose tuple mapping must be empty. It is the engine entry point shared by
+// the one-shot and the prepared paths; the returned Result aliases env.
+func RunEnvContext(ctx context.Context, env *match.Env, opt Options) (*Result, error) {
+	if env.NumPairs() != 0 {
+		return nil, fmt.Errorf("exact: RunEnvContext requires an empty tuple mapping, got %d pairs", env.NumPairs())
 	}
 	p := newProblem(ctx, env, opt.Lambda)
 	sh := &shared{maxN: opt.MaxNodes, ctx: ctx}

@@ -14,6 +14,7 @@ package lake
 import (
 	"context"
 	"expvar"
+	"fmt"
 	"sort"
 	"sync"
 	"sync/atomic"
@@ -47,8 +48,9 @@ type Options struct {
 	// default for discovery: candidate tables may merge or split rows).
 	Mode instcmp.Mode
 	// Workers runs full comparisons concurrently (0 or 1 = sequential).
-	// Comparisons are independent — Compare never mutates its inputs, and
-	// alignName clones rather than renames — so candidates parallelize
+	// Comparisons are independent — prepared instances are immutable and
+	// comparing never mutates them, so many comparisons may share the
+	// prepared example at once — and candidates therefore parallelize
 	// trivially, and the ranking is identical for every worker count
 	// (results land in per-candidate slots and are sorted with a
 	// deterministic comparator). cmd/lakefind defaults to GOMAXPROCS.
@@ -95,10 +97,39 @@ type Candidate struct {
 	Instance *instcmp.Instance
 }
 
+// PreparedCandidate names one dataset of the lake held in prepared form, as
+// a long-lived registry (e.g. instcmp-serve) keeps it: the candidate's
+// normalization and coding are paid once at registration, not once per
+// ranking.
+type PreparedCandidate struct {
+	Name     string
+	Prepared *instcmp.Prepared
+}
+
 // Rank scores every candidate against the example and returns them ranked
 // best first (pruned and timed-out candidates last, by overlap).
 func Rank(example *instcmp.Instance, lake []Candidate, opt Options) ([]Result, error) {
 	return RankContext(context.Background(), example, lake, opt)
+}
+
+// candidateSource is the internal shape both entry points rank over: the
+// instance feeds the constant-overlap prefilter, and prepare is invoked only
+// for candidates that survive it (so pruned candidates never pay for
+// coding).
+type candidateSource struct {
+	name    string
+	inst    *instcmp.Instance
+	prepare func() (*instcmp.Prepared, error)
+}
+
+// singleRelName returns the example's relation name when it has exactly one
+// relation — the name single-table candidates are aligned to — and ""
+// otherwise (multi-relation names are meaningful and never rewritten).
+func singleRelName(example *instcmp.Instance) string {
+	if rels := example.Relations(); len(rels) == 1 {
+		return rels[0].Name
+	}
+	return ""
 }
 
 // RankContext is Rank with a cancellation context covering the whole
@@ -106,7 +137,66 @@ func Rank(example *instcmp.Instance, lake []Candidate, opt Options) ([]Result, e
 // Independently, Options.PerCandidateTimeout budgets each candidate's own
 // comparison; exceeding it degrades that one candidate instead of failing
 // the ranking.
+//
+// The example is prepared once (lazily, on the first candidate to survive
+// the prefilter) and that prepared form is reused across all candidates, so
+// the example's normalization and coding cost is paid once per ranking
+// rather than once per comparison.
 func RankContext(ctx context.Context, example *instcmp.Instance, lake []Candidate, opt Options) ([]Result, error) {
+	prepExample := sync.OnceValues(func() (*instcmp.Prepared, error) {
+		return instcmp.Prepare(example)
+	})
+	wantName := singleRelName(example)
+	srcs := make([]candidateSource, len(lake))
+	for i, cand := range lake {
+		srcs[i] = candidateSource{
+			name: cand.Name,
+			inst: cand.Instance,
+			prepare: func() (*instcmp.Prepared, error) {
+				p, err := instcmp.Prepare(cand.Instance)
+				if err != nil || wantName == "" {
+					return p, err
+				}
+				return p.WithRelationName(wantName), nil
+			},
+		}
+	}
+	return rankSources(ctx, example, prepExample, srcs, opt)
+}
+
+// RankPreparedContext is RankContext over a lake of prepared candidates and
+// a prepared example: rankings are identical (same scores, same order, same
+// degradation rules), but no instance is re-normalized or re-coded —
+// single-relation name alignment is a constant-cost view over the
+// candidate's prepared state. This is the entry point for resident
+// registries serving many rankings over the same lake.
+func RankPreparedContext(ctx context.Context, example *instcmp.Prepared, lake []PreparedCandidate, opt Options) ([]Result, error) {
+	if example == nil {
+		return nil, fmt.Errorf("lake: RankPrepared requires a non-nil prepared example")
+	}
+	wantName := singleRelName(example.Instance())
+	srcs := make([]candidateSource, len(lake))
+	for i, cand := range lake {
+		if cand.Prepared == nil {
+			return nil, fmt.Errorf("lake: candidate %q has no prepared instance", cand.Name)
+		}
+		p := cand.Prepared
+		if wantName != "" {
+			p = p.WithRelationName(wantName)
+		}
+		srcs[i] = candidateSource{
+			name:    cand.Name,
+			inst:    p.Instance(),
+			prepare: func() (*instcmp.Prepared, error) { return p, nil },
+		}
+	}
+	prepExample := func() (*instcmp.Prepared, error) { return example, nil }
+	return rankSources(ctx, example.Instance(), prepExample, srcs, opt)
+}
+
+// rankSources runs the ranking proper: prefilter, budgeted full
+// comparisons, deterministic ordering.
+func rankSources(ctx context.Context, example *instcmp.Instance, prepExample func() (*instcmp.Prepared, error), lake []candidateSource, opt Options) ([]Result, error) {
 	if opt.MaxSample == 0 {
 		opt.MaxSample = 1000
 	}
@@ -122,8 +212,8 @@ func RankContext(ctx context.Context, example *instcmp.Instance, lake []Candidat
 	errs := make([]error, len(lake))
 	rank := func(i int) {
 		cand := lake[i]
-		r := Result{Name: cand.Name}
-		r.Overlap = jaccard(exSample, sampleConsts(cand.Instance, opt.MaxSample))
+		r := Result{Name: cand.name}
+		r.Overlap = jaccard(exSample, sampleConsts(cand.inst, opt.MaxSample))
 		if opt.MinValueOverlap > 0 && r.Overlap < opt.MinValueOverlap {
 			r.Pruned = true
 			out[i] = r
@@ -135,7 +225,17 @@ func RankContext(ctx context.Context, example *instcmp.Instance, lake []Candidat
 			cctx, cancel = context.WithTimeout(ctx, opt.PerCandidateTimeout)
 			defer cancel()
 		}
-		res, err := instcmp.CompareContext(cctx, example, alignName(example, cand.Instance), &instcmp.Options{
+		exPrep, err := prepExample()
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		candPrep, err := cand.prepare()
+		if err != nil {
+			errs[i] = err
+			return
+		}
+		res, err := instcmp.ComparePreparedContext(cctx, exPrep, candPrep, &instcmp.Options{
 			Mode:               opt.Mode,
 			Lambda:             opt.Lambda,
 			ExplicitZeroLambda: opt.ExplicitZeroLambda,
@@ -239,21 +339,6 @@ func RankContext(ctx context.Context, example *instcmp.Instance, lake []Candidat
 		}
 	}
 	return out, nil
-}
-
-// alignName maps a single-relation candidate onto the single-relation
-// example's relation name: datasets in a lake name their one table after
-// the file, which carries no semantics. Multi-relation instances are
-// returned unchanged (relation names are meaningful there).
-func alignName(example, cand *instcmp.Instance) *instcmp.Instance {
-	er, cr := example.Relations(), cand.Relations()
-	if len(er) != 1 || len(cr) != 1 || er[0].Name == cr[0].Name {
-		return cand
-	}
-	out := model.NewInstance()
-	rel := out.AddRelation(er[0].Name, cr[0].Attrs...)
-	rel.Tuples = cr[0].Clone().Tuples
-	return out
 }
 
 // sampleConsts collects up to max distinct constants of the instance, in

@@ -1,6 +1,7 @@
 package lake
 
 import (
+	"context"
 	"math/rand"
 	"runtime"
 	"testing"
@@ -176,4 +177,85 @@ func TestRankSchemaMismatchHandledByAlignment(t *testing.T) {
 			}
 		}
 	}
+}
+
+// TestRankPreparedMatchesRankContext pins the resident-registry path: a
+// ranking over pre-prepared instances must be identical (names, scores,
+// overlaps, prune and timeout decisions, order) to the one-shot Rank over
+// the same raw instances.
+func TestRankPreparedMatchesRankContext(t *testing.T) {
+	example, cands := buildLake(t)
+	oneShot, err := Rank(example, cands, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	exPrep, err := instcmp.Prepare(example)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var pcands []PreparedCandidate
+	for _, c := range cands {
+		p, err := instcmp.Prepare(c.Instance)
+		if err != nil {
+			t.Fatal(err)
+		}
+		pcands = append(pcands, PreparedCandidate{Name: c.Name, Prepared: p})
+	}
+	resident, err := RankPreparedContext(context.Background(), exPrep, pcands, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	if len(oneShot) != len(resident) {
+		t.Fatalf("lengths differ: %d vs %d", len(oneShot), len(resident))
+	}
+	for i := range oneShot {
+		a, b := oneShot[i], resident[i]
+		a.Stats, b.Stats = nil, nil
+		if a != b {
+			t.Errorf("rank %d differs: one-shot %+v vs resident %+v", i, a, b)
+		}
+	}
+}
+
+// BenchmarkRankPrepared measures the win of the resident path: "oneshot"
+// pays normalization + interning for the example and every candidate per
+// ranking, "resident" prepares everything once and only runs the matcher.
+func BenchmarkRankPrepared(b *testing.B) {
+	base := datasets.IrisData(100, rand.New(rand.NewSource(4)))
+	var cands []Candidate
+	for i := 0; i < 8; i++ {
+		c := generator.Make(base, generator.Noise{CellPct: 0.05 * float64(i%4), Seed: int64(i)}).Target
+		cands = append(cands, Candidate{Name: string(rune('a' + i)), Instance: c})
+	}
+	b.Run("oneshot", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := Rank(base, cands, Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("resident", func(b *testing.B) {
+		exPrep, err := instcmp.Prepare(base)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var pcands []PreparedCandidate
+		for _, c := range cands {
+			p, err := instcmp.Prepare(c.Instance)
+			if err != nil {
+				b.Fatal(err)
+			}
+			pcands = append(pcands, PreparedCandidate{Name: c.Name, Prepared: p})
+		}
+		b.ReportAllocs()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if _, err := RankPreparedContext(context.Background(), exPrep, pcands, Options{}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
 }

@@ -15,6 +15,21 @@
 // Flat loops are exempt — their latency is one iteration's work. Function
 // literals are analyzed as functions of their own (goroutine bodies run on
 // their own schedule), not as part of the enclosing loop.
+//
+// A second rule guards the other end of the contract: polling is useless if
+// the request's context never reaches the engine. In a function that holds
+// a request-scoped context — a context.Context parameter, or an
+// *http.Request parameter (r.Context()) — the analyzer flags
+//
+//   - context.Background() / context.TODO(), which mint a fresh
+//     uncancelable context while the real one is in scope, and
+//   - calls to a function F whose package also exports FContext and F
+//     itself takes no context: the ctx-less wrapper silently substitutes
+//     context.Background().
+//
+// Ctx-less wrappers themselves (func Run(...) { return RunContext(
+// context.Background(), ...) }) carry no context parameter and stay exempt
+// — that is the one place Background belongs.
 package ctxpoll
 
 import (
@@ -29,8 +44,9 @@ import (
 // Analyzer is the ctxpoll invariant checker.
 var Analyzer = &lint.Analyzer{
 	Name: "ctxpoll",
-	Doc:  "nested scan loops must poll for cancellation (ctx.Err, stop-flag Load, or a polling helper)",
-	Run:  run,
+	Doc: "nested scan loops must poll for cancellation, and in-scope request " +
+		"contexts must reach the engine (no Background/TODO or ctx-less wrappers)",
+	Run: run,
 }
 
 // stopNames are substrings identifying an atomic cancellation flag.
@@ -72,9 +88,11 @@ func run(pass *lint.Pass) ([]lint.Diagnostic, error) {
 			case *ast.FuncDecl:
 				if n.Body != nil {
 					a.checkBody(n.Body)
+					a.checkCtxReach(n.Type, n.Body)
 				}
 			case *ast.FuncLit:
 				a.checkBody(n.Body)
+				a.checkCtxReach(n.Type, n.Body)
 			}
 			return true
 		})
@@ -230,6 +248,111 @@ func (a *analysis) checkLoop(pos token.Pos, parts []ast.Node) {
 	}
 }
 
+// checkCtxReach enforces the reach half of the cancellation contract: a
+// function holding a request-scoped context (a context.Context or
+// *http.Request parameter) must not discard it — neither by minting a fresh
+// context.Background()/TODO() nor by calling a ctx-less wrapper F when the
+// callee's package also provides FContext. Function literals are judged by
+// their own parameter lists, like everywhere else in this analyzer.
+func (a *analysis) checkCtxReach(ft *ast.FuncType, body *ast.BlockStmt) {
+	if body == nil || !a.holdsRequestContext(ft) {
+		return
+	}
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false // its own params decide its own duty
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		if name := a.freshContext(call); name != "" {
+			a.diags = append(a.diags, lint.Diagnostic{
+				Pos: call.Pos(),
+				Message: name + " mints a fresh context while a request-scoped one " +
+					"is in scope; thread the ctx (or r.Context()) through instead",
+			})
+			return true
+		}
+		if fn, sib := a.ctxlessWrapper(call); fn != nil {
+			a.diags = append(a.diags, lint.Diagnostic{
+				Pos: call.Pos(),
+				Message: "call to " + fn.Name() + " drops the in-scope context; " +
+					"call " + sib.Name() + " with the request context instead",
+			})
+		}
+		return true
+	})
+}
+
+// holdsRequestContext reports whether the function's parameters carry a
+// request-scoped context: a context.Context, or an *http.Request (whose
+// Context method yields one).
+func (a *analysis) holdsRequestContext(ft *ast.FuncType) bool {
+	if ft.Params == nil {
+		return false
+	}
+	for _, field := range ft.Params.List {
+		t := a.pass.TypeOf(field.Type)
+		if isContext(t) || isHTTPRequest(t) {
+			return true
+		}
+	}
+	return false
+}
+
+// freshContext returns "context.Background" or "context.TODO" when the call
+// mints a fresh context, else "".
+func (a *analysis) freshContext(call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Background" && sel.Sel.Name != "TODO") {
+		return ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return ""
+	}
+	pkg, ok := a.pass.ObjectOf(id).(*types.PkgName)
+	if !ok || pkg.Imported().Path() != "context" {
+		return ""
+	}
+	return "context." + sel.Sel.Name
+}
+
+// ctxlessWrapper resolves a call to a package-level function F that takes
+// no context itself while its package also provides FContext — the
+// one-shot wrapper shape whose body substitutes context.Background(). It
+// returns (F, FContext), or nils.
+func (a *analysis) ctxlessWrapper(call *ast.CallExpr) (fn, sibling *types.Func) {
+	var id *ast.Ident
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		id = fun
+	case *ast.SelectorExpr:
+		id = fun.Sel
+	default:
+		return nil, nil
+	}
+	f, ok := a.pass.ObjectOf(id).(*types.Func)
+	if !ok || f.Pkg() == nil {
+		return nil, nil
+	}
+	sig, ok := f.Type().(*types.Signature)
+	if !ok || sig.Recv() != nil {
+		return nil, nil
+	}
+	for i := 0; i < sig.Params().Len(); i++ {
+		if isContext(sig.Params().At(i).Type()) {
+			return nil, nil // already context-aware
+		}
+	}
+	sib, ok := f.Pkg().Scope().Lookup(f.Name() + "Context").(*types.Func)
+	if !ok {
+		return nil, nil
+	}
+	return f, sib
+}
+
 // isContext reports whether t is context.Context.
 func isContext(t types.Type) bool {
 	if t == nil {
@@ -241,6 +364,20 @@ func isContext(t types.Type) bool {
 	}
 	obj := named.Obj()
 	return obj.Name() == "Context" && obj.Pkg() != nil && obj.Pkg().Path() == "context"
+}
+
+// isHTTPRequest reports whether t is *net/http.Request.
+func isHTTPRequest(t types.Type) bool {
+	ptr, ok := t.(*types.Pointer)
+	if !ok {
+		return false
+	}
+	named, ok := ptr.Elem().(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	return obj.Name() == "Request" && obj.Pkg() != nil && obj.Pkg().Path() == "net/http"
 }
 
 // lastName extracts the final identifier of an expression like s.stop.

@@ -4,6 +4,7 @@ package fixture
 
 import (
 	"context"
+	"net/http"
 	"sync/atomic"
 )
 
@@ -156,4 +157,70 @@ func goroutineBody(ctx context.Context, rows [][]int, out chan<- int) {
 			out <- t
 		}()
 	}
+}
+
+// process/processContext is the engine's one-shot wrapper shape. process
+// itself holds no context, so its Background() is the legal idiom — the
+// reach rule must stay quiet here.
+func processContext(ctx context.Context, rows [][]int) int {
+	total := 0
+	for _, row := range rows {
+		if ctx.Err() != nil {
+			return total
+		}
+		total += inner(row)
+	}
+	return total
+}
+
+func process(rows [][]int) int {
+	return processContext(context.Background(), rows)
+}
+
+// reachFresh holds a ctx and mints a fresh one anyway: the cancel signal
+// dies here.
+func reachFresh(ctx context.Context, rows [][]int) int {
+	return processContext(context.Background(), rows) // want "mints a fresh context"
+}
+
+// reachTODO: context.TODO is the same bug wearing a different name.
+func reachTODO(ctx context.Context, rows [][]int) int {
+	return processContext(context.TODO(), rows) // want "mints a fresh context"
+}
+
+// reachWrapper drops its ctx by calling the ctx-less wrapper of a
+// context-aware sibling.
+func reachWrapper(ctx context.Context, rows [][]int) int {
+	return process(rows) // want "drops the in-scope context"
+}
+
+// reachHandler: an *http.Request parameter counts as an in-scope context —
+// r.Context() is one call away.
+func reachHandler(w http.ResponseWriter, r *http.Request, rows [][]int) int {
+	return process(rows) // want "drops the in-scope context"
+}
+
+// reachHandlerOK threads the request context like the serve handlers do.
+func reachHandlerOK(w http.ResponseWriter, r *http.Request, rows [][]int) int {
+	return processContext(r.Context(), rows)
+}
+
+// reachThreaded passes its ctx on: nothing to flag (WithTimeout derives,
+// it does not discard).
+func reachThreaded(ctx context.Context, rows [][]int) int {
+	ctx, cancel := context.WithTimeout(ctx, 0)
+	defer cancel()
+	return processContext(ctx, rows)
+}
+
+// reachLiteral: a context-less closure inside a ctx-bearing function is
+// judged by its own (empty) parameter list.
+func reachLiteral(ctx context.Context, rows [][]int) func() int {
+	return func() int { return process(rows) }
+}
+
+// reachAllowed carries the justified escape hatch.
+func reachAllowed(ctx context.Context, rows [][]int) int {
+	//instlint:allow ctxpoll -- detached audit pass, must outlive the request
+	return processContext(context.Background(), rows)
 }

@@ -1,0 +1,155 @@
+// Package guardedmap enforces the registry's locking invariant (DESIGN.md
+// §13): in a struct that pairs a sync.Mutex/RWMutex with map fields, the
+// mutex is there to guard the maps — every function that touches such a map
+// field must take the mutex first. A bare map access races with concurrent
+// writers, and unlike a torn counter the failure mode is a runtime throw
+// ("concurrent map read and map write") that kills the whole process.
+//
+// The check is positional within one function body: a map-field access is
+// guarded when a Lock or RLock call on one of the owning struct's mutex
+// fields appears earlier in the same body. Functions whose name ends in
+// "Locked" are exempt — that suffix is the repo's convention for "caller
+// holds the lock". Struct literals (the make-the-map constructor shape) do
+// not select the field and are naturally out of scope.
+package guardedmap
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+
+	"instcmp/internal/lint"
+)
+
+// Analyzer is the guardedmap invariant checker.
+var Analyzer = &lint.Analyzer{
+	Name: "guardedmap",
+	Doc:  "map fields of a mutex-bearing struct must be accessed with the mutex held",
+	Run:  run,
+}
+
+func run(pass *lint.Pass) ([]lint.Diagnostic, error) {
+	// Pass 1: find structs that pair a mutex with maps; record which field
+	// vars are the guarded maps and which are their mutexes.
+	guarded := map[*types.Var]bool{}
+	mutexes := map[*types.Var]bool{}
+	scopes := []*types.Scope{pass.Pkg.Scope()}
+	for len(scopes) > 0 {
+		sc := scopes[len(scopes)-1]
+		scopes = scopes[:len(scopes)-1]
+		for i := 0; i < sc.NumChildren(); i++ {
+			scopes = append(scopes, sc.Child(i))
+		}
+		for _, name := range sc.Names() {
+			tn, ok := sc.Lookup(name).(*types.TypeName)
+			if !ok {
+				continue
+			}
+			st, ok := tn.Type().Underlying().(*types.Struct)
+			if !ok {
+				continue
+			}
+			var mus, maps []*types.Var
+			for i := 0; i < st.NumFields(); i++ {
+				f := st.Field(i)
+				if isMutex(f.Type()) {
+					mus = append(mus, f)
+				}
+				if _, ok := f.Type().Underlying().(*types.Map); ok {
+					maps = append(maps, f)
+				}
+			}
+			if len(mus) == 0 || len(maps) == 0 {
+				continue
+			}
+			for _, f := range mus {
+				mutexes[f] = true
+			}
+			for _, f := range maps {
+				guarded[f] = true
+			}
+		}
+	}
+	if len(guarded) == 0 {
+		return nil, nil
+	}
+	// Pass 2: inside each function body, map-field accesses must follow a
+	// Lock/RLock on one of the struct's mutexes.
+	var diags []lint.Diagnostic
+	check := func(name string, body *ast.BlockStmt) {
+		if body == nil || strings.HasSuffix(name, "Locked") {
+			return
+		}
+		firstLock := token.NoPos
+		ast.Inspect(body, func(n ast.Node) bool {
+			if call, ok := n.(*ast.CallExpr); ok && isLockCall(pass, call, mutexes) {
+				if !firstLock.IsValid() || call.Pos() < firstLock {
+					firstLock = call.Pos()
+				}
+			}
+			return true
+		})
+		ast.Inspect(body, func(n ast.Node) bool {
+			sel, ok := n.(*ast.SelectorExpr)
+			if !ok {
+				return true
+			}
+			field, ok := pass.ObjectOf(sel.Sel).(*types.Var)
+			if !ok || !guarded[field] {
+				return true
+			}
+			if firstLock.IsValid() && firstLock < sel.Pos() {
+				return true
+			}
+			diags = append(diags, lint.Diagnostic{
+				Pos: sel.Pos(),
+				Message: "map field " + field.Name() + " is guarded by the struct's mutex; " +
+					"take Lock/RLock before touching it (or name the helper ...Locked)",
+			})
+			return true
+		})
+	}
+	for _, f := range pass.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if fd, ok := n.(*ast.FuncDecl); ok {
+				check(fd.Name.Name, fd.Body)
+				return false // literals inside share the decl's lock scope
+			}
+			return true
+		})
+	}
+	return diags, nil
+}
+
+// isMutex reports whether t is sync.Mutex or sync.RWMutex (possibly via a
+// pointer).
+func isMutex(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil || obj.Pkg().Path() != "sync" {
+		return false
+	}
+	return obj.Name() == "Mutex" || obj.Name() == "RWMutex"
+}
+
+// isLockCall reports whether the call is x.mu.Lock() or x.mu.RLock() on one
+// of the tracked mutex fields.
+func isLockCall(pass *lint.Pass, call *ast.CallExpr, mutexes map[*types.Var]bool) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || (sel.Sel.Name != "Lock" && sel.Sel.Name != "RLock") {
+		return false
+	}
+	inner, ok := ast.Unparen(sel.X).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	field, ok := pass.ObjectOf(inner.Sel).(*types.Var)
+	return ok && mutexes[field]
+}

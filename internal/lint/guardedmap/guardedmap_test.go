@@ -1,0 +1,12 @@
+package guardedmap_test
+
+import (
+	"testing"
+
+	"instcmp/internal/lint/guardedmap"
+	"instcmp/internal/lint/linttest"
+)
+
+func TestGuardedmap(t *testing.T) {
+	linttest.Run(t, "testdata/fixture", guardedmap.Analyzer)
+}

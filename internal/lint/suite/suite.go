@@ -11,6 +11,7 @@ import (
 	"instcmp/internal/lint/atomicfield"
 	"instcmp/internal/lint/ctxpoll"
 	"instcmp/internal/lint/floatscore"
+	"instcmp/internal/lint/guardedmap"
 	"instcmp/internal/lint/maporder"
 	"instcmp/internal/lint/markundo"
 )
@@ -38,12 +39,16 @@ func Analyzers() []Scoped {
 		}},
 		// Mark/Undo trail discipline: the branch-and-bound search.
 		{markundo.Analyzer, []string{"internal/exact"}},
-		// Cancellation latency: the long-running scan paths.
+		// Cancellation latency and context reach: the long-running scan
+		// paths, plus the server (a request's ctx must reach the engine).
 		{ctxpoll.Analyzer, []string{
 			"internal/exact", "internal/signature", "internal/lake",
+			"internal/serve",
 		}},
 		// Atomicity consistency: module-wide.
 		{atomicfield.Analyzer, nil},
+		// Mutex-guarded maps (the serve registry's invariant): module-wide.
+		{guardedmap.Analyzer, nil},
 	}
 }
 

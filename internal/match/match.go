@@ -100,6 +100,12 @@ type Env struct {
 	leftImg  [][]Ref // flat left index -> matched right refs
 	rightImg [][]Ref // flat right index -> matched left refs
 
+	// attrOrders holds each relation's lexicographic attribute order
+	// (model.AttrOrder), filled eagerly by both constructors. Environments
+	// built from prepared sides alias the PreparedSide's slice, so the
+	// contents are shared read-only state and must never be mutated.
+	attrOrders [][]int
+
 	// Stats counts the match-construction work done through this
 	// environment (see instcmp.ComparisonStats). Counters are plain ints:
 	// an Env is single-goroutine state, and parallel engines aggregate the
@@ -156,19 +162,17 @@ func NewEnv(left, right *model.Instance, mode Mode) (*Env, error) {
 		}
 	}
 	// Register nulls in sorted order so union-find representatives (and
-	// therefore reported value mappings) are deterministic. Interning
-	// follows the same order: nulls first (sorted, left then right), then
-	// constants in scan order during coding.
+	// therefore reported value mappings) are deterministic. Interning goes
+	// by side block — left sorted nulls, left constants in scan order, then
+	// the right side the same way — so that one side's coding is a pure
+	// function of that instance alone. That per-side layout is what lets
+	// NewEnvPrepared adopt a PreparedSide's self-coding verbatim for the
+	// left block and remap the right block through a translation table,
+	// while staying bit-identical to this constructor.
 	in := model.NewInterner()
 	u := unify.NewInterned(in)
 	for _, v := range left.SortedVars() {
 		u.AddNull(v, unify.Left)
-	}
-	for _, v := range right.SortedVars() {
-		if u.Registered(v) {
-			return nil, fmt.Errorf("%w: %v", ErrSharedNulls, v)
-		}
-		u.AddNull(v, unify.Right)
 	}
 	e := &Env{
 		Left:  left,
@@ -179,22 +183,36 @@ func NewEnv(left, right *model.Instance, mode Mode) (*Env, error) {
 		U:     u,
 		Mode:  mode,
 	}
-	code := func(rels []*model.Relation) (codes []*model.CodedRelation, base []int, n int) {
-		codes = make([]*model.CodedRelation, len(rels))
-		base = make([]int, len(rels))
+	code := func(rels []*model.Relation) []*model.CodedRelation {
+		codes := make([]*model.CodedRelation, len(rels))
 		for i, rel := range rels {
 			codes[i] = in.Code(rel)
-			base[i] = n
-			n += len(rel.Tuples)
 		}
-		return codes, base, n
+		return codes
 	}
-	e.LCode, e.lBase, e.nL = code(e.LRels)
-	e.RCode, e.rBase, e.nR = code(e.RRels)
+	e.LCode = code(e.LRels)
+	for _, v := range right.SortedVars() {
+		if u.Registered(v) {
+			return nil, fmt.Errorf("%w: %v", ErrSharedNulls, v)
+		}
+		u.AddNull(v, unify.Right)
+	}
+	e.RCode = code(e.RRels)
+	e.lBase, e.nL = flatBases(e.LRels)
+	e.rBase, e.nR = flatBases(e.RRels)
+	e.attrOrders = make([][]int, len(e.LRels))
+	for i, rel := range e.LRels {
+		e.attrOrders[i] = model.AttrOrder(rel)
+	}
 	e.leftImg = make([][]Ref, e.nL)
 	e.rightImg = make([][]Ref, e.nR)
 	return e, nil
 }
+
+// AttrOrder returns the cached lexicographic attribute order of a relation
+// (left and right agree: comparisons require equal schemas). The slice is
+// shared read-only state; callers must not mutate it.
+func (e *Env) AttrOrder(ri int) []int { return e.attrOrders[ri] }
 
 // Clone returns an independent copy of the environment: the immutable
 // comparison data (instances, coded relations, interner, flat index bases)

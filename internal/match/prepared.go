@@ -1,0 +1,163 @@
+package match
+
+// This file implements the Prepare half of the engine's two-phase
+// Prepare/Compare API. A PreparedSide is everything about ONE instance that
+// a comparison needs and that does not depend on the partner: the relation
+// list, the sorted null inventory, the instance's self-coded integer rows,
+// and the signature algorithm's per-relation attribute orders. Preparing is
+// done once per instance; NewEnvPrepared then assembles a comparison
+// environment from two prepared sides without re-normalizing or re-interning
+// either one.
+//
+// The joint ID space of a comparison is built by block: the left side's
+// self-coding is adopted verbatim (its interner is cloned, one map copy over
+// the distinct values), and the right side's distinct values are interned
+// into the clone in self-ID order, yielding a translation table that remaps
+// the right side's coded rows with a flat int32 rewrite. Because NewEnv
+// interns in exactly the same order — left sorted nulls, left constants in
+// scan order, right sorted nulls, right constants in scan order — the joint
+// interner, the coded rows, and therefore every downstream decision are
+// bit-identical between the one-shot and the prepared path (pinned by the
+// prepared-equivalence suite and the regress goldens).
+
+import (
+	"fmt"
+
+	"instcmp/internal/model"
+	"instcmp/internal/unify"
+)
+
+// PreparedSide is the partner-independent half of a comparison over one
+// instance. It is immutable after PrepareSide returns and may be shared by
+// any number of concurrent comparisons: environments clone the interner and
+// remap (or alias) the coded relations, never mutating the prepared state.
+type PreparedSide struct {
+	// Inst is the prepared instance. The preparing caller owns it and must
+	// not mutate it while the PreparedSide is in use.
+	Inst *model.Instance
+	// Rels is Inst's relation list in schema order.
+	Rels []*model.Relation
+	// In is the self-interner: this instance's values coded alone, sorted
+	// nulls first (IDs 0..len(Vars)-1), then constants in scan order.
+	In *model.Interner
+	// Code holds the self-coded image of each relation, aligned with Rels.
+	Code []*model.CodedRelation
+	// Vars is the instance's labeled nulls in sorted order; Vars[i] has
+	// self-ID i.
+	Vars []model.Value
+	// Orders caches each relation's lexicographic attribute order, the pure
+	// schema-derived state the signature algorithm re-derived per run before
+	// the Prepare/Compare split.
+	Orders [][]int
+
+	nTuples int
+}
+
+// PrepareSide validates and codes one instance for reuse across
+// comparisons. It does not clone: the caller promises not to mutate inst
+// while the prepared side is live (instcmp.Prepare snapshots first).
+func PrepareSide(inst *model.Instance) (*PreparedSide, error) {
+	rels := inst.Relations()
+	for _, rel := range rels {
+		if rel.Arity() > 64 {
+			return nil, fmt.Errorf("%w: %s has %d", ErrTooManyAttributes, rel.Name, rel.Arity())
+		}
+	}
+	p := &PreparedSide{
+		Inst:   inst,
+		Rels:   rels,
+		In:     model.NewInterner(),
+		Vars:   inst.SortedVars(),
+		Code:   make([]*model.CodedRelation, len(rels)),
+		Orders: make([][]int, len(rels)),
+	}
+	for _, v := range p.Vars {
+		p.In.Intern(v)
+	}
+	for i, rel := range rels {
+		p.Code[i] = p.In.Code(rel)
+		p.Orders[i] = model.AttrOrder(rel)
+		p.nTuples += len(rel.Tuples)
+	}
+	return p, nil
+}
+
+// NumTuples returns the total tuple count of the prepared instance.
+func (p *PreparedSide) NumTuples() int { return p.nTuples }
+
+// WithRelations returns a view of the prepared side over a renamed schema:
+// the coded rows, interner, null inventory, and attribute orders are shared
+// (none of them depend on relation names), only the instance and relation
+// list differ. The caller must pass relations with identical attribute
+// lists in identical order; lake ranking uses this to align a
+// single-relation candidate's table name with the example's without
+// re-preparing the candidate.
+func (p *PreparedSide) WithRelations(inst *model.Instance) *PreparedSide {
+	v := *p
+	v.Inst = inst
+	v.Rels = inst.Relations()
+	return &v
+}
+
+// NewEnvPrepared assembles a comparison environment from two prepared
+// sides, reusing their codings: the left side's coded relations are aliased
+// as-is, the right side's are remapped into the joint ID space through one
+// translation table. The result is indistinguishable from
+// NewEnv(l.Inst, r.Inst, mode) — same interner contents, same coded rows,
+// same unifier registrations — at a fraction of the cost.
+func NewEnvPrepared(l, r *PreparedSide, mode Mode) (*Env, error) {
+	if !model.SameSchema(l.Inst, r.Inst) {
+		return nil, ErrSchemaMismatch
+	}
+	for _, v := range r.Vars {
+		if _, shared := l.In.Lookup(v); shared {
+			return nil, fmt.Errorf("%w: %v", ErrSharedNulls, v)
+		}
+	}
+	in := l.In.Clone()
+	u := unify.NewInterned(in)
+	for i := range l.Vars {
+		u.AddNullID(model.ValueID(i), unify.Left)
+	}
+	// Extend the joint space with the right side's values in self-ID order
+	// (sorted nulls first, then constants in scan order — the same
+	// introduction sequence NewEnv produces), recording the translation.
+	table := make([]model.ValueID, r.In.Len())
+	for id := range table {
+		table[id] = in.Intern(r.In.ValueOf(model.ValueID(id)))
+	}
+	for i := range r.Vars {
+		u.AddNullID(table[i], unify.Right)
+	}
+	e := &Env{
+		Left:       l.Inst,
+		Right:      r.Inst,
+		LRels:      l.Rels,
+		RRels:      r.Rels,
+		LCode:      l.Code,
+		In:         in,
+		U:          u,
+		Mode:       mode,
+		attrOrders: l.Orders,
+	}
+	e.RCode = make([]*model.CodedRelation, len(r.Code))
+	for i, c := range r.Code {
+		e.RCode[i] = c.Remap(table)
+	}
+	e.lBase, e.nL = flatBases(e.LRels)
+	e.rBase, e.nR = flatBases(e.RRels)
+	e.leftImg = make([][]Ref, e.nL)
+	e.rightImg = make([][]Ref, e.nR)
+	return e, nil
+}
+
+// flatBases computes the flattened per-side index bases: flat index of
+// (rel, idx) is base[rel] + idx.
+func flatBases(rels []*model.Relation) (base []int, n int) {
+	base = make([]int, len(rels))
+	for i, rel := range rels {
+		base[i] = n
+		n += len(rel.Tuples)
+	}
+	return base, n
+}

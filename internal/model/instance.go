@@ -270,6 +270,25 @@ func (in *Instance) AddNullColumn(rel, attr, nullPrefix string) (*Instance, erro
 	return c, nil
 }
 
+// WithRelationName returns a view of a single-relation instance whose
+// relation carries the given name: the attribute list and tuple slice are
+// shared with the receiver, not copied, so the view costs two small
+// allocations regardless of instance size. The receiver is returned
+// unchanged when it is not single-relation or already carries the name.
+// While a view is live, both instances must be treated as read-only.
+func (in *Instance) WithRelationName(name string) *Instance {
+	if len(in.rels) != 1 || in.rels[0].Name == name {
+		return in
+	}
+	r := &Relation{Name: name, Attrs: in.rels[0].Attrs, Tuples: in.rels[0].Tuples}
+	return &Instance{
+		rels:   []*Relation{r},
+		byName: map[string]*Relation{name: r},
+		nextID: in.nextID,
+		nulls:  in.nulls,
+	}
+}
+
 // SameSchema reports whether two instances have identical relation names,
 // attribute lists, and relation order.
 func SameSchema(a, b *Instance) bool {

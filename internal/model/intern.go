@@ -51,6 +51,25 @@ func (in *Interner) Lookup(v Value) (ValueID, bool) {
 	return id, ok
 }
 
+// Clone returns an independent copy of the interner: the copy can keep
+// interning new values without affecting the original. Cloning costs one map
+// copy over the distinct values — typically far fewer than the cell count —
+// which is what lets a prepared instance's coding be extended into a joint
+// per-comparison ID space without re-interning the instance cell by cell.
+// Clone never mutates the receiver, so any number of goroutines may clone a
+// quiescent interner concurrently.
+func (in *Interner) Clone() *Interner {
+	c := &Interner{
+		ids:  make(map[Value]ValueID, len(in.ids)),
+		vals: append([]Value(nil), in.vals...),
+		null: append([]bool(nil), in.null...),
+	}
+	for v, id := range in.ids {
+		c.ids[v] = id
+	}
+	return c
+}
+
 // ValueOf decodes an ID back to its Value.
 func (in *Interner) ValueOf(id ValueID) Value { return in.vals[id] }
 
@@ -96,6 +115,24 @@ func (in *Interner) Code(rel *Relation) *CodedRelation {
 		c.Masks[ti] = mask
 	}
 	return c
+}
+
+// Remap returns a copy of the relation recoded through an ID translation
+// table: every cell id becomes table[id]. Ground masks are a property of the
+// values, not their codes, so the Masks slice is shared with the receiver.
+// Remapping is how a prepared instance's self-coded rows are moved into a
+// comparison's joint ID space: a flat int32 rewrite, with no map lookups and
+// no Value hashing.
+func (c *CodedRelation) Remap(table []ValueID) *CodedRelation {
+	out := &CodedRelation{
+		Arity: c.Arity,
+		Masks: c.Masks,
+		vals:  make([]ValueID, len(c.vals)),
+	}
+	for i, id := range c.vals {
+		out.vals[i] = table[id]
+	}
+	return out
 }
 
 // Rows returns the number of coded rows.

@@ -1,0 +1,137 @@
+package serve
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+
+	"instcmp"
+	"instcmp/internal/lake"
+)
+
+// Entry is one resident instance: the prepared comparison state plus
+// metadata. Entries are immutable once registered; the registry hands out
+// the same *Entry to every request, and any number of comparisons may read
+// the prepared state concurrently.
+type Entry struct {
+	Name       string
+	Prepared   *instcmp.Prepared
+	Registered time.Time
+}
+
+// Info summarizes the entry for listings.
+func (e *Entry) Info() InstanceInfo {
+	st := e.Prepared.Instance().Stats()
+	return InstanceInfo{
+		Name:       e.Name,
+		Relations:  st.Relations,
+		Tuples:     st.Tuples,
+		Nulls:      st.DistinctNulls,
+		Registered: e.Registered,
+	}
+}
+
+// Registry keeps instances resident in prepared form, so the cost of
+// normalizing and coding an instance is paid once at registration and every
+// later compare/rank/explain request starts from the prepared state.
+//
+// The map is guarded by an RWMutex: reads (Get, List, Snapshot) take the
+// read lock and can proceed concurrently with running comparisons, which
+// hold no lock at all — they operate on immutable *Entry values obtained
+// under the read lock. Register prepares OUTSIDE the lock (preparation is
+// the expensive step) and only the map insert is serialized.
+type Registry struct {
+	mu      sync.RWMutex
+	entries map[string]*Entry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: map[string]*Entry{}}
+}
+
+// Register prepares the instance and stores it under the name. Registering
+// an existing name is an error (delete first to replace): silently swapping
+// an instance under a running comparison would make results unattributable.
+func (g *Registry) Register(name string, in *instcmp.Instance) (*Entry, error) {
+	if name == "" {
+		return nil, fmt.Errorf("serve: instance name must be non-empty")
+	}
+	prep, err := instcmp.Prepare(in)
+	if err != nil {
+		return nil, err
+	}
+	e := &Entry{Name: name, Prepared: prep, Registered: time.Now()}
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if _, dup := g.entries[name]; dup {
+		return nil, fmt.Errorf("serve: instance %q already registered", name)
+	}
+	g.entries[name] = e
+	return e, nil
+}
+
+// Get returns the entry registered under the name, or false.
+func (g *Registry) Get(name string) (*Entry, bool) {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	e, ok := g.entries[name]
+	return e, ok
+}
+
+// Delete removes the entry registered under the name and reports whether it
+// existed. Comparisons already running against the entry finish normally:
+// they hold the immutable *Entry, not the registry slot.
+func (g *Registry) Delete(name string) bool {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	_, ok := g.entries[name]
+	delete(g.entries, name)
+	return ok
+}
+
+// Len returns the number of registered instances.
+func (g *Registry) Len() int {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	return len(g.entries)
+}
+
+// List returns every entry sorted by name.
+func (g *Registry) List() []*Entry {
+	g.mu.RLock()
+	defer g.mu.RUnlock()
+	out := make([]*Entry, 0, len(g.entries))
+	for _, e := range g.entries {
+		out = append(out, e)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}
+
+// Candidates resolves a rank request's candidate list to prepared lake
+// candidates: the named entries, or — with no names — every registered
+// instance except the example, in name order (a deterministic default, so
+// equal requests rank equal lakes).
+func (g *Registry) Candidates(example string, names []string) ([]lake.PreparedCandidate, error) {
+	if len(names) == 0 {
+		var cands []lake.PreparedCandidate
+		for _, e := range g.List() {
+			if e.Name == example {
+				continue
+			}
+			cands = append(cands, lake.PreparedCandidate{Name: e.Name, Prepared: e.Prepared})
+		}
+		return cands, nil
+	}
+	cands := make([]lake.PreparedCandidate, len(names))
+	for i, name := range names {
+		e, ok := g.Get(name)
+		if !ok {
+			return nil, fmt.Errorf("serve: unknown instance %q", name)
+		}
+		cands[i] = lake.PreparedCandidate{Name: e.Name, Prepared: e.Prepared}
+	}
+	return cands, nil
+}

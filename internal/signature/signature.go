@@ -145,6 +145,18 @@ func RunContext(ctx context.Context, left, right *model.Instance, mode match.Mod
 	return RunEnvContext(ctx, env, opt)
 }
 
+// RunPreparedContext is RunContext over prepared instances: the environment
+// is assembled from the two sides' resident codings (match.NewEnvPrepared)
+// instead of normalizing and interning from scratch. Scores, stats, and
+// stop behavior are bit-identical to RunContext on the same instances.
+func RunPreparedContext(ctx context.Context, left, right *match.PreparedSide, mode match.Mode, opt Options) (*Result, error) {
+	env, err := match.NewEnvPrepared(left, right, mode)
+	if err != nil {
+		return nil, err
+	}
+	return RunEnvContext(ctx, env, opt)
+}
+
 // RunEnv executes the signature algorithm on a caller-prepared environment
 // whose tuple mapping must be empty. It exists so other engines can reuse
 // the algorithm as a bound provider without re-interning the instances: the
@@ -245,9 +257,6 @@ type runner struct {
 	// backing the net-gain guard in tryPair. Indexed by flattened tuple
 	// position.
 	sumL, sumR []float64
-	// orders caches each relation's lexicographic attribute order, which
-	// is pure but re-derived by every pass and rescue round otherwise.
-	orders [][]int
 	// rescueEntries is scratch for rescue's per-mask hash index, reused
 	// across masks and relations (sequential path only; parallel rescue
 	// builds per-task indexes on the workers).
@@ -265,16 +274,11 @@ type runner struct {
 	stopped bool
 }
 
-// order returns the cached lexicographic attribute order of a relation.
-func (s *runner) order(ri int) []int {
-	if s.orders == nil {
-		s.orders = make([][]int, len(s.env.LRels))
-	}
-	if s.orders[ri] == nil {
-		s.orders[ri] = attrOrder(s.env.LRels[ri])
-	}
-	return s.orders[ri]
-}
+// order returns the environment's cached lexicographic attribute order of a
+// relation. Environments built from prepared instances carry the order
+// precomputed at Prepare time, so repeated runs against the same prepared
+// side never re-derive it.
+func (s *runner) order(ri int) []int { return s.env.AttrOrder(ri) }
 
 // cancelPollInterval bounds how many tuples a scan processes between
 // context polls: lakes are dominated by single-relation instances, so
@@ -334,18 +338,6 @@ func sigHash(row []model.ValueID, mask uint64, attrOrder []int) uint64 {
 		h *= fnvPrime
 	}
 	return h
-}
-
-// attrOrder returns attribute positions sorted lexicographically by name.
-func attrOrder(rel *model.Relation) []int {
-	order := make([]int, rel.Arity())
-	for i := range order {
-		order[i] = i
-	}
-	sort.Slice(order, func(i, j int) bool {
-		return rel.Attrs[order[i]] < rel.Attrs[order[j]]
-	})
-	return order
 }
 
 // sigMap indexes the rows of one coded relation side by signature hashes.

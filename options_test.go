@@ -5,15 +5,24 @@ import (
 	"testing"
 )
 
-// TestCompareRejectsInvalidOptions pins the Options validation: λ outside
-// [0, 1) and negative MinPartialSig are caller errors, reported up front
-// instead of producing out-of-range scores.
+// TestCompareRejectsInvalidOptions pins the shared Options validation gate:
+// every invalid field is rejected up front, with the same error, by both
+// the one-shot and the prepared comparison paths (they share
+// Options.validate, and this test keeps it that way).
 func TestCompareRejectsInvalidOptions(t *testing.T) {
 	l, r := NewInstance(), NewInstance()
 	l.AddRelation("R", "A")
 	r.AddRelation("R", "A")
 	l.Append("R", Const("x"))
 	r.Append("R", Const("x"))
+	lp, err := Prepare(l)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rp, err := Prepare(r)
+	if err != nil {
+		t.Fatal(err)
+	}
 
 	cases := []struct {
 		name    string
@@ -24,20 +33,49 @@ func TestCompareRejectsInvalidOptions(t *testing.T) {
 		{"lambda one", Options{Lambda: 1}, "Lambda"},
 		{"lambda above one", Options{Lambda: 1.5}, "Lambda"},
 		{"negative min partial sig", Options{MinPartialSig: -1}, "MinPartialSig"},
+		{"negative exact workers", Options{ExactWorkers: -1}, "ExactWorkers"},
+		{"negative sig workers", Options{SigWorkers: -2}, "SigWorkers"},
 	}
+	paths := []struct {
+		name string
+		run  func(opt *Options) error
+	}{
+		{"Compare", func(opt *Options) error {
+			_, err := Compare(l, r, opt)
+			return err
+		}},
+		{"ComparePrepared", func(opt *Options) error {
+			_, err := ComparePrepared(lp, rp, opt)
+			return err
+		}},
+	}
+	for _, path := range paths {
+		for _, tc := range cases {
+			err := path.run(&tc.opt)
+			if err == nil {
+				t.Errorf("%s/%s: accepted invalid options %+v", path.name, tc.name, tc.opt)
+			} else if !strings.Contains(err.Error(), tc.wantSub) {
+				t.Errorf("%s/%s: error %q does not mention %s", path.name, tc.name, err, tc.wantSub)
+			}
+		}
+	}
+
+	// Both paths report the same error text for the same invalid options.
 	for _, tc := range cases {
-		if _, err := Compare(l, r, &tc.opt); err == nil {
-			t.Errorf("%s: Compare accepted invalid options %+v", tc.name, tc.opt)
-		} else if !strings.Contains(err.Error(), tc.wantSub) {
-			t.Errorf("%s: error %q does not mention %s", tc.name, err, tc.wantSub)
+		e1 := paths[0].run(&tc.opt)
+		e2 := paths[1].run(&tc.opt)
+		if e1 == nil || e2 == nil || e1.Error() != e2.Error() {
+			t.Errorf("%s: paths disagree: Compare=%v ComparePrepared=%v", tc.name, e1, e2)
 		}
 	}
 
 	// The boundary values stay valid: λ = 0 (meaning DefaultLambda) and
-	// explicit zero λ, plus λ just under 1.
-	for _, opt := range []Options{{}, {ExplicitZeroLambda: true}, {Lambda: 0.999}} {
-		if _, err := Compare(l, r, &opt); err != nil {
-			t.Errorf("Compare rejected valid options %+v: %v", opt, err)
+	// explicit zero λ, plus λ just under 1 and explicit worker counts.
+	for _, opt := range []Options{{}, {ExplicitZeroLambda: true}, {Lambda: 0.999}, {ExactWorkers: 2, SigWorkers: 2}} {
+		for _, path := range paths {
+			if err := path.run(&opt); err != nil {
+				t.Errorf("%s rejected valid options %+v: %v", path.name, opt, err)
+			}
 		}
 	}
 }

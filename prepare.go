@@ -1,0 +1,244 @@
+package instcmp
+
+// This file is the public half of the Prepare/Compare split. Preparing an
+// instance snapshots it and performs every partner-independent step of a
+// comparison up front — validation, the sorted null inventory, integer
+// coding of all cells, the signature algorithm's per-relation attribute
+// orders — so that a resident instance (in a registry, a lake, a server) is
+// compared many times but normalized and coded exactly once. The prepared
+// path and the one-shot Compare path produce bit-identical results: both
+// funnel into comparePrepared, and the engine assembles identical
+// environments from prepared sides (see internal/match/prepared.go).
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"instcmp/internal/exact"
+	"instcmp/internal/match"
+	"instcmp/internal/model"
+	"instcmp/internal/signature"
+)
+
+// Prepared is an instance made ready for repeated comparison. It is
+// immutable and safe for concurrent use: any number of goroutines may pass
+// the same Prepared to ComparePreparedContext at once, because comparisons
+// only read the prepared state (each comparison clones the value interner
+// and remaps coded rows into its own environment).
+//
+// Preparation pays off when the prepared instance's schema and null
+// namespace need no per-comparison fixing: comparing two prepared instances
+// with equal schemas and disjoint null names skips normalization and coding
+// entirely. When schemas differ (with Options.AlignSchemas) or null names
+// collide, the comparison transparently falls back to re-preparing the
+// adjusted copies — correct, but no faster than the one-shot path.
+type Prepared struct {
+	inst *Instance
+	side *match.PreparedSide
+}
+
+// Prepare snapshots the instance and builds its reusable comparison state.
+// The input is cloned first, so later mutations of in do not affect the
+// prepared snapshot.
+func Prepare(in *Instance) (*Prepared, error) {
+	if in == nil {
+		return nil, fmt.Errorf("instcmp: Prepare requires a non-nil instance")
+	}
+	return prepareOwned(in.Clone())
+}
+
+// prepareOwned builds prepared state over an instance the caller already
+// owns (a clone, an alignSchemas rebuild, a rename) — no defensive copy.
+func prepareOwned(inst *Instance) (*Prepared, error) {
+	side, err := match.PrepareSide(inst)
+	if err != nil {
+		return nil, err
+	}
+	return &Prepared{inst: inst, side: side}, nil
+}
+
+// Instance returns the prepared snapshot. It is shared with the prepared
+// state, not copied: callers must not modify it.
+func (p *Prepared) Instance() *Instance { return p.inst }
+
+// NumTuples returns the total tuple count of the prepared instance.
+func (p *Prepared) NumTuples() int { return p.side.NumTuples() }
+
+// WithRelationName returns a view of a single-relation prepared instance
+// whose relation carries the given name. The coded state is shared — value
+// codes and attribute orders do not depend on relation names — so the view
+// costs a few small allocations regardless of instance size. Lake ranking
+// uses this to align a candidate's table name with the example's without
+// re-preparing the candidate. The receiver is returned unchanged when it is
+// not single-relation or already carries the name.
+func (p *Prepared) WithRelationName(name string) *Prepared {
+	inst := p.inst.WithRelationName(name)
+	if inst == p.inst {
+		return p
+	}
+	return &Prepared{inst: inst, side: p.side.WithRelations(inst)}
+}
+
+// ComparePrepared compares two prepared instances. See
+// ComparePreparedContext.
+func ComparePrepared(left, right *Prepared, opt *Options) (*Result, error) {
+	return ComparePreparedContext(context.Background(), left, right, opt)
+}
+
+// ComparePreparedContext is CompareContext over prepared instances: same
+// options, same anytime cancellation semantics, bit-identical scores, stats
+// counters, and explanations — minus the per-call normalization and coding
+// cost when the prepared snapshots are directly comparable (equal schemas,
+// disjoint null names). Both arguments may be shared with concurrent
+// comparisons.
+func ComparePreparedContext(ctx context.Context, left, right *Prepared, opt *Options) (*Result, error) {
+	if left == nil || right == nil {
+		return nil, fmt.Errorf("instcmp: ComparePrepared requires two non-nil prepared instances")
+	}
+	if opt == nil {
+		opt = &Options{}
+	}
+	if err := opt.validate(); err != nil {
+		return nil, err
+	}
+	return comparePrepared(ctx, left, right, opt, time.Now())
+}
+
+// comparePrepared is the Compare half of the split: both the one-shot and
+// the prepared entry points end here with validated options and prepared
+// sides. It fixes whatever still depends on the pairing — schema alignment,
+// null-namespace disjointness — re-preparing only the sides that actually
+// change, then runs the selected engine on the prepared state and reports
+// the match in terms of the prepared snapshots' tuple identifiers.
+func comparePrepared(ctx context.Context, lp, rp *Prepared, opt *Options, start time.Time) (*Result, error) {
+	l, r := lp, rp
+	if opt.AlignSchemas && !model.SameSchema(l.inst, r.inst) {
+		al, ar := alignSchemas(l.inst, r.inst)
+		var err error
+		if l, err = prepareOwned(al); err != nil {
+			return nil, err
+		}
+		if r, err = prepareOwned(ar); err != nil {
+			return nil, err
+		}
+	}
+	if !model.SameSchema(l.inst, r.inst) {
+		return nil, match.ErrSchemaMismatch
+	}
+	rightPrefix := ""
+	if preparedVarsOverlap(l, r) {
+		var err error
+		r, rightPrefix, err = renameApartPrepared(l, r)
+		if err != nil {
+			return nil, err
+		}
+	}
+
+	algo := opt.Algorithm
+	if algo == AlgoAuto {
+		// Partial matching is implemented by the signature algorithm
+		// only; otherwise small inputs afford the exact search.
+		if !opt.Partial && l.side.NumTuples()+r.side.NumTuples() <= autoExactLimit {
+			algo = AlgoExact
+		} else {
+			algo = AlgoSignature
+		}
+	}
+	if algo == AlgoExact && opt.Partial {
+		return nil, fmt.Errorf("instcmp: the exact algorithm does not support partial matches; use AlgoSignature")
+	}
+
+	res := &Result{Algorithm: algo}
+	res.Stats.NormalizeTime = time.Since(start)
+	res.Stats.WarmScore = -1
+	searchStart := time.Now()
+	var env *match.Env
+	switch algo {
+	case AlgoExact:
+		ex, err := exact.RunPreparedContext(ctx, l.side, r.side, opt.Mode, exact.Options{
+			Lambda:   opt.lambda(),
+			MaxNodes: opt.ExactMaxNodes,
+			Timeout:  opt.ExactTimeout,
+			Workers:  opt.ExactWorkers,
+		})
+		if err != nil {
+			return nil, err
+		}
+		env = ex.Env
+		res.Score = ex.Score
+		res.Exhaustive = ex.Exhaustive
+		res.Stopped = ex.Stopped
+		res.Stats.Nodes = ex.Nodes
+		res.Stats.Prunes = ex.Prunes
+		res.Stats.Improvements = ex.Improvements
+		res.Stats.WarmScore = ex.WarmScore
+		if ex.SigStats != nil {
+			res.Stats.fillSignature(*ex.SigStats)
+		}
+		res.Stats.fillEnv(ex.EnvStats)
+	case AlgoSignature:
+		sig, err := signature.RunPreparedContext(ctx, l.side, r.side, opt.Mode, signature.Options{
+			Lambda:        opt.lambda(),
+			Partial:       opt.Partial,
+			MinPartialSig: opt.MinPartialSig,
+			ConstSim:      opt.ConstSimilarity,
+			Workers:       opt.SigWorkers,
+		})
+		if err != nil {
+			return nil, err
+		}
+		env = sig.Env
+		res.Score = sig.Score
+		res.Stopped = sig.Stopped
+		res.Stats.fillSignature(sig.Stats)
+		res.Stats.fillEnv(env.Stats)
+	default:
+		return nil, fmt.Errorf("instcmp: unknown algorithm %d", algo)
+	}
+	res.Stats.SearchTime = time.Since(searchStart)
+
+	explainStart := time.Now()
+	res.fillExplanation(env, opt.lambda(), lp.inst, rp.inst, rightPrefix)
+	res.Stats.ExplainTime = time.Since(explainStart)
+	res.Elapsed = time.Since(start)
+	res.publish()
+	return res, nil
+}
+
+// preparedVarsOverlap reports whether the two prepared instances share a
+// null name; the left side's interner answers membership in O(right nulls).
+func preparedVarsOverlap(l, r *Prepared) bool {
+	for _, v := range r.side.Vars {
+		if _, shared := l.side.In.Lookup(v); shared {
+			return true
+		}
+	}
+	return false
+}
+
+// renameApartPrepared renames the right instance's nulls with a prefix
+// making them disjoint from the left's, growing the prefix until no
+// collision remains (the same loop one-shot normalization runs), and
+// prepares the renamed copy.
+func renameApartPrepared(l, r *Prepared) (*Prepared, string, error) {
+	prefix := "r·"
+	for {
+		ren := r.inst.RenameNulls(prefix)
+		if overlapsPrepared(l, ren) {
+			prefix += "·"
+			continue
+		}
+		rp, err := prepareOwned(ren)
+		return rp, prefix, err
+	}
+}
+
+func overlapsPrepared(l *Prepared, inst *Instance) bool {
+	for v := range inst.Vars() {
+		if _, shared := l.side.In.Lookup(v); shared {
+			return true
+		}
+	}
+	return false
+}
