@@ -40,6 +40,9 @@ type Entry struct {
 
 // Doc is the emitted JSON document.
 type Doc struct {
+	// Note is a free-form label for the run (-note), e.g. which PR or
+	// experiment produced the numbers.
+	Note string `json:"note,omitempty"`
 	// Env records what the numbers mean: nominal parallelism and CPU count
 	// at conversion time (benchmarks inherit the same environment in CI).
 	Env struct {
@@ -53,8 +56,12 @@ type Doc struct {
 
 func main() {
 	out := flag.String("o", "", "output file (default stdout)")
+	note := flag.String("note", "", "free-form label recorded in the document")
 	flag.Parse()
 	doc, n, err := parse(os.Stdin, os.Stderr)
+	if err == nil {
+		doc.Note = *note
+	}
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "benchjson:", err)
 		os.Exit(1)

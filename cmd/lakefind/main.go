@@ -6,10 +6,20 @@
 // Usage:
 //
 //	lakefind [flags] <example> <lake-dir>
+//	lakefind -build-index -index lake.idx <lake-dir>
 //
 // The example is a CSV file or a directory of CSVs (one relation per
 // file). The lake directory contains one dataset per entry: either a CSV
 // file or a subdirectory of CSVs.
+//
+// With -build-index, lakefind sketches every dataset once and persists a
+// sketch index (internal/lakeindex). A later query run with -index probes
+// that index to shortlist the likely candidates and loads and compares ONLY
+// the shortlist — a cold start over a 1k-dataset lake parses a handful of
+// CSVs instead of a thousand. Datasets the index has never seen are still
+// loaded and compared (a stale index costs comparisons, not recall), and an
+// unreadable, corrupted, or version-mismatched index degrades to the plain
+// full scan with a warning, never a crash.
 package main
 
 import (
@@ -21,9 +31,11 @@ import (
 	"path/filepath"
 	"runtime"
 	"strings"
+	"time"
 
 	"instcmp"
 	"instcmp/internal/lake"
+	"instcmp/internal/lakeindex"
 )
 
 func main() {
@@ -37,7 +49,7 @@ func run(args []string, out io.Writer) error {
 	fs := flag.NewFlagSet("lakefind", flag.ContinueOnError)
 	var (
 		minOverlap  = fs.Float64("min-overlap", 0.05, "constant-overlap prefilter threshold (0 disables)")
-		top         = fs.Int("top", 0, "print only the best N candidates (0 = all)")
+		top         = fs.Int("top", 0, "print only the best N candidates (0 = all; with -index, also sizes the shortlist)")
 		anonNulls   = fs.Bool("anon-nulls", false, "treat empty CSV cells as fresh labeled nulls")
 		workers     = fs.Int("workers", runtime.GOMAXPROCS(0), "concurrent candidate comparisons (ranking order is identical for every value)")
 		sigWorkers  = fs.Int("sig-workers", 1, "signature-pipeline workers inside each comparison (1 = sequential; raise for lakes with few large datasets)")
@@ -45,38 +57,27 @@ func run(args []string, out io.Writer) error {
 		candTimeout = fs.Duration("candidate-timeout", 0, "per-candidate comparison budget; a candidate over budget degrades to its prefilter overlap (0 = none)")
 		timeout     = fs.Duration("timeout", 0, "overall ranking deadline; exceeding it aborts the ranking (0 = none)")
 		stats       = fs.Bool("stats", false, "print per-candidate comparison statistics after the ranking")
+		indexPath   = fs.String("index", "", "sketch index file: load and compare only an index-shortlisted subset of the lake (see -build-index)")
+		buildIndex  = fs.Bool("build-index", false, "sketch every dataset of <lake-dir> and write the index to -index instead of ranking")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
 	}
+
+	if *buildIndex {
+		if *indexPath == "" {
+			return fmt.Errorf("-build-index requires -index <file>")
+		}
+		if fs.NArg() != 1 {
+			fs.Usage()
+			return fmt.Errorf("expected <lake-dir>, got %d arguments", fs.NArg())
+		}
+		return runBuildIndex(fs.Arg(0), *indexPath, *anonNulls, out)
+	}
+
 	if fs.NArg() != 2 {
 		fs.Usage()
 		return fmt.Errorf("expected <example> <lake-dir>, got %d arguments", fs.NArg())
-	}
-
-	example, err := load(fs.Arg(0), *anonNulls)
-	if err != nil {
-		return err
-	}
-	entries, err := os.ReadDir(fs.Arg(1))
-	if err != nil {
-		return err
-	}
-	var cands []lake.Candidate
-	for _, e := range entries {
-		path := filepath.Join(fs.Arg(1), e.Name())
-		if !e.IsDir() && !strings.HasSuffix(e.Name(), ".csv") {
-			continue
-		}
-		in, err := load(path, *anonNulls)
-		if err != nil {
-			fmt.Fprintf(out, "skipping %s: %v\n", e.Name(), err)
-			continue
-		}
-		cands = append(cands, lake.Candidate{Name: e.Name(), Instance: in})
-	}
-	if len(cands) == 0 {
-		return fmt.Errorf("no datasets found in %s", fs.Arg(1))
 	}
 
 	opt := lake.Options{
@@ -84,6 +85,7 @@ func run(args []string, out io.Writer) error {
 		Workers:             *workers,
 		SigWorkers:          *sigWorkers,
 		PerCandidateTimeout: *candTimeout,
+		TopK:                *top,
 	}
 	switch {
 	case *lambda == 0:
@@ -97,10 +99,35 @@ func run(args []string, out io.Writer) error {
 		ctx, cancel = context.WithTimeout(ctx, *timeout)
 		defer cancel()
 	}
-	res, err := lake.RankContext(ctx, example, cands, opt)
+
+	// An index that fails to load is a warning, not an error: the full scan
+	// is always available and always correct.
+	var ix *lakeindex.Index
+	if *indexPath != "" {
+		var err error
+		ix, err = lakeindex.ReadFile(*indexPath)
+		if err != nil {
+			fmt.Fprintf(out, "index %s unusable (%v); falling back to full scan\n", *indexPath, err)
+			ix = nil
+		}
+	}
+
+	start := time.Now()
+	example, err := load(fs.Arg(0), *anonNulls)
 	if err != nil {
 		return err
 	}
+
+	var res []lake.Result
+	if ix != nil {
+		res, err = rankThroughIndex(ctx, example, fs.Arg(1), ix, opt, *anonNulls, start, out)
+	} else {
+		res, err = rankFullScan(ctx, example, fs.Arg(1), opt, *anonNulls, out)
+	}
+	if err != nil {
+		return err
+	}
+
 	fmt.Fprintf(out, "%-30s  %9s  %8s\n", "dataset", "similarity", "overlap")
 	for i, r := range res {
 		if *top > 0 && i >= *top {
@@ -126,6 +153,176 @@ func run(args []string, out io.Writer) error {
 				r.Name, s.SigMatches, s.CompatMatches, s.PairAttempts, s.PairRejects, s.ScoreEvals, s.SearchTime)
 		}
 	}
+	return nil
+}
+
+// datasetNames lists the lake directory's dataset entries (CSV files and
+// subdirectories), without loading anything.
+func datasetNames(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	var names []string
+	for _, e := range entries {
+		if !e.IsDir() && !strings.HasSuffix(e.Name(), ".csv") {
+			continue
+		}
+		names = append(names, e.Name())
+	}
+	if len(names) == 0 {
+		return nil, fmt.Errorf("no datasets found in %s", dir)
+	}
+	return names, nil
+}
+
+// loadLake loads the named datasets from the lake directory, reporting (and
+// skipping) unreadable ones.
+func loadLake(dir string, names []string, anon bool, out io.Writer) []lake.Candidate {
+	var cands []lake.Candidate
+	for _, name := range names {
+		in, err := load(filepath.Join(dir, name), anon)
+		if err != nil {
+			fmt.Fprintf(out, "skipping %s: %v\n", name, err)
+			continue
+		}
+		cands = append(cands, lake.Candidate{Name: name, Instance: in})
+	}
+	return cands
+}
+
+// rankFullScan is the classic path: load every dataset, compare every
+// dataset.
+func rankFullScan(ctx context.Context, example *instcmp.Instance, dir string, opt lake.Options, anon bool, out io.Writer) ([]lake.Result, error) {
+	names, err := datasetNames(dir)
+	if err != nil {
+		return nil, err
+	}
+	cands := loadLake(dir, names, anon, out)
+	if len(cands) == 0 {
+		return nil, fmt.Errorf("no datasets found in %s", dir)
+	}
+	return lake.RankContext(ctx, example, cands, opt)
+}
+
+// rankThroughIndex probes the persisted sketch index before touching any
+// candidate CSV: only shortlisted datasets (plus datasets the index has
+// never seen) are parsed and compared; the rest are reported pruned without
+// being read at all — the cold-start payoff of a persisted index.
+func rankThroughIndex(ctx context.Context, example *instcmp.Instance, dir string, ix *lakeindex.Index, opt lake.Options, anon bool, start time.Time, out io.Writer) ([]lake.Result, error) {
+	names, err := datasetNames(dir)
+	if err != nil {
+		return nil, err
+	}
+	topK := opt.TopK
+	if topK <= 0 {
+		topK = lake.DefaultTopK
+	}
+	target := max(4*topK, lake.DefaultMinShortlist)
+	if len(names) <= target {
+		fmt.Fprintf(out, "index: lake of %d fits the shortlist of %d; comparing everything\n", len(names), target)
+		cands := loadLake(dir, names, anon, out)
+		if len(cands) == 0 {
+			return nil, fmt.Errorf("no datasets found in %s", dir)
+		}
+		return lake.RankContext(ctx, example, cands, opt)
+	}
+
+	prep, err := instcmp.Prepare(example)
+	if err != nil {
+		return nil, err
+	}
+	query := lakeindex.NewSketch(prep.SketchFeatures())
+
+	onDisk := make(map[string]bool, len(names))
+	for _, name := range names {
+		onDisk[name] = true
+	}
+	// Ask for extra hits in case the index covers datasets that have since
+	// been deleted from the lake; keep the best target that still exist.
+	var hits []lakeindex.Hit
+	var ps lakeindex.ProbeStats
+	shortlisted := make(map[string]bool, target)
+	for probeTarget := target; ; probeTarget *= 2 {
+		hits, ps = ix.Shortlist(query, probeTarget)
+		members := 0
+		for _, h := range hits {
+			if onDisk[h.Name] {
+				members++
+			}
+		}
+		if members >= target || len(hits) < probeTarget {
+			break
+		}
+	}
+	for _, h := range hits {
+		if onDisk[h.Name] {
+			shortlisted[h.Name] = true
+			if len(shortlisted) >= target {
+				break
+			}
+		}
+	}
+
+	var shortNames []string
+	var rest []lake.Result
+	unindexed := 0
+	for _, name := range names {
+		switch {
+		case shortlisted[name]:
+			shortNames = append(shortNames, name)
+		case !ix.Contains(name):
+			// New dataset the index predates: compare unconditionally.
+			unindexed++
+			shortNames = append(shortNames, name)
+		default:
+			rest = append(rest, lake.Result{Name: name, Pruned: true})
+		}
+	}
+	cands := loadLake(dir, shortNames, anon, out)
+	res, err := lake.RankContext(ctx, example, cands, opt)
+	if err != nil {
+		return nil, err
+	}
+	fmt.Fprintf(out, "index: compared %d of %d datasets (probed %d, widened=%v, unindexed=%d) in %v\n",
+		len(cands), len(names), ps.Probed, ps.Widened, unindexed, time.Since(start).Round(time.Millisecond))
+	res = append(res, rest...)
+	return res, nil
+}
+
+// runBuildIndex sketches every dataset of the lake and persists the index.
+func runBuildIndex(dir, indexPath string, anon bool, out io.Writer) error {
+	start := time.Now()
+	names, err := datasetNames(dir)
+	if err != nil {
+		return err
+	}
+	var prepared []lake.PreparedCandidate
+	for _, name := range names {
+		in, err := load(filepath.Join(dir, name), anon)
+		if err != nil {
+			fmt.Fprintf(out, "skipping %s: %v\n", name, err)
+			continue
+		}
+		p, err := instcmp.Prepare(in)
+		if err != nil {
+			fmt.Fprintf(out, "skipping %s: %v\n", name, err)
+			continue
+		}
+		prepared = append(prepared, lake.PreparedCandidate{Name: name, Prepared: p})
+	}
+	if len(prepared) == 0 {
+		return fmt.Errorf("no datasets found in %s", dir)
+	}
+	ix, err := lake.BuildIndex(prepared)
+	if err != nil {
+		return err
+	}
+	if err := ix.WriteFile(indexPath); err != nil {
+		return err
+	}
+	fmt.Fprintf(out, "index: wrote %d sketches to %s in %v\n",
+		ix.Len(), indexPath, time.Since(start).Round(time.Millisecond))
 	return nil
 }
 

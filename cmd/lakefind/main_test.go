@@ -1,6 +1,7 @@
 package main
 
 import (
+	"fmt"
 	"os"
 	"path/filepath"
 	"strings"
@@ -131,5 +132,157 @@ func TestRunErrors(t *testing.T) {
 	empty := t.TempDir()
 	if err := run([]string{example, empty}, &strings.Builder{}); err == nil {
 		t.Error("empty lake not reported")
+	}
+}
+
+// setupBigLake builds a lake large enough (80 datasets > the 64-candidate
+// shortlist floor) that -index genuinely prunes, with one twin of the
+// example hidden among disjoint noise datasets.
+func setupBigLake(t *testing.T) (string, string, string) {
+	t.Helper()
+	dir := t.TempDir()
+	example := filepath.Join(dir, "example.csv")
+	write(t, example, "Name,Year\nVLDB,1975\nSIGMOD,1976\nICDE,1984\n")
+	lakeDir := filepath.Join(dir, "lake")
+	write(t, filepath.Join(lakeDir, "twin.csv"), "Name,Year\nICDE,1984\nVLDB,1975\nSIGMOD,1976\n")
+	for i := 0; i < 79; i++ {
+		write(t, filepath.Join(lakeDir, fmt.Sprintf("noise-%02d.csv", i)),
+			fmt.Sprintf("Name,Year\nn%da,%d\nn%db,%d\n", i, 3000+i, i, 4000+i))
+	}
+	return example, lakeDir, filepath.Join(dir, "lake.idx")
+}
+
+func TestRunBuildIndexAndQuery(t *testing.T) {
+	example, lakeDir, idx := setupBigLake(t)
+
+	var bout strings.Builder
+	if err := run([]string{"-build-index", "-index", idx, lakeDir}, &bout); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(bout.String(), "wrote 80 sketches") {
+		t.Fatalf("build output: %s", bout.String())
+	}
+	if _, err := os.Stat(idx); err != nil {
+		t.Fatalf("index file missing: %v", err)
+	}
+
+	// Cold-start query: a fresh process would do exactly this — read the
+	// index, shortlist, and load only the shortlist.
+	var qout strings.Builder
+	if err := run([]string{"-min-overlap", "0", "-index", idx, example, lakeDir}, &qout); err != nil {
+		t.Fatal(err)
+	}
+	got := qout.String()
+	if !strings.Contains(got, "index: compared 64 of 80 datasets") {
+		t.Errorf("indexed run did not shortlist:\n%s", got)
+	}
+	lines := strings.Split(strings.TrimSpace(got), "\n")
+	// index line + header + 80 datasets.
+	if len(lines) != 82 {
+		t.Fatalf("lines = %d:\n%s", len(lines), got)
+	}
+	if !strings.HasPrefix(lines[2], "twin.csv") || !strings.Contains(lines[2], "1.0000") {
+		t.Errorf("twin should rank first at score 1:\n%s", got)
+	}
+	if !strings.Contains(got, "(pruned)") {
+		t.Errorf("no candidate reported index-pruned:\n%s", got)
+	}
+
+	// The full scan agrees on the winner.
+	var fout strings.Builder
+	if err := run([]string{"-min-overlap", "0", example, lakeDir}, &fout); err != nil {
+		t.Fatal(err)
+	}
+	flines := strings.Split(strings.TrimSpace(fout.String()), "\n")
+	if !strings.HasPrefix(flines[1], "twin.csv") {
+		t.Errorf("full scan disagrees:\n%s", fout.String())
+	}
+}
+
+func TestRunIndexStaleAndMissingDatasets(t *testing.T) {
+	example, lakeDir, idx := setupBigLake(t)
+	if err := run([]string{"-build-index", "-index", idx, lakeDir}, &strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	// A dataset registered AFTER the index was built — and it is the best
+	// match. The stale index must not hide it.
+	write(t, filepath.Join(lakeDir, "newcomer.csv"), "Name,Year\nVLDB,1975\nSIGMOD,1976\nICDE,1984\n")
+	// And one indexed dataset disappears from disk.
+	if err := os.Remove(filepath.Join(lakeDir, "noise-42.csv")); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	if err := run([]string{"-min-overlap", "0", "-index", idx, example, lakeDir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "unindexed=1") {
+		t.Errorf("newcomer not reported unindexed:\n%s", got)
+	}
+	lines := strings.Split(strings.TrimSpace(got), "\n")
+	if !strings.HasPrefix(lines[2], "newcomer.csv") && !strings.HasPrefix(lines[2], "twin.csv") {
+		t.Errorf("best match missing from the top despite stale index:\n%s", got)
+	}
+	if strings.Contains(got, "noise-42.csv") {
+		t.Errorf("deleted dataset resurfaced:\n%s", got)
+	}
+}
+
+func TestRunIndexUnusableFallsBack(t *testing.T) {
+	example, lakeDir, idx := setupBigLake(t)
+	if err := run([]string{"-build-index", "-index", idx, lakeDir}, &strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+	corrupt := func(name string, mutate func([]byte) []byte) string {
+		t.Helper()
+		data, err := os.ReadFile(idx)
+		if err != nil {
+			t.Fatal(err)
+		}
+		path := filepath.Join(t.TempDir(), name)
+		if err := os.WriteFile(path, mutate(data), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return path
+	}
+	cases := map[string]string{
+		"not an index": corrupt("garbage.idx", func([]byte) []byte { return []byte("Name,Year\nno,1\n") }),
+		"version": corrupt("version.idx", func(b []byte) []byte {
+			b[4]++ // format version field
+			return b
+		}),
+		"corrupt": corrupt("bitflip.idx", func(b []byte) []byte {
+			b[len(b)-1] ^= 0xff
+			return b
+		}),
+		"missing": filepath.Join(t.TempDir(), "nope.idx"),
+	}
+	for name, path := range cases {
+		var out strings.Builder
+		if err := run([]string{"-index", path, example, lakeDir}, &out); err != nil {
+			t.Errorf("%s: indexed run failed instead of falling back: %v", name, err)
+			continue
+		}
+		got := out.String()
+		if !strings.Contains(got, "falling back to full scan") {
+			t.Errorf("%s: no fallback warning:\n%s", name, got)
+		}
+		if !strings.Contains(got, "twin.csv") {
+			t.Errorf("%s: fallback scan lost the ranking:\n%s", name, got)
+		}
+	}
+}
+
+func TestRunBuildIndexErrors(t *testing.T) {
+	_, lakeDir, idx := setupBigLake(t)
+	if err := run([]string{"-build-index", lakeDir}, &strings.Builder{}); err == nil {
+		t.Error("-build-index without -index accepted")
+	}
+	if err := run([]string{"-build-index", "-index", idx}, &strings.Builder{}); err == nil {
+		t.Error("-build-index without a lake dir accepted")
+	}
+	if err := run([]string{"-build-index", "-index", idx, t.TempDir()}, &strings.Builder{}); err == nil {
+		t.Error("-build-index over an empty dir accepted")
 	}
 }

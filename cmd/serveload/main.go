@@ -44,6 +44,8 @@ func main() {
 		concurrency = fs.Int("concurrency", runtime.GOMAXPROCS(0), "concurrent client connections")
 		rankPct     = fs.Float64("rank-pct", 0.15, "fraction of requests that are rankings")
 		rankCands   = fs.Int("rank-candidates", 8, "candidates per ranking request")
+		rankTop     = fs.Int("rank-top", 0, "top_k for rank requests (0 = lake default); with -rank-shortlist it sizes the sketch-index shortlist")
+		rankShort   = fs.Int("rank-shortlist", 0, "min_shortlist for rank requests (0 = lake default); set low to exercise the sketch-index path on small lakes")
 		degradePct  = fs.Float64("degrade-pct", 0.15, "fraction of requests carrying an anytime budget")
 		seed        = fs.Int64("seed", 1, "generation seed")
 	)
@@ -81,13 +83,14 @@ func main() {
 	log.Printf("serveload: registered %d instances (%d rows each) in %v",
 		*instances, *rows, time.Since(regStart).Round(time.Millisecond))
 
-	plan := makePlan(names, *requests, *rankPct, *rankCands, *degradePct, rng)
+	plan := makePlan(names, *requests, *rankPct, *rankCands, *rankTop, *rankShort, *degradePct, rng)
 	var (
 		mu        sync.Mutex
 		lats      []time.Duration
 		stopped   int
 		timedOut  int
 		pruned    int
+		indexed   int
 		nErrs     int
 		nCompares int
 		nRanks    int
@@ -101,7 +104,7 @@ func main() {
 			defer wg.Done()
 			for req := range work {
 				t0 := time.Now()
-				st, to, pr, isRank, err := c.replay(req)
+				st, to, pr, isRank, ixd, err := c.replay(req)
 				lat := time.Since(t0)
 				mu.Lock()
 				lats = append(lats, lat)
@@ -119,6 +122,9 @@ func main() {
 				}
 				timedOut += to
 				pruned += pr
+				if ixd {
+					indexed++
+				}
 				mu.Unlock()
 			}
 		}()
@@ -138,6 +144,7 @@ func main() {
 		pct(lats, 0.50), pct(lats, 0.90), pct(lats, 0.99), pct(lats, 1.00))
 	fmt.Printf("degraded: %d stopped responses, %d timed-out rank candidates, %d pruned rank candidates\n",
 		stopped, timedOut, pruned)
+	fmt.Printf("rank path: %d of %d rankings used the sketch index\n", indexed, nRanks)
 	fmt.Printf("errors: %d\n", nErrs)
 	if nErrs > 0 {
 		os.Exit(1)
@@ -155,7 +162,7 @@ type request struct {
 }
 
 // makePlan builds a deterministic mixed request stream.
-func makePlan(names []string, n int, rankPct float64, rankCands int, degradePct float64, rng *rand.Rand) []request {
+func makePlan(names []string, n int, rankPct float64, rankCands, rankTop, rankShort int, degradePct float64, rng *rand.Rand) []request {
 	plan := make([]request, 0, n)
 	for i := 0; i < n; i++ {
 		degrade := rng.Float64() < degradePct
@@ -164,6 +171,8 @@ func makePlan(names []string, n int, rankPct float64, rankCands int, degradePct 
 				Example:         names[rng.Intn(len(names))],
 				MinValueOverlap: 0.05,
 				Workers:         2,
+				TopK:            rankTop,
+				MinShortlist:    rankShort,
 				Options:         serve.WireOptions{SigWorkers: 1},
 			}
 			for j := 0; j < rankCands; j++ {
@@ -249,32 +258,32 @@ func (c *client) post(path string, body any) (int, []byte, error) {
 
 // replay sends one planned request and classifies the outcome: stopped
 // response, timed-out/pruned rank candidates, or an error.
-func (c *client) replay(req request) (stopped bool, timedOut, pruned int, isRank bool, err error) {
+func (c *client) replay(req request) (stopped bool, timedOut, pruned int, isRank, indexed bool, err error) {
 	if req.compare != nil {
 		status, body, err := c.post("/v1/compare", req.compare)
 		if err != nil {
-			return false, 0, 0, false, err
+			return false, 0, 0, false, false, err
 		}
 		if status != http.StatusOK {
-			return false, 0, 0, false, fmt.Errorf("compare %s/%s: status %d: %s",
+			return false, 0, 0, false, false, fmt.Errorf("compare %s/%s: status %d: %s",
 				req.compare.Left, req.compare.Right, status, body)
 		}
 		var out serve.CompareResponse
 		if err := json.Unmarshal(body, &out); err != nil {
-			return false, 0, 0, false, fmt.Errorf("compare response: %v", err)
+			return false, 0, 0, false, false, fmt.Errorf("compare response: %v", err)
 		}
-		return out.Stopped != "", 0, 0, false, nil
+		return out.Stopped != "", 0, 0, false, false, nil
 	}
 	status, body, err := c.post("/v1/rank", req.rank)
 	if err != nil {
-		return false, 0, 0, true, err
+		return false, 0, 0, true, false, err
 	}
 	if status != http.StatusOK {
-		return false, 0, 0, true, fmt.Errorf("rank %s: status %d: %s", req.rank.Example, status, body)
+		return false, 0, 0, true, false, fmt.Errorf("rank %s: status %d: %s", req.rank.Example, status, body)
 	}
 	var out serve.RankResponse
 	if err := json.Unmarshal(body, &out); err != nil {
-		return false, 0, 0, true, fmt.Errorf("rank response: %v", err)
+		return false, 0, 0, true, false, fmt.Errorf("rank response: %v", err)
 	}
 	for _, r := range out.Results {
 		if r.TimedOut {
@@ -284,7 +293,7 @@ func (c *client) replay(req request) (stopped bool, timedOut, pruned int, isRank
 			pruned++
 		}
 	}
-	return false, timedOut, pruned, true, nil
+	return false, timedOut, pruned, true, !out.Index.FullScan, nil
 }
 
 // pct returns the q-quantile of sorted latencies.

@@ -1,0 +1,173 @@
+package lake
+
+// This file implements sketch-indexed ranking: instead of running a full
+// signature comparison against every candidate (RankPreparedContext's full
+// scan), the example is sketched once, the lake's sketch index is probed for
+// a shortlist of max(4*TopK, MinShortlist) likely candidates, and only the
+// shortlist receives real comparisons. Candidates outside the shortlist are
+// reported Pruned with score 0, exactly like prefilter-pruned candidates.
+// The full scan remains both the fallback (nil index, tiny lake) and the
+// oracle the recall tests hold the indexed ranking to.
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"instcmp"
+	"instcmp/internal/lakeindex"
+)
+
+// IndexStats reports how an indexed ranking used the sketch index; it is
+// the ranking-level companion of the per-candidate Result.Stats. The same
+// quantities feed the cumulative expvar counters under "instcmp.lake"
+// (index_probes, index_probed_candidates, shortlist_size, index_widened,
+// full_scan_fallbacks, sketch_build_ns), so a service degrading to full
+// scans is observable without touching per-request stats.
+type IndexStats struct {
+	// FullScan reports that the ranking fell back to comparing every
+	// candidate (nil index, or a lake no larger than the shortlist).
+	FullScan bool
+	// Probed is the number of distinct candidates the banded inverted index
+	// returned before ranking and truncation.
+	Probed int
+	// Widened reports that band probing under-delivered and every indexed
+	// sketch was estimated instead.
+	Widened bool
+	// ShortlistSize is the number of candidates that received a real
+	// comparison.
+	ShortlistSize int
+	// Unindexed counts lake candidates missing from the index; they are
+	// force-shortlisted (a stale index must cost comparisons, not recall).
+	Unindexed int
+	// SketchBuild is the time spent sketching the example.
+	SketchBuild time.Duration
+}
+
+// RankIndexedContext ranks a prepared lake through a sketch index. The
+// result ordering follows the same deterministic comparator as every other
+// ranking path (score desc, overlap desc, name asc; degraded candidates
+// last), so whenever the true top-K candidates land in the shortlist — which
+// the recall tests pin on generated lakes — the top of an indexed ranking is
+// identical to the full-scan oracle's at a fraction of the comparisons.
+//
+// Index-pruned candidates report Pruned = true with score and overlap 0:
+// their overlap was never measured (that is the point of the index). A nil
+// index, or a lake that does not outnumber the shortlist, degrades to
+// RankPreparedContext transparently (IndexStats.FullScan).
+func RankIndexedContext(ctx context.Context, example *instcmp.Prepared, lake []PreparedCandidate, idx lakeindex.Searcher, opt Options) ([]Result, IndexStats, error) {
+	var st IndexStats
+	topK := opt.TopK
+	if topK <= 0 {
+		topK = DefaultTopK
+	}
+	minShort := opt.MinShortlist
+	if minShort <= 0 {
+		minShort = DefaultMinShortlist
+	}
+	target := max(4*topK, minShort)
+	if idx == nil || len(lake) <= target {
+		st.FullScan = true
+		st.ShortlistSize = len(lake)
+		vars.Add("full_scan_fallbacks", 1)
+		res, err := RankPreparedContext(ctx, example, lake, opt)
+		return res, st, err
+	}
+	if example == nil {
+		return nil, st, fmt.Errorf("lake: RankIndexed requires a non-nil prepared example")
+	}
+
+	start := time.Now()
+	query := lakeindex.NewSketch(example.SketchFeatures())
+	st.SketchBuild = time.Since(start)
+
+	inLake := make(map[string]bool, len(lake))
+	for _, cand := range lake {
+		inLake[cand.Name] = true
+	}
+	// The index may cover names outside this lake (a registry indexes every
+	// registered instance, including the example itself), and those hits
+	// would silently shrink the shortlist below target. Re-probe with a
+	// doubled target until target lake members are retrieved or the index is
+	// exhausted (a probe returning fewer hits than asked for has seen
+	// everything).
+	var hits []lakeindex.Hit
+	var ps lakeindex.ProbeStats
+	//instlint:allow ctxpoll -- at most log(index size) probes, each a bounded sketch scan costing microseconds; the comparisons that follow poll ctx
+	for probeTarget := target; ; probeTarget *= 2 {
+		hits, ps = idx.Shortlist(query, probeTarget)
+		members := 0
+		for _, h := range hits {
+			if inLake[h.Name] {
+				members++
+			}
+		}
+		if members >= target || len(hits) < probeTarget {
+			break
+		}
+	}
+	st.Probed = ps.Probed
+	st.Widened = ps.Widened
+
+	// Shortlist the best target lake members, in hit (estimate) order.
+	shortlisted := make(map[string]bool, target)
+	for _, h := range hits {
+		if inLake[h.Name] {
+			shortlisted[h.Name] = true
+			if len(shortlisted) >= target {
+				break
+			}
+		}
+	}
+	short := make([]PreparedCandidate, 0, target)
+	var rest []Result
+	for _, cand := range lake {
+		switch {
+		case shortlisted[cand.Name]:
+			short = append(short, cand)
+		case !idx.Contains(cand.Name):
+			// The index has never seen this candidate (it was added after
+			// the index was built): shortlist it unconditionally rather
+			// than dropping it on evidence the index does not have.
+			st.Unindexed++
+			short = append(short, cand)
+		default:
+			rest = append(rest, Result{Name: cand.Name, Pruned: true})
+		}
+	}
+	st.ShortlistSize = len(short)
+
+	out, err := RankPreparedContext(ctx, example, short, opt)
+	if err != nil {
+		return nil, st, err
+	}
+	out = append(out, rest...)
+	sortResults(out)
+
+	vars.Add("index_probes", 1)
+	vars.Add("index_probed_candidates", int64(st.Probed))
+	vars.Add("shortlist_size", int64(st.ShortlistSize))
+	if st.Widened {
+		vars.Add("index_widened", 1)
+	}
+	vars.Add("sketch_build_ns", int64(st.SketchBuild))
+	return out, st, nil
+}
+
+// BuildIndex sketches every candidate of a prepared lake and builds the
+// static index over them — the one-stop constructor lakefind and tests use.
+func BuildIndex(lake []PreparedCandidate) (*lakeindex.Index, error) {
+	entries := make([]lakeindex.Entry, 0, len(lake))
+	for _, cand := range lake {
+		if cand.Prepared == nil {
+			return nil, fmt.Errorf("lake: candidate %q has no prepared instance", cand.Name)
+		}
+		feats := cand.Prepared.SketchFeatures()
+		entries = append(entries, lakeindex.Entry{
+			Name:     cand.Name,
+			Sketch:   lakeindex.NewSketch(feats),
+			Features: uint64(len(feats)),
+		})
+	}
+	return lakeindex.Build(entries)
+}

@@ -1,0 +1,341 @@
+package lake
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"testing"
+
+	"instcmp"
+	"instcmp/internal/datasets"
+	"instcmp/internal/generator"
+	"instcmp/internal/versioning"
+)
+
+// generatedLake builds a prepared example plus n prepared candidates cycling
+// through five scenario shapes: shuffled clones, near/mid/far noise variants
+// (modCell and addRandomAndRedundant), and unrelated datasets. Instances are
+// kept tiny (24 rows) so 1k-candidate lakes stay cheap to prepare and rank.
+func generatedLake(tb testing.TB, n int, seed int64) (*instcmp.Prepared, []PreparedCandidate) {
+	tb.Helper()
+	base := datasets.IrisData(24, rand.New(rand.NewSource(seed)))
+	example, err := instcmp.Prepare(base)
+	if err != nil {
+		tb.Fatal(err)
+	}
+	lake := make([]PreparedCandidate, 0, n)
+	for i := 0; i < n; i++ {
+		var (
+			inst  *instcmp.Instance
+			shape string
+		)
+		switch i % 5 {
+		case 0:
+			shape = "clone"
+			inst, err = versioning.MakeVariant(base, versioning.Shuffled, 0, int64(i))
+			if err != nil {
+				tb.Fatal(err)
+			}
+		case 1:
+			shape = "near"
+			inst = generator.Make(base, generator.Noise{CellPct: 0.03, Seed: int64(i)}).Target
+		case 2:
+			shape = "mid"
+			inst = generator.Make(base, generator.Noise{CellPct: 0.15, Seed: int64(i)}).Target
+		case 3:
+			shape = "far"
+			inst = generator.Make(base, generator.Noise{
+				CellPct: 0.35, RandomPct: 0.3, RedundantPct: 0.2, Seed: int64(i),
+			}).Target
+		case 4:
+			shape = "unrelated"
+			inst = datasets.NbaData(24, rand.New(rand.NewSource(seed+int64(i))))
+		}
+		p, err := instcmp.Prepare(inst)
+		if err != nil {
+			tb.Fatal(err)
+		}
+		lake = append(lake, PreparedCandidate{
+			Name:     fmt.Sprintf("c%04d-%s", i, shape),
+			Prepared: p,
+		})
+	}
+	return example, lake
+}
+
+// topNames returns the first k result names.
+func topNames(res []Result, k int) []string {
+	if k > len(res) {
+		k = len(res)
+	}
+	names := make([]string, k)
+	for i := range names {
+		names[i] = res[i].Name
+	}
+	return names
+}
+
+// TestIndexedRecallMatchesOracle is the satellite-3 property: on generated
+// lakes of every shape mix and size, the indexed ranking's top-10 is
+// IDENTICAL (names and scores) to the full-scan oracle's at default options —
+// recall 1.0, not "mostly right".
+func TestIndexedRecallMatchesOracle(t *testing.T) {
+	sizes := []int{50, 200, 1000}
+	if testing.Short() {
+		sizes = []int{50, 200}
+	}
+	opt := Options{Workers: runtime.GOMAXPROCS(0)}
+	for _, n := range sizes {
+		t.Run(fmt.Sprintf("n=%d", n), func(t *testing.T) {
+			example, lake := generatedLake(t, n, int64(n))
+			ix, err := BuildIndex(lake)
+			if err != nil {
+				t.Fatal(err)
+			}
+			oracle, err := RankPreparedContext(context.Background(), example, lake, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			indexed, st, err := RankIndexedContext(context.Background(), example, lake, ix, opt)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(indexed) != n || len(oracle) != n {
+				t.Fatalf("result sizes: indexed %d, oracle %d, want %d", len(indexed), len(oracle), n)
+			}
+			// A lake no larger than the shortlist must degrade to a full scan.
+			if wantFull := n <= max(4*DefaultTopK, DefaultMinShortlist); st.FullScan != wantFull {
+				t.Errorf("FullScan = %v, want %v (n=%d)", st.FullScan, wantFull, n)
+			}
+			for i := 0; i < DefaultTopK; i++ {
+				a, b := indexed[i], oracle[i]
+				a.Stats, b.Stats = nil, nil
+				if a != b {
+					t.Errorf("top-%d differs: indexed %+v vs oracle %+v (probed=%d widened=%v shortlist=%d)",
+						i, a, b, st.Probed, st.Widened, st.ShortlistSize)
+				}
+			}
+		})
+	}
+}
+
+// TestRankTieBreakDeterministic is the satellite-1 regression: candidates
+// with bit-identical scores (clones of the same base registered under
+// different names) must come out in name order on every path — sequential,
+// parallel, and indexed — instead of in input order.
+func TestRankTieBreakDeterministic(t *testing.T) {
+	base := datasets.IrisData(30, rand.New(rand.NewSource(7)))
+	example, err := instcmp.Prepare(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Clones deliberately appear in non-alphabetical input order.
+	var lake []PreparedCandidate
+	for i, name := range []string{"z-clone", "a-clone", "m-clone"} {
+		inst, err := versioning.MakeVariant(base, versioning.Shuffled, 0, int64(i+1))
+		if err != nil {
+			t.Fatal(err)
+		}
+		p, err := instcmp.Prepare(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lake = append(lake, PreparedCandidate{Name: name, Prepared: p})
+	}
+	for i := 0; i < 5; i++ {
+		inst := generator.Make(base, generator.Noise{CellPct: 0.1 + 0.1*float64(i), Seed: int64(i)}).Target
+		p, err := instcmp.Prepare(inst)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lake = append(lake, PreparedCandidate{Name: fmt.Sprintf("noise-%d", i), Prepared: p})
+	}
+
+	want := []string{"a-clone", "m-clone", "z-clone"}
+	check := func(path string, res []Result) {
+		t.Helper()
+		got := topNames(res, 3)
+		for i := range want {
+			if got[i] != want[i] {
+				t.Errorf("%s: top-3 = %v, want ties in name order %v", path, got, want)
+				return
+			}
+		}
+	}
+
+	seq, err := RankPreparedContext(context.Background(), example, lake, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("sequential", seq)
+
+	par, err := RankPreparedContext(context.Background(), example, lake, Options{Workers: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("parallel", par)
+	for i := range seq {
+		a, b := seq[i], par[i]
+		a.Stats, b.Stats = nil, nil
+		if a != b {
+			t.Errorf("parallel rank %d differs from sequential: %+v vs %+v", i, b, a)
+		}
+	}
+
+	// TopK=1, MinShortlist=2 → shortlist of 4 over 8 candidates: the indexed
+	// path genuinely reorders its input and must still agree at the top.
+	ix, err := BuildIndex(lake)
+	if err != nil {
+		t.Fatal(err)
+	}
+	indexed, st, err := RankIndexedContext(context.Background(), example, lake, ix, Options{TopK: 1, MinShortlist: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.FullScan {
+		t.Fatal("indexed path unexpectedly fell back to a full scan")
+	}
+	check("indexed", indexed)
+}
+
+func TestIndexedFallsBackToFullScan(t *testing.T) {
+	example, lake := generatedLake(t, 20, 3)
+	oracle, err := RankPreparedContext(context.Background(), example, lake, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	ix, err := BuildIndex(lake)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// nil index: transparent full scan.
+	res, st, err := RankIndexedContext(context.Background(), example, lake, nil, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.FullScan || st.ShortlistSize != len(lake) {
+		t.Errorf("nil index: stats %+v, want full scan over %d", st, len(lake))
+	}
+	compareResults(t, "nil index", res, oracle)
+
+	// Lake smaller than the shortlist: the index is ignored.
+	res, st, err = RankIndexedContext(context.Background(), example, lake, ix, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !st.FullScan {
+		t.Errorf("small lake: stats %+v, want full scan", st)
+	}
+	compareResults(t, "small lake", res, oracle)
+}
+
+func compareResults(t *testing.T, path string, got, want []Result) {
+	t.Helper()
+	if len(got) != len(want) {
+		t.Fatalf("%s: %d results, want %d", path, len(got), len(want))
+	}
+	for i := range want {
+		a, b := got[i], want[i]
+		a.Stats, b.Stats = nil, nil
+		if a != b {
+			t.Errorf("%s: rank %d = %+v, want %+v", path, i, a, b)
+		}
+	}
+}
+
+// TestIndexedForceShortlistsUnindexed pins the staleness rule: a candidate
+// the index has never seen is compared unconditionally, so registering a new
+// dataset before rebuilding the index costs comparisons, never recall.
+func TestIndexedForceShortlistsUnindexed(t *testing.T) {
+	example, lake := generatedLake(t, 200, 9)
+	// Index everything except the candidates the oracle ranks highest.
+	oracle, err := RankPreparedContext(context.Background(), example, lake, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	missing := map[string]bool{oracle[0].Name: true, oracle[1].Name: true}
+	var partial []PreparedCandidate
+	for _, c := range lake {
+		if !missing[c.Name] {
+			partial = append(partial, c)
+		}
+	}
+	ix, err := BuildIndex(partial)
+	if err != nil {
+		t.Fatal(err)
+	}
+	indexed, st, err := RankIndexedContext(context.Background(), example, lake, ix, Options{Workers: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Unindexed != 2 {
+		t.Errorf("Unindexed = %d, want 2", st.Unindexed)
+	}
+	for i := 0; i < DefaultTopK; i++ {
+		a, b := indexed[i], oracle[i]
+		a.Stats, b.Stats = nil, nil
+		if a != b {
+			t.Errorf("top-%d with stale index = %+v, want %+v", i, a, b)
+		}
+	}
+}
+
+func TestIndexedNilExample(t *testing.T) {
+	_, lake := generatedLake(t, 100, 5)
+	ix, err := BuildIndex(lake)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := RankIndexedContext(context.Background(), nil, lake, ix, Options{}); err == nil {
+		t.Error("nil example accepted")
+	}
+}
+
+// BenchmarkLake1k is the PR's headline number (BENCH_PR7.json): ranking a
+// 1000-candidate lake by full scan versus through the sketch index. The
+// indexed run also reports its top-10 recall against the full-scan oracle as
+// a custom metric, pinning that the speedup is not paid for with accuracy.
+func BenchmarkLake1k(b *testing.B) {
+	example, lake := generatedLake(b, 1000, 1000)
+	ix, err := BuildIndex(lake)
+	if err != nil {
+		b.Fatal(err)
+	}
+	opt := Options{Workers: runtime.GOMAXPROCS(0)}
+	oracle, err := RankPreparedContext(context.Background(), example, lake, opt)
+	if err != nil {
+		b.Fatal(err)
+	}
+	oracleTop := topNames(oracle, DefaultTopK)
+
+	b.Run("fullscan", func(b *testing.B) {
+		for i := 0; i < b.N; i++ {
+			if _, err := RankPreparedContext(context.Background(), example, lake, opt); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	b.Run("indexed", func(b *testing.B) {
+		var last []Result
+		for i := 0; i < b.N; i++ {
+			res, _, err := RankIndexedContext(context.Background(), example, lake, ix, opt)
+			if err != nil {
+				b.Fatal(err)
+			}
+			last = res
+		}
+		b.StopTimer()
+		hits := 0
+		got := map[string]bool{}
+		for _, name := range topNames(last, DefaultTopK) {
+			got[name] = true
+		}
+		for _, name := range oracleTop {
+			if got[name] {
+				hits++
+			}
+		}
+		b.ReportMetric(float64(hits)/float64(DefaultTopK), "top10_recall")
+	})
+}

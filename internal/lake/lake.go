@@ -71,7 +71,25 @@ type Options struct {
 	// prefilter overlap: TimedOut = true, score 0, ranked with the pruned
 	// candidates instead of failing the ranking.
 	PerCandidateTimeout time.Duration
+	// TopK is how many top candidates the caller cares about when ranking
+	// through a sketch index (RankIndexedContext); together with
+	// MinShortlist it sizes the shortlist that receives real comparisons as
+	// max(4*TopK, MinShortlist). 0 means DefaultTopK. Plain RankContext /
+	// RankPreparedContext ignore it (they compare everything).
+	TopK int
+	// MinShortlist floors the indexed shortlist size (0 = DefaultMinShortlist).
+	MinShortlist int
 }
+
+// Indexed shortlist sizing defaults: the shortlist is max(4*TopK,
+// MinShortlist) candidates, so a top-10 query compares at least 64
+// candidates — enough slack that the MinHash estimate (standard error ~0.044
+// at K=128) would have to misrank a true top-10 candidate past 54 closer
+// ones to break recall.
+const (
+	DefaultTopK         = 10
+	DefaultMinShortlist = 64
+)
 
 // Result is one ranked candidate.
 type Result struct {
@@ -171,6 +189,18 @@ func RankContext(ctx context.Context, example *instcmp.Instance, lake []Candidat
 // candidate's prepared state. This is the entry point for resident
 // registries serving many rankings over the same lake.
 func RankPreparedContext(ctx context.Context, example *instcmp.Prepared, lake []PreparedCandidate, opt Options) ([]Result, error) {
+	srcs, err := preparedSources(example, lake)
+	if err != nil {
+		return nil, err
+	}
+	prepExample := func() (*instcmp.Prepared, error) { return example, nil }
+	return rankSources(ctx, example.Instance(), prepExample, srcs, opt)
+}
+
+// preparedSources validates a prepared lake and converts it to the internal
+// candidate shape, aligning single-relation names to the example's. Shared
+// by the full-scan and indexed prepared entry points.
+func preparedSources(example *instcmp.Prepared, lake []PreparedCandidate) ([]candidateSource, error) {
 	if example == nil {
 		return nil, fmt.Errorf("lake: RankPrepared requires a non-nil prepared example")
 	}
@@ -190,8 +220,7 @@ func RankPreparedContext(ctx context.Context, example *instcmp.Prepared, lake []
 			prepare: func() (*instcmp.Prepared, error) { return p, nil },
 		}
 	}
-	prepExample := func() (*instcmp.Prepared, error) { return example, nil }
-	return rankSources(ctx, example.Instance(), prepExample, srcs, opt)
+	return srcs, nil
 }
 
 // rankSources runs the ranking proper: prefilter, budgeted full
@@ -316,18 +345,7 @@ func rankSources(ctx context.Context, example *instcmp.Instance, prepExample fun
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	degraded := func(r Result) bool { return r.Pruned || r.TimedOut }
-	sort.SliceStable(out, func(i, j int) bool {
-		if degraded(out[i]) != degraded(out[j]) {
-			return !degraded(out[i])
-		}
-		// Bit-level inequality: the ranking must not merge scores the
-		// golden tests distinguish (floatscore bans raw float !=).
-		if !score.SameScore(out[i].Score, out[j].Score) {
-			return out[i].Score > out[j].Score
-		}
-		return out[i].Overlap > out[j].Overlap
-	})
+	sortResults(out)
 	vars.Add("rankings", 1)
 	vars.Add("candidates", int64(len(out)))
 	for _, r := range out {
@@ -339,6 +357,31 @@ func rankSources(ctx context.Context, example *instcmp.Instance, prepExample fun
 		}
 	}
 	return out, nil
+}
+
+// sortResults pins the one deterministic ranking order every path —
+// sequential, parallel, indexed — must agree on: scored candidates first by
+// (score desc, overlap desc, name asc), degraded candidates (pruned or timed
+// out) last by (overlap desc, name asc). Before the name tie-break,
+// equal-score candidates kept their input order only by accident of the
+// sequential fold, which the indexed path (which reorders its input around
+// the shortlist) would have broken.
+func sortResults(out []Result) {
+	degraded := func(r Result) bool { return r.Pruned || r.TimedOut }
+	sort.SliceStable(out, func(i, j int) bool {
+		if degraded(out[i]) != degraded(out[j]) {
+			return !degraded(out[i])
+		}
+		// Bit-level inequality: the ranking must not merge scores the
+		// golden tests distinguish (floatscore bans raw float !=).
+		if !score.SameScore(out[i].Score, out[j].Score) {
+			return out[i].Score > out[j].Score
+		}
+		if !score.SameScore(out[i].Overlap, out[j].Overlap) {
+			return out[i].Overlap > out[j].Overlap
+		}
+		return out[i].Name < out[j].Name
+	})
 }
 
 // sampleConsts collects up to max distinct constants of the instance, in

@@ -1,0 +1,133 @@
+package lakeindex
+
+import (
+	"math/rand"
+	"strconv"
+	"sync"
+	"testing"
+)
+
+func TestDynamicAddRemoveReplace(t *testing.T) {
+	rng := rand.New(rand.NewSource(31))
+	d := NewDynamic()
+	a := NewSketch(randomFeatures(300, rng))
+	b := NewSketch(randomFeatures(300, rng))
+
+	d.Add("x", a)
+	if !d.Contains("x") || d.Len() != 1 {
+		t.Fatalf("after Add: Contains=%v Len=%d", d.Contains("x"), d.Len())
+	}
+	// Replacing must drop the old sketch's buckets: a query equal to the old
+	// sketch should no longer find "x" through banding alone.
+	d.Add("x", b)
+	if d.Len() != 1 {
+		t.Fatalf("replace changed Len to %d", d.Len())
+	}
+	hits, _ := d.Shortlist(b, 1)
+	if len(hits) != 1 || hits[0].Name != "x" || hits[0].Estimate != 1 {
+		t.Fatalf("replaced sketch not retrievable: %+v", hits)
+	}
+	if !d.Remove("x") || d.Contains("x") || d.Len() != 0 {
+		t.Fatal("Remove did not unindex")
+	}
+	if d.Remove("x") {
+		t.Error("second Remove reported true")
+	}
+	// All buckets must be gone, or churn would leak memory in a long-running
+	// registry.
+	if len(d.buckets) != 0 || len(d.names) != 0 {
+		t.Errorf("leftovers after removal: %d buckets, %d names", len(d.buckets), len(d.names))
+	}
+}
+
+func TestDynamicMatchesStaticIndex(t *testing.T) {
+	rng := rand.New(rand.NewSource(32))
+	entries, query := syntheticLake(200, 10, rng)
+	ix, err := Build(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	d := NewDynamic()
+	// Insert in shuffled order with some churn: every candidate gets added,
+	// a third are removed and re-added.
+	perm := rng.Perm(len(entries))
+	for _, i := range perm {
+		d.Add(entries[i].Name, entries[i].Sketch)
+	}
+	for i := 0; i < len(entries); i += 3 {
+		d.Remove(entries[i].Name)
+	}
+	for i := 0; i < len(entries); i += 3 {
+		d.Add(entries[i].Name, entries[i].Sketch)
+	}
+	if d.Len() != ix.Len() {
+		t.Fatalf("Len: dynamic %d vs static %d", d.Len(), ix.Len())
+	}
+
+	q := NewSketch(query)
+	for _, target := range []int{10, 40, 0} {
+		want, _ := ix.Shortlist(q, target)
+		have, _ := d.Shortlist(q, target)
+		if len(want) != len(have) {
+			t.Fatalf("target %d: %d vs %d hits", target, len(have), len(want))
+		}
+		for i := range want {
+			if want[i] != have[i] {
+				t.Errorf("target %d: hit[%d] dynamic %+v vs static %+v", target, i, have[i], want[i])
+			}
+		}
+	}
+}
+
+func TestDynamicConcurrentChurn(t *testing.T) {
+	rng := rand.New(rand.NewSource(33))
+	entries, query := syntheticLake(64, 8, rng)
+	d := NewDynamic()
+	// Stable block that is never removed: probes must always see it.
+	for _, e := range entries[:16] {
+		d.Add(e.Name, e.Sketch)
+	}
+	q := NewSketch(query)
+
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			block := entries[16+12*w : 16+12*(w+1)]
+			for round := 0; round < 50; round++ {
+				for _, e := range block {
+					d.Add(e.Name+"-"+strconv.Itoa(w), e.Sketch)
+				}
+				for _, e := range block {
+					d.Remove(e.Name + "-" + strconv.Itoa(w))
+				}
+			}
+		}(w)
+	}
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for round := 0; round < 100; round++ {
+				hits, _ := d.Shortlist(q, 16)
+				if len(hits) < 16 {
+					t.Errorf("probe lost the stable block: %d hits", len(hits))
+					return
+				}
+				seen := make(map[string]bool, len(hits))
+				for _, h := range hits {
+					if seen[h.Name] {
+						t.Errorf("duplicate hit %q", h.Name)
+						return
+					}
+					seen[h.Name] = true
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if d.Len() != 16 {
+		t.Errorf("after churn Len = %d, want the 16 stable entries", d.Len())
+	}
+}

@@ -1,0 +1,166 @@
+package lakeindex
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Entry is one indexed candidate: its name, sketch, and the size of the
+// feature set the sketch summarizes (kept for diagnostics and for weighting
+// heuristics later; it does not influence retrieval).
+type Entry struct {
+	Name     string
+	Sketch   *Sketch
+	Features uint64
+}
+
+// Hit is one shortlist member: a candidate name with its estimated Jaccard
+// overlap against the query sketch.
+type Hit struct {
+	Name     string
+	Estimate float64
+}
+
+// ProbeStats reports how a shortlist was assembled.
+type ProbeStats struct {
+	// Probed is the number of distinct candidates the banded inverted index
+	// returned for the query (before ranking and truncation).
+	Probed int
+	// Widened reports that banding returned fewer candidates than asked for,
+	// so every indexed sketch was estimated instead (an O(n·K) word scan —
+	// still far cheaper than n real comparisons).
+	Widened bool
+}
+
+// Searcher is the retrieval interface lake ranking consumes: the static
+// Index and the registry-resident Dynamic both implement it.
+type Searcher interface {
+	// Shortlist returns up to target candidates ranked by estimated overlap
+	// with the query (estimate descending, name ascending on ties).
+	// target <= 0 means every indexed candidate.
+	Shortlist(q *Sketch, target int) ([]Hit, ProbeStats)
+	// Contains reports whether a candidate name is indexed. Lake ranking
+	// treats un-indexed candidates as shortlisted unconditionally, so a
+	// stale index degrades to extra comparisons, never to lost candidates.
+	Contains(name string) bool
+}
+
+// Index is an immutable sketch index over a fixed candidate set, built once
+// (Build) or loaded from a persisted file (ReadFile). It is safe for
+// concurrent probing.
+type Index struct {
+	// entries are sorted by name; byName maps a name to its position.
+	entries []Entry
+	byName  map[string]int32
+	// buckets is the inverted index: band bucket key → positions of the
+	// entries whose sketch falls in that bucket, in entry order.
+	buckets map[uint64][]int32
+}
+
+// Build constructs an index over the entries. Entry names must be distinct
+// and non-empty; sketches must be non-nil.
+func Build(entries []Entry) (*Index, error) {
+	es := append([]Entry(nil), entries...)
+	sort.Slice(es, func(i, j int) bool { return es[i].Name < es[j].Name })
+	ix := &Index{
+		entries: es,
+		byName:  make(map[string]int32, len(es)),
+		buckets: make(map[uint64][]int32),
+	}
+	for i, e := range es {
+		if e.Name == "" {
+			return nil, fmt.Errorf("lakeindex: entry %d has an empty name", i)
+		}
+		if e.Sketch == nil {
+			return nil, fmt.Errorf("lakeindex: entry %q has no sketch", e.Name)
+		}
+		if _, dup := ix.byName[e.Name]; dup {
+			return nil, fmt.Errorf("lakeindex: duplicate entry %q", e.Name)
+		}
+		ix.byName[e.Name] = int32(i)
+		for _, key := range e.Sketch.BandKeys() {
+			ix.buckets[key] = append(ix.buckets[key], int32(i))
+		}
+	}
+	return ix, nil
+}
+
+// Len returns the number of indexed candidates.
+func (ix *Index) Len() int { return len(ix.entries) }
+
+// Names returns the indexed candidate names in sorted order.
+func (ix *Index) Names() []string {
+	out := make([]string, len(ix.entries))
+	for i, e := range ix.entries {
+		out[i] = e.Name
+	}
+	return out
+}
+
+// Contains reports whether the name is indexed.
+func (ix *Index) Contains(name string) bool {
+	_, ok := ix.byName[name]
+	return ok
+}
+
+// Entry returns the indexed entry for a name.
+func (ix *Index) Entry(name string) (Entry, bool) {
+	i, ok := ix.byName[name]
+	if !ok {
+		return Entry{}, false
+	}
+	return ix.entries[i], true
+}
+
+// Shortlist implements Searcher: probe the banded buckets, widen to a full
+// sketch scan if banding under-delivers, rank by estimate, truncate.
+func (ix *Index) Shortlist(q *Sketch, target int) ([]Hit, ProbeStats) {
+	if target <= 0 || target > len(ix.entries) {
+		target = len(ix.entries)
+	}
+	var st ProbeStats
+	// Band probe: every candidate sharing at least one band bucket with the
+	// query. seen is positional, so dedup needs no map iteration and the
+	// candidate list comes out in deterministic entry order.
+	seen := make([]bool, len(ix.entries))
+	cands := make([]int32, 0, 2*target)
+	for _, key := range q.BandKeys() {
+		for _, i := range ix.buckets[key] {
+			if !seen[i] {
+				seen[i] = true
+				cands = append(cands, i)
+			}
+		}
+	}
+	st.Probed = len(cands)
+	if len(cands) < target {
+		// Banding found too few: estimate everything. The probe set is a
+		// subset of "everything", so this strictly widens the shortlist.
+		st.Widened = true
+		cands = cands[:0]
+		for i := range ix.entries {
+			cands = append(cands, int32(i))
+		}
+	}
+	hits := make([]Hit, 0, len(cands))
+	for _, i := range cands {
+		e := &ix.entries[i]
+		hits = append(hits, Hit{Name: e.Name, Estimate: q.Estimate(e.Sketch)})
+	}
+	sortHits(hits)
+	if len(hits) > target {
+		hits = hits[:target]
+	}
+	return hits, st
+}
+
+// sortHits orders hits by estimate descending, name ascending — the total
+// deterministic order every retrieval path shares.
+func sortHits(hits []Hit) {
+	sort.Slice(hits, func(i, j int) bool {
+		if hits[i].Estimate != hits[j].Estimate {
+			return hits[i].Estimate > hits[j].Estimate
+		}
+		return hits[i].Name < hits[j].Name
+	})
+}

@@ -1,0 +1,130 @@
+package lakeindex
+
+import (
+	"math/rand"
+	"strconv"
+	"testing"
+)
+
+// syntheticLake builds n entries: the first `related` are perturbed variants
+// of a base feature set (decreasing overlap), the rest are unrelated random
+// sets. Returns the entries and the query features.
+func syntheticLake(n, related int, rng *rand.Rand) ([]Entry, []uint64) {
+	base := randomFeatures(800, rng)
+	entries := make([]Entry, 0, n)
+	for i := 0; i < n; i++ {
+		var feats []uint64
+		if i < related {
+			// Overlap decays from ~95% to ~50% across the related block.
+			keep := 760 - (i*320)/max(related, 1)
+			feats = append(append([]uint64(nil), base[:keep]...), randomFeatures(800-keep, rng)...)
+		} else {
+			feats = randomFeatures(800, rng)
+		}
+		entries = append(entries, Entry{
+			Name:     "cand-" + strconv.Itoa(i),
+			Sketch:   NewSketch(feats),
+			Features: uint64(len(feats)),
+		})
+	}
+	return entries, base
+}
+
+func TestBuildRejectsBadEntries(t *testing.T) {
+	sk := NewSketch([]uint64{1, 2, 3})
+	if _, err := Build([]Entry{{Name: "", Sketch: sk}}); err == nil {
+		t.Error("empty name accepted")
+	}
+	if _, err := Build([]Entry{{Name: "a", Sketch: nil}}); err == nil {
+		t.Error("nil sketch accepted")
+	}
+	if _, err := Build([]Entry{{Name: "a", Sketch: sk}, {Name: "a", Sketch: sk}}); err == nil {
+		t.Error("duplicate name accepted")
+	}
+}
+
+func TestShortlistFindsRelatedCandidates(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	entries, query := syntheticLake(400, 12, rng)
+	ix, err := Build(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, st := ix.Shortlist(NewSketch(query), 40)
+	if len(hits) != 40 {
+		t.Fatalf("shortlist size = %d, want 40", len(hits))
+	}
+	inShort := map[string]bool{}
+	for _, h := range hits {
+		inShort[h.Name] = true
+	}
+	for i := 0; i < 12; i++ {
+		if name := "cand-" + strconv.Itoa(i); !inShort[name] {
+			t.Errorf("related %s missing from shortlist (probed=%d widened=%v)", name, st.Probed, st.Widened)
+		}
+	}
+	// Hits are sorted by estimate desc; the strongly-related block should
+	// dominate the top.
+	for i := 1; i < len(hits); i++ {
+		if hits[i].Estimate > hits[i-1].Estimate {
+			t.Fatalf("hits not sorted by estimate: %v > %v at %d", hits[i].Estimate, hits[i-1].Estimate, i)
+		}
+	}
+}
+
+func TestShortlistWidensWhenBandingUnderDelivers(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	// All candidates unrelated to the query: banding should find nothing
+	// and the probe must widen to a full estimate scan, not return empty.
+	entries, _ := syntheticLake(50, 0, rng)
+	ix, err := Build(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hits, st := ix.Shortlist(NewSketch(randomFeatures(800, rng)), 20)
+	if !st.Widened {
+		t.Errorf("expected widened probe on an unrelated lake (probed=%d)", st.Probed)
+	}
+	if len(hits) != 20 {
+		t.Errorf("widened shortlist size = %d, want 20", len(hits))
+	}
+}
+
+func TestShortlistTargetClamping(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	entries, query := syntheticLake(10, 3, rng)
+	ix, err := Build(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, target := range []int{0, -1, 100} {
+		hits, _ := ix.Shortlist(NewSketch(query), target)
+		if len(hits) != 10 {
+			t.Errorf("target %d: got %d hits, want all 10", target, len(hits))
+		}
+	}
+}
+
+func TestIndexLookups(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	entries, _ := syntheticLake(5, 0, rng)
+	ix, err := Build(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !ix.Contains("cand-3") || ix.Contains("nope") {
+		t.Error("Contains wrong")
+	}
+	if e, ok := ix.Entry("cand-2"); !ok || e.Name != "cand-2" || e.Features != 800 {
+		t.Errorf("Entry(cand-2) = %+v, %v", e, ok)
+	}
+	names := ix.Names()
+	if len(names) != 5 || names[0] != "cand-0" {
+		t.Errorf("Names() = %v", names)
+	}
+	for i := 1; i < len(names); i++ {
+		if names[i] <= names[i-1] {
+			t.Errorf("Names() not sorted: %v", names)
+		}
+	}
+}

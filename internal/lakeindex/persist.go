@@ -1,0 +1,241 @@
+package lakeindex
+
+// Persisted index format (little-endian throughout):
+//
+//	offset size
+//	0      4    magic "LKIX"
+//	4      4    uint32 FormatVersion (file layout)
+//	8      4    uint32 SeedVersion   (hash + permutation semantics)
+//	12     4    uint32 K             (sketch width)
+//	16     4    uint32 Bands
+//	20     8    uint64 payload length in bytes
+//	28     8    uint64 FNV-1a checksum of the payload
+//	36     …    payload
+//
+// payload:
+//
+//	uint32 entry count, then per entry:
+//	uint32 name length, name bytes, uint64 feature count, K × uint64 sketch
+//
+// Only sketches are persisted; the banded inverted index is rebuilt at load
+// time (linear in the entry count, microseconds for thousand-entry lakes),
+// which keeps the file small and makes the banding geometry upgradeable
+// without a format change. Every load verifies magic, versions, geometry,
+// and the payload checksum before trusting a single byte, so a truncated,
+// corrupted, or stale file is rejected with a clear error — callers fall
+// back to a full scan, they never crash on a bad index.
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+)
+
+// FormatVersion is the persisted file layout version.
+const FormatVersion = 1
+
+var magic = [4]byte{'L', 'K', 'I', 'X'}
+
+// maxNameLen bounds a persisted candidate name; anything longer marks a
+// corrupt or hostile file.
+const maxNameLen = 1 << 16
+
+// Load failure categories, matchable with errors.Is.
+var (
+	// ErrNotIndex marks a file that is not a lake index at all.
+	ErrNotIndex = errors.New("not a lake index file")
+	// ErrVersion marks an index written under a different format or seed
+	// version; the index must be rebuilt.
+	ErrVersion = errors.New("index version mismatch")
+	// ErrCorrupt marks a structurally damaged index file (bad checksum,
+	// truncation, impossible lengths); the index must be rebuilt.
+	ErrCorrupt = errors.New("index file corrupted")
+)
+
+// fnvSum is the running FNV-1a checksum the payload is verified with.
+func fnvSum(data []byte) uint64 {
+	h := uint64(14695981039346656037)
+	for _, b := range data {
+		h ^= uint64(b)
+		h *= 1099511628211
+	}
+	return h
+}
+
+// Write serializes the index.
+func (ix *Index) Write(w io.Writer) error {
+	payload := ix.payload()
+	var header [36]byte
+	copy(header[0:4], magic[:])
+	binary.LittleEndian.PutUint32(header[4:8], FormatVersion)
+	binary.LittleEndian.PutUint32(header[8:12], SeedVersion)
+	binary.LittleEndian.PutUint32(header[12:16], K)
+	binary.LittleEndian.PutUint32(header[16:20], Bands)
+	binary.LittleEndian.PutUint64(header[20:28], uint64(len(payload)))
+	binary.LittleEndian.PutUint64(header[28:36], fnvSum(payload))
+	if _, err := w.Write(header[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// payload renders the entry section.
+func (ix *Index) payload() []byte {
+	n := 4
+	for _, e := range ix.entries {
+		n += 4 + len(e.Name) + 8 + K*8
+	}
+	buf := make([]byte, 0, n)
+	buf = binary.LittleEndian.AppendUint32(buf, uint32(len(ix.entries)))
+	for _, e := range ix.entries {
+		buf = binary.LittleEndian.AppendUint32(buf, uint32(len(e.Name)))
+		buf = append(buf, e.Name...)
+		buf = binary.LittleEndian.AppendUint64(buf, e.Features)
+		for _, v := range e.Sketch.vals {
+			buf = binary.LittleEndian.AppendUint64(buf, v)
+		}
+	}
+	return buf
+}
+
+// WriteFile atomically persists the index next to the lake: the bytes go to
+// a temporary file in the same directory first and are renamed into place,
+// so a crash mid-write can never leave a half-written index under the real
+// name (it would fail the checksum anyway, but it should not even exist).
+func (ix *Index) WriteFile(path string) error {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, ".lakeindex-*")
+	if err != nil {
+		return err
+	}
+	defer os.Remove(tmp.Name())
+	bw := bufio.NewWriter(tmp)
+	if err := ix.Write(bw); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := bw.Flush(); err != nil {
+		tmp.Close()
+		return err
+	}
+	if err := tmp.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp.Name(), path)
+}
+
+// Read deserializes and verifies an index.
+func Read(r io.Reader) (*Index, error) {
+	var header [36]byte
+	if _, err := io.ReadFull(r, header[:]); err != nil {
+		return nil, fmt.Errorf("lakeindex: %w: header too short: %v", ErrNotIndex, err)
+	}
+	if [4]byte(header[0:4]) != magic {
+		return nil, fmt.Errorf("lakeindex: %w: bad magic %q", ErrNotIndex, header[0:4])
+	}
+	if v := binary.LittleEndian.Uint32(header[4:8]); v != FormatVersion {
+		return nil, fmt.Errorf("lakeindex: %w: file format %d, this build reads %d — rebuild the index", ErrVersion, v, FormatVersion)
+	}
+	if v := binary.LittleEndian.Uint32(header[8:12]); v != SeedVersion {
+		return nil, fmt.Errorf("lakeindex: %w: sketch seeds v%d, this build uses v%d — rebuild the index", ErrVersion, v, SeedVersion)
+	}
+	if k := binary.LittleEndian.Uint32(header[12:16]); k != K {
+		return nil, fmt.Errorf("lakeindex: %w: sketch width %d, this build uses %d — rebuild the index", ErrVersion, k, K)
+	}
+	if b := binary.LittleEndian.Uint32(header[16:20]); b != Bands {
+		return nil, fmt.Errorf("lakeindex: %w: %d bands, this build uses %d — rebuild the index", ErrVersion, b, Bands)
+	}
+	plen := binary.LittleEndian.Uint64(header[20:28])
+	if plen > 1<<32 {
+		return nil, fmt.Errorf("lakeindex: %w: implausible payload length %d", ErrCorrupt, plen)
+	}
+	payload := make([]byte, plen)
+	if _, err := io.ReadFull(r, payload); err != nil {
+		return nil, fmt.Errorf("lakeindex: %w: payload truncated: %v", ErrCorrupt, err)
+	}
+	if sum := fnvSum(payload); sum != binary.LittleEndian.Uint64(header[28:36]) {
+		return nil, fmt.Errorf("lakeindex: %w: checksum mismatch", ErrCorrupt)
+	}
+	entries, err := parsePayload(payload)
+	if err != nil {
+		return nil, err
+	}
+	ix, err := Build(entries)
+	if err != nil {
+		return nil, fmt.Errorf("lakeindex: %w: %v", ErrCorrupt, err)
+	}
+	return ix, nil
+}
+
+// parsePayload decodes the checksummed entry section.
+func parsePayload(p []byte) ([]Entry, error) {
+	take := func(n int) ([]byte, error) {
+		if len(p) < n {
+			return nil, fmt.Errorf("lakeindex: %w: payload truncated inside an entry", ErrCorrupt)
+		}
+		b := p[:n]
+		p = p[n:]
+		return b, nil
+	}
+	cb, err := take(4)
+	if err != nil {
+		return nil, err
+	}
+	count := binary.LittleEndian.Uint32(cb)
+	// Cheap plausibility bound before allocating: every entry occupies at
+	// least its fixed fields plus a one-byte name.
+	if uint64(count)*uint64(4+1+8+K*8) > uint64(len(p)) {
+		return nil, fmt.Errorf("lakeindex: %w: implausible entry count %d for %d payload bytes", ErrCorrupt, count, len(p))
+	}
+	entries := make([]Entry, 0, count)
+	for i := uint32(0); i < count; i++ {
+		nb, err := take(4)
+		if err != nil {
+			return nil, err
+		}
+		nameLen := binary.LittleEndian.Uint32(nb)
+		if nameLen == 0 || nameLen > maxNameLen {
+			return nil, fmt.Errorf("lakeindex: %w: entry %d has name length %d", ErrCorrupt, i, nameLen)
+		}
+		name, err := take(int(nameLen))
+		if err != nil {
+			return nil, err
+		}
+		fb, err := take(8)
+		if err != nil {
+			return nil, err
+		}
+		sk := &Sketch{}
+		vb, err := take(K * 8)
+		if err != nil {
+			return nil, err
+		}
+		for j := range sk.vals {
+			sk.vals[j] = binary.LittleEndian.Uint64(vb[j*8:])
+		}
+		entries = append(entries, Entry{
+			Name:     string(name),
+			Features: binary.LittleEndian.Uint64(fb),
+			Sketch:   sk,
+		})
+	}
+	if len(p) != 0 {
+		return nil, fmt.Errorf("lakeindex: %w: %d trailing bytes after last entry", ErrCorrupt, len(p))
+	}
+	return entries, nil
+}
+
+// ReadFile loads and verifies a persisted index.
+func ReadFile(path string) (*Index, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return Read(bufio.NewReader(f))
+}

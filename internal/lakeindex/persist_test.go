@@ -1,0 +1,153 @@
+package lakeindex
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func buildTestIndex(t *testing.T, n int) (*Index, []uint64) {
+	t.Helper()
+	rng := rand.New(rand.NewSource(21))
+	entries, query := syntheticLake(n, 8, rng)
+	ix, err := Build(entries)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return ix, query
+}
+
+func TestPersistRoundTrip(t *testing.T) {
+	ix, query := buildTestIndex(t, 60)
+	path := filepath.Join(t.TempDir(), "lake.idx")
+	if err := ix.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != ix.Len() {
+		t.Fatalf("round-trip lost entries: %d vs %d", got.Len(), ix.Len())
+	}
+	for _, name := range ix.Names() {
+		a, _ := ix.Entry(name)
+		b, ok := got.Entry(name)
+		if !ok {
+			t.Fatalf("entry %q missing after round-trip", name)
+		}
+		if !a.Sketch.Equal(b.Sketch) || a.Features != b.Features {
+			t.Fatalf("entry %q changed in round-trip", name)
+		}
+	}
+	// The reloaded index must retrieve identically: same hits, same order.
+	q := NewSketch(query)
+	want, _ := ix.Shortlist(q, 20)
+	have, _ := got.Shortlist(q, 20)
+	if len(want) != len(have) {
+		t.Fatalf("shortlist sizes differ: %d vs %d", len(want), len(have))
+	}
+	for i := range want {
+		if want[i] != have[i] {
+			t.Fatalf("shortlist[%d] differs after reload: %+v vs %+v", i, want[i], have[i])
+		}
+	}
+}
+
+func TestReadRejectsNonIndexFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "not-an-index")
+	if err := os.WriteFile(path, []byte("relation,attr\n1,2\n"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	_, err := ReadFile(path)
+	if !errors.Is(err, ErrNotIndex) {
+		t.Errorf("err = %v, want ErrNotIndex", err)
+	}
+}
+
+func TestReadRejectsShortFile(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "stub")
+	if err := os.WriteFile(path, []byte("LK"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := ReadFile(path); !errors.Is(err, ErrNotIndex) {
+		t.Errorf("err = %v, want ErrNotIndex", err)
+	}
+}
+
+func TestReadRejectsVersionMismatch(t *testing.T) {
+	ix, _ := buildTestIndex(t, 5)
+	var buf bytes.Buffer
+	if err := ix.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	for _, tc := range []struct {
+		name   string
+		offset int
+	}{
+		{"format version", 4},
+		{"seed version", 8},
+		{"sketch width", 12},
+		{"band count", 16},
+	} {
+		data := append([]byte(nil), buf.Bytes()...)
+		data[tc.offset]++
+		_, err := Read(bytes.NewReader(data))
+		if !errors.Is(err, ErrVersion) {
+			t.Errorf("%s bumped: err = %v, want ErrVersion", tc.name, err)
+		}
+	}
+}
+
+func TestReadRejectsCorruption(t *testing.T) {
+	ix, _ := buildTestIndex(t, 10)
+	var buf bytes.Buffer
+	if err := ix.Write(&buf); err != nil {
+		t.Fatal(err)
+	}
+	// Flip one payload byte: the checksum must catch it.
+	data := append([]byte(nil), buf.Bytes()...)
+	data[len(data)-3] ^= 0xff
+	if _, err := Read(bytes.NewReader(data)); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("bit flip: err = %v, want ErrCorrupt", err)
+	}
+	// Truncate the payload: caught before the checksum even runs.
+	if _, err := Read(bytes.NewReader(buf.Bytes()[:len(buf.Bytes())-10])); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("truncation: err = %v, want ErrCorrupt", err)
+	}
+	// Declare more bytes than exist.
+	data = append([]byte(nil), buf.Bytes()...)
+	data[20] = 0xff
+	if _, err := Read(bytes.NewReader(data)); !errors.Is(err, ErrCorrupt) {
+		t.Errorf("length lie: err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestWriteFileAtomicReplacesExisting(t *testing.T) {
+	ix, _ := buildTestIndex(t, 5)
+	path := filepath.Join(t.TempDir(), "lake.idx")
+	if err := os.WriteFile(path, []byte("old garbage"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.WriteFile(path); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Len() != 5 {
+		t.Errorf("reloaded %d entries, want 5", got.Len())
+	}
+	// No temp files left behind.
+	entries, err := os.ReadDir(filepath.Dir(path))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(entries) != 1 {
+		t.Errorf("directory has %d entries, want just the index", len(entries))
+	}
+}

@@ -1,0 +1,131 @@
+package lakeindex
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// randomFeatures returns n distinct pseudo-random feature hashes.
+func randomFeatures(n int, rng *rand.Rand) []uint64 {
+	seen := make(map[uint64]bool, n)
+	out := make([]uint64, 0, n)
+	for len(out) < n {
+		f := rng.Uint64()
+		if !seen[f] {
+			seen[f] = true
+			out = append(out, f)
+		}
+	}
+	return out
+}
+
+// jaccard computes the exact Jaccard similarity of two feature slices.
+func jaccard(a, b []uint64) float64 {
+	if len(a) == 0 && len(b) == 0 {
+		return 1
+	}
+	in := make(map[uint64]bool, len(a))
+	for _, f := range a {
+		in[f] = true
+	}
+	inter := 0
+	for _, f := range b {
+		if in[f] {
+			inter++
+		}
+	}
+	union := len(a) + len(b) - inter
+	return float64(inter) / float64(union)
+}
+
+func TestSketchDeterministicAndOrderInsensitive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	feats := randomFeatures(500, rng)
+	s1 := NewSketch(feats)
+	s2 := NewSketch(feats)
+	if !s1.Equal(s2) {
+		t.Fatal("same features, different sketches")
+	}
+	// Shuffle and duplicate: min() commutes and is idempotent.
+	shuffled := append([]uint64(nil), feats...)
+	rng.Shuffle(len(shuffled), func(i, j int) { shuffled[i], shuffled[j] = shuffled[j], shuffled[i] })
+	shuffled = append(shuffled, feats[:100]...)
+	if !s1.Equal(NewSketch(shuffled)) {
+		t.Fatal("sketch depends on feature order or duplication")
+	}
+}
+
+func TestSketchEstimateTracksJaccard(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	base := randomFeatures(1000, rng)
+	for _, keep := range []float64{1.0, 0.8, 0.5, 0.2, 0.0} {
+		n := int(keep * float64(len(base)))
+		variant := append([]uint64(nil), base[:n]...)
+		variant = append(variant, randomFeatures(len(base)-n, rng)...)
+		got := NewSketch(base).Estimate(NewSketch(variant))
+		want := jaccard(base, variant)
+		// Standard error at K=128 is ~sqrt(J(1-J)/128) <= 0.045; allow 4σ.
+		if math.Abs(got-want) > 0.18 {
+			t.Errorf("keep=%.1f: estimate %.3f vs exact %.3f", keep, got, want)
+		}
+	}
+}
+
+func TestSketchEstimateIdentityAndEmpty(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	s := NewSketch(randomFeatures(200, rng))
+	if got := s.Estimate(s); got != 1 {
+		t.Errorf("self-estimate = %v, want 1", got)
+	}
+	empty := NewSketch(nil)
+	if got := empty.Estimate(NewSketch(nil)); got != 1 {
+		t.Errorf("empty-vs-empty = %v, want 1 (matches the prefilter's empty-set convention)", got)
+	}
+	if got := empty.Estimate(s); got > 0.05 {
+		t.Errorf("empty-vs-full = %v, want ~0", got)
+	}
+}
+
+func TestBandKeysDistinguishBands(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	s := NewSketch(randomFeatures(300, rng))
+	keys := s.BandKeys()
+	seen := map[uint64]bool{}
+	for _, k := range keys {
+		if seen[k] {
+			t.Fatalf("band key collision within one sketch: %x", k)
+		}
+		seen[k] = true
+	}
+	// Identical sketches must produce identical keys (that is the index).
+	if NewSketch(randomFeatures(300, rand.New(rand.NewSource(4)))).BandKeys() != keys {
+		t.Fatal("band keys are not deterministic")
+	}
+}
+
+func TestHighSimilarityPairsShareABand(t *testing.T) {
+	// At J = 0.9, P(no shared band) = (1-0.9^4)^32 ≈ 4e-5 per pair; 50
+	// pairs together stay far below any flaky threshold.
+	rng := rand.New(rand.NewSource(5))
+	misses := 0
+	for trial := 0; trial < 50; trial++ {
+		base := randomFeatures(1000, rng)
+		variant := append([]uint64(nil), base[:900]...)
+		variant = append(variant, randomFeatures(100, rng)...)
+		a, b := NewSketch(base).BandKeys(), NewSketch(variant).BandKeys()
+		shared := false
+		for i := range a {
+			if a[i] == b[i] {
+				shared = true
+				break
+			}
+		}
+		if !shared {
+			misses++
+		}
+	}
+	if misses > 2 {
+		t.Errorf("%d/50 high-similarity pairs share no band; banding is broken", misses)
+	}
+}

@@ -89,3 +89,52 @@ func (c *counterOnly) bump() {
 	c.n++
 	c.mu.Unlock()
 }
+
+// invindex mirrors lakeindex.Dynamic: a sketch map plus an inverted bucket
+// map behind one RWMutex, with a sorted mirror slice.
+type invindex struct {
+	mu       sync.RWMutex
+	sketches map[string]int
+	buckets  map[uint64][]string
+	names    []string
+}
+
+// add computes nothing under the lock beyond the map links: fine.
+func (d *invindex) add(name string, keys []uint64) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.sketches[name] = len(keys)
+	for _, k := range keys {
+		d.buckets[k] = append(d.buckets[k], name)
+	}
+}
+
+// racyProbe reads a bucket without any lock.
+func (d *invindex) racyProbe(k uint64) []string {
+	return d.buckets[k] // want "guarded by the struct's mutex"
+}
+
+// racyContains reads the sketch map before taking the lock.
+func (d *invindex) racyContains(name string) bool {
+	_, ok := d.sketches[name] // want "guarded by the struct's mutex"
+	d.mu.RLock()
+	defer d.mu.RUnlock()
+	return ok
+}
+
+// removeLocked follows the ...Locked convention: both maps may be touched.
+func (d *invindex) removeLocked(name string) {
+	delete(d.sketches, name)
+	for k, bucket := range d.buckets {
+		if len(bucket) == 0 {
+			delete(d.buckets, k)
+		}
+	}
+}
+
+// remove holds the write lock across the helper: fine.
+func (d *invindex) remove(name string) {
+	d.mu.Lock()
+	defer d.mu.Unlock()
+	d.removeLocked(name)
+}

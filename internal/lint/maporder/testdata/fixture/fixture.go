@@ -71,3 +71,33 @@ func overSlice(xs []float64) float64 {
 	}
 	return t
 }
+
+// invertedProbe mirrors the sketch index's band probe: buckets are looked
+// up by key, and only slices are ranged — clean.
+func invertedProbe(buckets map[uint64][]int32, keys []uint64) []int32 {
+	var cands []int32
+	for _, key := range keys { // keyed bucket lookups, not a map range
+		cands = append(cands, buckets[key]...)
+	}
+	return cands
+}
+
+// invertedScanAll ranges the bucket map itself: the candidate list would
+// come out in map order.
+func invertedScanAll(buckets map[uint64][]int32) []int32 {
+	var cands []int32
+	for _, bucket := range buckets { // want "map iteration order"
+		cands = append(cands, bucket...)
+	}
+	return cands
+}
+
+// widenedScan mirrors the dynamic index's widened probe: iterate the sorted
+// mirror slice, never the map it mirrors.
+func widenedScan(names []string, estimates map[string]float64) []float64 {
+	out := make([]float64, 0, len(names))
+	for _, n := range names { // sorted mirror slice: deterministic
+		out = append(out, estimates[n])
+	}
+	return out
+}

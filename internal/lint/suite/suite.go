@@ -32,10 +32,11 @@ func Analyzers() []Scoped {
 			"internal/lake", "internal/compat", "internal/match",
 		}},
 		// Determinism hot paths: scoring, search, signatures, compat
-		// closure, lake ranking.
+		// closure, lake ranking, and the sketch index (bucket probes and
+		// widened scans must not depend on map order).
 		{maporder.Analyzer, []string{
 			"internal/score", "internal/exact", "internal/signature",
-			"internal/compat", "internal/lake",
+			"internal/compat", "internal/lake", "internal/lakeindex",
 		}},
 		// Mark/Undo trail discipline: the branch-and-bound search.
 		{markundo.Analyzer, []string{"internal/exact"}},

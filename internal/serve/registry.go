@@ -8,6 +8,7 @@ import (
 
 	"instcmp"
 	"instcmp/internal/lake"
+	"instcmp/internal/lakeindex"
 )
 
 // Entry is one resident instance: the prepared comparison state plus
@@ -44,12 +45,25 @@ func (e *Entry) Info() InstanceInfo {
 type Registry struct {
 	mu      sync.RWMutex
 	entries map[string]*Entry
+	// index is the resident sketch index over the registered instances,
+	// maintained on Register/Delete and probed by /rank. It has its own
+	// internal lock; it is touched outside mu so a slow probe never blocks
+	// registration. The two can therefore disagree for an instant — an
+	// entry registered but not yet indexed — which indexed ranking absorbs
+	// by force-shortlisting unindexed candidates.
+	index *lakeindex.Dynamic
 }
 
 // NewRegistry returns an empty registry.
 func NewRegistry() *Registry {
-	return &Registry{entries: map[string]*Entry{}}
+	return &Registry{
+		entries: map[string]*Entry{},
+		index:   lakeindex.NewDynamic(),
+	}
 }
+
+// Index returns the live sketch index over the registered instances.
+func (g *Registry) Index() *lakeindex.Dynamic { return g.index }
 
 // Register prepares the instance and stores it under the name. Registering
 // an existing name is an error (delete first to replace): silently swapping
@@ -62,13 +76,18 @@ func (g *Registry) Register(name string, in *instcmp.Instance) (*Entry, error) {
 	if err != nil {
 		return nil, err
 	}
+	// Sketch outside both locks: like preparation, sketching is the
+	// expensive step (one pass over the coded rows).
+	sk := lakeindex.NewSketch(prep.SketchFeatures())
 	e := &Entry{Name: name, Prepared: prep, Registered: time.Now()}
 	g.mu.Lock()
-	defer g.mu.Unlock()
 	if _, dup := g.entries[name]; dup {
+		g.mu.Unlock()
 		return nil, fmt.Errorf("serve: instance %q already registered", name)
 	}
 	g.entries[name] = e
+	g.mu.Unlock()
+	g.index.Add(name, sk)
 	return e, nil
 }
 
@@ -85,9 +104,12 @@ func (g *Registry) Get(name string) (*Entry, bool) {
 // they hold the immutable *Entry, not the registry slot.
 func (g *Registry) Delete(name string) bool {
 	g.mu.Lock()
-	defer g.mu.Unlock()
 	_, ok := g.entries[name]
 	delete(g.entries, name)
+	g.mu.Unlock()
+	if ok {
+		g.index.Remove(name)
+	}
 	return ok
 }
 

@@ -403,3 +403,88 @@ func TestServerListAndDelete(t *testing.T) {
 		t.Errorf("expvar endpoint: status %d", resp2.StatusCode)
 	}
 }
+
+// TestRegistryMaintainsSketchIndex pins the register/delete ↔ index
+// contract: every registered instance becomes probe-able, and deletion
+// unindexes it.
+func TestRegistryMaintainsSketchIndex(t *testing.T) {
+	g := NewRegistry()
+	in, err := wireSingle("R", [][]string{{"x", "y"}, {"p", "q"}}).Decode()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := g.Register("a", in); err != nil {
+		t.Fatal(err)
+	}
+	if !g.Index().Contains("a") || g.Index().Len() != 1 {
+		t.Fatalf("index after register: Contains=%v Len=%d", g.Index().Contains("a"), g.Index().Len())
+	}
+	// A failed duplicate registration must not disturb the index.
+	if _, err := g.Register("a", in); err == nil {
+		t.Fatal("duplicate accepted")
+	}
+	if g.Index().Len() != 1 {
+		t.Errorf("index grew on failed registration: Len=%d", g.Index().Len())
+	}
+	g.Delete("a")
+	if g.Index().Contains("a") || g.Index().Len() != 0 {
+		t.Errorf("index after delete: Contains=%v Len=%d", g.Index().Contains("a"), g.Index().Len())
+	}
+}
+
+// TestServerRankProbesIndex exercises /rank through the resident sketch
+// index: a small shortlist leaves distant candidates index-pruned, while
+// no_index compares everything — and both agree on the winner.
+func TestServerRankProbesIndex(t *testing.T) {
+	ts, _ := newTestServer(t)
+	register(t, ts, "example", wireSingle("R", [][]string{{"x", "y"}, {"p", "q"}, {"u", "v"}}))
+	register(t, ts, "twin", wireSingle("R", [][]string{{"p", "q"}, {"x", "y"}, {"u", "v"}}))
+	for i := 0; i < 9; i++ {
+		register(t, ts, fmt.Sprintf("noise-%d", i), wireSingle("R", [][]string{
+			{fmt.Sprintf("n%da", i), fmt.Sprintf("n%db", i)},
+			{fmt.Sprintf("n%dc", i), fmt.Sprintf("n%dd", i)},
+		}))
+	}
+
+	var indexed RankResponse
+	status := postJSON(t, ts.URL+"/v1/rank", RankRequest{
+		Example: "example", TopK: 1, MinShortlist: 2,
+	}, &indexed)
+	if status != http.StatusOK {
+		t.Fatalf("indexed rank: status %d", status)
+	}
+	if indexed.Index.FullScan {
+		t.Fatalf("indexed rank fell back to a full scan: %+v", indexed.Index)
+	}
+	if got, want := indexed.Index.ShortlistSize, 4; got != want {
+		t.Errorf("shortlist size = %d, want %d", got, want)
+	}
+	if len(indexed.Results) != 10 {
+		t.Fatalf("results = %d, want all 10 candidates", len(indexed.Results))
+	}
+	if indexed.Results[0].Name != "twin" || indexed.Results[0].Score != 1 {
+		t.Errorf("top result = %+v, want twin at score 1", indexed.Results[0])
+	}
+	pruned := 0
+	for _, r := range indexed.Results {
+		if r.Pruned {
+			pruned++
+		}
+	}
+	if pruned != 10-indexed.Index.ShortlistSize {
+		t.Errorf("pruned = %d, want %d index-pruned candidates", pruned, 10-indexed.Index.ShortlistSize)
+	}
+
+	var full RankResponse
+	status = postJSON(t, ts.URL+"/v1/rank", RankRequest{Example: "example", NoIndex: true}, &full)
+	if status != http.StatusOK {
+		t.Fatalf("no_index rank: status %d", status)
+	}
+	if !full.Index.FullScan || full.Index.ShortlistSize != 10 {
+		t.Errorf("no_index stats = %+v, want a full scan over 10", full.Index)
+	}
+	if full.Results[0].Name != indexed.Results[0].Name {
+		t.Errorf("index and full scan disagree on the winner: %q vs %q",
+			indexed.Results[0].Name, full.Results[0].Name)
+	}
+}

@@ -24,6 +24,7 @@ import (
 
 	"instcmp"
 	"instcmp/internal/lake"
+	"instcmp/internal/lakeindex"
 )
 
 // vars exports cumulative service counters (expvar key "instcmp.serve"):
@@ -326,7 +327,14 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 	}
 	defer release()
 	start := time.Now()
-	results, err := lake.RankPreparedContext(ctx, ex.Prepared, cands, lake.Options{
+	// The registry's resident sketch index narrows the ranking to a
+	// shortlist; no_index (or a lake smaller than the shortlist) degrades
+	// to the full scan transparently.
+	var idx lakeindex.Searcher
+	if !req.NoIndex {
+		idx = s.reg.Index()
+	}
+	results, ist, err := lake.RankIndexedContext(ctx, ex.Prepared, cands, idx, lake.Options{
 		MinValueOverlap:     req.MinValueOverlap,
 		MaxSample:           req.MaxSample,
 		Lambda:              req.Options.Lambda,
@@ -335,6 +343,8 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 		Workers:             req.Workers,
 		SigWorkers:          req.Options.SigWorkers,
 		PerCandidateTimeout: time.Duration(req.PerCandidateTimeoutMS) * time.Millisecond,
+		TopK:                req.TopK,
+		MinShortlist:        req.MinShortlist,
 	})
 	if err != nil {
 		// A canceled ranking is a deadline outcome, not a bad request:
@@ -349,8 +359,16 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 	}
 	vars.Add("ranks", 1)
 	out := RankResponse{
-		Example:   req.Example,
-		Results:   []RankedResult{},
+		Example: req.Example,
+		Results: []RankedResult{},
+		Index: RankIndexInfo{
+			FullScan:      ist.FullScan,
+			Probed:        ist.Probed,
+			Widened:       ist.Widened,
+			ShortlistSize: ist.ShortlistSize,
+			Unindexed:     ist.Unindexed,
+			SketchBuildMS: float64(ist.SketchBuild) / float64(time.Millisecond),
+		},
 		ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
 	}
 	for _, res := range results {

@@ -222,6 +222,13 @@ type RankRequest struct {
 	PerCandidateTimeoutMS int64   `json:"per_candidate_timeout_ms,omitempty"`
 	// Workers fans candidate comparisons out (0 or 1 = sequential).
 	Workers int `json:"workers,omitempty"`
+	// TopK and MinShortlist size the sketch-index shortlist as
+	// max(4*top_k, min_shortlist); zero means the lake defaults (10 / 64).
+	TopK         int `json:"top_k,omitempty"`
+	MinShortlist int `json:"min_shortlist,omitempty"`
+	// NoIndex forces a full scan, comparing every candidate: the recall
+	// oracle, and the right call when scores beyond the top-k matter.
+	NoIndex bool `json:"no_index,omitempty"`
 }
 
 // RankedResult is one ranked candidate.
@@ -233,10 +240,25 @@ type RankedResult struct {
 	TimedOut bool    `json:"timed_out,omitempty"`
 }
 
+// RankIndexInfo reports how a ranking used the registry's sketch index
+// (lake.IndexStats on the wire). FullScan = true means every candidate was
+// compared — because the caller sent no_index, or the lake was no larger
+// than the shortlist; candidates outside the shortlist otherwise come back
+// with pruned = true and score 0.
+type RankIndexInfo struct {
+	FullScan      bool    `json:"full_scan"`
+	Probed        int     `json:"probed,omitempty"`
+	Widened       bool    `json:"widened,omitempty"`
+	ShortlistSize int     `json:"shortlist_size"`
+	Unindexed     int     `json:"unindexed,omitempty"`
+	SketchBuildMS float64 `json:"sketch_build_ms,omitempty"`
+}
+
 // RankResponse reports a ranking, best candidate first.
 type RankResponse struct {
 	Example   string         `json:"example"`
 	Results   []RankedResult `json:"results"`
+	Index     RankIndexInfo  `json:"index"`
 	ElapsedMS float64        `json:"elapsed_ms"`
 }
 

@@ -1,0 +1,60 @@
+package signature
+
+// This file exposes the engine's signature-hash stream as a per-instance
+// feature set for the sketch layer (internal/lakeindex). A comparison hashes
+// (attribute, ValueID) pairs in a joint ID space; an index has no joint
+// space, so features decode each self-coded cell back through the prepared
+// side's interner and hash (attribute name, value content) canonically
+// (model.ValueHash/NameHash). Two instances therefore emit equal feature
+// hashes exactly for cells that agree on attribute name and constant value —
+// the same agreements maximal signatures are made of — which is what makes
+// MinHash over this stream a cheap proxy for signature similarity.
+
+import (
+	"instcmp/internal/match"
+	"instcmp/internal/model"
+)
+
+// SketchFeatures returns the deduplicated canonical feature hashes of a
+// prepared instance: one 64-bit hash per distinct (attribute name, constant)
+// cell, in first-seen scan order. Labeled nulls contribute nothing — their
+// labels are instance-local names, meaningless across instances. The stream
+// is computed from the prepared side's resident coded rows: each distinct
+// value's content is hashed once, and every further cell is an integer table
+// lookup plus one hash fold.
+func SketchFeatures(side *match.PreparedSide) []uint64 {
+	// Per-ID content hashes, computed once over the interner's distinct
+	// values rather than once per cell.
+	valHash := make([]uint64, side.In.Len())
+	nulls := side.In.NullFlags()
+	for id := range valHash {
+		if !nulls[id] {
+			valHash[id] = model.ValueHash(side.In.ValueOf(model.ValueID(id)))
+		}
+	}
+	seen := make(map[uint64]struct{}, side.In.Len())
+	out := make([]uint64, 0, side.In.Len())
+	//instlint:allow ctxpoll -- one linear pass over already-resident coded rows, on par with the preparation that produced them; sketching has no ctx to poll
+	for ri, rel := range side.Rels {
+		crel := side.Code[ri]
+		attrHash := make([]uint64, len(rel.Attrs))
+		for a, name := range rel.Attrs {
+			attrHash[a] = model.NameHash(name)
+		}
+		for ti := 0; ti < crel.Rows(); ti++ {
+			row, mask := crel.Row(ti), crel.Masks[ti]
+			for a := range attrHash {
+				if mask&(1<<a) == 0 {
+					continue // labeled null: no cross-instance content
+				}
+				h := model.MixHash(attrHash[a], valHash[row[a]])
+				if _, dup := seen[h]; dup {
+					continue
+				}
+				seen[h] = struct{}{}
+				out = append(out, h)
+			}
+		}
+	}
+	return out
+}

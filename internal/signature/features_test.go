@@ -1,0 +1,111 @@
+package signature
+
+import (
+	"testing"
+
+	"instcmp/internal/match"
+	"instcmp/internal/model"
+)
+
+func prepareInstance(t *testing.T, build func(in *model.Instance)) *match.PreparedSide {
+	t.Helper()
+	in := model.NewInstance()
+	build(in)
+	side, err := match.PrepareSide(in)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return side
+}
+
+// TestSketchFeaturesCanonicalAcrossInstances is the property the sketch layer
+// rests on: two instances sharing (attribute, constant) cells emit equal
+// feature hashes for exactly those cells, even though their self-coded
+// ValueIDs differ (interning order is per-instance).
+func TestSketchFeaturesCanonicalAcrossInstances(t *testing.T) {
+	a := prepareInstance(t, func(in *model.Instance) {
+		in.AddRelation("r", "x", "y")
+		in.Append("r", model.Const("alpha"), model.Const("beta"))
+		in.Append("r", model.Const("gamma"), model.Const("delta"))
+	})
+	// Same cells, reversed insertion order → different interner IDs.
+	b := prepareInstance(t, func(in *model.Instance) {
+		in.AddRelation("r", "x", "y")
+		in.Append("r", model.Const("gamma"), model.Const("delta"))
+		in.Append("r", model.Const("alpha"), model.Const("beta"))
+	})
+	fa, fb := SketchFeatures(a), SketchFeatures(b)
+	if len(fa) != 4 || len(fb) != 4 {
+		t.Fatalf("feature counts = %d, %d, want 4 each", len(fa), len(fb))
+	}
+	setA := map[uint64]bool{}
+	for _, f := range fa {
+		setA[f] = true
+	}
+	for _, f := range fb {
+		if !setA[f] {
+			t.Fatalf("feature %x of b missing from a; hashing is not canonical", f)
+		}
+	}
+}
+
+func TestSketchFeaturesAttributeMatters(t *testing.T) {
+	a := prepareInstance(t, func(in *model.Instance) {
+		in.AddRelation("r", "x", "y")
+		in.Append("r", model.Const("v"), model.Const("w"))
+	})
+	// Same constants under swapped attribute names must hash differently:
+	// a signature agreement is per (attribute, value), not per value.
+	b := prepareInstance(t, func(in *model.Instance) {
+		in.AddRelation("r", "y", "x")
+		in.Append("r", model.Const("v"), model.Const("w"))
+	})
+	setA := map[uint64]bool{}
+	for _, f := range SketchFeatures(a) {
+		setA[f] = true
+	}
+	for _, f := range SketchFeatures(b) {
+		if setA[f] {
+			t.Fatalf("feature %x shared despite attribute swap", f)
+		}
+	}
+}
+
+func TestSketchFeaturesSkipNullsAndDedupe(t *testing.T) {
+	side := prepareInstance(t, func(in *model.Instance) {
+		in.AddRelation("r", "x", "y")
+		in.Append("r", model.Const("a"), model.Null("n1"))
+		in.Append("r", model.Const("a"), model.Const("b")) // ("x","a") repeats
+		in.Append("r", model.Null("n2"), model.Null("n1"))
+	})
+	feats := SketchFeatures(side)
+	// Distinct constant cells: ("x","a"), ("y","b"). Nulls contribute nothing.
+	if len(feats) != 2 {
+		t.Fatalf("features = %d, want 2 (deduped, nulls excluded): %v", len(feats), feats)
+	}
+	seen := map[uint64]bool{}
+	for _, f := range feats {
+		if seen[f] {
+			t.Fatalf("duplicate feature %x", f)
+		}
+		seen[f] = true
+	}
+}
+
+func TestSketchFeaturesDeterministicOrder(t *testing.T) {
+	build := func(in *model.Instance) {
+		in.AddRelation("r", "x", "y", "z")
+		in.Append("r", model.Const("1"), model.Const("2"), model.Const("3"))
+		in.Append("r", model.Const("4"), model.Const("2"), model.Null("n"))
+	}
+	f1 := SketchFeatures(prepareInstance(t, build))
+	f2 := SketchFeatures(prepareInstance(t, build))
+	if len(f1) != len(f2) {
+		t.Fatalf("lengths differ: %d vs %d", len(f1), len(f2))
+	}
+	for i := range f1 {
+		if f1[i] != f2[i] {
+			t.Fatalf("feature order not deterministic at %d", i)
+		}
+	}
+}

@@ -65,6 +65,13 @@ func (p *Prepared) Instance() *Instance { return p.inst }
 // NumTuples returns the total tuple count of the prepared instance.
 func (p *Prepared) NumTuples() int { return p.side.NumTuples() }
 
+// SketchFeatures returns the instance's canonical sketch feature stream: the
+// deduplicated FNV-1a hashes of its distinct (attribute name, constant)
+// cells, computed from the resident coded rows (see signature.SketchFeatures).
+// The lake's MinHash sketches and banded signature index are built over this
+// stream; equal cells hash equal across instances and across processes.
+func (p *Prepared) SketchFeatures() []uint64 { return signature.SketchFeatures(p.side) }
+
 // WithRelationName returns a view of a single-relation prepared instance
 // whose relation carries the given name. The coded state is shared — value
 // codes and attribute orders do not depend on relation names — so the view
