@@ -41,6 +41,7 @@ func run(args []string, out io.Writer) error {
 		sigWorkers  = fs.Int("sig-workers", 0, "signature-pipeline workers (0 = GOMAXPROCS, 1 = sequential; the score is identical either way)")
 		anonNulls   = fs.Bool("anon-nulls", false, "treat empty CSV cells as fresh labeled nulls")
 		align       = fs.Bool("align-schemas", false, "pad missing relations/attributes with fresh nulls instead of failing")
+		discover    = fs.Bool("discover-mapping", false, "discover an attribute mapping when schemas differ (renamed/reordered columns) and compare under it")
 		partial     = fs.Bool("partial", false, "allow partial matches (tuples may conflict on constants)")
 		fuzzy       = fs.Bool("fuzzy", false, "with -partial, score conflicting constants by Levenshtein similarity")
 		explainFlag = fs.Bool("explain", true, "print the tuple mapping and value mappings")
@@ -73,11 +74,12 @@ func run(args []string, out io.Writer) error {
 	}
 
 	opt := &instcmp.Options{
-		Lambda:       *lambda,
-		ExactTimeout: *timeout,
-		AlignSchemas: *align,
-		Partial:      *partial,
-		SigWorkers:   *sigWorkers,
+		Lambda:          *lambda,
+		ExactTimeout:    *timeout,
+		AlignSchemas:    *align,
+		DiscoverMapping: *discover,
+		Partial:         *partial,
+		SigWorkers:      *sigWorkers,
 	}
 	if *fuzzy {
 		opt.ConstSimilarity = instcmp.Levenshtein
@@ -116,6 +118,22 @@ func run(args []string, out io.Writer) error {
 	fmt.Fprintf(out, "  elapsed: %v\n", res.Elapsed.Round(time.Millisecond))
 	fmt.Fprintf(out, "matched: %d   left-unmatched: %d   right-unmatched: %d\n",
 		len(res.Pairs), len(res.LeftUnmatched), len(res.RightUnmatched))
+	if m := res.Mapping; m != nil {
+		fmt.Fprintf(out, "\ndiscovered schema mapping (confidence %.2f):\n", m.Confidence)
+		for _, rm := range m.Relations {
+			fmt.Fprintf(out, "  %s -> %s:", rm.Left, rm.Right)
+			for _, c := range rm.Columns {
+				fmt.Fprintf(out, " %s=%s(%s)", c.Left, c.Right, c.Method)
+			}
+			fmt.Fprintln(out)
+			if len(rm.LeftUnmapped) > 0 {
+				fmt.Fprintf(out, "    left-only columns: %v\n", rm.LeftUnmapped)
+			}
+			if len(rm.RightUnmapped) > 0 {
+				fmt.Fprintf(out, "    right-only columns: %v\n", rm.RightUnmapped)
+			}
+		}
+	}
 
 	if *report {
 		rep, err := explain.FromResult(left, right, res)

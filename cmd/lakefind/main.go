@@ -59,6 +59,7 @@ func run(args []string, out io.Writer) error {
 		stats       = fs.Bool("stats", false, "print per-candidate comparison statistics after the ranking")
 		indexPath   = fs.String("index", "", "sketch index file: load and compare only an index-shortlisted subset of the lake (see -build-index)")
 		buildIndex  = fs.Bool("build-index", false, "sketch every dataset of <lake-dir> and write the index to -index instead of ranking")
+		discover    = fs.Bool("discover-mapping", false, "compare drifted candidates under discovered attribute mappings (renamed/reordered columns)")
 	)
 	if err := fs.Parse(args); err != nil {
 		return err
@@ -86,6 +87,7 @@ func run(args []string, out io.Writer) error {
 		SigWorkers:          *sigWorkers,
 		PerCandidateTimeout: *candTimeout,
 		TopK:                *top,
+		DiscoverMapping:     *discover,
 	}
 	switch {
 	case *lambda == 0:
@@ -108,6 +110,14 @@ func run(args []string, out io.Writer) error {
 		ix, err = lakeindex.ReadFile(*indexPath)
 		if err != nil {
 			fmt.Fprintf(out, "index %s unusable (%v); falling back to full scan\n", *indexPath, err)
+			ix = nil
+		}
+		// An index built under different read options sketched a different
+		// feature stream (e.g. -anon-nulls excludes former empty cells from
+		// features): probing it would silently mis-rank, so warn and scan.
+		if want := readFlags(*anonNulls); ix != nil && ix.Flags() != want {
+			fmt.Fprintf(out, "index %s was built with read options %q, this query uses %q; ignoring it and falling back to full scan (rebuild with -build-index)\n",
+				*indexPath, ix.Flags(), want)
 			ix = nil
 		}
 	}
@@ -318,12 +328,23 @@ func runBuildIndex(dir, indexPath string, anon bool, out io.Writer) error {
 	if err != nil {
 		return err
 	}
+	ix.SetFlags(readFlags(anon))
 	if err := ix.WriteFile(indexPath); err != nil {
 		return err
 	}
 	fmt.Fprintf(out, "index: wrote %d sketches to %s in %v\n",
 		ix.Len(), indexPath, time.Since(start).Round(time.Millisecond))
 	return nil
+}
+
+// readFlags encodes the CSV read options that shape the sketch feature
+// stream; persisted with -build-index and compared at query time.
+func readFlags(anon bool) lakeindex.ReadFlags {
+	var f lakeindex.ReadFlags
+	if anon {
+		f |= lakeindex.FlagAnonymousNulls
+	}
+	return f
 }
 
 func load(path string, anon bool) (*instcmp.Instance, error) {

@@ -274,6 +274,48 @@ func TestRunIndexUnusableFallsBack(t *testing.T) {
 	}
 }
 
+func TestRunIndexReadFlagsMismatch(t *testing.T) {
+	// An index built under -anon-nulls describes different sketches than a
+	// plain query would compute; the query must warn and fall back to a
+	// full scan rather than prune against incompatible sketches.
+	example, lakeDir, idx := setupBigLake(t)
+	if err := run([]string{"-build-index", "-index", idx, "-anon-nulls", lakeDir}, &strings.Builder{}); err != nil {
+		t.Fatal(err)
+	}
+
+	var out strings.Builder
+	if err := run([]string{"-min-overlap", "0", "-index", idx, example, lakeDir}, &out); err != nil {
+		t.Fatal(err)
+	}
+	got := out.String()
+	if !strings.Contains(got, "falling back to full scan") {
+		t.Errorf("flags mismatch not warned about:\n%s", got)
+	}
+	if !strings.Contains(got, `"anon-nulls"`) || !strings.Contains(got, `"none"`) {
+		t.Errorf("warning does not name both option sets:\n%s", got)
+	}
+	if strings.Contains(got, "(pruned)") {
+		t.Errorf("mismatched index still pruned candidates:\n%s", got)
+	}
+	lines := strings.Split(strings.TrimSpace(got), "\n")
+	if !strings.Contains(lines[0], "index ") {
+		t.Errorf("warning missing:\n%s", got)
+	}
+	// lines[0] is the warning, lines[1] the table header.
+	if !strings.HasPrefix(lines[2], "twin.csv") {
+		t.Errorf("fallback scan lost the ranking:\n%s", got)
+	}
+
+	// Matching options: the index is honored.
+	var ok strings.Builder
+	if err := run([]string{"-min-overlap", "0", "-index", idx, "-anon-nulls", example, lakeDir}, &ok); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(ok.String(), "index: compared") {
+		t.Errorf("matching options did not use the index:\n%s", ok.String())
+	}
+}
+
 func TestRunBuildIndexErrors(t *testing.T) {
 	_, lakeDir, idx := setupBigLake(t)
 	if err := run([]string{"-build-index", lakeDir}, &strings.Builder{}); err == nil {

@@ -1,0 +1,124 @@
+package instcmp
+
+import (
+	"fmt"
+	"math"
+	"testing"
+
+	"instcmp/internal/generator"
+)
+
+// driftFixture builds a source instance and a lightly perturbed copy with
+// content-distinctive columns (a unique id, unique emails, a low-cardinality
+// city, numeric ages), so mapping discovery has real signal to work with —
+// the same regime the schema-drift walkthrough targets.
+func driftFixture() (*Instance, *Instance) {
+	cities := []string{"Tacoma", "Loveland", "Kent"}
+	mk := func() *Instance {
+		in := NewInstance()
+		in.AddRelation("people", "id", "email", "city", "age", "note")
+		for i := 0; i < 40; i++ {
+			in.Append("people",
+				Const(fmt.Sprintf("id-%03d", i)),
+				Const(fmt.Sprintf("user%03d@example.com", i)),
+				Const(cities[i%3]),
+				Const(fmt.Sprintf("%d", 20+i%50)),
+				Const(fmt.Sprintf("note %d", i%7)),
+			)
+		}
+		return in
+	}
+	left, right := mk(), mk()
+	r := right.Relation("people")
+	r.Tuples[3].Values[2] = Null("u1")
+	r.Tuples[8].Values[4] = Null("u2")
+	r.Tuples[12].Values[3] = Const("99")
+	r.Tuples[20].Values[2] = Const("Fargo")
+	return left, right
+}
+
+// TestDiscoverRecoversDriftedScore is the ISSUE's central property: renaming
+// and reordering columns (no drops) loses no information, so comparing under
+// a discovered mapping must reproduce the pre-drift score within the
+// signature algorithm's epsilon — at every worker count.
+func TestDiscoverRecoversDriftedScore(t *testing.T) {
+	left, right := driftFixture()
+	drifted, dlog := generator.DriftTarget(right, generator.Drift{RenamePct: 1, Reorder: true, Seed: 7})
+	if len(dlog.RenamedAttrs["people"]) != 5 {
+		t.Fatalf("drift did not rename everything: %+v", dlog.RenamedAttrs)
+	}
+
+	// Plain mode must refuse the drifted pair: nothing lines up by name.
+	if _, err := Compare(left, drifted, &Options{Algorithm: AlgoSignature}); err == nil {
+		t.Fatal("schema mismatch not reported without discovery")
+	}
+
+	for _, workers := range []int{1, 4} {
+		opt := &Options{Algorithm: AlgoSignature, Lambda: 0.5, SigWorkers: workers}
+		base, err := Compare(left, right, opt)
+		if err != nil {
+			t.Fatal(err)
+		}
+		dopt := *opt
+		dopt.DiscoverMapping = true
+		res, err := Compare(left, drifted, &dopt)
+		if err != nil {
+			t.Fatalf("SigWorkers=%d: %v", workers, err)
+		}
+		if math.Abs(res.Score-base.Score) > 1e-9 {
+			t.Errorf("SigWorkers=%d: drifted score %.17g, pre-drift %.17g", workers, res.Score, base.Score)
+		}
+		if res.Mapping == nil || res.Mapping.Confidence <= 0 {
+			t.Errorf("SigWorkers=%d: mapping not reported: %+v", workers, res.Mapping)
+		}
+	}
+}
+
+// TestDiscoverDropColumnDegrades pins the other half of the property: each
+// additional dropped column can only lose information, so the discovered-
+// mapping score must be non-increasing in the drop count (the drift's drop
+// sets are nested at equal seeds).
+func TestDiscoverDropColumnDegrades(t *testing.T) {
+	left, right := driftFixture()
+	for _, workers := range []int{1, 4} {
+		opt := &Options{Algorithm: AlgoSignature, Lambda: 0.5, SigWorkers: workers, DiscoverMapping: true}
+		prev := math.Inf(1)
+		for k := 0; k <= 3; k++ {
+			drifted, _ := generator.DriftTarget(right, generator.Drift{RenamePct: 1, Reorder: true, DropCols: k, Seed: 11})
+			res, err := Compare(left, drifted, opt)
+			if err != nil {
+				t.Fatalf("SigWorkers=%d DropCols=%d: %v", workers, k, err)
+			}
+			if res.Score > prev+1e-9 {
+				t.Errorf("SigWorkers=%d: dropping %d columns raised the score: %.17g > %.17g",
+					workers, k, res.Score, prev)
+			}
+			prev = res.Score
+		}
+	}
+}
+
+// TestDiscoverRenamedRelationEndToEnd drifts the relation name too, so the
+// content-based relation pairing carries the whole recovery.
+func TestDiscoverRenamedRelationEndToEnd(t *testing.T) {
+	left, right := driftFixture()
+	drifted, dlog := generator.DriftTarget(right, generator.Drift{RenamePct: 1, Reorder: true, RenameRelations: true, Seed: 13})
+	if dlog.RenamedRelations["people"] == "" {
+		t.Fatal("relation not renamed")
+	}
+	base, err := Compare(left, right, &Options{Algorithm: AlgoSignature, Lambda: 0.5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := Compare(left, drifted, &Options{Algorithm: AlgoSignature, Lambda: 0.5, DiscoverMapping: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Score-base.Score) > 1e-9 {
+		t.Errorf("drifted score %.17g, pre-drift %.17g", res.Score, base.Score)
+	}
+	if res.Mapping == nil || len(res.Mapping.Relations) != 1 ||
+		res.Mapping.Relations[0].Right != dlog.RenamedRelations["people"] {
+		t.Errorf("mapping did not pair the renamed relation: %+v", res.Mapping)
+	}
+}

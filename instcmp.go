@@ -153,6 +153,14 @@ type Options struct {
 	// distinct nulls and adds missing relations as empty, instead of
 	// failing on schema mismatch (Sec. 4's recipe).
 	AlignSchemas bool
+	// DiscoverMapping, when the schemas mismatch, first discovers an
+	// attribute mapping (see MapSchemas) and compares under it: the right
+	// instance is rewritten into the left schema's spelling, residual
+	// differences (dropped/added columns or relations) are padded as with
+	// AlignSchemas, and Result.Mapping reports what was discovered. When
+	// the schemas already agree, discovery is skipped and results are
+	// bit-identical to a plain comparison.
+	DiscoverMapping bool
 }
 
 // validate rejects option values outside the paper's (or the engines')
@@ -298,6 +306,10 @@ type Result struct {
 	// found so far (anytime behavior); for the exact algorithm Score is
 	// then a lower bound on the true similarity.
 	Stopped string
+	// Mapping is the discovered schema mapping when Options.DiscoverMapping
+	// rewrote the right side, nil otherwise (including when the schemas
+	// already agreed and discovery was skipped).
+	Mapping *SchemaMapping
 	// Stats is the unified run record, populated by both algorithms.
 	Stats ComparisonStats
 	// Elapsed is the total comparison time.
@@ -333,7 +345,17 @@ func CompareContext(ctx context.Context, left, right *Instance, opt *Options) (*
 	start := time.Now()
 	var lp, rp *Prepared
 	var err error
-	if opt.AlignSchemas && !model.SameSchema(left, right) {
+	switch {
+	case !model.SameSchema(left, right) && opt.DiscoverMapping:
+		// Mapping discovery rewrites the right side inside comparePrepared
+		// (the prepared path needs the same treatment); just snapshot here.
+		if lp, err = prepareOwned(left.Clone()); err != nil {
+			return nil, err
+		}
+		if rp, err = prepareOwned(right.Clone()); err != nil {
+			return nil, err
+		}
+	case !model.SameSchema(left, right) && opt.AlignSchemas:
 		// alignSchemas rebuilds both sides from scratch, so the rebuilt
 		// instances are owned outright — no defensive clone needed.
 		al, ar := alignSchemas(left, right)
@@ -343,10 +365,9 @@ func CompareContext(ctx context.Context, left, right *Instance, opt *Options) (*
 		if rp, err = prepareOwned(ar); err != nil {
 			return nil, err
 		}
-	} else {
-		if !model.SameSchema(left, right) {
-			return nil, match.ErrSchemaMismatch
-		}
+	case !model.SameSchema(left, right):
+		return nil, match.ErrSchemaMismatch
+	default:
 		if lp, err = prepareOwned(left.Clone()); err != nil {
 			return nil, err
 		}
@@ -402,8 +423,20 @@ func Similarity(left, right *Instance) (float64, error) {
 // fillExplanation reports the match in terms of the ORIGINAL instances'
 // tuple identifiers. Normalization preserves per-relation tuple order, so a
 // position in the normalized copies addresses the same tuple in the
-// originals.
-func (r *Result) fillExplanation(env *match.Env, lambda float64, origLeft, origRight *Instance, rightPrefix string) {
+// originals. When mapping discovery renamed right relations, relNames
+// translates a compared relation name back to the original right name
+// (names absent from a non-nil map were added by discovery or alignment
+// and have no original counterpart).
+func (r *Result) fillExplanation(env *match.Env, lambda float64, origLeft, origRight *Instance, rightPrefix string, relNames map[string]string) {
+	rightRel := func(name string) string {
+		if relNames == nil {
+			return name
+		}
+		if orig, ok := relNames[name]; ok {
+			return orig
+		}
+		return name
+	}
 	origID := func(orig *Instance, relName string, idx int) TupleID {
 		return orig.Relation(relName).Tuples[idx].ID
 	}
@@ -416,7 +449,7 @@ func (r *Result) fillExplanation(env *match.Env, lambda float64, origLeft, origR
 		r.Pairs = append(r.Pairs, MatchedPair{
 			Relation: name,
 			LeftID:   origID(origLeft, name, p.L.Idx),
-			RightID:  origID(origRight, name, p.R.Idx),
+			RightID:  origID(origRight, rightRel(name), p.R.Idx),
 			Score:    score.PairScore(env, p, lambda),
 		})
 	}
@@ -431,12 +464,12 @@ func (r *Result) fillExplanation(env *match.Env, lambda float64, origLeft, origR
 		}
 	}
 	for ri, rel := range env.RRels {
-		if origRight.Relation(rel.Name) == nil {
+		if origRight.Relation(rightRel(rel.Name)) == nil {
 			continue
 		}
 		for ti := range rel.Tuples {
 			if !matchedR[match.Ref{Rel: ri, Idx: ti}] {
-				r.RightUnmatched = append(r.RightUnmatched, origID(origRight, rel.Name, ti))
+				r.RightUnmatched = append(r.RightUnmatched, origID(origRight, rightRel(rel.Name), ti))
 			}
 		}
 	}

@@ -129,6 +129,50 @@ func TestCompareSchemaMismatch(t *testing.T) {
 	}
 }
 
+func TestAlignPaddingSkipsAdversarialNullNames(t *testing.T) {
+	// The right side's first row is padded before its second row — which
+	// carries a user null literally named like the padding counter's next
+	// output — is copied over. The padding null must stay distinct from the
+	// unrelated user null.
+	l := NewInstance()
+	l.AddRelation("R", "A", "B")
+	l.Append("R", Const("x"), Const("y"))
+	r := NewInstance()
+	r.AddRelation("R", "A")
+	r.Append("R", Const("x"))
+	r.Append("R", Null("pad·r·1"))
+	_, ar := alignSchemas(l.Clone(), r.Clone())
+	rel := ar.Relation("R")
+	pad0, user, pad1 := rel.Tuples[0].Values[1], rel.Tuples[1].Values[0], rel.Tuples[1].Values[1]
+	if !pad0.IsNull() || !user.IsNull() || !pad1.IsNull() {
+		t.Fatalf("expected three nulls, got %v %v %v", pad0, user, pad1)
+	}
+	if pad0 == user || pad1 == user {
+		t.Fatalf("padding null merged with unrelated user null %v", user)
+	}
+	if pad0 == pad1 {
+		t.Fatalf("padding nulls not pairwise distinct: %v", pad0)
+	}
+
+	// Behavioral pin: the adversarial name must score exactly like an
+	// innocent one — the null's spelling carries no semantics.
+	benign := NewInstance()
+	benign.AddRelation("R", "A")
+	benign.Append("R", Const("x"))
+	benign.Append("R", Null("harmless"))
+	resAdv, err := Compare(l, r, &Options{AlignSchemas: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	resBenign, err := Compare(l, benign, &Options{AlignSchemas: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resAdv.Score != resBenign.Score {
+		t.Errorf("adversarial null name changed the score: %v != %v", resAdv.Score, resBenign.Score)
+	}
+}
+
 func TestCompareAlignAddsMissingRelation(t *testing.T) {
 	l := conf([]Value{Const("a"), Const("b"), Const("c")})
 	r := l.Clone()

@@ -46,6 +46,13 @@ func ReadRelation(in *model.Instance, r io.Reader, opt ReadOptions) error {
 	if err != nil {
 		return fmt.Errorf("csvio: reading header of %s: %w", name, err)
 	}
+	// Strip a UTF-8 byte-order mark from the first header cell only:
+	// Excel and several database exporters emit one, and an invisible
+	// BOM-prefixed attribute name makes two otherwise-identical instances
+	// fail with a schema mismatch. A BOM anywhere else is real data.
+	if len(header) > 0 {
+		header[0] = strings.TrimPrefix(header[0], "\uFEFF")
+	}
 	seen := make(map[string]int, len(header))
 	for i, attr := range header {
 		if attr == "" {
@@ -57,14 +64,24 @@ func ReadRelation(in *model.Instance, r io.Reader, opt ReadOptions) error {
 		seen[attr] = i
 	}
 	in.AddRelation(name, header...)
-	for {
-		rec, err := cr.Read()
-		if err == io.EOF {
-			return nil
+	recs, err := cr.ReadAll()
+	if err != nil {
+		return fmt.Errorf("csvio: reading %s: %w", name, err)
+	}
+	if opt.AnonymousNulls {
+		// Fresh nulls are minted row by row, so a labeled null in a later
+		// row could literally spell a name the counter has already handed
+		// out (e.g. "_:anon_2"). Reserve every literal null before minting
+		// the first anonymous one.
+		for _, rec := range recs {
+			for _, cell := range rec {
+				if v := model.Parse(cell); v.IsNull() {
+					in.ReserveNulls(v.Raw())
+				}
+			}
 		}
-		if err != nil {
-			return fmt.Errorf("csvio: reading %s: %w", name, err)
-		}
+	}
+	for _, rec := range recs {
 		vals := make([]model.Value, len(rec))
 		for i, cell := range rec {
 			switch {
@@ -76,6 +93,7 @@ func ReadRelation(in *model.Instance, r io.Reader, opt ReadOptions) error {
 		}
 		in.Append(name, vals...)
 	}
+	return nil
 }
 
 // ReadFile parses one relation from a CSV file into a fresh instance. The

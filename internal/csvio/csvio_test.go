@@ -28,6 +28,43 @@ func TestReadRelation(t *testing.T) {
 	}
 }
 
+func TestReadRelationStripsHeaderBOM(t *testing.T) {
+	// A UTF-8 BOM on the file (Excel's signature move) lands inside the
+	// first header cell; without stripping it the attribute is invisibly
+	// named "<BOM>Name" and two otherwise-identical instances fail with a
+	// schema mismatch.
+	bom := model.NewInstance()
+	if err := ReadRelation(bom, strings.NewReader("\uFEFFName,Year\nVLDB,1975\n"), ReadOptions{RelationName: "Conf"}); err != nil {
+		t.Fatal(err)
+	}
+	plain := model.NewInstance()
+	if err := ReadRelation(plain, strings.NewReader("Name,Year\nVLDB,1975\n"), ReadOptions{RelationName: "Conf"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := bom.Relation("Conf").Attrs[0]; got != "Name" {
+		t.Errorf("BOM not stripped from header cell 0: %q", got)
+	}
+	if !model.SameSchema(bom, plain) {
+		t.Error("BOM'd and plain files should parse to the same schema")
+	}
+	// Only the header's first cell is treated: a BOM in a data cell (or a
+	// later header cell) is real content.
+	data := model.NewInstance()
+	if err := ReadRelation(data, strings.NewReader("A,B\n\uFEFFx,\uFEFFy\n"), ReadOptions{RelationName: "R"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := data.Relation("R").Tuples[0].Values[0]; got != model.Const("\uFEFFx") {
+		t.Errorf("data-cell BOM must be preserved, got %q", got.Raw())
+	}
+	cell2 := model.NewInstance()
+	if err := ReadRelation(cell2, strings.NewReader("A,\uFEFFB\nx,y\n"), ReadOptions{RelationName: "R"}); err != nil {
+		t.Fatal(err)
+	}
+	if got := cell2.Relation("R").Attrs[1]; got != "\uFEFFB" {
+		t.Errorf("non-first header cell must be preserved, got %q", got)
+	}
+}
+
 func TestReadRelationAnonymousNulls(t *testing.T) {
 	src := "A,B\n,x\n,y\n"
 	in := model.NewInstance()
@@ -42,6 +79,34 @@ func TestReadRelationAnonymousNulls(t *testing.T) {
 	}
 	if v0 == v1 {
 		t.Error("anonymous nulls must be fresh per cell")
+	}
+}
+
+func TestReadRelationAnonymousNullsSkipLiteralNames(t *testing.T) {
+	// A literal labeled null spelling a counter output ("_:anon_1") must not
+	// merge with a minted anonymous null — whether it appears before or
+	// after the empty cell that triggers minting.
+	src := "A,B\n,_:anon_2\n_:anon_1,x\n,y\n"
+	in := model.NewInstance()
+	if err := ReadRelation(in, strings.NewReader(src), ReadOptions{RelationName: "R", AnonymousNulls: true}); err != nil {
+		t.Fatal(err)
+	}
+	r := in.Relation("R")
+	minted0, lit2 := r.Tuples[0].Values[0], r.Tuples[0].Values[1]
+	lit1, minted1 := r.Tuples[1].Values[0], r.Tuples[2].Values[0]
+	if lit1 != model.Null("anon_1") || lit2 != model.Null("anon_2") {
+		t.Fatalf("literal nulls not preserved: %v %v", lit1, lit2)
+	}
+	for _, minted := range []model.Value{minted0, minted1} {
+		if !minted.IsNull() {
+			t.Fatalf("empty cell not minted as null: %v", minted)
+		}
+		if minted == lit1 || minted == lit2 {
+			t.Errorf("minted null %v merged with a literal null", minted)
+		}
+	}
+	if minted0 == minted1 {
+		t.Errorf("minted nulls must be pairwise fresh: %v", minted0)
 	}
 }
 

@@ -91,6 +91,11 @@ type TupleRef struct {
 // Report is the full change summary of a comparison.
 type Report struct {
 	Similarity float64
+	// Mapping is the discovered schema mapping the comparison ran under,
+	// nil for a plain (schema-agreeing) comparison. When set, tuple
+	// changes compare cells across the mapped attribute pairs instead of
+	// by name.
+	Mapping *instcmp.SchemaMapping
 	// Identical counts matched pairs with no cell change.
 	Identical int
 	// Updated lists matched pairs with at least one changed cell.
@@ -101,9 +106,14 @@ type Report struct {
 }
 
 // FromResult builds a report from a comparison result and the two original
-// instances it was computed on.
+// instances it was computed on. When the comparison discovered a schema
+// mapping (Options.DiscoverMapping), matched pairs legitimately span
+// differently-named relations and cells align across the mapped attribute
+// pairs; the report carries the mapping so readers see which columns were
+// identified and with what confidence.
 func FromResult(left, right *instcmp.Instance, res *instcmp.Result) (*Report, error) {
-	rep := &Report{Similarity: res.Score}
+	rep := &Report{Similarity: res.Score, Mapping: res.Mapping}
+	mapped := newMappingLookup(res.Mapping)
 	leftIdx, err := indexByID(left)
 	if err != nil {
 		return nil, err
@@ -126,15 +136,16 @@ func FromResult(left, right *instcmp.Instance, res *instcmp.Result) (*Report, er
 		if !ok {
 			return nil, fmt.Errorf("explain: right tuple t%d not found", p.RightID)
 		}
-		if lt.rel != rt.rel {
+		if lt.rel != rt.rel && !mapped.rels(lt.rel, rt.rel) {
 			return nil, fmt.Errorf("explain: pair spans relations %s and %s", lt.rel, rt.rel)
 		}
 		tc := TupleChange{Relation: p.Relation, LeftID: p.LeftID, RightID: p.RightID, PairScore: p.Score}
-		// Attributes align by name: comparisons run with schema
+		// Attributes align by name — or, under a discovered mapping,
+		// across the mapped attribute pairs: comparisons run with schema
 		// alignment may pair tuples across differing schemas.
 		lrel, rrel := left.Relation(lt.rel), right.Relation(rt.rel)
 		for li, attr := range lrel.Attrs {
-			ri := rrel.AttrIndex(attr)
+			ri := mapped.attrIndex(lt.rel, attr, rrel)
 			if ri < 0 {
 				tc.Cells = append(tc.Cells, CellChange{
 					Attr: attr, Kind: ColumnDropped, From: lt.t.Values[li],
@@ -146,10 +157,13 @@ func FromResult(left, right *instcmp.Instance, res *instcmp.Result) (*Report, er
 				continue
 			}
 			cc.Attr = attr
+			if ra := rrel.Attrs[ri]; ra != attr {
+				cc.Attr = attr + "→" + ra
+			}
 			tc.Cells = append(tc.Cells, cc)
 		}
 		for ri, attr := range rrel.Attrs {
-			if lrel.AttrIndex(attr) < 0 {
+			if mapped.rightAttrIndex(lt.rel, attr, lrel) < 0 {
 				tc.Cells = append(tc.Cells, CellChange{
 					Attr: attr, Kind: ColumnAdded, To: rt.t.Values[ri],
 				})
@@ -179,6 +193,58 @@ func FromResult(left, right *instcmp.Instance, res *instcmp.Result) (*Report, er
 		return rep.Updated[i].LeftID < rep.Updated[j].LeftID
 	})
 	return rep, nil
+}
+
+// mappingLookup answers "which right relation/attribute corresponds to
+// this left one" under a discovered schema mapping; with no mapping it
+// degrades to name equality.
+type mappingLookup struct {
+	byLeft map[string]*instcmp.RelationMapping
+}
+
+func newMappingLookup(m *instcmp.SchemaMapping) mappingLookup {
+	if m == nil {
+		return mappingLookup{}
+	}
+	byLeft := make(map[string]*instcmp.RelationMapping, len(m.Relations))
+	for i := range m.Relations {
+		byLeft[m.Relations[i].Left] = &m.Relations[i]
+	}
+	return mappingLookup{byLeft: byLeft}
+}
+
+// rels reports whether the mapping pairs the two relations.
+func (ml mappingLookup) rels(leftRel, rightRel string) bool {
+	rm := ml.byLeft[leftRel]
+	return rm != nil && rm.Right == rightRel
+}
+
+// attrIndex resolves a left attribute to its column index in the right
+// relation: through the mapping when one covers leftRel, by name otherwise.
+func (ml mappingLookup) attrIndex(leftRel, attr string, rrel *model.Relation) int {
+	if rm := ml.byLeft[leftRel]; rm != nil {
+		for _, c := range rm.Columns {
+			if c.Left == attr {
+				return rrel.AttrIndex(c.Right)
+			}
+		}
+		return -1 // unmapped left column: dropped
+	}
+	return rrel.AttrIndex(attr)
+}
+
+// rightAttrIndex resolves a right attribute back to the left relation, for
+// added-column detection.
+func (ml mappingLookup) rightAttrIndex(leftRel, attr string, lrel *model.Relation) int {
+	if rm := ml.byLeft[leftRel]; rm != nil {
+		for _, c := range rm.Columns {
+			if c.Right == attr {
+				return lrel.AttrIndex(c.Left)
+			}
+		}
+		return -1
+	}
+	return lrel.AttrIndex(attr)
 }
 
 type located struct {
@@ -237,6 +303,27 @@ func (r *Report) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "similarity %.4f: %d identical, %d updated, %d removed, %d added\n",
 		r.Similarity, r.Identical, len(r.Updated), len(r.Removed), len(r.Added))
+	if m := r.Mapping; m != nil {
+		fmt.Fprintf(&b, "schema mapping (confidence %.2f):\n", m.Confidence)
+		for _, rm := range m.Relations {
+			fmt.Fprintf(&b, "  %s -> %s (%.2f)\n", rm.Left, rm.Right, rm.Confidence)
+			for _, c := range rm.Columns {
+				fmt.Fprintf(&b, "    %s -> %s (%s, %.2f)\n", c.Left, c.Right, c.Method, c.Similarity)
+			}
+			if len(rm.LeftUnmapped) > 0 {
+				fmt.Fprintf(&b, "    left-only columns: %s\n", strings.Join(rm.LeftUnmapped, ", "))
+			}
+			if len(rm.RightUnmapped) > 0 {
+				fmt.Fprintf(&b, "    right-only columns: %s\n", strings.Join(rm.RightUnmapped, ", "))
+			}
+		}
+		if len(m.LeftOnly) > 0 {
+			fmt.Fprintf(&b, "  left-only relations: %s\n", strings.Join(m.LeftOnly, ", "))
+		}
+		if len(m.RightOnly) > 0 {
+			fmt.Fprintf(&b, "  right-only relations: %s\n", strings.Join(m.RightOnly, ", "))
+		}
+	}
 	for _, u := range r.Updated {
 		fmt.Fprintf(&b, "~ %s t%d -> t%d (%.2f):", u.Relation, u.LeftID, u.RightID, u.PairScore)
 		for _, c := range u.Cells {

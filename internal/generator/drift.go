@@ -1,0 +1,142 @@
+package generator
+
+import (
+	"fmt"
+	"math/rand"
+	"sort"
+
+	"instcmp/internal/model"
+)
+
+// Drift parameterizes schema-drift generation: the data stays put while the
+// schema presentation changes, the way a dataset drifts across versions of a
+// pipeline — columns renamed, reordered, or dropped. Drifted targets are the
+// ground truth for mapping discovery: by construction the pre-drift schema
+// is the right answer.
+type Drift struct {
+	// RenamePct is the fraction of surviving attributes renamed per
+	// relation (rounded to the nearest count).
+	RenamePct float64
+	// Reorder shuffles the column order of every relation.
+	Reorder bool
+	// DropCols is the number of attributes dropped per relation, capped so
+	// at least one column survives.
+	DropCols int
+	// RenameRelations renames every relation, exercising relation-level
+	// pairing by content.
+	RenameRelations bool
+	// Seed drives all randomness; equal seeds give equal drifts, and the
+	// drop sets for DropCols = k are nested in those for k+1.
+	Seed int64
+}
+
+// DriftLog records what DriftTarget did, keyed by original relation name, so
+// tests can assert a discovered mapping inverts the drift.
+type DriftLog struct {
+	// RenamedRelations maps original relation names to their drifted names.
+	RenamedRelations map[string]string
+	// RenamedAttrs maps, per original relation, original attribute names to
+	// their drifted names.
+	RenamedAttrs map[string]map[string]string
+	// DroppedAttrs lists, per original relation, the dropped attributes.
+	DroppedAttrs map[string][]string
+	// ReorderedRels lists the relations whose column order changed.
+	ReorderedRels []string
+}
+
+// DriftTarget returns a drifted deep copy of in plus a log of the applied
+// drift. Tuple values, identifiers, and order are preserved — only the
+// schema presentation moves, so comparing source against the drifted copy
+// under a correctly discovered mapping must reproduce the undrifted score.
+func DriftTarget(in *model.Instance, d Drift) (*model.Instance, *DriftLog) {
+	rng := rand.New(rand.NewSource(d.Seed))
+	log := &DriftLog{
+		RenamedRelations: map[string]string{},
+		RenamedAttrs:     map[string]map[string]string{},
+		DroppedAttrs:     map[string][]string{},
+	}
+	out := model.NewInstance()
+	usedRel := map[string]bool{}
+	for _, rel := range in.Relations() {
+		arity := rel.Arity()
+
+		drop := d.DropCols
+		if drop > arity-1 {
+			drop = arity - 1
+		}
+		dropped := map[int]bool{}
+		if drop > 0 {
+			for _, ci := range rng.Perm(arity)[:drop] {
+				dropped[ci] = true
+			}
+		}
+		keep := make([]int, 0, arity-drop)
+		for ci := 0; ci < arity; ci++ {
+			if dropped[ci] {
+				log.DroppedAttrs[rel.Name] = append(log.DroppedAttrs[rel.Name], rel.Attrs[ci])
+				continue
+			}
+			keep = append(keep, ci)
+		}
+
+		if d.Reorder && len(keep) > 1 {
+			rng.Shuffle(len(keep), func(i, j int) { keep[i], keep[j] = keep[j], keep[i] })
+			if !sort.IntsAreSorted(keep) {
+				log.ReorderedRels = append(log.ReorderedRels, rel.Name)
+			}
+		}
+
+		attrs := make([]string, len(keep))
+		used := map[string]bool{}
+		for i, ci := range keep {
+			attrs[i] = rel.Attrs[ci]
+			used[attrs[i]] = true
+		}
+		if n := int(d.RenamePct*float64(len(attrs)) + 0.5); n > 0 {
+			if n > len(attrs) {
+				n = len(attrs)
+			}
+			for _, ai := range rng.Perm(len(attrs))[:n] {
+				old := attrs[ai]
+				nn := rename(old, rng, used)
+				used[nn] = true
+				attrs[ai] = nn
+				if log.RenamedAttrs[rel.Name] == nil {
+					log.RenamedAttrs[rel.Name] = map[string]string{}
+				}
+				log.RenamedAttrs[rel.Name][old] = nn
+			}
+		}
+
+		name := rel.Name
+		if d.RenameRelations {
+			name = rename(rel.Name, rng, usedRel)
+			log.RenamedRelations[rel.Name] = name
+		}
+		usedRel[name] = true
+
+		out.AddRelation(name, attrs...)
+		or := out.Relation(name)
+		for _, t := range rel.Tuples {
+			vals := make([]model.Value, len(keep))
+			for i, ci := range keep {
+				vals[i] = t.Values[ci]
+			}
+			out.Append(name, vals...)
+			// Preserve the original identifier, like alignSchemas does, so
+			// gold pairings survive the drift.
+			or.Tuples[len(or.Tuples)-1].ID = t.ID
+		}
+	}
+	return out, log
+}
+
+// rename mints a drifted name: a version-style suffix, guaranteed distinct
+// from the original and from every name in used.
+func rename(old string, rng *rand.Rand, used map[string]bool) string {
+	nn := fmt.Sprintf("%s_v%d", old, rng.Intn(8)+2)
+	for used[nn] {
+		nn += "x"
+	}
+	return nn
+}

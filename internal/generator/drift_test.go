@@ -1,0 +1,130 @@
+package generator
+
+import (
+	"reflect"
+	"testing"
+
+	"instcmp/internal/model"
+)
+
+func driftBase() *model.Instance {
+	in := model.NewInstance()
+	in.AddRelation("people", "id", "email", "city", "age")
+	rows := [][]string{
+		{"id-1", "ann@example.com", "Tacoma", "34"},
+		{"id-2", "bob@example.com", "Loveland", "41"},
+		{"id-3", "cho@example.com", "Tacoma", "28"},
+	}
+	for _, row := range rows {
+		vals := make([]model.Value, len(row))
+		for i, c := range row {
+			vals[i] = model.Const(c)
+		}
+		in.Append("people", vals...)
+	}
+	in.AddRelation("orders", "sku", "qty")
+	in.Append("orders", model.Const("sku-9"), model.Null("q1"))
+	return in
+}
+
+func TestDriftTargetRenameReorderPreservesData(t *testing.T) {
+	base := driftBase()
+	got, log := DriftTarget(base, Drift{RenamePct: 1, Reorder: true, Seed: 7})
+
+	if len(log.RenamedAttrs["people"]) != 4 || len(log.RenamedAttrs["orders"]) != 2 {
+		t.Fatalf("RenamePct 1 should rename every attribute: %+v", log.RenamedAttrs)
+	}
+	for _, rel := range base.Relations() {
+		drel := got.Relation(rel.Name)
+		if drel == nil {
+			t.Fatalf("relation %q renamed without RenameRelations", rel.Name)
+		}
+		if drel.Arity() != rel.Arity() || len(drel.Tuples) != len(rel.Tuples) {
+			t.Fatalf("%q changed shape: %d×%d vs %d×%d",
+				rel.Name, drel.Arity(), len(drel.Tuples), rel.Arity(), len(rel.Tuples))
+		}
+		// Every original column must survive under its drifted name with
+		// the same values in the same row order.
+		for ci, attr := range rel.Attrs {
+			dname := log.RenamedAttrs[rel.Name][attr]
+			if dname == "" || dname == attr {
+				t.Fatalf("%q.%q not renamed: %q", rel.Name, attr, dname)
+			}
+			di := drel.AttrIndex(dname)
+			if di < 0 {
+				t.Fatalf("drifted column %q missing in %q", dname, rel.Name)
+			}
+			for ti := range rel.Tuples {
+				if drel.Tuples[ti].Values[di] != rel.Tuples[ti].Values[ci] {
+					t.Fatalf("%q.%q row %d: value changed", rel.Name, attr, ti)
+				}
+				if drel.Tuples[ti].ID != rel.Tuples[ti].ID {
+					t.Fatalf("%q row %d: tuple id not preserved", rel.Name, ti)
+				}
+			}
+		}
+	}
+
+	// Same seed, same drift — scenario generation must be reproducible.
+	again, log2 := DriftTarget(base, Drift{RenamePct: 1, Reorder: true, Seed: 7})
+	if !model.SameSchema(got, again) || !reflect.DeepEqual(log, log2) {
+		t.Error("equal seeds produced different drifts")
+	}
+}
+
+func TestDriftTargetDropCols(t *testing.T) {
+	base := driftBase()
+	got, log := DriftTarget(base, Drift{DropCols: 1, Seed: 3})
+	if got.Relation("people").Arity() != 3 || got.Relation("orders").Arity() != 1 {
+		t.Fatalf("DropCols 1 left arities %d and %d",
+			got.Relation("people").Arity(), got.Relation("orders").Arity())
+	}
+	if len(log.DroppedAttrs["people"]) != 1 || len(log.DroppedAttrs["orders"]) != 1 {
+		t.Fatalf("dropped attrs not logged: %+v", log.DroppedAttrs)
+	}
+	if got.Relation("people").AttrIndex(log.DroppedAttrs["people"][0]) >= 0 {
+		t.Error("dropped attribute still present")
+	}
+
+	// Drops are capped so at least one column survives.
+	capped, _ := DriftTarget(base, Drift{DropCols: 99, Seed: 3})
+	for _, rel := range capped.Relations() {
+		if rel.Arity() != 1 {
+			t.Errorf("%q: arity %d after capped drop, want 1", rel.Name, rel.Arity())
+		}
+	}
+
+	// The drop set for k columns nests inside the set for k+1 at equal
+	// seeds, which is what makes degradation comparisons meaningful.
+	one, log1 := DriftTarget(base, Drift{DropCols: 1, Seed: 5})
+	_, log2 := DriftTarget(base, Drift{DropCols: 2, Seed: 5})
+	_ = one
+	for relName, dropped1 := range log1.DroppedAttrs {
+		set2 := map[string]bool{}
+		for _, a := range log2.DroppedAttrs[relName] {
+			set2[a] = true
+		}
+		for _, a := range dropped1 {
+			if !set2[a] {
+				t.Errorf("%q: drop set not nested: %q dropped at k=1 but not k=2", relName, a)
+			}
+		}
+	}
+}
+
+func TestDriftTargetRenameRelations(t *testing.T) {
+	base := driftBase()
+	got, log := DriftTarget(base, Drift{RenameRelations: true, Seed: 9})
+	for _, rel := range base.Relations() {
+		nn := log.RenamedRelations[rel.Name]
+		if nn == "" || nn == rel.Name {
+			t.Fatalf("relation %q not renamed: %q", rel.Name, nn)
+		}
+		if got.Relation(nn) == nil {
+			t.Fatalf("renamed relation %q missing", nn)
+		}
+		if got.Relation(rel.Name) != nil {
+			t.Fatalf("original relation name %q still present", rel.Name)
+		}
+	}
+}

@@ -79,6 +79,12 @@ type Options struct {
 	TopK int
 	// MinShortlist floors the indexed shortlist size (0 = DefaultMinShortlist).
 	MinShortlist int
+	// DiscoverMapping compares each candidate under a discovered attribute
+	// mapping when its schema disagrees with the example's (renamed or
+	// reordered columns — the common drift across a heterogeneous lake),
+	// instead of padding every non-identical column pair apart. Results
+	// carry the per-candidate mapping confidence.
+	DiscoverMapping bool
 }
 
 // Indexed shortlist sizing defaults: the shortlist is max(4*TopK,
@@ -105,6 +111,9 @@ type Result struct {
 	// Options.PerCandidateTimeout and was degraded to its prefilter
 	// overlap.
 	TimedOut bool
+	// Mapping is the discovered schema mapping the comparison ran under
+	// (Options.DiscoverMapping with a drifted candidate), nil otherwise.
+	Mapping *instcmp.SchemaMapping
 	// Stats is the candidate's comparison record (nil when pruned).
 	Stats *instcmp.ComparisonStats
 }
@@ -270,6 +279,7 @@ func rankSources(ctx context.Context, example *instcmp.Instance, prepExample fun
 			ExplicitZeroLambda: opt.ExplicitZeroLambda,
 			Algorithm:          instcmp.AlgoSignature,
 			AlignSchemas:       true,
+			DiscoverMapping:    opt.DiscoverMapping,
 			SigWorkers:         sigWorkers,
 		})
 		if err != nil {
@@ -277,6 +287,7 @@ func rankSources(ctx context.Context, example *instcmp.Instance, prepExample fun
 			return
 		}
 		r.Stats = &res.Stats
+		r.Mapping = res.Mapping
 		if res.Stopped != "" {
 			if ctx.Err() != nil {
 				// The overall context was canceled: fail the

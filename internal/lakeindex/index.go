@@ -45,6 +45,29 @@ type Searcher interface {
 	Contains(name string) bool
 }
 
+// ReadFlags records how the indexed instances were read from their source
+// (the csvio.ReadOptions that shaped the feature stream). Sketches built
+// under different read options describe different feature sets — e.g.
+// AnonymousNulls turns empty cells into labeled nulls, which are excluded
+// from features — so probing an index with mismatched flags silently
+// mis-ranks. The flags are persisted in the index header; queries compare
+// them and degrade to a full scan on mismatch.
+type ReadFlags uint32
+
+// Read-option flags persisted with an index.
+const (
+	// FlagAnonymousNulls: instances were read with empty CSV cells turned
+	// into fresh labeled nulls.
+	FlagAnonymousNulls ReadFlags = 1 << 0
+)
+
+func (f ReadFlags) String() string {
+	if f&FlagAnonymousNulls != 0 {
+		return "anon-nulls"
+	}
+	return "none"
+}
+
 // Index is an immutable sketch index over a fixed candidate set, built once
 // (Build) or loaded from a persisted file (ReadFile). It is safe for
 // concurrent probing.
@@ -55,7 +78,17 @@ type Index struct {
 	// buckets is the inverted index: band bucket key → positions of the
 	// entries whose sketch falls in that bucket, in entry order.
 	buckets map[uint64][]int32
+	// flags records the read options the indexed instances were loaded
+	// under; persisted and round-tripped by Write/Read.
+	flags ReadFlags
 }
+
+// SetFlags records the read options the indexed instances were loaded
+// under. Call before WriteFile so queries can detect a mismatch.
+func (ix *Index) SetFlags(f ReadFlags) { ix.flags = f }
+
+// Flags returns the read options recorded at build time.
+func (ix *Index) Flags() ReadFlags { return ix.flags }
 
 // Build constructs an index over the entries. Entry names must be distinct
 // and non-empty; sketches must be non-nil.

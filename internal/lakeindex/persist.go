@@ -8,9 +8,10 @@ package lakeindex
 //	8      4    uint32 SeedVersion   (hash + permutation semantics)
 //	12     4    uint32 K             (sketch width)
 //	16     4    uint32 Bands
-//	20     8    uint64 payload length in bytes
-//	28     8    uint64 FNV-1a checksum of the payload
-//	36     …    payload
+//	20     4    uint32 ReadFlags     (read options the lake was loaded under)
+//	24     8    uint64 payload length in bytes
+//	32     8    uint64 FNV-1a checksum of the payload
+//	40     …    payload
 //
 // payload:
 //
@@ -35,8 +36,10 @@ import (
 	"path/filepath"
 )
 
-// FormatVersion is the persisted file layout version.
-const FormatVersion = 1
+// FormatVersion is the persisted file layout version. Version 2 added the
+// ReadFlags header word; version-1 files are rejected with ErrVersion (the
+// rebuild advice stands — their flags are unknowable).
+const FormatVersion = 2
 
 var magic = [4]byte{'L', 'K', 'I', 'X'}
 
@@ -69,14 +72,15 @@ func fnvSum(data []byte) uint64 {
 // Write serializes the index.
 func (ix *Index) Write(w io.Writer) error {
 	payload := ix.payload()
-	var header [36]byte
+	var header [40]byte
 	copy(header[0:4], magic[:])
 	binary.LittleEndian.PutUint32(header[4:8], FormatVersion)
 	binary.LittleEndian.PutUint32(header[8:12], SeedVersion)
 	binary.LittleEndian.PutUint32(header[12:16], K)
 	binary.LittleEndian.PutUint32(header[16:20], Bands)
-	binary.LittleEndian.PutUint64(header[20:28], uint64(len(payload)))
-	binary.LittleEndian.PutUint64(header[28:36], fnvSum(payload))
+	binary.LittleEndian.PutUint32(header[20:24], uint32(ix.flags))
+	binary.LittleEndian.PutUint64(header[24:32], uint64(len(payload)))
+	binary.LittleEndian.PutUint64(header[32:40], fnvSum(payload))
 	if _, err := w.Write(header[:]); err != nil {
 		return err
 	}
@@ -131,7 +135,7 @@ func (ix *Index) WriteFile(path string) error {
 
 // Read deserializes and verifies an index.
 func Read(r io.Reader) (*Index, error) {
-	var header [36]byte
+	var header [40]byte
 	if _, err := io.ReadFull(r, header[:]); err != nil {
 		return nil, fmt.Errorf("lakeindex: %w: header too short: %v", ErrNotIndex, err)
 	}
@@ -150,7 +154,8 @@ func Read(r io.Reader) (*Index, error) {
 	if b := binary.LittleEndian.Uint32(header[16:20]); b != Bands {
 		return nil, fmt.Errorf("lakeindex: %w: %d bands, this build uses %d — rebuild the index", ErrVersion, b, Bands)
 	}
-	plen := binary.LittleEndian.Uint64(header[20:28])
+	flags := ReadFlags(binary.LittleEndian.Uint32(header[20:24]))
+	plen := binary.LittleEndian.Uint64(header[24:32])
 	if plen > 1<<32 {
 		return nil, fmt.Errorf("lakeindex: %w: implausible payload length %d", ErrCorrupt, plen)
 	}
@@ -158,7 +163,7 @@ func Read(r io.Reader) (*Index, error) {
 	if _, err := io.ReadFull(r, payload); err != nil {
 		return nil, fmt.Errorf("lakeindex: %w: payload truncated: %v", ErrCorrupt, err)
 	}
-	if sum := fnvSum(payload); sum != binary.LittleEndian.Uint64(header[28:36]) {
+	if sum := fnvSum(payload); sum != binary.LittleEndian.Uint64(header[32:40]) {
 		return nil, fmt.Errorf("lakeindex: %w: checksum mismatch", ErrCorrupt)
 	}
 	entries, err := parsePayload(payload)
@@ -169,6 +174,7 @@ func Read(r io.Reader) (*Index, error) {
 	if err != nil {
 		return nil, fmt.Errorf("lakeindex: %w: %v", ErrCorrupt, err)
 	}
+	ix.flags = flags
 	return ix, nil
 }
 

@@ -57,6 +57,36 @@ func TestPersistRoundTrip(t *testing.T) {
 	}
 }
 
+func TestPersistRoundTripsReadFlags(t *testing.T) {
+	// The read options a lake was loaded under travel with the index, so a
+	// query under different options can detect the mismatch instead of
+	// silently comparing incompatible sketches.
+	for _, flags := range []ReadFlags{0, FlagAnonymousNulls} {
+		ix, _ := buildTestIndex(t, 5)
+		ix.SetFlags(flags)
+		var buf bytes.Buffer
+		if err := ix.Write(&buf); err != nil {
+			t.Fatal(err)
+		}
+		got, err := Read(&buf)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if got.Flags() != flags {
+			t.Errorf("flags = %v after round-trip, want %v", got.Flags(), flags)
+		}
+	}
+}
+
+func TestReadFlagsString(t *testing.T) {
+	if got := ReadFlags(0).String(); got != "none" {
+		t.Errorf("ReadFlags(0) = %q", got)
+	}
+	if got := FlagAnonymousNulls.String(); got != "anon-nulls" {
+		t.Errorf("FlagAnonymousNulls = %q", got)
+	}
+}
+
 func TestReadRejectsNonIndexFile(t *testing.T) {
 	path := filepath.Join(t.TempDir(), "not-an-index")
 	if err := os.WriteFile(path, []byte("relation,attr\n1,2\n"), 0o644); err != nil {
@@ -118,9 +148,9 @@ func TestReadRejectsCorruption(t *testing.T) {
 	if _, err := Read(bytes.NewReader(buf.Bytes()[:len(buf.Bytes())-10])); !errors.Is(err, ErrCorrupt) {
 		t.Errorf("truncation: err = %v, want ErrCorrupt", err)
 	}
-	// Declare more bytes than exist.
+	// Declare more bytes than exist (payload length sits at offset 24).
 	data = append([]byte(nil), buf.Bytes()...)
-	data[20] = 0xff
+	data[24] = 0xff
 	if _, err := Read(bytes.NewReader(data)); !errors.Is(err, ErrCorrupt) {
 		t.Errorf("length lie: err = %v, want ErrCorrupt", err)
 	}

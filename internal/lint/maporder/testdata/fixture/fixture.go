@@ -92,6 +92,33 @@ func invertedScanAll(buckets map[uint64][]int32) []int32 {
 	return cands
 }
 
+// profileFeatures mirrors schemamap's column profiling: distinct values
+// accumulate in first-seen scan order over tuple slices, with the map used
+// only as a membership guard — sketch input order stays deterministic.
+func profileFeatures(rows [][]uint64) []uint64 {
+	seen := map[uint64]bool{}
+	var feats []uint64
+	for _, row := range rows { // slices scan deterministically
+		for _, v := range row {
+			if !seen[v] {
+				seen[v] = true
+				feats = append(feats, v)
+			}
+		}
+	}
+	return feats
+}
+
+// profileFeaturesFromSet builds the feature stream by ranging the dedup set
+// instead: the sketch would hash values in map order.
+func profileFeaturesFromSet(seen map[uint64]bool) []uint64 {
+	var feats []uint64
+	for v := range seen { // want "map iteration order"
+		feats = append(feats, v)
+	}
+	return feats
+}
+
 // widenedScan mirrors the dynamic index's widened probe: iterate the sorted
 // mirror slice, never the map it mirrors.
 func widenedScan(names []string, estimates map[string]float64) []float64 {

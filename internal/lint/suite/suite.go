@@ -32,11 +32,13 @@ func Analyzers() []Scoped {
 			"internal/lake", "internal/compat", "internal/match",
 		}},
 		// Determinism hot paths: scoring, search, signatures, compat
-		// closure, lake ranking, and the sketch index (bucket probes and
-		// widened scans must not depend on map order).
+		// closure, lake ranking, the sketch index (bucket probes and
+		// widened scans must not depend on map order), and schema-mapping
+		// discovery (profiles, fast-path fixed point, assignment input).
 		{maporder.Analyzer, []string{
 			"internal/score", "internal/exact", "internal/signature",
 			"internal/compat", "internal/lake", "internal/lakeindex",
+			"internal/schemamap",
 		}},
 		// Mark/Undo trail discipline: the branch-and-bound search.
 		{markundo.Analyzer, []string{"internal/exact"}},

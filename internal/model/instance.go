@@ -14,6 +14,12 @@ type Instance struct {
 	byName map[string]*Relation
 	nextID TupleID
 	nulls  int // counter backing FreshNull
+	// usedNulls indexes the null names in use, so FreshNull can skip a name
+	// the instance already contains (a user null literally called "anon_1"
+	// must not merge with the counter's output). It is built lazily on the
+	// first FreshNull or ReserveNulls call and from then on maintained by
+	// Append; nil means "not built yet", never "empty".
+	usedNulls map[string]bool
 }
 
 // NewInstance returns an empty instance.
@@ -56,15 +62,76 @@ func (in *Instance) Append(rel string, vals ...Value) TupleID {
 	id := in.nextID
 	in.nextID++
 	r.Tuples = append(r.Tuples, Tuple{ID: id, Values: vals})
+	if in.usedNulls != nil {
+		for _, v := range vals {
+			if v.IsNull() {
+				in.usedNulls[v.Raw()] = true
+			}
+		}
+	}
 	return id
 }
 
-// FreshNull returns a labeled null that has not been used by previous
-// FreshNull calls on this instance. The prefix keeps nulls of different
-// origins (e.g. chase steps vs. noise injection) readable.
+// usedNullSet returns the used-null index, building it from the current
+// tuples on first use.
+func (in *Instance) usedNullSet() map[string]bool {
+	if in.usedNulls == nil {
+		in.usedNulls = map[string]bool{}
+		for _, r := range in.rels {
+			for _, t := range r.Tuples {
+				for _, v := range t.Values {
+					if v.IsNull() {
+						in.usedNulls[v.Raw()] = true
+					}
+				}
+			}
+		}
+	}
+	return in.usedNulls
+}
+
+// FreshNull returns a labeled null that does not occur in the instance and
+// has not been used by previous FreshNull calls on it: the backing counter
+// advances past any name already present (a user null literally named
+// "anon_3" cannot be silently merged with a minted one). The prefix keeps
+// nulls of different origins (e.g. chase steps vs. noise injection)
+// readable.
 func (in *Instance) FreshNull(prefix string) Value {
-	in.nulls++
-	return Nullf("%s%d", prefix, in.nulls)
+	used := in.usedNullSet()
+	for {
+		in.nulls++
+		name := fmt.Sprintf("%s%d", prefix, in.nulls)
+		if !used[name] {
+			used[name] = true
+			return Null(name)
+		}
+	}
+}
+
+// ReserveNulls marks the given null names (without the NullPrefix marker) as
+// in use, so FreshNull never mints them. Use it when tuples known to carry
+// these nulls will be appended only after FreshNull has already run — e.g.
+// when rebuilding an instance row by row with padding interleaved.
+func (in *Instance) ReserveNulls(names ...string) {
+	used := in.usedNullSet()
+	for _, n := range names {
+		used[n] = true
+	}
+}
+
+// ReserveNullsFrom reserves every null name occurring in src, see
+// ReserveNulls.
+func (in *Instance) ReserveNullsFrom(src *Instance) {
+	used := in.usedNullSet()
+	for _, r := range src.rels {
+		for _, t := range r.Tuples {
+			for _, v := range t.Values {
+				if v.IsNull() {
+					used[v.Raw()] = true
+				}
+			}
+		}
+	}
 }
 
 // NumTuples returns the total number of tuples across all relations.

@@ -205,6 +205,68 @@ func TestFreshNullUnique(t *testing.T) {
 	}
 }
 
+func TestFreshNullSkipsPresentNames(t *testing.T) {
+	// An adversarially named user null that literally spells a counter
+	// output ("anon_1", "pad·l·2") must not be re-minted: that would
+	// silently merge two unrelated nulls.
+	in := NewInstance()
+	in.AddRelation("R", "A")
+	in.Append("R", Null("anon_1"))
+	in.Append("R", Null("anon_3"))
+	in.Append("R", Null("pad·l·2"))
+	vars := in.Vars()
+	for i := 0; i < 5; i++ {
+		if v := in.FreshNull("anon_"); vars[v] {
+			t.Fatalf("FreshNull minted existing null %v", v)
+		}
+	}
+	for i := 0; i < 5; i++ {
+		if v := in.FreshNull("pad·l·"); vars[v] {
+			t.Fatalf("FreshNull minted existing null %v", v)
+		}
+	}
+}
+
+func TestFreshNullSkipsAppendedNames(t *testing.T) {
+	// Names appended after the first FreshNull call must be skipped too:
+	// the used-null index is maintained incrementally, not a one-shot
+	// snapshot.
+	in := NewInstance()
+	in.AddRelation("R", "A", "B")
+	first := in.FreshNull("n") // builds the used-null index
+	in.Append("R", Null("n2"), first)
+	for i := 0; i < 3; i++ {
+		if v := in.FreshNull("n"); v == Null("n2") {
+			t.Fatalf("FreshNull re-minted appended null %v", v)
+		}
+	}
+}
+
+func TestFreshNullReserveNulls(t *testing.T) {
+	in := NewInstance()
+	in.ReserveNulls("p1", "p3")
+	got := map[Value]bool{}
+	for i := 0; i < 4; i++ {
+		got[in.FreshNull("p")] = true
+	}
+	for _, banned := range []Value{Null("p1"), Null("p3")} {
+		if got[banned] {
+			t.Errorf("FreshNull minted reserved null %v", banned)
+		}
+	}
+
+	src := NewInstance()
+	src.AddRelation("S", "A")
+	src.Append("S", Null("q2"))
+	dst := NewInstance()
+	dst.ReserveNullsFrom(src)
+	for i := 0; i < 4; i++ {
+		if v := dst.FreshNull("q"); v == Null("q2") {
+			t.Fatalf("FreshNull minted null reserved from src: %v", v)
+		}
+	}
+}
+
 func TestShufflePreservesContent(t *testing.T) {
 	in := newConf()
 	before := map[string]int{}

@@ -145,6 +145,38 @@ func TestSignatureLargeInstanceWorkerInvariance(t *testing.T) {
 	}
 }
 
+// TestDiscoveryIdentityGoldenScores pins that mapping discovery is inert
+// when the schemas already agree: with DiscoverMapping set, every golden
+// score must reproduce bit-identically and no mapping may be reported —
+// discovery only engages on a schema mismatch.
+func TestDiscoveryIdentityGoldenScores(t *testing.T) {
+	for _, tc := range goldenSignature {
+		base, err := datasets.Generate(tc.name, tc.rows, tc.seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		n := tc.noise
+		n.Seed = tc.seed
+		sc := generator.Make(base, n)
+		res, err := instcmp.Compare(sc.Source, sc.Target, &instcmp.Options{
+			Mode:            tc.mode,
+			Lambda:          0.5,
+			Algorithm:       instcmp.AlgoSignature,
+			DiscoverMapping: true,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if res.Score != tc.want {
+			t.Errorf("%s rows=%d seed=%d mode=%v: discovery-enabled score %.17g, golden %.17g",
+				tc.name, tc.rows, tc.seed, tc.mode, res.Score, tc.want)
+		}
+		if res.Mapping != nil {
+			t.Errorf("%s seed=%d: mapping reported for identical schemas", tc.name, tc.seed)
+		}
+	}
+}
+
 // goldenExact holds exhaustive exact-search scores (Doct, 12 rows, CellPct
 // 0.2, 1-to-1, λ = 0.5) from the string-based implementation.
 var goldenExact = []struct {

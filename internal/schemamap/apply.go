@@ -1,0 +1,105 @@
+package schemamap
+
+import (
+	"fmt"
+
+	"instcmp/internal/model"
+)
+
+// Apply rewrites the right instance into the left schema's spelling under
+// the mapping: mapped relations are renamed to their left name and their
+// mapped columns renamed and reordered to the left attribute order
+// (unmapped right columns follow, keeping their own names), while
+// right-only relations are carried over verbatim. Tuple values and
+// per-relation tuple order are preserved, so positional lookups into the
+// original right instance stay valid; the returned map translates each
+// rewritten relation name back to its original right name.
+//
+// When the mapping covers every column of every relation, the rewritten
+// instance has exactly the left schema, and comparing left against it is
+// bit-identical to comparing the undrifted pair. Partial mappings leave
+// the leftover columns/relations for the Sec. 4 alignment recipe
+// (Options.AlignSchemas) to pad.
+//
+// The right instance is not modified. Apply returns an error when the
+// mapping does not describe the instance (stale indices or names).
+func (m *Mapping) Apply(right *model.Instance) (*model.Instance, map[string]string, error) {
+	rels := right.Relations()
+	out := model.NewInstance()
+	names := map[string]string{}
+	usedRel := map[string]bool{}
+
+	mappedRight := make([]bool, len(rels))
+	for _, rp := range m.Rels {
+		if rp.Right < 0 || rp.Right >= len(rels) {
+			return nil, nil, fmt.Errorf("schemamap: mapping names right relation #%d, instance has %d", rp.Right, len(rels))
+		}
+		src := rels[rp.Right]
+		if src.Name != rp.RightName {
+			return nil, nil, fmt.Errorf("schemamap: mapping expects relation %q at #%d, found %q", rp.RightName, rp.Right, src.Name)
+		}
+		mappedRight[rp.Right] = true
+
+		// Output columns: mapped columns in left order (Attrs is sorted by
+		// left position), then unmapped right columns.
+		type colSrc struct {
+			from int
+			name string
+		}
+		cols := make([]colSrc, 0, len(rp.Attrs)+len(rp.RightUnmapped))
+		usedAttr := map[string]bool{}
+		for _, ap := range rp.Attrs {
+			if ap.Right < 0 || ap.Right >= src.Arity() || src.Attrs[ap.Right] != ap.RightAttr {
+				return nil, nil, fmt.Errorf("schemamap: mapping expects attribute %q at %s#%d", ap.RightAttr, src.Name, ap.Right)
+			}
+			cols = append(cols, colSrc{from: ap.Right, name: uniquify(ap.LeftAttr, usedAttr)})
+		}
+		for _, j := range rp.RightUnmapped {
+			if j < 0 || j >= src.Arity() {
+				return nil, nil, fmt.Errorf("schemamap: mapping names unmapped attribute #%d of %s, arity is %d", j, src.Name, src.Arity())
+			}
+			cols = append(cols, colSrc{from: j, name: uniquify(src.Attrs[j], usedAttr)})
+		}
+
+		name := uniquify(rp.LeftName, usedRel)
+		attrs := make([]string, len(cols))
+		for k, c := range cols {
+			attrs[k] = c.name
+		}
+		out.AddRelation(name, attrs...)
+		names[name] = src.Name
+		for ti := range src.Tuples {
+			vals := make([]model.Value, len(cols))
+			for k, c := range cols {
+				vals[k] = src.Tuples[ti].Values[c.from]
+			}
+			out.Append(name, vals...)
+		}
+	}
+
+	// Right-only relations ride along unchanged; schema alignment will pad
+	// the left side for them (or the caller compares them as extra weight).
+	for ri, src := range rels {
+		if mappedRight[ri] {
+			continue
+		}
+		name := uniquify(src.Name, usedRel)
+		out.AddRelation(name, append([]string(nil), src.Attrs...)...)
+		names[name] = src.Name
+		for ti := range src.Tuples {
+			out.Append(name, append([]model.Value(nil), src.Tuples[ti].Values...)...)
+		}
+	}
+	return out, names, nil
+}
+
+// uniquify reserves name in used, suffixing "·" until it is free. Clashes
+// are only possible with adversarial mappings (Discover's name-equal pass
+// makes them unreachable), but Apply must never build an invalid schema.
+func uniquify(name string, used map[string]bool) string {
+	for used[name] {
+		name += "·"
+	}
+	used[name] = true
+	return name
+}

@@ -1,0 +1,369 @@
+package schemamap
+
+import (
+	"instcmp/internal/model"
+	"instcmp/internal/strsim"
+)
+
+// Options tunes mapping discovery. The zero value is valid and means the
+// defaults documented per field.
+type Options struct {
+	// MinDistinctiveUniqueness is the uniqueness ratio a column needs to
+	// count as distinctive for the fast path (default 0.8). Distinctive
+	// columns behave like approximate keys: their value sets identify
+	// rows, so a strong value-overlap between two of them is the most
+	// trustworthy mapping anchor.
+	MinDistinctiveUniqueness float64
+	// MinFastPathSim is the similarity floor for fixing a mutually-best
+	// distinctive pair without running the assignment (default 0.5).
+	MinFastPathSim float64
+	// MinAttrSim is the floor under which an assigned column pair is
+	// discarded and both columns stay unmapped (default 0.2); unmapped
+	// columns are later padded by schema alignment, so a bad forced match
+	// is strictly worse than no match.
+	MinAttrSim float64
+}
+
+func (o Options) minDistinctive() float64 {
+	if o.MinDistinctiveUniqueness == 0 {
+		return 0.8
+	}
+	return o.MinDistinctiveUniqueness
+}
+
+func (o Options) minFastPath() float64 {
+	if o.MinFastPathSim == 0 {
+		return 0.5
+	}
+	return o.MinFastPathSim
+}
+
+func (o Options) minAttrSim() float64 {
+	if o.MinAttrSim == 0 {
+		return 0.2
+	}
+	return o.MinAttrSim
+}
+
+// Match methods, in decreasing order of trust.
+const (
+	// MethodName: the attribute names are equal on both sides.
+	MethodName = "name"
+	// MethodFastPath: mutually-best distinctive-column value overlap.
+	MethodFastPath = "fast-path"
+	// MethodAssignment: resolved by the Hungarian assignment fallback.
+	MethodAssignment = "assignment"
+)
+
+// AttrPair is one discovered attribute correspondence within a relation
+// pair.
+type AttrPair struct {
+	// Left and Right are attribute positions; LeftAttr and RightAttr the
+	// corresponding names.
+	Left, Right         int
+	LeftAttr, RightAttr string
+	// Sim is the profile similarity in [0, 1] that justified the pair.
+	Sim float64
+	// Method is MethodName, MethodFastPath, or MethodAssignment.
+	Method string
+}
+
+// RelPair is one discovered relation correspondence with its attribute
+// mapping.
+type RelPair struct {
+	// Left and Right are relation positions in each instance's schema
+	// order; LeftName and RightName the relation names.
+	Left, Right         int
+	LeftName, RightName string
+	// Attrs is the attribute mapping, sorted by left position.
+	Attrs []AttrPair
+	// LeftUnmapped and RightUnmapped list attribute positions without a
+	// counterpart (dropped or added columns).
+	LeftUnmapped, RightUnmapped []int
+	// Confidence is the relation's mapping confidence: the mean matched
+	// similarity scaled by schema coverage.
+	Confidence float64
+}
+
+// Mapping is a discovered schema mapping between two instances.
+type Mapping struct {
+	// Rels lists matched relations in left schema order.
+	Rels []RelPair
+	// LeftOnly and RightOnly name relations without a counterpart.
+	LeftOnly, RightOnly []string
+	// Confidence aggregates the per-relation confidences (weighted by
+	// column count); 1 means every column anchored with perfect profile
+	// agreement, 0 means nothing mapped.
+	Confidence float64
+}
+
+// Discover profiles both instances and searches for the attribute mapping
+// that best explains them. It is deterministic: equal instances always
+// yield equal mappings. Neither instance is modified.
+func Discover(left, right *model.Instance, opt Options) *Mapping {
+	lp := ProfileInstance(left)
+	rp := ProfileInstance(right)
+	m := &Mapping{}
+
+	// Relation pairing: equal names first (the common case — drift usually
+	// renames columns, not tables), then leftovers greedily by
+	// relation-sketch overlap, mutual-best, in left schema order.
+	rightTaken := make([]bool, len(rp))
+	pairs := make([][2]int, 0, len(lp))
+	for li := range lp {
+		for ri := range rp {
+			if !rightTaken[ri] && lp[li].Name == rp[ri].Name {
+				rightTaken[ri] = true
+				pairs = append(pairs, [2]int{li, ri})
+				break
+			}
+		}
+	}
+	paired := make([]bool, len(lp))
+	for _, p := range pairs {
+		paired[p[0]] = true
+	}
+	for li := range lp {
+		if paired[li] {
+			continue
+		}
+		best, bestSim := -1, 0.0
+		for ri := range rp {
+			if rightTaken[ri] {
+				continue
+			}
+			s := lp[li].Sketch.Estimate(rp[ri].Sketch)
+			if s > bestSim {
+				best, bestSim = ri, s
+			}
+		}
+		// A relation pair with no value overlap at all is not a pair.
+		if best >= 0 && bestSim > 0 {
+			rightTaken[best] = true
+			pairs = append(pairs, [2]int{li, best})
+			paired[li] = true
+		}
+	}
+	for li := range lp {
+		if !paired[li] {
+			m.LeftOnly = append(m.LeftOnly, lp[li].Name)
+		}
+	}
+	for ri := range rp {
+		if !rightTaken[ri] {
+			m.RightOnly = append(m.RightOnly, rp[ri].Name)
+		}
+	}
+
+	// Attribute mapping per relation pair, in left schema order.
+	totalCols, weighted := 0, 0.0
+	for li := range lp {
+		for _, p := range pairs {
+			if p[0] != li {
+				continue
+			}
+			rel := mapAttrs(&lp[p[0]], &rp[p[1]], opt)
+			m.Rels = append(m.Rels, rel)
+			w := len(lp[p[0]].Cols)
+			if rc := len(rp[p[1]].Cols); rc > w {
+				w = rc
+			}
+			totalCols += w
+			weighted += rel.Confidence * float64(w)
+		}
+	}
+	for li := range lp {
+		if !paired[li] {
+			totalCols += len(lp[li].Cols)
+		}
+	}
+	for ri := range rp {
+		if !rightTaken[ri] {
+			totalCols += len(rp[ri].Cols)
+		}
+	}
+	if totalCols > 0 {
+		m.Confidence = weighted / float64(totalCols)
+	}
+	return m
+}
+
+// mapAttrs maps one relation pair's attributes: name-equal columns first,
+// then the mutually-best distinctive fast path, then the assignment
+// fallback over whatever remains.
+func mapAttrs(l, r *RelationProfile, opt Options) RelPair {
+	rel := RelPair{Left: l.Index, Right: r.Index, LeftName: l.Name, RightName: r.Name}
+	nl, nr := len(l.Cols), len(r.Cols)
+	lTaken := make([]bool, nl)
+	rTaken := make([]bool, nr)
+	add := func(i, j int, sim float64, method string) {
+		lTaken[i], rTaken[j] = true, true
+		rel.Attrs = append(rel.Attrs, AttrPair{
+			Left: i, Right: j, LeftAttr: l.Cols[i].Attr, RightAttr: r.Cols[j].Attr,
+			Sim: sim, Method: method,
+		})
+	}
+
+	// Name-equal columns are fixed outright: drift that renames SOME
+	// columns leaves the rest as exact anchors, and a spurious name
+	// collision still has its real profile similarity recorded for the
+	// confidence to reflect.
+	for i := range l.Cols {
+		for j := range r.Cols {
+			if !rTaken[j] && l.Cols[i].Attr == r.Cols[j].Attr {
+				add(i, j, colSim(&l.Cols[i], &r.Cols[j]), MethodName)
+				break
+			}
+		}
+	}
+
+	// Fast path: mutually-best matches between distinctive columns, by
+	// value overlap. Iterate to a fixed point — fixing one pair can make
+	// another pair mutually best.
+	for {
+		progress := false
+		for i := range l.Cols {
+			if lTaken[i] || !distinctive(&l.Cols[i], opt) {
+				continue
+			}
+			bi, bs := bestFree(&l.Cols[i], r.Cols, rTaken)
+			if bi < 0 || bs < opt.minFastPath() || !distinctive(&r.Cols[bi], opt) {
+				continue
+			}
+			// Mutual: is i also the best free left column for bi?
+			bj, _ := bestFree(&r.Cols[bi], l.Cols, lTaken)
+			if bj == i {
+				add(i, bi, bs, MethodFastPath)
+				progress = true
+			}
+		}
+		if !progress {
+			break
+		}
+	}
+
+	// Assignment fallback on the remaining columns.
+	var lRest, rRest []int
+	for i := range l.Cols {
+		if !lTaken[i] {
+			lRest = append(lRest, i)
+		}
+	}
+	for j := range r.Cols {
+		if !rTaken[j] {
+			rRest = append(rRest, j)
+		}
+	}
+	if len(lRest) > 0 && len(rRest) > 0 {
+		sim := make([][]float64, len(lRest))
+		for a, i := range lRest {
+			sim[a] = make([]float64, len(rRest))
+			for b, j := range rRest {
+				sim[a][b] = colSim(&l.Cols[i], &r.Cols[j])
+			}
+		}
+		match := assignMax(sim)
+		for a, b := range match {
+			if b < 0 {
+				continue
+			}
+			if s := sim[a][b]; s >= opt.minAttrSim() {
+				add(lRest[a], rRest[b], s, MethodAssignment)
+			}
+		}
+	}
+
+	sortAttrPairs(rel.Attrs)
+	for i := range l.Cols {
+		if !lTaken[i] {
+			rel.LeftUnmapped = append(rel.LeftUnmapped, i)
+		}
+	}
+	for j := range r.Cols {
+		if !rTaken[j] {
+			rel.RightUnmapped = append(rel.RightUnmapped, j)
+		}
+	}
+	// Confidence: mean matched similarity scaled by coverage of the wider
+	// side, so dropped columns and weak anchors both pull it down.
+	wide := nl
+	if nr > wide {
+		wide = nr
+	}
+	if wide > 0 {
+		sum := 0.0
+		for _, ap := range rel.Attrs {
+			sum += ap.Sim
+		}
+		rel.Confidence = sum / float64(wide)
+	}
+	return rel
+}
+
+// sortAttrPairs orders a relation's attribute pairs by left position.
+func sortAttrPairs(ps []AttrPair) {
+	for i := 1; i < len(ps); i++ {
+		for j := i; j > 0 && ps[j].Left < ps[j-1].Left; j-- {
+			ps[j], ps[j-1] = ps[j-1], ps[j]
+		}
+	}
+}
+
+// distinctive reports whether a column qualifies as a fast-path anchor: a
+// near-unique, mostly non-null column — an approximate key under nulls.
+func distinctive(c *ColumnProfile, opt Options) bool {
+	return c.NonNull > 0 && c.Uniqueness >= opt.minDistinctive() && c.NullShare <= 0.5
+}
+
+// bestFree returns the free column of cands most similar to c (lowest
+// index wins ties), with its similarity.
+func bestFree(c *ColumnProfile, cands []ColumnProfile, taken []bool) (int, float64) {
+	best, bestSim := -1, 0.0
+	for j := range cands {
+		if taken[j] {
+			continue
+		}
+		if s := colSim(c, &cands[j]); s > bestSim {
+			best, bestSim = j, s
+		}
+	}
+	return best, bestSim
+}
+
+// Column-similarity weights. Value overlap dominates — it is the only
+// signal that survives arbitrary renames — with the scalar profile
+// statistics and the (possibly drifted) names as tie-breakers.
+const (
+	wValues  = 0.55
+	wUniq    = 0.15
+	wNull    = 0.10
+	wNumeric = 0.10
+	wName    = 0.10
+)
+
+// colSim scores two column profiles in [0, 1].
+func colSim(a, b *ColumnProfile) float64 {
+	// Value overlap: MinHash estimate of the Jaccard similarity of the
+	// two value sets. Two fully-null columns sketch identically (both
+	// empty), which is right: they constrain nothing and may map.
+	val := a.Sketch.Estimate(b.Sketch)
+	s := wValues*val +
+		wUniq*(1-abs(a.Uniqueness-b.Uniqueness)) +
+		wNull*(1-abs(a.NullShare-b.NullShare)) +
+		wNumeric*(1-abs(a.NumericShare-b.NumericShare)) +
+		wName*strsim.Levenshtein(a.Attr, b.Attr)
+	if s < 0 {
+		return 0
+	}
+	if s > 1 {
+		return 1
+	}
+	return s
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}

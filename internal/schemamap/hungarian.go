@@ -1,0 +1,108 @@
+package schemamap
+
+// Hungarian-style assignment for the broader mapping search. The fast path
+// only fixes mutually-best distinctive columns; whatever remains is a small
+// rectangular assignment problem — at most 64 columns per side
+// (match.ErrTooManyAttributes bounds arity) — solved exactly here. The
+// solver is the classic O(n³) shortest-augmenting-path formulation with
+// potentials (Jonker-Volgenant style), deterministic by construction: rows
+// are augmented in index order and scan ties resolve to the lowest index.
+
+// assignMax solves the maximum-weight assignment for a rows×cols similarity
+// matrix sim (sim[i][j] ≥ 0). It returns match[i] = assigned column of row
+// i, or -1 when rows > cols leaves row i unassigned. Weights are
+// maximized; every row is assigned when rows ≤ cols (the caller drops
+// low-similarity pairs afterwards).
+func assignMax(sim [][]float64) []int {
+	rows := len(sim)
+	if rows == 0 {
+		return nil
+	}
+	cols := len(sim[0])
+	// Square the problem: pad with zero-weight dummy rows/columns, then
+	// minimize cost = maxSim - sim.
+	n := rows
+	if cols > n {
+		n = cols
+	}
+	maxSim := 0.0
+	for i := range sim {
+		for j := range sim[i] {
+			if sim[i][j] > maxSim {
+				maxSim = sim[i][j]
+			}
+		}
+	}
+	cost := func(i, j int) float64 {
+		if i < rows && j < cols {
+			return maxSim - sim[i][j]
+		}
+		return maxSim // dummy cell: as bad as the worst real pair
+	}
+
+	const inf = 1e18
+	// Potentials and matching, 1-indexed internally (position 0 is the
+	// virtual root of each augmenting search).
+	u := make([]float64, n+1)
+	v := make([]float64, n+1)
+	way := make([]int, n+1)
+	matchCol := make([]int, n+1) // matchCol[j] = row matched to column j (0 = free)
+	for i := 1; i <= n; i++ {
+		matchCol[0] = i
+		j0 := 0
+		minv := make([]float64, n+1)
+		used := make([]bool, n+1)
+		for j := 0; j <= n; j++ {
+			minv[j] = inf
+		}
+		for {
+			used[j0] = true
+			i0 := matchCol[j0]
+			delta := inf
+			j1 := -1
+			for j := 1; j <= n; j++ {
+				if used[j] {
+					continue
+				}
+				cur := cost(i0-1, j-1) - u[i0] - v[j]
+				if cur < minv[j] {
+					minv[j] = cur
+					way[j] = j0
+				}
+				if minv[j] < delta {
+					delta = minv[j]
+					j1 = j
+				}
+			}
+			for j := 0; j <= n; j++ {
+				if used[j] {
+					u[matchCol[j]] += delta
+					v[j] -= delta
+				} else {
+					minv[j] -= delta
+				}
+			}
+			j0 = j1
+			if matchCol[j0] == 0 {
+				break
+			}
+		}
+		for j0 != 0 {
+			j1 := way[j0]
+			matchCol[j0] = matchCol[j1]
+			j0 = j1
+		}
+	}
+
+	match := make([]int, rows)
+	for i := range match {
+		match[i] = -1
+	}
+	for j := 1; j <= n; j++ {
+		i := matchCol[j]
+		if i >= 1 && i <= rows && j <= cols {
+			match[i-1] = j - 1
+		}
+	}
+	return match
+}

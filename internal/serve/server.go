@@ -235,6 +235,7 @@ func compareResponse(req CompareRequest, res *instcmp.Result, withStats bool) Co
 		Algorithm:  res.Algorithm.String(),
 		Exhaustive: res.Exhaustive,
 		Stopped:    res.Stopped,
+		Mapping:    wireMapping(res.Mapping),
 		ElapsedMS:  float64(res.Elapsed) / float64(time.Millisecond),
 	}
 	if withStats {
@@ -345,6 +346,7 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 		PerCandidateTimeout: time.Duration(req.PerCandidateTimeoutMS) * time.Millisecond,
 		TopK:                req.TopK,
 		MinShortlist:        req.MinShortlist,
+		DiscoverMapping:     req.DiscoverMapping,
 	})
 	if err != nil {
 		// A canceled ranking is a deadline outcome, not a bad request:
@@ -372,13 +374,17 @@ func (s *Server) handleRank(w http.ResponseWriter, r *http.Request) {
 		ElapsedMS: float64(time.Since(start)) / float64(time.Millisecond),
 	}
 	for _, res := range results {
-		out.Results = append(out.Results, RankedResult{
+		rr := RankedResult{
 			Name:     res.Name,
 			Score:    res.Score,
 			Overlap:  res.Overlap,
 			Pruned:   res.Pruned,
 			TimedOut: res.TimedOut,
-		})
+		}
+		if res.Mapping != nil {
+			rr.MappingConfidence = res.Mapping.Confidence
+		}
+		out.Results = append(out.Results, rr)
 	}
 	writeJSON(w, http.StatusOK, out)
 }

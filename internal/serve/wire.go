@@ -95,6 +95,10 @@ type WireOptions struct {
 	Partial       bool   `json:"partial,omitempty"`
 	MinPartialSig int    `json:"min_partial_sig,omitempty"`
 	AlignSchemas  bool   `json:"align_schemas,omitempty"`
+	// DiscoverMapping compares under a discovered attribute mapping when
+	// the schemas mismatch (renamed/reordered columns); the response then
+	// carries the mapping and its confidence.
+	DiscoverMapping bool `json:"discover_mapping,omitempty"`
 	// TimeoutMS bounds the whole request. A request that exceeds it does
 	// not fail: the engines are anytime, so the response carries the best
 	// match found with "stopped" set (see Result.Stopped).
@@ -149,6 +153,7 @@ func (w *WireOptions) engineOptions() (*instcmp.Options, error) {
 		Partial:            w.Partial,
 		MinPartialSig:      w.MinPartialSig,
 		AlignSchemas:       w.AlignSchemas,
+		DiscoverMapping:    w.DiscoverMapping,
 	}, nil
 }
 
@@ -177,8 +182,59 @@ type CompareResponse struct {
 	Algorithm  string                   `json:"algorithm"`
 	Exhaustive bool                     `json:"exhaustive"`
 	Stopped    string                   `json:"stopped,omitempty"`
+	Mapping    *WireMapping             `json:"mapping,omitempty"`
 	ElapsedMS  float64                  `json:"elapsed_ms"`
 	Stats      *instcmp.ComparisonStats `json:"stats,omitempty"`
+}
+
+// WireColumnMapping is one discovered attribute pair.
+type WireColumnMapping struct {
+	Left       string  `json:"left"`
+	Right      string  `json:"right"`
+	Similarity float64 `json:"similarity"`
+	Method     string  `json:"method"`
+}
+
+// WireRelationMapping is one discovered relation pair with its columns.
+type WireRelationMapping struct {
+	Left          string              `json:"left"`
+	Right         string              `json:"right"`
+	Confidence    float64             `json:"confidence"`
+	Columns       []WireColumnMapping `json:"columns"`
+	LeftUnmapped  []string            `json:"left_unmapped,omitempty"`
+	RightUnmapped []string            `json:"right_unmapped,omitempty"`
+}
+
+// WireMapping is the JSON shape of a discovered schema mapping
+// (instcmp.SchemaMapping).
+type WireMapping struct {
+	Confidence float64               `json:"confidence"`
+	Relations  []WireRelationMapping `json:"relations"`
+	LeftOnly   []string              `json:"left_only,omitempty"`
+	RightOnly  []string              `json:"right_only,omitempty"`
+}
+
+// wireMapping converts a discovered mapping to its wire shape (nil in,
+// nil out).
+func wireMapping(m *instcmp.SchemaMapping) *WireMapping {
+	if m == nil {
+		return nil
+	}
+	w := &WireMapping{Confidence: m.Confidence, LeftOnly: m.LeftOnly, RightOnly: m.RightOnly}
+	//instlint:allow ctxpoll -- one linear pass over a mapping bounded by the schemas' column counts, cheaper than the JSON encode that follows
+	for _, rm := range m.Relations {
+		wr := WireRelationMapping{
+			Left: rm.Left, Right: rm.Right, Confidence: rm.Confidence,
+			LeftUnmapped: rm.LeftUnmapped, RightUnmapped: rm.RightUnmapped,
+		}
+		for _, c := range rm.Columns {
+			wr.Columns = append(wr.Columns, WireColumnMapping{
+				Left: c.Left, Right: c.Right, Similarity: c.Similarity, Method: c.Method,
+			})
+		}
+		w.Relations = append(w.Relations, wr)
+	}
+	return w
 }
 
 // ExplainRequest asks for the full instance match between two registered
@@ -229,6 +285,10 @@ type RankRequest struct {
 	// NoIndex forces a full scan, comparing every candidate: the recall
 	// oracle, and the right call when scores beyond the top-k matter.
 	NoIndex bool `json:"no_index,omitempty"`
+	// DiscoverMapping compares drifted candidates under discovered
+	// attribute mappings (see lake.Options.DiscoverMapping); ranked
+	// results then report the per-candidate mapping confidence.
+	DiscoverMapping bool `json:"discover_mapping,omitempty"`
 }
 
 // RankedResult is one ranked candidate.
@@ -238,6 +298,10 @@ type RankedResult struct {
 	Overlap  float64 `json:"overlap"`
 	Pruned   bool    `json:"pruned,omitempty"`
 	TimedOut bool    `json:"timed_out,omitempty"`
+	// MappingConfidence is the discovered mapping's confidence when the
+	// ranking ran with discover_mapping and this candidate's schema
+	// drifted from the example's; 0 otherwise.
+	MappingConfidence float64 `json:"mapping_confidence,omitempty"`
 }
 
 // RankIndexInfo reports how a ranking used the registry's sketch index

@@ -1,0 +1,110 @@
+package instcmp
+
+// Schema-drift discovery: the public face of internal/schemamap. The engine
+// proper requires both instances to agree on relation names, attribute
+// names, and attribute order; MapSchemas (and Options.DiscoverMapping)
+// recover a correspondence when they do not — renamed or reordered columns,
+// renamed relations, dropped columns — by profiling every column and
+// anchoring a mapping on distinctive (approximate-key) columns first.
+
+import (
+	"fmt"
+
+	"instcmp/internal/schemamap"
+)
+
+// ColumnMapping is one discovered attribute correspondence.
+type ColumnMapping struct {
+	// Left and Right are the attribute names on each side.
+	Left, Right string
+	// Similarity is the profile similarity in [0, 1] that justified the
+	// pair.
+	Similarity float64
+	// Method records how the pair was found: "name" (equal names),
+	// "fast-path" (mutually-best distinctive columns), or "assignment"
+	// (Hungarian fallback) — in decreasing order of trust.
+	Method string
+}
+
+// RelationMapping is one discovered relation correspondence.
+type RelationMapping struct {
+	// Left and Right are the relation names on each side.
+	Left, Right string
+	// Columns lists the attribute pairs in left schema order.
+	Columns []ColumnMapping
+	// LeftUnmapped and RightUnmapped name attributes without a counterpart
+	// (dropped or added columns); schema alignment pads them with fresh
+	// nulls during comparison.
+	LeftUnmapped, RightUnmapped []string
+	// Confidence is the mean matched similarity scaled by coverage of the
+	// wider schema.
+	Confidence float64
+}
+
+// SchemaMapping is a discovered correspondence between two instances'
+// schemas, with a confidence the caller can use to gate automatic decisions.
+type SchemaMapping struct {
+	// Relations lists matched relations in left schema order.
+	Relations []RelationMapping
+	// LeftOnly and RightOnly name relations without a counterpart.
+	LeftOnly, RightOnly []string
+	// Confidence aggregates per-relation confidences weighted by column
+	// count: 1 means every column anchored with perfect profile agreement.
+	Confidence float64
+}
+
+// MapSchemas discovers the attribute mapping between two instances without
+// comparing them: per-column profiles (uniqueness under labeled nulls, null
+// share, type hints, MinHash value sketches), a fast path over
+// mutually-best distinctive columns, and a Hungarian-style assignment on
+// profile similarity for the rest. It is deterministic and does not modify
+// its inputs. Use Options.DiscoverMapping to run a comparison under the
+// discovered mapping in one call.
+func MapSchemas(left, right *Instance) (*SchemaMapping, error) {
+	if left == nil || right == nil {
+		return nil, fmt.Errorf("instcmp: MapSchemas requires two non-nil instances")
+	}
+	return newSchemaMapping(schemamap.Discover(left, right, schemamap.Options{}), left, right), nil
+}
+
+// newSchemaMapping converts the internal mapping, resolving unmapped
+// column indices to names via the original instances.
+func newSchemaMapping(m *schemamap.Mapping, left, right *Instance) *SchemaMapping {
+	out := &SchemaMapping{
+		LeftOnly:   append([]string(nil), m.LeftOnly...),
+		RightOnly:  append([]string(nil), m.RightOnly...),
+		Confidence: m.Confidence,
+	}
+	lrels, rrels := left.Relations(), right.Relations()
+	for _, rp := range m.Rels {
+		rm := RelationMapping{Left: rp.LeftName, Right: rp.RightName, Confidence: rp.Confidence}
+		for _, ap := range rp.Attrs {
+			rm.Columns = append(rm.Columns, ColumnMapping{
+				Left: ap.LeftAttr, Right: ap.RightAttr,
+				Similarity: ap.Sim, Method: ap.Method,
+			})
+		}
+		for _, i := range rp.LeftUnmapped {
+			rm.LeftUnmapped = append(rm.LeftUnmapped, lrels[rp.Left].Attrs[i])
+		}
+		for _, j := range rp.RightUnmapped {
+			rm.RightUnmapped = append(rm.RightUnmapped, rrels[rp.Right].Attrs[j])
+		}
+		out.Relations = append(out.Relations, rm)
+	}
+	return out
+}
+
+// discoverForCompare runs discovery for a comparison whose schemas
+// mismatch: it rewrites the right instance into the left schema's spelling
+// and returns the rewritten instance, the public mapping, and the
+// rewritten-to-original relation-name translation that keeps explanations
+// reported in the caller's names.
+func discoverForCompare(left, right *Instance) (*Instance, *SchemaMapping, map[string]string, error) {
+	dm := schemamap.Discover(left, right, schemamap.Options{})
+	rewritten, names, err := dm.Apply(right)
+	if err != nil {
+		return nil, nil, nil, fmt.Errorf("instcmp: applying discovered mapping: %w", err)
+	}
+	return rewritten, newSchemaMapping(dm, left, right), names, nil
+}

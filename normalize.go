@@ -130,6 +130,12 @@ func alignSchemas(l, r *Instance) (*Instance, *Instance) {
 
 	rebuild := func(src *Instance, padPrefix string) *Instance {
 		out := model.NewInstance()
+		// Padding is minted row by row while src's tuples are still being
+		// copied over, so a later row could carry a user null whose name the
+		// counter has already handed out. Reserving src's nulls up front
+		// closes that window: FreshNull skips every name that will ever be
+		// appended.
+		out.ReserveNullsFrom(src)
 		for _, rs := range order {
 			out.AddRelation(rs.name, rs.attrs...)
 			srcRel := src.Relation(rs.name)
@@ -157,8 +163,9 @@ func alignSchemas(l, r *Instance) (*Instance, *Instance) {
 		}
 		return out
 	}
-	// Padding nulls must not collide with existing null names; the
-	// unicode-marked prefixes keep them out of users' namespaces, and
-	// Normalize's rename step resolves any remaining overlap.
+	// The unicode-marked prefixes keep padding nulls readable and out of
+	// ordinary namespaces, but freshness does not rely on the convention:
+	// FreshNull skips names already present, so even a user null literally
+	// named "pad·l·1" stays distinct from the padding.
 	return rebuild(l, "pad·l·"), rebuild(r, "pad·r·")
 }

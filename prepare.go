@@ -120,7 +120,21 @@ func ComparePreparedContext(ctx context.Context, left, right *Prepared, opt *Opt
 // the match in terms of the prepared snapshots' tuple identifiers.
 func comparePrepared(ctx context.Context, lp, rp *Prepared, opt *Options, start time.Time) (*Result, error) {
 	l, r := lp, rp
-	if opt.AlignSchemas && !model.SameSchema(l.inst, r.inst) {
+	var mapping *SchemaMapping
+	var relNames map[string]string
+	if opt.DiscoverMapping && !model.SameSchema(l.inst, r.inst) {
+		rewritten, sm, names, err := discoverForCompare(l.inst, r.inst)
+		if err != nil {
+			return nil, err
+		}
+		if r, err = prepareOwned(rewritten); err != nil {
+			return nil, err
+		}
+		mapping, relNames = sm, names
+	}
+	// Discovery implies residual alignment: a partial mapping leaves
+	// dropped/added columns and unmatched relations for Sec. 4 padding.
+	if (opt.AlignSchemas || mapping != nil) && !model.SameSchema(l.inst, r.inst) {
 		al, ar := alignSchemas(l.inst, r.inst)
 		var err error
 		if l, err = prepareOwned(al); err != nil {
@@ -156,7 +170,7 @@ func comparePrepared(ctx context.Context, lp, rp *Prepared, opt *Options, start 
 		return nil, fmt.Errorf("instcmp: the exact algorithm does not support partial matches; use AlgoSignature")
 	}
 
-	res := &Result{Algorithm: algo}
+	res := &Result{Algorithm: algo, Mapping: mapping}
 	res.Stats.NormalizeTime = time.Since(start)
 	res.Stats.WarmScore = -1
 	searchStart := time.Now()
@@ -206,7 +220,7 @@ func comparePrepared(ctx context.Context, lp, rp *Prepared, opt *Options, start 
 	res.Stats.SearchTime = time.Since(searchStart)
 
 	explainStart := time.Now()
-	res.fillExplanation(env, opt.lambda(), lp.inst, rp.inst, rightPrefix)
+	res.fillExplanation(env, opt.lambda(), lp.inst, rp.inst, rightPrefix, relNames)
 	res.Stats.ExplainTime = time.Since(explainStart)
 	res.Elapsed = time.Since(start)
 	res.publish()
