@@ -328,7 +328,7 @@ func runBuildIndex(dir, indexPath string, anon bool, out io.Writer) error {
 	if err != nil {
 		return err
 	}
-	ix.SetFlags(readFlags(anon))
+	ix = ix.WithFlags(readFlags(anon))
 	if err := ix.WriteFile(indexPath); err != nil {
 		return err
 	}

@@ -193,6 +193,7 @@ func RunEnvContext(ctx context.Context, env *match.Env, opt Options) (*Result, e
 	sh := &shared{maxN: opt.MaxNodes, ctx: ctx}
 	sh.best.Store(math.Float64bits(-1))
 	if opt.Timeout > 0 {
+		//instlint:allow nondet -- wall-clock deadline only triggers anytime degradation (Stopped=timeout with the best-so-far score); it never feeds a score
 		sh.deadline = time.Now().Add(opt.Timeout)
 	}
 
@@ -436,6 +437,7 @@ func (s *searcher) budgetExceeded() bool {
 			return true
 		}
 		if s.nodes%soloPollInterval == 0 {
+			//instlint:allow nondet -- deadline poll: trips the anytime timeout stop, never a score
 			if !s.sh.deadline.IsZero() && time.Now().After(s.sh.deadline) {
 				s.trip(stopTimeout)
 				return true
@@ -466,6 +468,7 @@ func (s *searcher) flush() bool {
 		s.trip(stopNodeBudget)
 		return true
 	}
+	//instlint:allow nondet -- deadline poll: trips the anytime timeout stop, never a score
 	if !s.sh.deadline.IsZero() && time.Now().After(s.sh.deadline) {
 		s.trip(stopTimeout)
 		return true

@@ -91,6 +91,11 @@ type TupleRef struct {
 // Report is the full change summary of a comparison.
 type Report struct {
 	Similarity float64
+	// Stopped carries the comparison's stop reason (instcmp.StoppedTimeout,
+	// StoppedNodeBudget, StoppedCanceled), "" for a comparison that ran to
+	// its natural end. A stopped report explains the best match found so
+	// far — a degraded answer, not a verdict — and says so when rendered.
+	Stopped string
 	// Mapping is the discovered schema mapping the comparison ran under,
 	// nil for a plain (schema-agreeing) comparison. When set, tuple
 	// changes compare cells across the mapped attribute pairs instead of
@@ -112,7 +117,7 @@ type Report struct {
 // pairs; the report carries the mapping so readers see which columns were
 // identified and with what confidence.
 func FromResult(left, right *instcmp.Instance, res *instcmp.Result) (*Report, error) {
-	rep := &Report{Similarity: res.Score, Mapping: res.Mapping}
+	rep := &Report{Similarity: res.Score, Stopped: res.Stopped, Mapping: res.Mapping}
 	mapped := newMappingLookup(res.Mapping)
 	leftIdx, err := indexByID(left)
 	if err != nil {
@@ -303,6 +308,9 @@ func (r *Report) String() string {
 	var b strings.Builder
 	fmt.Fprintf(&b, "similarity %.4f: %d identical, %d updated, %d removed, %d added\n",
 		r.Similarity, r.Identical, len(r.Updated), len(r.Removed), len(r.Added))
+	if r.Stopped != "" {
+		fmt.Fprintf(&b, "stopped early (%s): this explains the best match found, not a completed comparison\n", r.Stopped)
+	}
 	if m := r.Mapping; m != nil {
 		fmt.Fprintf(&b, "schema mapping (confidence %.2f):\n", m.Confidence)
 		for _, rm := range m.Relations {

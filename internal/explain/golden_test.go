@@ -1,0 +1,74 @@
+package explain
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"instcmp"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden report")
+
+// TestReportGolden pins the rendered report byte for byte for a comparison
+// that exercises the three rendering paths reviewers read most: the
+// discovered-mapping block, cells labeled across renamed attributes
+// (attr→renamed), and the stopped-early banner of a degraded result. The
+// engine's determinism contract (DESIGN.md §16) makes the comparison —
+// scores, mapping, pair order — reproducible, so the report text is too;
+// regenerate with `go test ./internal/explain/ -run Golden -update` after
+// an intentional rendering change.
+func TestReportGolden(t *testing.T) {
+	l := instcmp.NewInstance()
+	l.AddRelation("Conf", "Name", "Year", "Org")
+	l.Append("Conf", c("VLDB"), c("1975"), n("N1"))
+	l.Append("Conf", c("ICDE"), n("N2"), c("IEEE"))
+	l.Append("Conf", c("EDBT"), c("1988"), c("OpenProc"))
+
+	// Same data under a renamed relation and renamed/reordered columns, so
+	// the comparison must run under a discovered mapping; one year drifts
+	// and one tuple disappears to populate the updated/removed sections.
+	r := instcmp.NewInstance()
+	r.AddRelation("Conference", "Organizer", "Title", "Held")
+	r.Append("Conference", n("V1"), c("VLDB"), c("1975"))
+	r.Append("Conference", c("IEEE"), c("ICDE"), c("1984"))
+
+	res, err := instcmp.Compare(l, r, &instcmp.Options{
+		Mode:            instcmp.OneToOne,
+		Algorithm:       instcmp.AlgoSignature,
+		DiscoverMapping: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// A deadline-degraded result carries the same match with a stop
+	// reason; pin its banner without racing a real timeout.
+	res.Stopped = instcmp.StoppedTimeout
+
+	rep, err := FromResult(l, r, res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Stopped != instcmp.StoppedTimeout {
+		t.Fatalf("report Stopped = %q, want %q", rep.Stopped, instcmp.StoppedTimeout)
+	}
+	got := rep.String()
+
+	golden := filepath.Join("testdata", "report.golden")
+	if *update {
+		if err := os.MkdirAll(filepath.Dir(golden), 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (regenerate with -update): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("report drifted from golden:\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}

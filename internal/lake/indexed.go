@@ -77,6 +77,7 @@ func RankIndexedContext(ctx context.Context, example *instcmp.Prepared, lake []P
 		return nil, st, fmt.Errorf("lake: RankIndexed requires a non-nil prepared example")
 	}
 
+	//instlint:allow nondet -- stopwatch feeds IndexedStats.SketchBuild, a human-facing duration, never a score or ranking input
 	start := time.Now()
 	query := lakeindex.NewSketch(example.SketchFeatures())
 	st.SketchBuild = time.Since(start)

@@ -1,0 +1,90 @@
+package lakeindex
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+)
+
+// fuzzIndexBytes serializes a small deterministic index for seeding.
+func fuzzIndexBytes(flags ReadFlags) []byte {
+	entries := []Entry{
+		{Name: "alpha", Sketch: NewSketch([]uint64{1, 2, 3, 4}), Features: 4},
+		{Name: "beta", Sketch: NewSketch([]uint64{2, 3, 5, 7, 11}), Features: 5},
+		{Name: "gamma", Sketch: NewSketch(nil), Features: 0},
+	}
+	ix, err := Build(entries)
+	if err != nil {
+		panic(err)
+	}
+	var buf bytes.Buffer
+	if err := ix.WithFlags(flags).Write(&buf); err != nil {
+		panic(err)
+	}
+	return buf.Bytes()
+}
+
+// FuzzRead: arbitrary bytes must either decode into a well-formed index or
+// fail with one of the three categorized errors — never panic, never return
+// an index that does not round-trip. The decoder trusts nothing before the
+// magic, version, geometry, and checksum all pass, so this target hammers
+// exactly the path an attacker-supplied or disk-corrupted index file takes.
+func FuzzRead(f *testing.F) {
+	valid := fuzzIndexBytes(0)
+	f.Add(valid)
+	f.Add(fuzzIndexBytes(FlagAnonymousNulls))
+	f.Add([]byte{})
+	f.Add(valid[:17])                                           // header truncated
+	f.Add(valid[:40])                                           // payload missing
+	f.Add(append([]byte("NOPE"), valid[4:]...))                 // bad magic
+	f.Add(append([]byte("LKIX\x01\x00\x00\x00"), valid[8:]...)) // old format version
+	corrupt := append([]byte(nil), valid...)
+	corrupt[len(corrupt)-1] ^= 0xff
+	f.Add(corrupt) // checksum mismatch
+	long := append([]byte(nil), valid...)
+	long[24], long[25], long[26], long[27] = 0xff, 0xff, 0xff, 0xff
+	f.Add(long) // implausible payload length
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ix, err := Read(bytes.NewReader(data))
+		if err != nil {
+			if !errors.Is(err, ErrNotIndex) && !errors.Is(err, ErrVersion) && !errors.Is(err, ErrCorrupt) {
+				t.Fatalf("uncategorized decode error: %v", err)
+			}
+			return
+		}
+		// A successful decode must re-serialize deterministically and
+		// round-trip to an identical index.
+		var first bytes.Buffer
+		if err := ix.Write(&first); err != nil {
+			t.Fatalf("re-serializing a decoded index failed: %v", err)
+		}
+		back, err := Read(bytes.NewReader(first.Bytes()))
+		if err != nil {
+			t.Fatalf("re-reading a re-serialized index failed: %v", err)
+		}
+		if back.Len() != ix.Len() || back.Flags() != ix.Flags() {
+			t.Fatalf("round trip changed shape: %d/%v -> %d/%v",
+				ix.Len(), ix.Flags(), back.Len(), back.Flags())
+		}
+		for _, name := range ix.Names() {
+			if name == "" {
+				t.Fatal("decoded index holds an empty candidate name")
+			}
+			a, _ := ix.Entry(name)
+			b, ok := back.Entry(name)
+			if !ok {
+				t.Fatalf("entry %q lost in round trip", name)
+			}
+			if !a.Sketch.Equal(b.Sketch) || a.Features != b.Features {
+				t.Fatalf("entry %q changed in round trip", name)
+			}
+		}
+		var second bytes.Buffer
+		if err := back.Write(&second); err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(first.Bytes(), second.Bytes()) {
+			t.Fatal("serialization is not deterministic")
+		}
+	})
+}

@@ -83,9 +83,16 @@ type Index struct {
 	flags ReadFlags
 }
 
-// SetFlags records the read options the indexed instances were loaded
-// under. Call before WriteFile so queries can detect a mismatch.
-func (ix *Index) SetFlags(f ReadFlags) { ix.flags = f }
+// WithFlags returns a copy of the index recording the read options the
+// indexed instances were loaded under; the receiver is unchanged. Derive
+// the flagged index before WriteFile so queries can detect a mismatch.
+// (A published Index is immutable — internal/lint/immutpub — so the flags
+// travel by construction, never by post-publish mutation.)
+func (ix *Index) WithFlags(f ReadFlags) *Index {
+	out := *ix
+	out.flags = f
+	return &out
+}
 
 // Flags returns the read options recorded at build time.
 func (ix *Index) Flags() ReadFlags { return ix.flags }

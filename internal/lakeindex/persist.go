@@ -159,9 +159,15 @@ func Read(r io.Reader) (*Index, error) {
 	if plen > 1<<32 {
 		return nil, fmt.Errorf("lakeindex: %w: implausible payload length %d", ErrCorrupt, plen)
 	}
-	payload := make([]byte, plen)
-	if _, err := io.ReadFull(r, payload); err != nil {
-		return nil, fmt.Errorf("lakeindex: %w: payload truncated: %v", ErrCorrupt, err)
+	// Size the buffer by what actually arrives, not by the header's claim:
+	// a hostile 40-byte header must not be able to demand a multi-gigabyte
+	// allocation before the first payload byte is read (found by FuzzRead).
+	payload, err := io.ReadAll(io.LimitReader(r, int64(plen)))
+	if err != nil {
+		return nil, fmt.Errorf("lakeindex: %w: payload unreadable: %v", ErrCorrupt, err)
+	}
+	if uint64(len(payload)) != plen {
+		return nil, fmt.Errorf("lakeindex: %w: payload truncated: got %d of %d bytes", ErrCorrupt, len(payload), plen)
 	}
 	if sum := fnvSum(payload); sum != binary.LittleEndian.Uint64(header[32:40]) {
 		return nil, fmt.Errorf("lakeindex: %w: checksum mismatch", ErrCorrupt)
@@ -174,8 +180,7 @@ func Read(r io.Reader) (*Index, error) {
 	if err != nil {
 		return nil, fmt.Errorf("lakeindex: %w: %v", ErrCorrupt, err)
 	}
-	ix.flags = flags
-	return ix, nil
+	return ix.WithFlags(flags), nil
 }
 
 // parsePayload decodes the checksummed entry section.

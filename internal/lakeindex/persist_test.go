@@ -63,7 +63,7 @@ func TestPersistRoundTripsReadFlags(t *testing.T) {
 	// silently comparing incompatible sketches.
 	for _, flags := range []ReadFlags{0, FlagAnonymousNulls} {
 		ix, _ := buildTestIndex(t, 5)
-		ix.SetFlags(flags)
+		ix = ix.WithFlags(flags)
 		var buf bytes.Buffer
 		if err := ix.Write(&buf); err != nil {
 			t.Fatal(err)

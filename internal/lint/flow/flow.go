@@ -1,0 +1,273 @@
+// Package flow holds the shared AST/dataflow helpers of the determinism
+// suite (nondet, immutpub, wgdiscipline — DESIGN.md §16). The three
+// analyzers reason about the same structures — access paths rooted at a
+// variable, function bodies with nested literals, package-qualified calls,
+// goroutine spawns — and this package keeps that reasoning in one place so
+// the analyzers stay small statements of their invariants.
+package flow
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"instcmp/internal/lint"
+)
+
+// Body is one function body under analysis: a declaration or a literal,
+// with the name analyzers use in messages and exemption checks ("" for a
+// literal).
+type Body struct {
+	Name string
+	Type *ast.FuncType
+	Body *ast.BlockStmt
+	// Decl is the enclosing declaration: for a FuncDecl, itself; for a
+	// FuncLit, the declaration it syntactically sits in (nil at file
+	// scope). Exemptions that cover a constructor extend to its literals.
+	Decl *ast.FuncDecl
+}
+
+// EachBody invokes fn for every function body of the pass — declarations
+// and function literals — exactly once each.
+func EachBody(pass *lint.Pass, fn func(b Body)) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			if fd.Body != nil {
+				fn(Body{Name: fd.Name.Name, Type: fd.Type, Body: fd.Body, Decl: fd})
+			}
+			ast.Inspect(fd, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					fn(Body{Type: lit.Type, Body: lit.Body, Decl: fd})
+				}
+				return true
+			})
+		}
+		// Literals in file-scope var initializers.
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok {
+				continue
+			}
+			ast.Inspect(gd, func(n ast.Node) bool {
+				if lit, ok := n.(*ast.FuncLit); ok {
+					fn(Body{Type: lit.Type, Body: lit.Body})
+				}
+				return true
+			})
+		}
+	}
+}
+
+// Scan walks a subtree, skipping nested function literals (their bodies run
+// on their own schedule and are analyzed as bodies of their own), and
+// reports whether pred holds anywhere.
+func Scan(root ast.Node, pred func(ast.Node) bool) bool {
+	found := false
+	WalkSkipLits(root, func(n ast.Node) bool {
+		if pred(n) {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// WalkSkipLits walks a subtree like ast.Inspect but never descends into
+// function literals below the root. The root itself may be a literal.
+func WalkSkipLits(root ast.Node, visit func(ast.Node) bool) {
+	if root == nil {
+		return
+	}
+	ast.Inspect(root, func(n ast.Node) bool {
+		if n == nil {
+			return true
+		}
+		if n == root {
+			return visit(n)
+		}
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		return visit(n)
+	})
+}
+
+// PkgFunc resolves a call to pkg.Name where pkg is an imported package
+// identifier; it returns the import path and selected name, or "" when the
+// call is anything else (method call, local call, conversion).
+func PkgFunc(pass *lint.Pass, call *ast.CallExpr) (path, name string) {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return "", ""
+	}
+	id, ok := sel.X.(*ast.Ident)
+	if !ok {
+		return "", ""
+	}
+	pn, ok := pass.ObjectOf(id).(*types.PkgName)
+	if !ok {
+		return "", ""
+	}
+	return pn.Imported().Path(), sel.Sel.Name
+}
+
+// Deref removes one pointer layer, if any.
+func Deref(t types.Type) types.Type {
+	if ptr, ok := t.(*types.Pointer); ok {
+		return ptr.Elem()
+	}
+	return t
+}
+
+// Named returns the named type of t (through one pointer), or nil.
+func Named(t types.Type) *types.Named {
+	if t == nil {
+		return nil
+	}
+	n, _ := Deref(t).(*types.Named)
+	return n
+}
+
+// IsNamed reports whether t (through one pointer) is the named type
+// pkgPath.name.
+func IsNamed(t types.Type, pkgPath, name string) bool {
+	n := Named(t)
+	if n == nil {
+		return false
+	}
+	obj := n.Obj()
+	return obj.Name() == name && obj.Pkg() != nil && obj.Pkg().Path() == pkgPath
+}
+
+// Steps returns the access-path steps of an expression, innermost root
+// first: for p.Code[i].Masks it yields p, p.Code, p.Code[i],
+// p.Code[i].Masks. Parens and unary * / & are transparent. A non-path
+// expression yields just itself.
+func Steps(e ast.Expr) []ast.Expr {
+	var steps []ast.Expr
+	var walk func(ast.Expr)
+	walk = func(e ast.Expr) {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			walk(x.X)
+			return
+		case *ast.StarExpr:
+			walk(x.X)
+			return
+		case *ast.UnaryExpr:
+			if x.Op == token.AND {
+				walk(x.X)
+				return
+			}
+		case *ast.SelectorExpr:
+			walk(x.X)
+		case *ast.IndexExpr:
+			walk(x.X)
+		}
+		steps = append(steps, e)
+	}
+	walk(e)
+	return steps
+}
+
+// RootVar resolves the innermost step of an access path to the variable it
+// denotes, or nil (calls, literals, package names).
+func RootVar(pass *lint.Pass, e ast.Expr) *types.Var {
+	steps := Steps(e)
+	id, ok := steps[0].(*ast.Ident)
+	if !ok {
+		return nil
+	}
+	v, _ := pass.ObjectOf(id).(*types.Var)
+	return v
+}
+
+// Write is one mutation site: an assignment target, an inc/dec operand, or
+// the map argument of a delete call.
+type Write struct {
+	Target ast.Expr
+	Pos    token.Pos
+	// Tok is the assignment token (=, +=, ++, …); delete reports MAP.
+	Tok token.Token
+}
+
+// Writes collects every mutation site in the subtree, skipping nested
+// function literals.
+func Writes(pass *lint.Pass, root ast.Node) []Write {
+	var out []Write
+	WalkSkipLits(root, func(n ast.Node) bool {
+		switch s := n.(type) {
+		case *ast.AssignStmt:
+			for _, lhs := range s.Lhs {
+				out = append(out, Write{Target: lhs, Pos: s.TokPos, Tok: s.Tok})
+			}
+		case *ast.IncDecStmt:
+			out = append(out, Write{Target: s.X, Pos: s.TokPos, Tok: s.Tok})
+		case *ast.CallExpr:
+			if id, ok := s.Fun.(*ast.Ident); ok && id.Name == "delete" && len(s.Args) == 2 {
+				if _, isBuiltin := pass.ObjectOf(id).(*types.Builtin); isBuiltin {
+					out = append(out, Write{Target: s.Args[0], Pos: s.Pos(), Tok: token.MAP})
+				}
+			}
+		}
+		return true
+	})
+	return out
+}
+
+// IsIntegral reports whether the expression has an integer type — the one
+// accumulation domain where order cannot change the result bit for bit.
+func IsIntegral(pass *lint.Pass, e ast.Expr) bool {
+	t := pass.TypeOf(e)
+	if t == nil {
+		return false
+	}
+	b, ok := t.Underlying().(*types.Basic)
+	return ok && b.Info()&types.IsInteger != 0
+}
+
+// IsAppendOf reports whether the expression is append(target, …) for the
+// same variable as target (the grow-a-collection shape).
+func IsAppendOf(pass *lint.Pass, e ast.Expr, target *types.Var) bool {
+	call, ok := e.(*ast.CallExpr)
+	if !ok || len(call.Args) == 0 {
+		return false
+	}
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || id.Name != "append" {
+		return false
+	}
+	if _, isBuiltin := pass.ObjectOf(id).(*types.Builtin); !isBuiltin {
+		return false
+	}
+	if target == nil {
+		return true
+	}
+	return RootVar(pass, call.Args[0]) == target
+}
+
+// GoLits returns every function literal the subtree launches as a
+// goroutine (go func(){…}(…)), skipping nested literals' own bodies.
+func GoLits(root ast.Node) []*ast.FuncLit {
+	var out []*ast.FuncLit
+	WalkSkipLits(root, func(n ast.Node) bool {
+		gs, ok := n.(*ast.GoStmt)
+		if !ok {
+			return true
+		}
+		if lit, ok := gs.Call.Fun.(*ast.FuncLit); ok {
+			out = append(out, lit)
+		}
+		return true
+	})
+	return out
+}
+
+// Within reports whether pos falls inside the node's source range.
+func Within(pos token.Pos, n ast.Node) bool {
+	return n != nil && n.Pos() <= pos && pos < n.End()
+}

@@ -1,0 +1,210 @@
+// Package immutpub enforces publish-immutability (DESIGN.md §16): the
+// engine's shared resident state — instcmp.Prepared, match.PreparedSide,
+// model.CodedRelation, a published lakeindex.Index — is documented as
+// immutable after construction, and the whole Prepare/Compare and
+// sketch-index architecture leans on it: any number of goroutines compare,
+// rank, and probe the same prepared state with no locks because nobody
+// writes it. A single post-publish field write is a data race the race
+// detector only catches on schedules the tests happen to produce; this
+// analyzer refuses it module-wide at review time.
+//
+// The check is a field-write reachability approximation over access paths:
+// an assignment (or ++/--, delete, mutating-method call) whose access path
+// passes through a pointer to a published type is a violation unless the
+// enclosing function is one of the type's registered constructors in its
+// defining package. Writes through value copies (v := *p; v.X = …) mutate
+// the copy, not published state, and pass. Legitimate lazy caches carry a
+// justified //instlint:allow immutpub.
+package immutpub
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"instcmp/internal/lint"
+	"instcmp/internal/lint/flow"
+)
+
+// Target is one published type with its construction-phase allowlist.
+type Target struct {
+	// Pkg is the defining package's import path.
+	Pkg string
+	// Name is the type name.
+	Name string
+	// Ctors are the function and method names in the defining package
+	// allowed to write fields reachable from the type: the constructors
+	// and the helpers that run before the value is published.
+	Ctors []string
+}
+
+// DefaultTargets are the published types of the engine. The allowlists
+// name exactly the functions that run before a reference escapes.
+var DefaultTargets = []Target{
+	{Pkg: "instcmp", Name: "Prepared", Ctors: []string{"Prepare", "prepareOwned", "WithRelationName"}},
+	{Pkg: "instcmp/internal/match", Name: "PreparedSide", Ctors: []string{"PrepareSide", "WithRelations"}},
+	{Pkg: "instcmp/internal/model", Name: "CodedRelation", Ctors: []string{"Code", "Remap"}},
+	{Pkg: "instcmp/internal/lakeindex", Name: "Index", Ctors: []string{"Build", "Read"}},
+}
+
+// mutatingPrefixes mark method names treated as mutators when called on a
+// published value from outside its defining package (method bodies are not
+// visible across packages, so the name is the signal).
+var mutatingPrefixes = []string{
+	"Set", "Add", "Remove", "Delete", "Reset", "Clear", "Insert", "Append", "Push", "Pop", "Store", "Put",
+}
+
+// Analyzer checks the engine's published types.
+var Analyzer = New(DefaultTargets)
+
+// New builds an immutpub analyzer over a target set; the fixture tests use
+// it with fixture-local types.
+func New(targets []Target) *lint.Analyzer {
+	return &lint.Analyzer{
+		Name: "immutpub",
+		Doc: "published prepared/index state is immutable after construction; " +
+			"no field writes or mutating methods outside the constructors",
+		Run: func(pass *lint.Pass) ([]lint.Diagnostic, error) {
+			return run(pass, targets)
+		},
+	}
+}
+
+func run(pass *lint.Pass, targets []Target) ([]lint.Diagnostic, error) {
+	var diags []lint.Diagnostic
+	flow.EachBody(pass, func(b flow.Body) {
+		exempt := exemptions(pass, b, targets)
+		for _, w := range flow.Writes(pass, b.Body) {
+			if _, ok := w.Target.(*ast.Ident); ok {
+				continue // rebinding a variable is not a field write
+			}
+			if t := pathTarget(pass, writeSteps(w.Target), targets); t != nil && !exempt[t.Name] {
+				diags = append(diags, lint.Diagnostic{
+					Pos: w.Pos,
+					Message: "write to state reachable from published " + t.Pkg + "." + t.Name +
+						"; published state is immutable — move this into its constructor " +
+						"or justify an //instlint:allow immutpub",
+				})
+			}
+		}
+		flow.WalkSkipLits(b.Body, func(n ast.Node) bool {
+			call, ok := n.(*ast.CallExpr)
+			if !ok {
+				return true
+			}
+			sel, ok := call.Fun.(*ast.SelectorExpr)
+			if !ok || !hasMutatingName(sel.Sel.Name) {
+				return true
+			}
+			fn, ok := pass.ObjectOf(sel.Sel).(*types.Func)
+			if !ok {
+				return true
+			}
+			sig, ok := fn.Type().(*types.Signature)
+			if !ok || sig.Recv() == nil {
+				return true // package function, not a method
+			}
+			if _, isPtr := sig.Recv().Type().(*types.Pointer); !isPtr {
+				return true // value receiver cannot mutate the published state
+			}
+			if t := pathTarget(pass, flow.Steps(sel.X), targets); t != nil && !exempt[t.Name] {
+				diags = append(diags, lint.Diagnostic{
+					Pos: call.Pos(),
+					Message: "call to pointer-receiver mutator " + sel.Sel.Name + " on published " +
+						t.Pkg + "." + t.Name + "; published state is immutable — " +
+						"construct a new value instead",
+				})
+			}
+			return true
+		})
+	})
+	return diags, nil
+}
+
+// exemptions reports which targets the enclosing function may write: its
+// name (or its declaration's name, for literals inside a constructor) is on
+// the target's ctor allowlist and the pass is the defining package.
+func exemptions(pass *lint.Pass, b flow.Body, targets []Target) map[string]bool {
+	name := b.Name
+	if name == "" && b.Decl != nil {
+		name = b.Decl.Name.Name
+	}
+	out := map[string]bool{}
+	for _, t := range targets {
+		if pass.Pkg.Path() != t.Pkg {
+			continue
+		}
+		for _, ctor := range t.Ctors {
+			if name == ctor {
+				out[t.Name] = true
+				break
+			}
+		}
+	}
+	return out
+}
+
+// writeSteps returns the access-path steps whose pointees a write to e can
+// mutate: every step but the last. Writing the final step itself only
+// rebinds a reference — a slice slot or map entry of type *T holds a
+// pointer, so codes[i] = in.Code(rel) stores into the local slice, never
+// into a CodedRelation. An explicit dereference target (*p = v) overwrites
+// the pointee and keeps the full path.
+func writeSteps(e ast.Expr) []ast.Expr {
+	steps := flow.Steps(e)
+	if isDeref(e) {
+		return steps
+	}
+	return steps[:len(steps)-1]
+}
+
+// isDeref reports whether the expression is a dereference (*p, possibly
+// parenthesized).
+func isDeref(e ast.Expr) bool {
+	for {
+		switch x := e.(type) {
+		case *ast.ParenExpr:
+			e = x.X
+		case *ast.StarExpr:
+			return true
+		default:
+			return false
+		}
+	}
+}
+
+// pathTarget reports the published type the access-path steps pass through
+// via a pointer step — p.Code[i].Masks roots at *PreparedSide and traverses
+// *CodedRelation; either match publishes the write — or nil.
+func pathTarget(pass *lint.Pass, steps []ast.Expr, targets []Target) *Target {
+	for _, step := range steps {
+		t := pass.TypeOf(step)
+		if t == nil {
+			continue
+		}
+		ptr, ok := t.(*types.Pointer)
+		if !ok {
+			continue
+		}
+		for i := range targets {
+			if flow.IsNamed(ptr, targets[i].Pkg, targets[i].Name) {
+				return &targets[i]
+			}
+		}
+	}
+	return nil
+}
+
+func hasMutatingName(name string) bool {
+	for _, p := range mutatingPrefixes {
+		if strings.HasPrefix(name, p) {
+			// SetupX / Additional / Popular should not trip the prefix:
+			// require the next rune, if any, to be uppercase or a digit.
+			rest := name[len(p):]
+			if rest == "" || rest[0] >= 'A' && rest[0] <= 'Z' || rest[0] >= '0' && rest[0] <= '9' {
+				return true
+			}
+		}
+	}
+	return false
+}

@@ -1,0 +1,14 @@
+package immutpub
+
+import (
+	"testing"
+
+	"instcmp/internal/lint/linttest"
+)
+
+func TestImmutPub(t *testing.T) {
+	a := New([]Target{
+		{Pkg: "fixture", Name: "Box", Ctors: []string{"NewBox"}},
+	})
+	linttest.Run(t, "testdata/fixture", a)
+}

@@ -1,0 +1,111 @@
+// Package fixture exercises the immutpub analyzer against a fixture-local
+// published type (the test registers Box with constructor NewBox, mirroring
+// how the real analyzer registers Prepared/PreparedSide/CodedRelation/
+// Index against their constructors).
+package fixture
+
+// Inner is state reachable from a published Box.
+type Inner struct {
+	Rows  []int
+	ByKey map[string]int
+}
+
+// Box is the fixture's published type: immutable after NewBox returns.
+type Box struct {
+	Name   string
+	Count  int
+	Inner  *Inner
+	Labels map[string]string
+}
+
+// NewBox is the registered constructor: its writes are construction.
+func NewBox(name string) *Box {
+	b := &Box{Name: name, Labels: map[string]string{}}
+	b.Count = 1
+	b.Inner = &Inner{ByKey: map[string]int{}}
+	b.Inner.Rows = append(b.Inner.Rows, 0)
+	b.Labels["origin"] = name
+	// Construction may use helpers via closures; the exemption covers them.
+	fill := func() { b.Inner.ByKey[name] = 1 }
+	fill()
+	return b
+}
+
+// mutateField writes a field after publish.
+func mutateField(b *Box) {
+	b.Count = 2 // want "immutable"
+}
+
+// mutateDeep writes through the reachable graph.
+func mutateDeep(b *Box) {
+	b.Inner.Rows[0] = 7 // want "immutable"
+}
+
+// mutateMap writes and deletes through a published map.
+func mutateMap(b *Box) {
+	b.Labels["k"] = "v"        // want "immutable"
+	delete(b.Labels, "origin") // want "immutable"
+}
+
+// mutateIncrement bumps a counter in place.
+func mutateIncrement(b *Box) {
+	b.Count++ // want "immutable"
+}
+
+// mutateAppend grows a reachable slice.
+func mutateAppend(b *Box) {
+	b.Inner.Rows = append(b.Inner.Rows, 1) // want "immutable"
+}
+
+// SetName is a pointer-receiver mutator; calling it on published state is
+// flagged at the call site.
+func (b *Box) SetName(name string) {
+	b.Name = name // want "immutable"
+}
+
+// callMutator takes a mutating method on a published value.
+func callMutator(b *Box) {
+	b.SetName("x") // want "mutator"
+}
+
+// readOnly only reads; reads are free.
+func readOnly(b *Box) int {
+	n := b.Count
+	for _, r := range b.Inner.Rows {
+		n += r
+	}
+	return n
+}
+
+// copyThenWrite mutates a value copy — the copy is private, not the
+// published state.
+func copyThenWrite(b *Box) Box {
+	v := *b
+	v.Count = 9
+	v.Name = "copy"
+	return v
+}
+
+// lazyCache is the justified escape hatch for legitimate post-publish
+// writes.
+func lazyCache(b *Box) {
+	//instlint:allow immutpub -- fixture lazy cache: idempotent fill, race-benign by design
+	b.Labels["cache"] = "warm"
+}
+
+// storeRef stores a published reference into a local slice slot: the slot
+// holds a pointer, so this rebinds the slot, never the pointee.
+func storeRef(b *Box, out []*Box) {
+	out[0] = b
+}
+
+// derefWrite overwrites the whole pointee through an explicit dereference.
+func derefWrite(b *Box) {
+	*b = Box{} // want "immutable"
+}
+
+// rebind only rebinds the local variable, not published state.
+func rebind(b *Box) *Box {
+	b = NewBox("fresh")
+	return b
+}

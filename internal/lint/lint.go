@@ -76,6 +76,7 @@ type Diagnostic struct {
 // directive is one parsed //instlint:allow comment.
 type directive struct {
 	line      int // line the comment sits on
+	groupEnd  int // last line of the comment group the directive is part of
 	analyzers []string
 	justified bool
 	pos       token.Pos
@@ -93,7 +94,11 @@ func parseDirectives(fset *token.FileSet, f *ast.File) []directive {
 				continue
 			}
 			rest := strings.TrimPrefix(text, directivePrefix)
-			d := directive{line: fset.Position(c.Pos()).Line, pos: c.Pos()}
+			d := directive{
+				line:     fset.Position(c.Pos()).Line,
+				groupEnd: fset.Position(cg.End()).Line,
+				pos:      c.Pos(),
+			}
 			names, justification, found := strings.Cut(rest, "--")
 			d.justified = found && strings.TrimSpace(justification) != ""
 			for _, name := range strings.Fields(names) {
@@ -124,10 +129,13 @@ func Analyze(pass *Pass, analyzers []*Analyzer) ([]Diagnostic, error) {
 				continue
 			}
 			for _, name := range d.analyzers {
-				// A directive shields its own line and the next, so it
-				// works both inline and as a standalone comment line
-				// above the flagged statement.
-				for _, line := range []int{d.line, d.line + 1} {
+				// A directive shields its own line and the next — inline
+				// and standalone-line-above placement — plus the line
+				// after its whole comment group, so a directive written
+				// anywhere inside a doc comment covers the declaration or
+				// statement the comment documents, not just the comment
+				// line that happens to follow it.
+				for _, line := range []int{d.line, d.line + 1, d.groupEnd + 1} {
 					if allowed[line] == nil {
 						allowed[line] = map[string]bool{}
 					}

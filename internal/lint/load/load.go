@@ -1,9 +1,16 @@
 // Package load parses and type-checks the module's packages for instlint.
 // Package discovery shells out to `go list -json` (so build constraints and
-// pattern expansion match the toolchain exactly); type checking runs through
-// go/types with the standard library's source importer, which resolves
-// stdlib imports from GOROOT/src — no export data, no network, no
-// dependency on golang.org/x/tools.
+// pattern expansion match the toolchain exactly). The load happens once per
+// run: every analyzer of the suite fans out over the same *lint.Pass, so
+// adding an analyzer costs its analysis, never another parse or type check.
+//
+// Stdlib imports resolve through compiled export data from the build cache
+// (`go list -export -deps` names the files; the gc importer reads them),
+// which skips re-type-checking the standard library from source — the
+// dominant cost of a lint run. When export data is unavailable (cold or
+// disabled build cache), the loader falls back to the source importer,
+// which resolves from GOROOT/src — no network, no dependency on
+// golang.org/x/tools either way.
 package load
 
 import (
@@ -20,6 +27,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"sort"
+	"strconv"
 	"strings"
 
 	"instcmp/internal/lint"
@@ -66,7 +74,8 @@ func goList(dir string, patterns []string) ([]*listedPackage, error) {
 }
 
 // chainImporter resolves module-local imports from the already-checked
-// package set and everything else through the source importer.
+// package set and everything else through the outside importer (export
+// data when available, source otherwise).
 type chainImporter struct {
 	local map[string]*types.Package
 	std   types.Importer
@@ -80,6 +89,61 @@ func (c *chainImporter) Import(path string) (*types.Package, error) {
 		return p, nil
 	}
 	return c.std.Import(path)
+}
+
+// exportData maps every package in the patterns' transitive closure to its
+// compiled export-data file via `go list -export -deps`. Packages without
+// export data stay absent from the map — unsafe (special-cased before the
+// lookup) and test-only module packages (never imported) — and an absent
+// path a type check does reach surfaces as that import's error rather than
+// a silent source-importer fallback: mixing export-data imports with
+// source imports would materialize two distinct types.Package values for
+// one path and break type identity.
+func exportData(dir string, patterns []string) (map[string]string, error) {
+	args := append([]string{"list", "-export", "-deps", "-json=ImportPath,Export"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	var stdout, stderr bytes.Buffer
+	cmd.Stdout, cmd.Stderr = &stdout, &stderr
+	if err := cmd.Run(); err != nil {
+		return nil, fmt.Errorf("go list -export: %v\n%s", err, stderr.String())
+	}
+	type exported struct {
+		ImportPath string
+		Export     string
+	}
+	out := map[string]string{}
+	dec := json.NewDecoder(&stdout)
+	for {
+		p := &exported{}
+		if err := dec.Decode(p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("go list -export: decoding output: %v", err)
+		}
+		if p.Export != "" {
+			out[p.ImportPath] = p.Export
+		}
+	}
+	return out, nil
+}
+
+// outsideImporter returns the importer for packages outside the module:
+// the gc importer over build-cache export data when `go list -export` can
+// provide it for the full dependency closure, else the source importer.
+func outsideImporter(fset *token.FileSet, dir string, patterns []string) types.Importer {
+	exports, err := exportData(dir, patterns)
+	if err != nil {
+		return importer.ForCompiler(fset, "source", nil)
+	}
+	lookup := func(path string) (io.ReadCloser, error) {
+		file, ok := exports[path]
+		if !ok {
+			return nil, fmt.Errorf("load: no export data for %q", path)
+		}
+		return os.Open(file)
+	}
+	return importer.ForCompiler(fset, "gc", lookup)
 }
 
 func newInfo() *types.Info {
@@ -125,7 +189,7 @@ func Packages(dir string, patterns []string) ([]*Package, error) {
 	fset := token.NewFileSet()
 	imp := &chainImporter{
 		local: map[string]*types.Package{},
-		std:   importer.ForCompiler(fset, "source", nil),
+		std:   outsideImporter(fset, dir, patterns),
 	}
 
 	var out []*Package
@@ -201,11 +265,34 @@ func Dir(dir string) (*lint.Pass, error) {
 	info := newInfo()
 	conf := types.Config{Importer: &chainImporter{
 		local: map[string]*types.Package{},
-		std:   importer.ForCompiler(fset, "source", nil),
+		std:   fixtureImporter(fset, dir, files),
 	}}
 	pkg, err := conf.Check(files[0].Name.Name, fset, files, info)
 	if err != nil {
 		return nil, fmt.Errorf("type-checking fixture %s: %v", dir, err)
 	}
 	return &lint.Pass{Fset: fset, Files: files, Pkg: pkg, Info: info}, nil
+}
+
+// fixtureImporter resolves a fixture's stdlib imports, preferring export
+// data for the fixture's import list (fixtures are self-contained, so the
+// list is exactly what the files declare).
+func fixtureImporter(fset *token.FileSet, dir string, files []*ast.File) types.Importer {
+	var deps []string
+	seen := map[string]bool{}
+	for _, f := range files {
+		for _, im := range f.Imports {
+			p, err := strconv.Unquote(im.Path.Value)
+			if err != nil || seen[p] || p == "unsafe" {
+				continue
+			}
+			seen[p] = true
+			deps = append(deps, p)
+		}
+	}
+	if len(deps) == 0 {
+		return importer.ForCompiler(fset, "source", nil)
+	}
+	sort.Strings(deps)
+	return outsideImporter(fset, dir, deps)
 }

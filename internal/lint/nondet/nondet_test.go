@@ -1,0 +1,11 @@
+package nondet
+
+import (
+	"testing"
+
+	"instcmp/internal/lint/linttest"
+)
+
+func TestNondet(t *testing.T) {
+	linttest.Run(t, "testdata/fixture", Analyzer)
+}

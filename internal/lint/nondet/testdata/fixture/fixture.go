@@ -1,0 +1,134 @@
+// Package fixture exercises the nondet analyzer: every flagged line
+// carries a want comment; the clean shapes document the deterministic
+// remedies the engine actually uses.
+package fixture
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// collectSorted is the approved shape: keys collected from a map range are
+// sorted before anything iterates or hashes them.
+func collectSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+// collectUnsorted leaks map order into the returned slice.
+func collectUnsorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want "never sorted"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+// collectSortSlice is clean: sort.Slice counts as sorting the collection.
+func collectSortSlice(m map[int]int) []int {
+	var keys []int
+	for k := range m {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i] < keys[j] })
+	return keys
+}
+
+// clock reads the wall clock in a score path.
+func clock() int64 {
+	return time.Now().UnixNano() // want "time.Now"
+}
+
+// clockAllowed is the deadline-degradation shape, justified.
+func clockAllowed() int64 {
+	//instlint:allow nondet -- deadline checks only trigger anytime degradation, never scores
+	return time.Now().UnixNano()
+}
+
+// clockDocAllowed pins the doc-comment directive placement: the directive
+// is the FIRST line of the comment block, with explanation lines between
+// it and the flagged statement; the allow must still be honored.
+func clockDocAllowed() int64 {
+	//instlint:allow nondet -- wall-clock feeds a stats field read by humans,
+	// never a score; the comment block explains this at length, and the
+	// directive sits at its head rather than directly above the call.
+	return time.Now().UnixNano()
+}
+
+// prng draws from the global PRNG.
+func prng() int {
+	return rand.Intn(10) // want "math/rand"
+}
+
+// multiReady binds from whichever of two result channels is ready first.
+func multiReady(a, b chan int) int {
+	select { // want "pseudo-randomly"
+	case x := <-a:
+		return x
+	case y := <-b:
+		return y
+	}
+}
+
+// ctxStyle is the approved cancel-or-result shape: only one case binds a
+// value, the other observes closure.
+func ctxStyle(done chan struct{}, results chan int) int {
+	select {
+	case <-done:
+		return 0
+	case r := <-results:
+		return r
+	}
+}
+
+type result struct {
+	idx   int
+	score float64
+}
+
+// arrivalFold folds worker results in arrival order.
+func arrivalFold(ch chan result) []result {
+	var out []result
+	for r := range ch { // want "arrival order"
+		out = append(out, r)
+	}
+	return out
+}
+
+// arrivalSum accumulates floats in arrival order.
+func arrivalSum(ch chan float64) float64 {
+	total := 0.0
+	for v := range ch { // want "arrival order"
+		total += v
+	}
+	return total
+}
+
+// indexedFold is the approved shape: results land at their task index, so
+// arrival order cannot matter.
+func indexedFold(ch chan result, n int) []float64 {
+	out := make([]float64, n)
+	count := 0
+	for r := range ch {
+		out[r.idx] = r.score
+		count++
+		if count == n {
+			break
+		}
+	}
+	return out
+}
+
+// countDrain only counts — integer accumulation commutes exactly.
+func countDrain(ch chan struct{}) int {
+	n := 0
+	for range ch {
+		n++
+	}
+	return n
+}

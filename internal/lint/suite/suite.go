@@ -12,8 +12,11 @@ import (
 	"instcmp/internal/lint/ctxpoll"
 	"instcmp/internal/lint/floatscore"
 	"instcmp/internal/lint/guardedmap"
+	"instcmp/internal/lint/immutpub"
 	"instcmp/internal/lint/maporder"
 	"instcmp/internal/lint/markundo"
+	"instcmp/internal/lint/nondet"
+	"instcmp/internal/lint/wgdiscipline"
 )
 
 // Scoped pairs an analyzer with the import-path suffixes it applies to.
@@ -48,6 +51,19 @@ func Analyzers() []Scoped {
 			"internal/exact", "internal/signature", "internal/lake",
 			"internal/serve",
 		}},
+		// Nondeterminism sources (clock, PRNG, unsorted key collection,
+		// multi-ready selects, arrival-order folds): the packages whose
+		// outputs the regress goldens pin bit-identical.
+		{nondet.Analyzer, []string{
+			"internal/score", "internal/exact", "internal/signature",
+			"internal/lake", "internal/lakeindex", "internal/schemamap",
+			"internal/match",
+		}},
+		// Publish-immutability of prepared/index state: module-wide, so a
+		// caller in cmd/ or serve cannot mutate what the engine published.
+		{immutpub.Analyzer, nil},
+		// Worker-pool hygiene: module-wide.
+		{wgdiscipline.Analyzer, nil},
 		// Atomicity consistency: module-wide.
 		{atomicfield.Analyzer, nil},
 		// Mutex-guarded maps (the serve registry's invariant): module-wide.

@@ -1,0 +1,166 @@
+// Package fixture exercises the wgdiscipline analyzer: each worker-pool
+// hygiene rule has at least one flagged shape and the clean counterpart
+// the engine's own pools use.
+package fixture
+
+import "sync"
+
+func process(int) {}
+
+// goodPool is the engine's canonical shape: Add before go, results by
+// index, one Wait before anything reads them.
+func goodPool(items []int) int {
+	var wg sync.WaitGroup
+	results := make([]int, len(items))
+	for i, it := range items {
+		wg.Add(1)
+		go func(i, it int) {
+			defer wg.Done()
+			results[i] = it * 2
+		}(i, it)
+	}
+	wg.Wait()
+	total := 0
+	for _, r := range results {
+		total += r
+	}
+	return total
+}
+
+// addInsideGo moves the Add into the goroutine, racing the Wait.
+func addInsideGo(items []int) {
+	var wg sync.WaitGroup
+	for range items {
+		go func() {
+			wg.Add(1) // want "races Wait"
+			defer wg.Done()
+		}()
+	}
+	wg.Wait()
+}
+
+// leak Adds but never Waits: the workers outlive the function.
+func leak(items []int) {
+	var wg sync.WaitGroup
+	for range items {
+		wg.Add(1) // want "never Waited"
+		go func() { defer wg.Done() }()
+	}
+}
+
+// earlyReturn has a return path between Add and Wait.
+func earlyReturn(items []int, bail bool) {
+	var wg sync.WaitGroup
+	wg.Add(len(items))
+	for range items {
+		go func() { defer wg.Done() }()
+	}
+	if bail {
+		return // want "skips"
+	}
+	wg.Wait()
+}
+
+// deferredWait covers every return path, including the early one.
+func deferredWait(items []int, bail bool) {
+	var wg sync.WaitGroup
+	defer wg.Wait()
+	wg.Add(len(items))
+	for range items {
+		go func() { defer wg.Done() }()
+	}
+	if bail {
+		return
+	}
+	process(len(items))
+}
+
+// closeTooEarly closes the results channel while workers still send.
+func closeTooEarly(items []int) {
+	ch := make(chan int)
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func(it int) {
+			defer wg.Done()
+			ch <- it
+		}(it)
+	}
+	close(ch) // want "still send"
+	wg.Wait()
+}
+
+// fanIn is the approved closer: a dedicated goroutine Waits, then closes,
+// so the range below terminates without racing the workers.
+func fanIn(items []int) []int {
+	ch := make(chan int)
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func(it int) {
+			defer wg.Done()
+			ch <- it
+		}(it)
+	}
+	go func() {
+		wg.Wait()
+		close(ch)
+	}()
+	out := make([]int, 0, len(items))
+	for v := range ch {
+		out = append(out, v)
+	}
+	return out
+}
+
+// sharedCapture reassigns a pre-loop variable that the goroutine reads:
+// the one capture shape go1.22 per-iteration variables did not fix.
+func sharedCapture(items []int) {
+	var wg sync.WaitGroup
+	var last int
+	for _, it := range items {
+		last = it
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			process(last) // want "reassigns"
+		}()
+	}
+	wg.Wait()
+}
+
+// perIteration captures the loop-declared variable, which go1.22 scopes
+// per iteration; clean.
+func perIteration(items []int) {
+	var wg sync.WaitGroup
+	for _, it := range items {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			process(it)
+		}()
+	}
+	wg.Wait()
+}
+
+// indexCapture captures a classic three-clause loop variable — also
+// per-iteration since go1.22; clean.
+func indexCapture(items []int) {
+	var wg sync.WaitGroup
+	for i := 0; i < len(items); i++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			process(items[i])
+		}()
+	}
+	wg.Wait()
+}
+
+// allowedLeak is the justified escape hatch.
+func allowedLeak() {
+	var wg sync.WaitGroup
+	//instlint:allow wgdiscipline -- fire-and-forget telemetry, bounded by process lifetime
+	wg.Add(1)
+	go func() { defer wg.Done() }()
+}

@@ -1,0 +1,11 @@
+package wgdiscipline
+
+import (
+	"testing"
+
+	"instcmp/internal/lint/linttest"
+)
+
+func TestWgDiscipline(t *testing.T) {
+	linttest.Run(t, "testdata/fixture", Analyzer)
+}

@@ -1,0 +1,91 @@
+package serve
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+// FuzzWireDecode: the server's JSON request shapes plus WireInstance.Decode
+// must hold up against arbitrary bodies — the exact bytes an HTTP client
+// controls. Whatever parses must satisfy the decoder's invariants (named
+// relations, consistent arity, unique names) and survive an encode/decode
+// round trip; whatever does not must come back as an error, never a panic.
+func FuzzWireDecode(f *testing.F) {
+	f.Add([]byte(`{"name":"a","instance":{"relations":[{"name":"R","attrs":["A","B"],"tuples":[["x","_:n1"],["y",""]]}]}}`))
+	f.Add([]byte(`{"left":"a","right":"b","options":{"mode":"1to1","algorithm":"exact","timeout_ms":50}}`))
+	f.Add([]byte(`{"example":"a","candidates":["b","c"],"workers":4,"top_k":3,"no_index":true}`))
+	f.Add([]byte(`{"instance":{"relations":[]}}`))
+	f.Add([]byte(`{"instance":{"relations":[{"name":"","attrs":["A"]}]}}`))
+	f.Add([]byte(`{"instance":{"relations":[{"name":"R","attrs":["A"],"tuples":[["x","extra"]]}]}}`))
+	f.Add([]byte(`{"instance":{"relations":[{"name":"R","attrs":["A"]},{"name":"R","attrs":["B"]}]}}`))
+	f.Add([]byte(`{"options":{"mode":"bogus","lambda":-1}}`))
+	f.Add([]byte(`not json`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		var reg RegisterRequest
+		if json.Unmarshal(data, &reg) == nil {
+			in, err := reg.Instance.Decode()
+			if err == nil {
+				rels := in.Relations()
+				if len(rels) == 0 {
+					t.Fatal("decode succeeded on an instance with no relations")
+				}
+				seen := map[string]bool{}
+				for _, rel := range rels {
+					if rel.Name == "" || seen[rel.Name] {
+						t.Fatalf("decode let through relation name %q (dup=%v)", rel.Name, seen[rel.Name])
+					}
+					seen[rel.Name] = true
+					if len(rel.Attrs) == 0 {
+						t.Fatalf("relation %q decoded with no attributes", rel.Name)
+					}
+					for _, tu := range rel.Tuples {
+						if len(tu.Values) != rel.Arity() {
+							t.Fatalf("relation %q tuple arity %d != %d", rel.Name, len(tu.Values), rel.Arity())
+						}
+					}
+				}
+				// Encode/decode must round-trip the instance shape and cell
+				// values (nulls travel as their "_:" rendering).
+				back, err := EncodeInstance(in).Decode()
+				if err != nil {
+					t.Fatalf("re-decoding an encoded instance failed: %v", err)
+				}
+				brels := back.Relations()
+				if len(brels) != len(rels) {
+					t.Fatalf("round trip changed relation count %d -> %d", len(rels), len(brels))
+				}
+				for i, rel := range rels {
+					brel := brels[i]
+					if brel.Name != rel.Name || brel.Arity() != rel.Arity() || len(brel.Tuples) != len(rel.Tuples) {
+						t.Fatalf("round trip changed relation %q shape", rel.Name)
+					}
+					for ti := range rel.Tuples {
+						for vi := range rel.Tuples[ti].Values {
+							a := rel.Tuples[ti].Values[vi]
+							b := brel.Tuples[ti].Values[vi]
+							if a.String() != b.String() {
+								t.Fatalf("round trip changed %s[%d][%d]: %q -> %q",
+									rel.Name, ti, vi, a.String(), b.String())
+							}
+						}
+					}
+				}
+			}
+		}
+		// The option parsers behind compare/explain/rank must never panic,
+		// whatever numbers and strings land in the fields.
+		var cr CompareRequest
+		if json.Unmarshal(data, &cr) == nil {
+			if _, err := cr.Options.engineOptions(); err == nil {
+				_ = cr.Options.timeout()
+			}
+		}
+		var rr RankRequest
+		if json.Unmarshal(data, &rr) == nil {
+			if _, err := rr.Options.engineOptions(); err == nil {
+				_ = rr.Options.timeout()
+			}
+		}
+	})
+}

@@ -186,6 +186,7 @@ func RunEnvContext(ctx context.Context, env *match.Env, opt Options) (*Result, e
 		sumR:    make([]float64, env.NumRightTuples()),
 	}
 
+	//instlint:allow nondet -- phase stopwatch feeds Stats.SigPhase, a human-facing duration, never a score
 	start := time.Now()
 	// Round 1 accepts only perfect pairs (pair score = arity: unchanged
 	// tuples, pure null renamings), so imperfect candidates cannot steal
@@ -219,6 +220,7 @@ rounds:
 	r.Stats.SigPhase = time.Since(start)
 	r.Stats.ScoreAfterSig = score.MatchPW(env, opt.params(), workers)
 
+	//instlint:allow nondet -- phase stopwatch feeds Stats.CompatPhase, a human-facing duration, never a score
 	start = time.Now()
 	if !s.canceled() {
 		s.complete()
